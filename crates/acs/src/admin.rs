@@ -1,0 +1,182 @@
+//! The administrator node (paper Fig. 5, left): the IBBE-SGX engine plus a
+//! local metadata cache and the cloud PUT path.
+//!
+//! The admin caches group metadata locally (§IV-C: "partition metadata are
+//! only manipulated by administrators, so they can locally cache it and thus
+//! bypass the cost of accessing the cloud"), and pushes only the partitions
+//! an operation touched.
+
+use crate::error::AcsError;
+use cloud_store::CloudStore;
+use ibbe_sgx_core::{
+    AddOutcome, GroupEngine, GroupMetadata, PartitionSize, RemoveOutcome,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Item name for the sealed group key object inside a group folder.
+pub const SEALED_ITEM: &str = "_sealed_gk";
+
+/// Cloud item name of partition `i`.
+pub fn partition_item(i: usize) -> String {
+    format!("p{i:06}")
+}
+
+/// The administrator API.
+pub struct Admin {
+    engine: GroupEngine,
+    store: CloudStore,
+    cache: Mutex<HashMap<String, GroupMetadata>>,
+    auto_repartition: bool,
+}
+
+impl Admin {
+    /// Creates an admin around a booted engine and a cloud store handle.
+    pub fn new(engine: GroupEngine, store: CloudStore) -> Self {
+        Self {
+            engine,
+            store,
+            cache: Mutex::new(HashMap::new()),
+            auto_repartition: true,
+        }
+    }
+
+    /// Disables the §V-A re-partitioning heuristic (for the Fig. 10
+    /// ablation).
+    pub fn set_auto_repartition(&mut self, enabled: bool) {
+        self.auto_repartition = enabled;
+    }
+
+    /// The underlying engine (public key, attestation, provisioning).
+    pub fn engine(&self) -> &GroupEngine {
+        &self.engine
+    }
+
+    /// The cloud store handle.
+    pub fn store(&self) -> &CloudStore {
+        &self.store
+    }
+
+    /// Creates a group and pushes all partition metadata to the cloud.
+    ///
+    /// # Errors
+    /// Propagates engine failures ([`AcsError::Core`]).
+    pub fn create_group(&self, name: &str, members: Vec<String>) -> Result<(), AcsError> {
+        let meta = self.engine.create_group(name, members)?;
+        self.push_all(&meta);
+        self.cache.lock().insert(name.to_string(), meta);
+        Ok(())
+    }
+
+    /// Adds a user (Algorithm 2) and pushes the single touched partition.
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`] or engine failures.
+    pub fn add_user(&self, group: &str, identity: &str) -> Result<AddOutcome, AcsError> {
+        let mut cache = self.cache.lock();
+        let meta = cache
+            .get_mut(group)
+            .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
+        let outcome = self.engine.add_user(meta, identity)?;
+        let p = &meta.partitions[outcome.partition];
+        self.store.put(group, &partition_item(outcome.partition), p.to_bytes());
+        // `y` unchanged on the fast path, so nothing else to push; the new
+        // sealed gk only changes when gk rotates.
+        Ok(outcome)
+    }
+
+    /// Removes a user (Algorithm 3): pushes every partition (all wrapped
+    /// keys changed) and the new sealed group key; applies the
+    /// re-partitioning heuristic when enabled.
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`] or engine failures.
+    pub fn remove_user(&self, group: &str, identity: &str) -> Result<RemoveOutcome, AcsError> {
+        let mut cache = self.cache.lock();
+        let meta = cache
+            .get_mut(group)
+            .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
+        let before = meta.partition_count();
+        let outcome = self.engine.remove_user(meta, identity)?;
+        if self.auto_repartition
+            && meta.needs_repartitioning(self.engine.partition_size().get())
+        {
+            *meta = self.engine.repartition(meta)?;
+        }
+        self.push_all(meta);
+        // drop stale trailing items if the partition count shrank
+        for i in meta.partition_count()..before {
+            self.store.delete(group, &partition_item(i));
+        }
+        Ok(outcome)
+    }
+
+    /// Re-keys the group without membership change and pushes everything.
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`] or engine failures.
+    pub fn rekey_group(&self, group: &str) -> Result<(), AcsError> {
+        let mut cache = self.cache.lock();
+        let meta = cache
+            .get_mut(group)
+            .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
+        self.engine.rekey_group(meta)?;
+        self.push_all(meta);
+        Ok(())
+    }
+
+    /// Current member count of a cached group.
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`].
+    pub fn member_count(&self, group: &str) -> Result<usize, AcsError> {
+        self.cache
+            .lock()
+            .get(group)
+            .map(|m| m.member_count())
+            .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))
+    }
+
+    /// Snapshot of a cached group's metadata (tests and diagnostics).
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`].
+    pub fn metadata(&self, group: &str) -> Result<GroupMetadata, AcsError> {
+        self.cache
+            .lock()
+            .get(group)
+            .cloned()
+            .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))
+    }
+
+    fn push_all(&self, meta: &GroupMetadata) {
+        for (i, p) in meta.partitions.iter().enumerate() {
+            self.store.put(&meta.name, &partition_item(i), p.to_bytes());
+        }
+        self.store
+            .put(&meta.name, SEALED_ITEM, meta.sealed_gk.to_bytes());
+    }
+}
+
+impl core::fmt::Debug for Admin {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Admin({:?}, {} cached groups)",
+            self.engine,
+            self.cache.lock().len()
+        )
+    }
+}
+
+/// Convenience: boots an engine and wraps it in an [`Admin`].
+///
+/// # Errors
+/// Propagates engine bootstrap failures.
+pub fn bootstrap_admin<R: rand::RngCore + ?Sized>(
+    partition_size: PartitionSize,
+    store: CloudStore,
+    rng: &mut R,
+) -> Result<Admin, AcsError> {
+    Ok(Admin::new(GroupEngine::bootstrap(partition_size, rng)?, store))
+}

@@ -1,0 +1,171 @@
+//! The client node (paper Fig. 5, right): watches its group's folder with
+//! long polling, caches its partition, and re-derives `gk` on changes.
+//! No SGX is involved on this side.
+
+use crate::error::AcsError;
+use cloud_store::CloudStore;
+use ibbe::{PublicKey, UserSecretKey};
+use ibbe_sgx_core::{client_decrypt_from_partition, GroupKey, PartitionMetadata};
+use std::time::Duration;
+
+/// A group member's client state.
+pub struct Client {
+    identity: String,
+    usk: UserSecretKey,
+    pk: PublicKey,
+    store: CloudStore,
+    group: String,
+    /// Long-poll cursor (cloud global version already seen).
+    cursor: u64,
+    /// Cache: which cloud item holds our partition, and its parsed content.
+    cached: Option<(String, PartitionMetadata)>,
+    /// Last successfully derived group key.
+    gk: Option<GroupKey>,
+}
+
+impl Client {
+    /// Creates a client for `identity` watching `group`.
+    pub fn new(
+        identity: impl Into<String>,
+        usk: UserSecretKey,
+        pk: PublicKey,
+        store: CloudStore,
+        group: impl Into<String>,
+    ) -> Self {
+        Self {
+            identity: identity.into(),
+            usk,
+            pk,
+            store,
+            group: group.into(),
+            cursor: 0,
+            cached: None,
+            gk: None,
+        }
+    }
+
+    /// The identity this client acts as.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// The last derived group key, if any.
+    pub fn group_key(&self) -> Option<&GroupKey> {
+        self.gk.as_ref()
+    }
+
+    /// Fetches the current state from the cloud and (re)derives `gk`.
+    /// Returns the key on success.
+    ///
+    /// # Errors
+    /// * [`AcsError::NotAMember`] if no partition lists this identity
+    ///   (including after revocation);
+    /// * [`AcsError::WireFormat`] on malformed cloud objects;
+    /// * [`AcsError::Core`] if decryption fails.
+    pub fn sync(&mut self) -> Result<GroupKey, AcsError> {
+        self.cursor = self.store.version();
+        // fast path: cached partition item still lists us → fetch only it
+        if let Some((item, _)) = &self.cached {
+            if let Some((bytes, _)) = self.store.get(&self.group, item) {
+                if let Some(p) = PartitionMetadata::from_bytes(&bytes) {
+                    if p.members.iter().any(|m| m == &self.identity) {
+                        let item = item.clone();
+                        return self.derive(item, p);
+                    }
+                }
+            }
+        }
+        // slow path: scan the folder for our partition
+        for item in self.store.list(&self.group) {
+            if item.starts_with('_') {
+                continue; // sealed gk object — useless to clients
+            }
+            let Some((bytes, _)) = self.store.get(&self.group, &item) else {
+                continue;
+            };
+            let p = PartitionMetadata::from_bytes(&bytes)
+                .ok_or(AcsError::WireFormat("partition object"))?;
+            if p.members.iter().any(|m| m == &self.identity) {
+                return self.derive(item, p);
+            }
+        }
+        self.cached = None;
+        self.gk = None;
+        Err(AcsError::NotAMember(self.identity.clone()))
+    }
+
+    fn derive(&mut self, item: String, p: PartitionMetadata) -> Result<GroupKey, AcsError> {
+        let gk = client_decrypt_from_partition(&self.pk, &self.usk, &self.identity, &self.group, &p)?;
+        self.cached = Some((item, p));
+        self.gk = Some(gk);
+        Ok(gk)
+    }
+
+    /// Blocks on a directory long poll until the group changes (or
+    /// `timeout`), then re-syncs. Returns `Ok(None)` on poll timeout.
+    ///
+    /// # Errors
+    /// Same contract as [`Client::sync`].
+    pub fn wait_for_update(&mut self, timeout: Duration) -> Result<Option<GroupKey>, AcsError> {
+        let poll = self.store.long_poll(&self.group, self.cursor, timeout);
+        self.cursor = poll.version;
+        if poll.timed_out {
+            return Ok(None);
+        }
+        // If our cached partition item is among the changes, or we have no
+        // cache yet, re-derive.
+        let relevant = match &self.cached {
+            Some((item, _)) => poll.changed.iter().any(|c| c == item),
+            None => true,
+        };
+        if relevant {
+            self.sync().map(Some)
+        } else {
+            // someone else's partition changed (e.g. an add elsewhere):
+            // our bk and y are untouched only for adds; removals touch all
+            // partitions, so check whether our item changed too — it did
+            // not, hence gk is unchanged.
+            Ok(self.gk)
+        }
+    }
+
+    /// Index item of the currently cached partition (diagnostics).
+    pub fn cached_partition_item(&self) -> Option<&str> {
+        self.cached.as_ref().map(|(i, _)| i.as_str())
+    }
+}
+
+impl core::fmt::Debug for Client {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Client({} watching {}, cursor {})",
+            self.identity, self.group, self.cursor
+        )
+    }
+}
+
+/// Helper shared by tests/benches: locate and parse the partition item of
+/// `identity` directly (no client state).
+///
+/// # Errors
+/// [`AcsError::NotAMember`] when no partition lists the identity.
+pub fn find_partition_of(
+    store: &CloudStore,
+    group: &str,
+    identity: &str,
+) -> Result<(String, PartitionMetadata), AcsError> {
+    for item in store.list(group) {
+        if item.starts_with('_') {
+            continue;
+        }
+        if let Some((bytes, _)) = store.get(group, &item) {
+            if let Some(p) = PartitionMetadata::from_bytes(&bytes) {
+                if p.members.iter().any(|m| m == identity) {
+                    return Ok((item, p));
+                }
+            }
+        }
+    }
+    Err(AcsError::NotAMember(identity.to_string()))
+}

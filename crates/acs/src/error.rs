@@ -1,0 +1,52 @@
+//! Error type for the end-to-end access control system.
+
+use core::fmt;
+
+/// Errors surfaced by the admin/client APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcsError {
+    /// Propagated IBBE-SGX core failure.
+    Core(ibbe_sgx_core::CoreError),
+    /// Propagated enclave/attestation failure.
+    Sgx(sgx_sim::SgxError),
+    /// The requested group does not exist (locally or on the cloud).
+    UnknownGroup(String),
+    /// A cloud object failed to deserialize.
+    WireFormat(&'static str),
+    /// The client's identity is not a member of the watched group.
+    NotAMember(String),
+}
+
+impl fmt::Display for AcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcsError::Core(e) => write!(f, "core: {e}"),
+            AcsError::Sgx(e) => write!(f, "sgx: {e}"),
+            AcsError::UnknownGroup(g) => write!(f, "unknown group: {g}"),
+            AcsError::WireFormat(what) => write!(f, "malformed cloud object: {what}"),
+            AcsError::NotAMember(id) => write!(f, "not a member: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for AcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcsError::Core(e) => Some(e),
+            AcsError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ibbe_sgx_core::CoreError> for AcsError {
+    fn from(e: ibbe_sgx_core::CoreError) -> Self {
+        AcsError::Core(e)
+    }
+}
+
+impl From<sgx_sim::SgxError> for AcsError {
+    fn from(e: sgx_sim::SgxError) -> Self {
+        AcsError::Sgx(e)
+    }
+}

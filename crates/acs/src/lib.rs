@@ -1,0 +1,50 @@
+//! # acs — the end-to-end group access control system
+//!
+//! Assembles the paper's Fig. 5 architecture from the workspace substrates:
+//!
+//! * [`Admin`] — IBBE-SGX engine + local cache + cloud PUT path;
+//! * [`Client`] — long-polling group member deriving `gk` (no SGX);
+//! * [`provisioning`] — the Fig. 3 trust establishment (quote → IAS →
+//!   Auditor/CA certificate → encrypted user-key delivery);
+//! * [`HeAdmin`] — the Hybrid-Encryption comparison system at equal
+//!   zero-knowledge guarantees (HE inside an enclave).
+//!
+//! ```
+//! use acs::{bootstrap_admin, Client, provisioning};
+//! use cloud_store::CloudStore;
+//! use ibbe_sgx_core::PartitionSize;
+//! # fn main() -> Result<(), acs::AcsError> {
+//! let mut rng = rand::thread_rng();
+//! let store = CloudStore::new();
+//! let admin = bootstrap_admin(PartitionSize::new(4).unwrap(), store.clone(), &mut rng)?;
+//!
+//! // Fig. 3: attest the enclave, certify its key, provision alice.
+//! let (trust, cert) = provisioning::establish_trust(admin.engine(), &mut rng)?;
+//! let usk = provisioning::provision_user(
+//!     admin.engine(), &cert, &trust.auditor.ca_verifying_key(), "alice", &mut rng)?;
+//!
+//! // Admin creates a group; alice syncs and derives gk.
+//! admin.create_group("demo", vec!["alice".into(), "bob".into()])?;
+//! let mut alice = Client::new(
+//!     "alice", usk, admin.engine().public_key().clone(), store, "demo");
+//! let gk = alice.sync()?;
+//! assert_eq!(gk.as_bytes().len(), 32);
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admin;
+pub mod client;
+pub mod error;
+pub mod he_system;
+pub mod oplog;
+pub mod provisioning;
+
+pub use admin::{bootstrap_admin, partition_item, Admin, SEALED_ITEM};
+pub use client::{find_partition_of, Client};
+pub use error::AcsError;
+pub use he_system::{decode_he_metadata, encode_he_metadata, HeAdmin, HE_ITEM};
+pub use oplog::{AdminSigner, LogEntry, LogError, LogOp, OpLog};
+pub use provisioning::{establish_trust, provision_user, KeyRequest, TrustContext};

@@ -1,0 +1,113 @@
+//! Trust establishment and user-key provisioning (paper Fig. 3).
+//!
+//! Ties together the sgx-sim attestation pieces with the IBBE-SGX engine:
+//! the platform quotes the admin enclave, the Auditor checks it against IAS
+//! and the expected measurement, issues a certificate over the enclave's
+//! channel key, and users — after verifying the certificate against the
+//! pinned CA — run an encrypted key-request exchange with the enclave.
+
+use crate::error::AcsError;
+use ibbe::UserSecretKey;
+use ibbe_sgx_core::GroupEngine;
+use sgx_sim::{
+    report_data_for_key, Auditor, Certificate, ChannelKeyPair, ChannelMessage, IasSim,
+    QuotingKey,
+};
+
+/// The attestation infrastructure of one deployment.
+pub struct TrustContext {
+    /// This machine's quoting identity.
+    pub platform: QuotingKey,
+    /// The (simulated) Intel Attestation Service.
+    pub ias: IasSim,
+    /// The Auditor/CA users pin.
+    pub auditor: Auditor,
+}
+
+/// Runs the full Fig. 3 setup for an engine: provisions the platform and
+/// IAS, audits the enclave, and returns the certificate users will verify.
+///
+/// # Errors
+/// Attestation failures ([`AcsError::Sgx`]).
+pub fn establish_trust<R: rand::RngCore + ?Sized>(
+    engine: &GroupEngine,
+    rng: &mut R,
+) -> Result<(TrustContext, Certificate), AcsError> {
+    let platform = QuotingKey::generate(rng);
+    let mut ias = IasSim::new(rng);
+    ias.register_platform(platform.verifying_key());
+    let auditor = Auditor::new(rng, &ias, engine.measurement());
+
+    let enclave_pk = engine.channel_public_key();
+    let quote = platform.quote(
+        engine.measurement(),
+        report_data_for_key(&enclave_pk.to_bytes()),
+    );
+    let cert = auditor.audit(&ias, &quote, &enclave_pk)?;
+    Ok((TrustContext { platform, ias, auditor }, cert))
+}
+
+/// A user's in-flight key request (holds the ephemeral channel keys the
+/// enclave's reply will be encrypted to).
+pub struct KeyRequest {
+    identity: String,
+    keys: ChannelKeyPair,
+}
+
+impl KeyRequest {
+    /// Step 4a: after verifying `cert` against the pinned CA key, builds an
+    /// encrypted key request for `identity`.
+    ///
+    /// # Errors
+    /// [`AcsError::Sgx`] if the certificate does not verify — the user must
+    /// refuse to talk to an un-attested key issuer.
+    pub fn new<R: rand::RngCore + ?Sized>(
+        identity: &str,
+        cert: &Certificate,
+        ca_key: &sgx_sim::bls::VerifyingKey,
+        rng: &mut R,
+    ) -> Result<(Self, ChannelMessage), AcsError> {
+        cert.verify(ca_key)?;
+        let keys = ChannelKeyPair::generate(rng);
+        let mut plain = Vec::new();
+        plain.extend_from_slice(&(identity.len() as u16).to_be_bytes());
+        plain.extend_from_slice(identity.as_bytes());
+        plain.extend_from_slice(&keys.public_key().to_bytes());
+        let msg = cert
+            .enclave_key
+            .encrypt(rng, &plain, b"ibbe-provisioning-request");
+        Ok((Self { identity: identity.to_string(), keys }, msg))
+    }
+
+    /// Step 4b: decrypts the enclave's reply into the user's secret key.
+    ///
+    /// # Errors
+    /// [`AcsError::Sgx`] on channel failure, [`AcsError::WireFormat`] if the
+    /// payload is not a valid key.
+    pub fn receive(self, reply: &ChannelMessage) -> Result<UserSecretKey, AcsError> {
+        let plain = self.keys.decrypt(reply, self.identity.as_bytes())?;
+        UserSecretKey::from_bytes(&plain).map_err(|_| AcsError::WireFormat("user secret key"))
+    }
+}
+
+impl core::fmt::Debug for KeyRequest {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "KeyRequest(identity={})", self.identity)
+    }
+}
+
+/// Convenience that runs the whole request/response exchange in-process.
+///
+/// # Errors
+/// Any verification or channel failure along the Fig. 3 path.
+pub fn provision_user<R: rand::RngCore + ?Sized>(
+    engine: &GroupEngine,
+    cert: &Certificate,
+    ca_key: &sgx_sim::bls::VerifyingKey,
+    identity: &str,
+    rng: &mut R,
+) -> Result<UserSecretKey, AcsError> {
+    let (session, request) = KeyRequest::new(identity, cert, ca_key, rng)?;
+    let reply = engine.provision_user_key(&request)?;
+    session.receive(&reply)
+}

@@ -1,0 +1,232 @@
+//! End-to-end system tests: trust establishment, provisioning, cloud
+//! propagation of membership changes, client long polling, and the
+//! honest-but-curious observability properties of §II.
+
+use acs::{bootstrap_admin, provisioning, AcsError, Client, HeAdmin};
+use cloud_store::CloudStore;
+use ibbe_sgx_core::PartitionSize;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("user-{i}")).collect()
+}
+
+#[test]
+fn full_lifecycle_with_attested_provisioning() {
+    let mut r = rng(1);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(3).unwrap(), store.clone(), &mut r).unwrap();
+
+    // Fig. 3 flow
+    let (trust, cert) = provisioning::establish_trust(admin.engine(), &mut r).unwrap();
+    let ca = trust.auditor.ca_verifying_key();
+    let usk_alice =
+        provisioning::provision_user(admin.engine(), &cert, &ca, "alice", &mut r).unwrap();
+
+    // group with alice + 4 others
+    let mut members = names(4);
+    members.push("alice".into());
+    admin.create_group("proj", members).unwrap();
+
+    let mut alice = Client::new(
+        "alice",
+        usk_alice,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "proj",
+    );
+    let gk1 = alice.sync().unwrap();
+
+    // all members agree on gk
+    let usk_u0 = provisioning::provision_user(admin.engine(), &cert, &ca, "user-0", &mut r).unwrap();
+    let mut u0 = Client::new(
+        "user-0",
+        usk_u0,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "proj",
+    );
+    assert_eq!(u0.sync().unwrap(), gk1);
+
+    // revocation propagates: alice is removed, user-0 sees a NEW key
+    admin.remove_user("proj", "alice").unwrap();
+    let gk2 = u0.sync().unwrap();
+    assert_ne!(gk1, gk2);
+    assert_eq!(
+        alice.sync().unwrap_err(),
+        AcsError::NotAMember("alice".into())
+    );
+}
+
+#[test]
+fn client_long_poll_sees_membership_change() {
+    let mut r = rng(2);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(2).unwrap(), store.clone(), &mut r).unwrap();
+    admin.create_group("g", names(4)).unwrap();
+
+    let usk = admin.engine().extract_user_key("user-1").unwrap();
+    let mut client = Client::new(
+        "user-1",
+        usk,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "g",
+    );
+    let gk1 = client.sync().unwrap();
+
+    // background admin revokes someone from ANOTHER partition; all wrapped
+    // keys rotate, so the client must observe a new gk.
+    let store2 = store.clone();
+    let handle = std::thread::spawn(move || {
+        // the client below is already polling when this PUT lands
+        std::thread::sleep(Duration::from_millis(50));
+        let _ = store2; // (admin uses its own handle)
+    });
+    let admin_thread = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        admin.remove_user("g", "user-3").unwrap();
+        admin
+    });
+    let update = client.wait_for_update(Duration::from_secs(5)).unwrap();
+    let gk2 = update.expect("long poll must not time out");
+    assert_ne!(gk1, gk2);
+    handle.join().unwrap();
+    let _ = admin_thread.join().unwrap();
+}
+
+#[test]
+fn add_user_does_not_rotate_gk_for_existing_members() {
+    let mut r = rng(3);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(2).unwrap(), store.clone(), &mut r).unwrap();
+    admin.create_group("g", names(2)).unwrap();
+
+    let usk = admin.engine().extract_user_key("user-0").unwrap();
+    let mut c = Client::new(
+        "user-0",
+        usk,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "g",
+    );
+    let gk1 = c.sync().unwrap();
+    admin.add_user("g", "newbie").unwrap(); // lands in a new partition
+    let gk2 = c.sync().unwrap();
+    assert_eq!(gk1, gk2, "adds must not rotate the group key");
+
+    // and the newcomer derives the same key
+    let usk_new = admin.engine().extract_user_key("newbie").unwrap();
+    let mut cn = Client::new(
+        "newbie",
+        usk_new,
+        admin.engine().public_key().clone(),
+        store,
+        "g",
+    );
+    assert_eq!(cn.sync().unwrap(), gk1);
+}
+
+#[test]
+fn cloud_stores_only_public_material() {
+    // What the honest-but-curious cloud sees must not contain gk: check that
+    // no stored object embeds the group key bytes.
+    let mut r = rng(4);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(2).unwrap(), store.clone(), &mut r).unwrap();
+    admin.create_group("g", names(4)).unwrap();
+
+    let usk = admin.engine().extract_user_key("user-0").unwrap();
+    let mut c = Client::new(
+        "user-0",
+        usk,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "g",
+    );
+    let gk = c.sync().unwrap();
+    for item in store.list("g") {
+        let (bytes, _) = store.get("g", &item).unwrap();
+        assert!(
+            !bytes
+                .windows(gk.as_bytes().len())
+                .any(|w| w == gk.as_bytes()),
+            "cloud object {item} leaks gk"
+        );
+    }
+}
+
+#[test]
+fn rogue_enclave_cannot_get_certified() {
+    let mut r = rng(5);
+    let store = CloudStore::new();
+    let genuine = bootstrap_admin(PartitionSize::new(2).unwrap(), store.clone(), &mut r).unwrap();
+    let (trust, _cert) = provisioning::establish_trust(genuine.engine(), &mut r).unwrap();
+
+    // A second engine with a *different* (unexpected) enclave identity
+    // cannot be audited by this deployment's auditor: simulate by quoting a
+    // wrong measurement.
+    let quote = trust.platform.quote(
+        sgx_sim::Measurement::of(b"definitely-not-the-reviewed-enclave"),
+        sgx_sim::report_data_for_key(&genuine.engine().channel_public_key().to_bytes()),
+    );
+    let res = trust.auditor.audit(
+        &trust.ias,
+        &quote,
+        &genuine.engine().channel_public_key(),
+    );
+    assert_eq!(res.unwrap_err(), sgx_sim::SgxError::MeasurementMismatch);
+}
+
+#[test]
+fn he_system_parity() {
+    // The HE comparison system must provide the same functional behaviour
+    // (create/add/remove/decrypt via cloud) with linear metadata.
+    let mut r = rng(6);
+    let store = CloudStore::new();
+    let mut admin = HeAdmin::new(store.clone());
+    let members = names(4);
+    let keys: Vec<he::PkiKeyPair> = members
+        .iter()
+        .map(|m| {
+            let kp = he::PkiKeyPair::generate(&mut r);
+            admin.register_user(m, &kp);
+            kp
+        })
+        .collect();
+    admin.create_group("g", &members);
+
+    let meta = admin.fetch_metadata("g").unwrap();
+    let gk1 = admin.manager().decrypt(&members[0], &keys[0], &meta).unwrap();
+
+    admin.remove_user("g", &members[1]).unwrap();
+    let meta2 = admin.fetch_metadata("g").unwrap();
+    assert!(admin.manager().decrypt(&members[1], &keys[1], &meta2).is_none());
+    let gk2 = admin.manager().decrypt(&members[0], &keys[0], &meta2).unwrap();
+    assert_ne!(gk1, gk2);
+
+    // linear metadata growth on the cloud
+    assert!(admin.metadata_size("g").unwrap() > 3 * he::pki::ENVELOPE_OVERHEAD);
+}
+
+#[test]
+fn metadata_traffic_is_constant_per_partition_for_ibbe() {
+    // Storage-side check of the paper's footprint claim: pushing a
+    // 9-member group at partition size 3 costs 3 partition objects whose
+    // combined size is independent of how many members each holds beyond
+    // the identity strings.
+    let mut r = rng(7);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(3).unwrap(), store.clone(), &mut r).unwrap();
+    admin.create_group("g", names(9)).unwrap();
+    let meta = admin.metadata("g").unwrap();
+    assert_eq!(meta.partition_count(), 3);
+    // crypto payload: exactly partitions × (ciphertext + wrapped key)
+    let per = meta.partitions[0].crypto_size_bytes();
+    assert_eq!(meta.crypto_size_bytes(), 3 * per);
+}

@@ -1,0 +1,108 @@
+//! Figure 7 — membership-operation costs and storage footprint.
+//!
+//! (a) IBBE-SGX vs HE(-PKI, zero-knowledge deployment): create group,
+//!     remove user, and metadata footprint across group sizes.
+//! (b) IBBE-SGX alone across partition sizes.
+//!
+//! Paper shape: IBBE-SGX create/remove ≈1.2 orders of magnitude faster than
+//! HE; footprint up to 6 orders smaller (constant per partition vs linear
+//! per member); remove ≈ half the cost of create; smaller partitions cost
+//! only slightly more storage.
+
+use cloud_store::CloudStore;
+use he::{HeGroupManager, HePki, PkiKeyPair};
+use ibbe_sgx_bench::{bench_rng, fmt_bytes, fmt_duration, names, print_table, time, BenchArgs};
+use ibbe_sgx_core::{GroupEngine, PartitionSize};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (group_sizes, partition): (&[usize], usize) = if args.full {
+        (&[1_000, 10_000, 100_000], 1_000)
+    } else {
+        (&[64, 256, 1024], 64)
+    };
+
+    // ---- 7a: IBBE-SGX vs HE across group sizes --------------------------
+    let mut rng = bench_rng(7);
+    let engine = GroupEngine::bootstrap(PartitionSize::new(partition).unwrap(), &mut rng)
+        .expect("bootstrap");
+    let _ = CloudStore::new();
+
+    let mut rows = Vec::new();
+    for &n in group_sizes {
+        let members = names(n);
+
+        let (meta, t_create) =
+            time(|| engine.create_group(&format!("g{n}"), members.clone()).unwrap());
+        let mut meta_rm = meta.clone();
+        let victim = members[n / 2].clone();
+        let (_, t_remove) = time(|| engine.remove_user(&mut meta_rm, &victim).unwrap());
+        let footprint = meta.crypto_size_bytes();
+
+        // HE-PKI with the same member set
+        let mut pki = HeGroupManager::new(HePki);
+        for m in &members {
+            let kp = PkiKeyPair::generate(&mut rng);
+            pki.register_user(m, kp.public_key());
+        }
+        let ((_, he_meta), t_he_create) = time(|| pki.create_group(&members, &mut rng));
+        let mut he_meta_rm = he_meta.clone();
+        let (_, t_he_remove) = time(|| pki.remove_user(&mut he_meta_rm, &victim, &mut rng));
+
+        rows.push(vec![
+            n.to_string(),
+            fmt_duration(t_create),
+            fmt_duration(t_he_create),
+            fmt_duration(t_remove),
+            fmt_duration(t_he_remove),
+            fmt_bytes(footprint),
+            fmt_bytes(he_meta.size_bytes()),
+            format!("{:.0}x", he_meta.size_bytes() as f64 / footprint as f64),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 7a — IBBE-SGX vs HE (partition {partition})"),
+        &[
+            "group",
+            "create SGX",
+            "create HE",
+            "remove SGX",
+            "remove HE",
+            "foot SGX",
+            "foot HE",
+            "HE/SGX",
+        ],
+        &rows,
+    );
+
+    // ---- 7b: partition-size sweep at fixed group size -------------------
+    let (partitions, group): (&[usize], usize) = if args.full {
+        (&[1_000, 2_000, 3_000, 4_000], 100_000)
+    } else {
+        (&[32, 64, 128, 256], 1024)
+    };
+    let members = names(group);
+    let mut rows = Vec::new();
+    for &p in partitions {
+        let engine = GroupEngine::bootstrap(PartitionSize::new(p).unwrap(), &mut rng)
+            .expect("bootstrap");
+        let (meta, t_create) =
+            time(|| engine.create_group("g", members.clone()).unwrap());
+        let mut meta_rm = meta.clone();
+        let victim = members[group / 2].clone();
+        let (_, t_remove) = time(|| engine.remove_user(&mut meta_rm, &victim).unwrap());
+        rows.push(vec![
+            p.to_string(),
+            meta.partition_count().to_string(),
+            fmt_duration(t_create),
+            fmt_duration(t_remove),
+            fmt_bytes(meta.crypto_size_bytes()),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 7b — IBBE-SGX partition sweep (group {group})"),
+        &["partition", "|P|", "create", "remove", "footprint"],
+        &rows,
+    );
+    println!("\nshape check: remove ≈ half of create; footprint ∝ partition count.");
+}

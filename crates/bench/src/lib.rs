@@ -1,0 +1,278 @@
+//! # ibbe-sgx-bench — harness regenerating the paper's tables and figures
+//!
+//! One binary per figure/table of the evaluation section (§VI):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2` | Fig. 2a/2b — raw HE-PKI / HE-IBE / IBBE group creation + metadata size |
+//! | `fig6` | Fig. 6a/6b — system setup latency, key-extraction throughput |
+//! | `fig7` | Fig. 7a/7b — create/remove/footprint vs HE; partition-size sweep |
+//! | `fig8` | Fig. 8a/8b — add-user latency CDF; client decrypt latency |
+//! | `fig9` | Fig. 9 — kernel-trace replay (admin time + decrypt time) |
+//! | `fig10` | Fig. 10 — synthetic revocation-ratio sweep |
+//! | `table1` | Table I — empirical complexity scaling of every operation |
+//!
+//! Every binary accepts `--full` to run at paper-scale parameters (slow) and
+//! prints the series it measured in a row/column format mirroring the paper.
+//! `benches/micro.rs` holds Criterion microbenchmarks of the primitives.
+
+use acs::{Admin, HeAdmin};
+use cloud_store::CloudStore;
+use he::PkiKeyPair;
+use ibbe::UserSecretKey;
+use ibbe_sgx_core::{client_decrypt_from_partition, GroupEngine, PartitionSize};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use workloads::ReplayBackend;
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Simple command-line flags: `--full`, `--ops N`, `--no-repartition`.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchArgs {
+    /// Run at paper-scale parameters.
+    pub full: bool,
+    /// Override the number of trace operations (fig9/fig10).
+    pub ops: Option<usize>,
+    /// Disable the re-partitioning heuristic (fig10 ablation).
+    pub no_repartition: bool,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = Self { full: false, ops: None, no_repartition: false };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--no-repartition" => args.no_repartition = true,
+                "--ops" => {
+                    args.ops = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .or_else(|| panic!("--ops needs an integer"));
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: --full  --ops N  --no-repartition");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// Pretty-prints an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Human-readable duration (paper-style: ms / s / m).
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 60.0 {
+        format!("{:.1}m", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Human-readable byte size.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2}KB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Generates `n` member identities.
+pub fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("user-{i:07}")).collect()
+}
+
+/// A deterministic RNG for benchmarks.
+pub fn bench_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// IBBE-SGX replay backend over the full `acs` stack (engine + cloud PUTs),
+/// with a user-key cache for decrypt sampling.
+pub struct IbbeBackend {
+    admin: Admin,
+    group: String,
+    usk_cache: HashMap<String, UserSecretKey>,
+    rng: StdRng,
+}
+
+impl IbbeBackend {
+    /// Boots an engine/admin and creates `group` with `initial` members.
+    pub fn new(partition_size: usize, group: &str, initial: &[String], seed: u64) -> Self {
+        let mut rng = bench_rng(seed);
+        let engine =
+            GroupEngine::bootstrap(PartitionSize::new(partition_size).unwrap(), &mut rng)
+                .expect("bootstrap");
+        let admin = Admin::new(engine, CloudStore::new());
+        if !initial.is_empty() {
+            admin.create_group(group, initial.to_vec()).expect("create group");
+        } else {
+            // groups cannot be empty; start with a resident placeholder
+            admin
+                .create_group(group, vec!["__resident".to_string()])
+                .expect("create group");
+        }
+        Self { admin, group: group.to_string(), usk_cache: HashMap::new(), rng }
+    }
+
+    /// Access to the underlying admin.
+    pub fn admin(&self) -> &Admin {
+        &self.admin
+    }
+
+    /// Toggle the re-partitioning heuristic.
+    pub fn set_auto_repartition(&mut self, enabled: bool) {
+        // Admin::set_auto_repartition takes &mut self
+        self.admin.set_auto_repartition(enabled);
+    }
+}
+
+impl ReplayBackend for IbbeBackend {
+    fn add_user(&mut self, user: &str) {
+        self.admin.add_user(&self.group, user).expect("add");
+    }
+
+    fn remove_user(&mut self, user: &str) {
+        self.admin.remove_user(&self.group, user).expect("remove");
+    }
+
+    fn sample_decrypt(&mut self) -> Option<Duration> {
+        use rand::seq::SliceRandom;
+        let meta = self.admin.metadata(&self.group).ok()?;
+        let members: Vec<String> = meta
+            .members()
+            .filter(|m| !m.starts_with("__"))
+            .map(String::from)
+            .collect();
+        let member = members.choose(&mut self.rng)?.clone();
+        let usk = match self.usk_cache.get(&member) {
+            Some(u) => *u,
+            None => {
+                let u = self.admin.engine().extract_user_key(&member).ok()?;
+                self.usk_cache.insert(member.clone(), u);
+                u
+            }
+        };
+        let idx = meta.partition_of(&member)?;
+        let pk = self.admin.engine().public_key().clone();
+        let (gk, dt) = time(|| {
+            client_decrypt_from_partition(&pk, &usk, &member, &meta.name, &meta.partitions[idx])
+        });
+        gk.ok()?;
+        Some(dt)
+    }
+}
+
+/// HE-PKI replay backend at equal zero-knowledge deployment (enclave-hosted
+/// group keys, cloud pushes).
+pub struct HeBackend {
+    admin: HeAdmin,
+    group: String,
+    keys: HashMap<String, PkiKeyPair>,
+    rng: StdRng,
+}
+
+impl HeBackend {
+    /// Boots the HE admin and creates `group` with `initial` members.
+    pub fn new(group: &str, initial: &[String], seed: u64) -> Self {
+        let mut rng = bench_rng(seed);
+        let mut admin = HeAdmin::new(CloudStore::new());
+        let mut keys = HashMap::new();
+        for m in initial {
+            let kp = PkiKeyPair::generate(&mut rng);
+            admin.register_user(m, &kp);
+            keys.insert(m.clone(), kp);
+        }
+        let members: Vec<String> = initial.to_vec();
+        if members.is_empty() {
+            let kp = PkiKeyPair::generate(&mut rng);
+            admin.register_user("__resident", &kp);
+            keys.insert("__resident".to_string(), kp);
+            admin.create_group(group, &["__resident".to_string()]);
+        } else {
+            admin.create_group(group, &members);
+        }
+        Self { admin, group: group.to_string(), keys, rng }
+    }
+
+    /// Access to the underlying HE admin.
+    pub fn admin(&self) -> &HeAdmin {
+        &self.admin
+    }
+}
+
+impl ReplayBackend for HeBackend {
+    fn add_user(&mut self, user: &str) {
+        // registration (certificate intake) is part of user onboarding, not
+        // of the membership operation; do it outside the (inner) timed path
+        if !self.keys.contains_key(user) {
+            let kp = PkiKeyPair::generate(&mut self.rng);
+            self.admin.register_user(user, &kp);
+            self.keys.insert(user.to_string(), kp);
+        }
+        self.admin.add_user(&self.group, user).expect("add");
+    }
+
+    fn remove_user(&mut self, user: &str) {
+        self.admin.remove_user(&self.group, user).expect("remove");
+    }
+
+    fn sample_decrypt(&mut self) -> Option<Duration> {
+        use rand::seq::SliceRandom;
+        let meta = self.admin.fetch_metadata(&self.group).ok()?;
+        let members: Vec<String> = meta
+            .members()
+            .filter(|m| !m.starts_with("__"))
+            .map(String::from)
+            .collect();
+        let member = members.choose(&mut self.rng)?.clone();
+        let key = self.keys.get(&member)?;
+        let (gk, dt) = time(|| self.admin.manager().decrypt(&member, key, &meta));
+        gk?;
+        Some(dt)
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for `ibbe-bigint` against `u128` reference
+//! arithmetic and algebraic laws.
+
+use ibbe_bigint::{MontParams, Uint};
+use proptest::prelude::*;
+
+const P1_M: u64 = 0xffffffffffffffc5; // 2^64 - 59, prime
+const P1: MontParams<1> = MontParams::new(Uint::new([P1_M]));
+
+// 2^128 - 159, prime
+const P2: MontParams<2> = MontParams::new(Uint::new([0xffffffffffffff61, u64::MAX]));
+
+fn u1(v: u64) -> Uint<1> {
+    Uint::from_u64(v)
+}
+
+prop_compose! {
+    fn arb_mod_p1()(v in 0..P1_M) -> u64 { v }
+}
+
+proptest! {
+    #[test]
+    fn mul_matches_u128(a in arb_mod_p1(), b in arb_mod_p1()) {
+        let am = P1.to_mont(&u1(a));
+        let bm = P1.to_mont(&u1(b));
+        let got = P1.from_mont(&P1.mul(&am, &bm));
+        let want = ((a as u128 * b as u128) % P1_M as u128) as u64;
+        prop_assert_eq!(got, u1(want));
+    }
+
+    #[test]
+    fn add_matches_u128(a in arb_mod_p1(), b in arb_mod_p1()) {
+        let got = P1.add(&u1(a), &u1(b));
+        let want = ((a as u128 + b as u128) % P1_M as u128) as u64;
+        prop_assert_eq!(got, u1(want));
+    }
+
+    #[test]
+    fn sub_then_add_roundtrip(a in arb_mod_p1(), b in arb_mod_p1()) {
+        let d = P1.sub(&u1(a), &u1(b));
+        prop_assert_eq!(P1.add(&d, &u1(b)), u1(a));
+    }
+
+    #[test]
+    fn mul_is_commutative_2limb(a0: u64, a1: u64, b0: u64, b1: u64) {
+        let a = P2.to_mont(&P2.reduce_wide(&Uint::new([a0, a1]), &Uint::ZERO));
+        let b = P2.to_mont(&P2.reduce_wide(&Uint::new([b0, b1]), &Uint::ZERO));
+        prop_assert_eq!(P2.mul(&a, &b), P2.mul(&b, &a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add_2limb(a0: u64, a1: u64, b0: u64, b1: u64, c0: u64, c1: u64) {
+        let red = |x0, x1| P2.to_mont(&P2.reduce_wide(&Uint::new([x0, x1]), &Uint::ZERO));
+        let (a, b, c) = (red(a0, a1), red(b0, b1), red(c0, c1));
+        let lhs = P2.mul(&a, &P2.add(&b, &c));
+        let rhs = P2.add(&P2.mul(&a, &b), &P2.mul(&a, &c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inverse_is_inverse_2limb(a0: u64, a1: u64) {
+        let a = P2.to_mont(&P2.reduce_wide(&Uint::new([a0, a1]), &Uint::ZERO));
+        if !a.is_zero() {
+            let ai = P2.inverse(&a).unwrap();
+            prop_assert_eq!(P2.from_mont(&P2.mul(&a, &ai)), Uint::<2>::ONE);
+        }
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in arb_mod_p1(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        let am = P1.to_mont(&u1(a));
+        let lhs = P1.pow(&am, &Uint::<1>::from_u64(e1 + e2));
+        let rhs = P1.mul(&P1.pow(&am, &u1(e1)), &P1.pow(&am, &u1(e2)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip_2limb(a0: u64, a1: u64) {
+        let a = Uint::<2>::new([a0, a1]);
+        let mut buf = [0u8; 16];
+        a.write_be_bytes(&mut buf);
+        prop_assert_eq!(Uint::<2>::from_be_bytes(&buf), a);
+    }
+
+    #[test]
+    fn mul_wide_matches_u128(a: u64, b: u64) {
+        let (lo, hi) = Uint::<1>::new([a]).mul_wide(&Uint::new([b]));
+        let want = a as u128 * b as u128;
+        prop_assert_eq!(lo.limbs()[0], want as u64);
+        prop_assert_eq!(hi.limbs()[0], (want >> 64) as u64);
+    }
+
+    #[test]
+    fn reduce_be_bytes_matches_mod(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // reference: fold bytes into u128 mod P1_M
+        let mut acc: u128 = 0;
+        for &b in &bytes {
+            acc = ((acc << 8) | b as u128) % P1_M as u128;
+        }
+        prop_assert_eq!(P1.reduce_be_bytes(&bytes), u1(acc as u64));
+    }
+}

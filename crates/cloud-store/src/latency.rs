@@ -1,0 +1,77 @@
+//! Injectable network-latency model for the simulated cloud store.
+//!
+//! The paper deploys on Dropbox and notes that client-perceived decryption
+//! cost is dominated by cloud round-trips (§VI-A). The latency model lets
+//! macrobenchmarks reproduce that effect; unit tests run with
+//! [`LatencyModel::none`].
+
+use std::time::Duration;
+
+/// Latency applied to each store request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    base: Duration,
+    jitter: Duration,
+}
+
+impl LatencyModel {
+    /// No artificial latency (unit tests, microbenchmarks).
+    pub fn none() -> Self {
+        Self { base: Duration::ZERO, jitter: Duration::ZERO }
+    }
+
+    /// Fixed latency plus uniform jitter in `[0, jitter]`.
+    pub fn new(base: Duration, jitter: Duration) -> Self {
+        Self { base, jitter }
+    }
+
+    /// A profile resembling a public-cloud storage HTTP round trip
+    /// (tens of milliseconds).
+    pub fn public_cloud() -> Self {
+        Self::new(Duration::from_millis(40), Duration::from_millis(20))
+    }
+
+    /// Samples one request's latency.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        let j = rng.gen_range(0..=self.jitter.as_micros() as u64);
+        self.base + Duration::from_micros(j)
+    }
+
+    /// True when the model never sleeps (fast path).
+    pub fn is_zero(&self) -> bool {
+        self.base.is_zero() && self.jitter.is_zero()
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_zero() {
+        assert!(LatencyModel::none().is_zero());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::none().sample(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn samples_within_bounds() {
+        let m = LatencyModel::new(Duration::from_millis(10), Duration::from_millis(5));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let d = m.sample(&mut rng);
+            assert!(d >= Duration::from_millis(10));
+            assert!(d <= Duration::from_millis(15));
+        }
+    }
+}

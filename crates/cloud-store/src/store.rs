@@ -1,0 +1,316 @@
+//! The simulated cloud store: a versioned bi-level key/value namespace with
+//! Dropbox-style PUT + directory-level long polling (paper §V-A: "long
+//! polling works at the directory level, so we index the group metadata as
+//! a bi-level hierarchy" — parent folder = group, children = partitions).
+
+use crate::latency::LatencyModel;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+struct Entry {
+    data: Bytes,
+    version: u64,
+}
+
+#[derive(Default)]
+struct State {
+    /// group folder → item name → entry
+    folders: BTreeMap<String, BTreeMap<String, Entry>>,
+    /// monotonically increasing global change counter
+    version: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    changed: Condvar,
+    latency: LatencyModel,
+    metrics: Metrics,
+}
+
+/// Result of a long poll: the folder's latest version and the items whose
+/// version exceeds the caller's cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollResult {
+    /// New cursor to pass to the next poll.
+    pub version: u64,
+    /// Names of items changed since the supplied cursor (deleted items are
+    /// reported by absence on the subsequent GET).
+    pub changed: Vec<String>,
+    /// True if the poll timed out with no changes.
+    pub timed_out: bool,
+}
+
+/// A handle to the simulated cloud store; cheap to clone and share across
+/// admin/client threads (it models independent HTTP connections).
+#[derive(Clone)]
+pub struct CloudStore {
+    inner: Arc<Inner>,
+}
+
+impl CloudStore {
+    /// An in-memory store without artificial latency.
+    pub fn new() -> Self {
+        Self::with_latency(LatencyModel::none())
+    }
+
+    /// An in-memory store applying `latency` to every request.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State::default()),
+                changed: Condvar::new(),
+                latency,
+                metrics: Metrics::default(),
+            }),
+        }
+    }
+
+    fn simulate_latency(&self) {
+        if !self.inner.latency.is_zero() {
+            let d = self.inner.latency.sample(&mut rand::thread_rng());
+            std::thread::sleep(d);
+        }
+    }
+
+    /// PUT: stores `data` under `folder/item`, waking long-pollers.
+    /// Returns the new global version.
+    pub fn put(&self, folder: &str, item: &str, data: impl Into<Bytes>) -> u64 {
+        self.simulate_latency();
+        let data = data.into();
+        self.inner.metrics.record_put(data.len());
+        let mut st = self.inner.state.lock();
+        st.version += 1;
+        let version = st.version;
+        st.folders
+            .entry(folder.to_string())
+            .or_default()
+            .insert(item.to_string(), Entry { data, version });
+        drop(st);
+        self.inner.changed.notify_all();
+        version
+    }
+
+    /// GET: fetches `folder/item` with its version.
+    pub fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        self.simulate_latency();
+        let st = self.inner.state.lock();
+        let entry = st.folders.get(folder)?.get(item)?.clone();
+        drop(st);
+        self.inner.metrics.record_get(entry.data.len());
+        Some((entry.data, entry.version))
+    }
+
+    /// DELETE: removes `folder/item`, waking long-pollers. Deleting the last
+    /// item removes the folder.
+    pub fn delete(&self, folder: &str, item: &str) -> bool {
+        self.simulate_latency();
+        self.inner.metrics.record_delete();
+        let mut st = self.inner.state.lock();
+        let removed = st
+            .folders
+            .get_mut(folder)
+            .is_some_and(|items| items.remove(item).is_some());
+        if removed {
+            st.version += 1;
+            if st.folders.get(folder).is_some_and(|items| items.is_empty()) {
+                st.folders.remove(folder);
+            }
+        }
+        drop(st);
+        if removed {
+            self.inner.changed.notify_all();
+        }
+        removed
+    }
+
+    /// Lists item names in a folder.
+    pub fn list(&self, folder: &str) -> Vec<String> {
+        self.simulate_latency();
+        let st = self.inner.state.lock();
+        st.folders
+            .get(folder)
+            .map(|items| items.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Lists all folder names.
+    pub fn list_folders(&self) -> Vec<String> {
+        self.simulate_latency();
+        self.inner.state.lock().folders.keys().cloned().collect()
+    }
+
+    /// Current global version (poll cursor seed).
+    pub fn version(&self) -> u64 {
+        self.inner.state.lock().version
+    }
+
+    /// Directory-level long poll (Dropbox `longpoll_delta` analogue): blocks
+    /// until some item in `folder` has a version greater than `since`, or
+    /// until `timeout` elapses.
+    pub fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        self.inner.metrics.record_poll();
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            let changed: Vec<String> = st
+                .folders
+                .get(folder)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter(|(_, e)| e.version > since)
+                        .map(|(k, _)| k.clone())
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !changed.is_empty() {
+                return PollResult { version: st.version, changed, timed_out: false };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PollResult { version: st.version, changed: vec![], timed_out: true };
+            }
+            let wait = deadline - now;
+            if self
+                .inner
+                .changed
+                .wait_for(&mut st, wait)
+                .timed_out()
+            {
+                return PollResult { version: st.version, changed: vec![], timed_out: true };
+            }
+        }
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+}
+
+impl Default for CloudStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for CloudStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.inner.state.lock();
+        write!(
+            f,
+            "CloudStore({} folders, version {})",
+            st.folders.len(),
+            st.version
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_and_versions() {
+        let s = CloudStore::new();
+        let v1 = s.put("g", "p0", &b"alpha"[..]);
+        let v2 = s.put("g", "p1", &b"beta"[..]);
+        assert!(v2 > v1);
+        let (data, v) = s.get("g", "p0").unwrap();
+        assert_eq!(&data[..], b"alpha");
+        assert_eq!(v, v1);
+        assert!(s.get("g", "missing").is_none());
+        assert!(s.get("nope", "p0").is_none());
+    }
+
+    #[test]
+    fn overwrite_bumps_version() {
+        let s = CloudStore::new();
+        let v1 = s.put("g", "p0", &b"a"[..]);
+        let v2 = s.put("g", "p0", &b"b"[..]);
+        assert!(v2 > v1);
+        assert_eq!(&s.get("g", "p0").unwrap().0[..], b"b");
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let s = CloudStore::new();
+        s.put("g", "p0", &b"a"[..]);
+        s.put("g", "p1", &b"b"[..]);
+        assert_eq!(s.list("g"), vec!["p0".to_string(), "p1".to_string()]);
+        assert!(s.delete("g", "p0"));
+        assert!(!s.delete("g", "p0"));
+        assert_eq!(s.list("g"), vec!["p1".to_string()]);
+        assert!(s.delete("g", "p1"));
+        assert!(s.list_folders().is_empty());
+    }
+
+    #[test]
+    fn long_poll_sees_existing_changes() {
+        let s = CloudStore::new();
+        s.put("g", "p0", &b"a"[..]);
+        let r = s.long_poll("g", 0, Duration::from_millis(10));
+        assert!(!r.timed_out);
+        assert_eq!(r.changed, vec!["p0".to_string()]);
+        // polling from the returned cursor times out (nothing new)
+        let r2 = s.long_poll("g", r.version, Duration::from_millis(10));
+        assert!(r2.timed_out);
+        assert!(r2.changed.is_empty());
+    }
+
+    #[test]
+    fn long_poll_wakes_on_concurrent_put() {
+        let s = CloudStore::new();
+        let s2 = s.clone();
+        let handle = std::thread::spawn(move || {
+            s2.long_poll("g", 0, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        s.put("g", "p7", &b"x"[..]);
+        let r = handle.join().unwrap();
+        assert!(!r.timed_out);
+        assert_eq!(r.changed, vec!["p7".to_string()]);
+    }
+
+    #[test]
+    fn long_poll_scoped_to_folder() {
+        let s = CloudStore::new();
+        let s2 = s.clone();
+        let handle =
+            std::thread::spawn(move || s2.long_poll("g1", 0, Duration::from_millis(200)));
+        std::thread::sleep(Duration::from_millis(30));
+        s.put("g2", "p0", &b"x"[..]); // different folder: must not satisfy poller
+        let r = handle.join().unwrap();
+        assert!(r.timed_out);
+    }
+
+    #[test]
+    fn metrics_track_traffic() {
+        let s = CloudStore::new();
+        s.put("g", "p0", &b"12345"[..]);
+        s.get("g", "p0");
+        s.long_poll("g", 0, Duration::from_millis(1));
+        let m = s.metrics();
+        assert_eq!(m.puts, 1);
+        assert_eq!(m.bytes_up, 5);
+        assert_eq!(m.gets, 1);
+        assert_eq!(m.bytes_down, 5);
+        assert_eq!(m.polls, 1);
+    }
+
+    #[test]
+    fn latency_model_slows_requests() {
+        let s = CloudStore::with_latency(LatencyModel::new(
+            Duration::from_millis(5),
+            Duration::ZERO,
+        ));
+        let t0 = Instant::now();
+        s.put("g", "p", &b"x"[..]);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

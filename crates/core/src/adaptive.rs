@@ -1,0 +1,202 @@
+//! Adaptive partition sizing — the paper's first future-work item (§VIII):
+//! *"dynamically adapt the partition sizes based on the undergoing workload.
+//! This would optimize the speed of administrator- and user-performed
+//! operations."*
+//!
+//! The trade-off being tuned (paper §IV-C): a small partition makes client
+//! decryption cheap (`O(|p|²)`) but multiplies the partitions the admin must
+//! re-key per revocation (`|P| × O(1)`); a large partition does the reverse.
+//! [`AdaptivePolicy`] observes the live operation mix over a sliding window
+//! and recommends the fill size that balances the two measured costs.
+
+use crate::engine::PartitionSize;
+use crate::error::CoreError;
+
+/// Workload-aware partition-size controller.
+///
+/// The recommendation minimizes a simple cost model over the observed
+/// window:
+///
+/// ```text
+/// cost(p) = removes · (members / p) · c_rekey        (admin side)
+///         + decrypts · (c_pair + p · c_exp)          (client side)
+/// ```
+///
+/// which has the closed-form optimum
+/// `p* = sqrt(removes · members · c_rekey / (decrypts · c_exp))`, clamped to
+/// `[min, max]` where `max` is the public key's capacity fixed at bootstrap.
+#[derive(Clone, Debug)]
+pub struct AdaptivePolicy {
+    min: usize,
+    max: usize,
+    window: usize,
+    adds: usize,
+    removes: usize,
+    decrypts: usize,
+    /// Relative cost of one constant-time partition re-key vs one `G2`
+    /// exponentiation of the client decrypt loop (measured ≈ 4 on this
+    /// substrate: GT exp + G2 exp + G1 exp + AES wrap vs one G2 exp).
+    rekey_weight: f64,
+}
+
+impl AdaptivePolicy {
+    /// Creates a policy bounded by `[min, max]` with a default observation
+    /// window of 256 operations.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidPartitionSize`] if `min` is 0 or `min > max`.
+    pub fn new(min: usize, max: usize) -> Result<Self, CoreError> {
+        if min == 0 || min > max {
+            return Err(CoreError::InvalidPartitionSize(min));
+        }
+        Ok(Self {
+            min,
+            max,
+            window: 256,
+            adds: 0,
+            removes: 0,
+            decrypts: 0,
+            rekey_weight: 4.0,
+        })
+    }
+
+    /// Overrides the sliding-window length (in operations).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Overrides the measured rekey/exponentiation cost ratio.
+    pub fn with_rekey_weight(mut self, w: f64) -> Self {
+        self.rekey_weight = w.max(0.01);
+        self
+    }
+
+    fn maybe_decay(&mut self) {
+        let total = self.adds + self.removes + self.decrypts;
+        if total >= self.window {
+            // exponential decay keeps the window sliding without a deque
+            self.adds /= 2;
+            self.removes /= 2;
+            self.decrypts /= 2;
+        }
+    }
+
+    /// Records an observed add operation.
+    pub fn record_add(&mut self) {
+        self.adds += 1;
+        self.maybe_decay();
+    }
+
+    /// Records an observed remove operation.
+    pub fn record_remove(&mut self) {
+        self.removes += 1;
+        self.maybe_decay();
+    }
+
+    /// Records an observed client decryption (e.g. reported by telemetry or
+    /// estimated from group size).
+    pub fn record_decrypt(&mut self) {
+        self.decrypts += 1;
+        self.maybe_decay();
+    }
+
+    /// The partition size minimizing the modelled cost for a group of
+    /// `members`, clamped to the policy bounds.
+    pub fn recommended(&self, members: usize) -> PartitionSize {
+        let members = members.max(1) as f64;
+        let removes = self.removes as f64;
+        let decrypts = self.decrypts as f64;
+        let p = if removes == 0.0 {
+            // no revocation pressure: favour the cheapest decryption
+            self.min as f64
+        } else if decrypts == 0.0 {
+            // no decryption pressure: one partition if capacity allows
+            self.max as f64
+        } else {
+            (removes * members * self.rekey_weight / decrypts).sqrt()
+        };
+        let clamped = (p.round() as usize).clamp(self.min, self.max);
+        PartitionSize::new(clamped).expect("bounds validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_validated() {
+        assert!(AdaptivePolicy::new(0, 10).is_err());
+        assert!(AdaptivePolicy::new(5, 4).is_err());
+        assert!(AdaptivePolicy::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn no_removals_favours_small_partitions() {
+        let mut p = AdaptivePolicy::new(8, 512).unwrap();
+        for _ in 0..50 {
+            p.record_decrypt();
+            p.record_add();
+        }
+        assert_eq!(p.recommended(1000).get(), 8);
+    }
+
+    #[test]
+    fn removal_heavy_favours_large_partitions() {
+        let mut p = AdaptivePolicy::new(8, 512).unwrap();
+        for _ in 0..50 {
+            p.record_remove();
+        }
+        assert_eq!(p.recommended(1000).get(), 512);
+    }
+
+    #[test]
+    fn balanced_workload_lands_in_between() {
+        let mut p = AdaptivePolicy::new(8, 4096).unwrap();
+        for _ in 0..40 {
+            p.record_remove();
+            p.record_decrypt();
+        }
+        let rec = p.recommended(1000).get();
+        // p* = sqrt(1 · 1000 · 4) ≈ 63
+        assert!((32..=128).contains(&rec), "got {rec}");
+    }
+
+    #[test]
+    fn more_revocation_pressure_grows_partitions_monotonically() {
+        let mut low = AdaptivePolicy::new(4, 4096).unwrap();
+        let mut high = AdaptivePolicy::new(4, 4096).unwrap();
+        for i in 0..60 {
+            low.record_decrypt();
+            high.record_decrypt();
+            if i % 6 == 0 {
+                low.record_remove();
+            } else {
+                high.record_remove();
+            }
+        }
+        assert!(high.recommended(2000).get() >= low.recommended(2000).get());
+    }
+
+    #[test]
+    fn window_decay_forgets_old_behaviour() {
+        let mut p = AdaptivePolicy::new(8, 512).unwrap().with_window(32);
+        for _ in 0..100 {
+            p.record_remove(); // old regime: revocation-heavy
+        }
+        for _ in 0..200 {
+            p.record_decrypt(); // new regime: read-heavy
+            p.record_add();
+        }
+        // new regime dominates: recommendation near the small bound
+        assert!(p.recommended(1000).get() <= 64);
+    }
+
+    #[test]
+    fn recommendation_respects_capacity() {
+        let p = AdaptivePolicy::new(8, 64).unwrap();
+        assert!(p.recommended(1_000_000).get() <= 64);
+        assert!(p.recommended(1).get() >= 8);
+    }
+}

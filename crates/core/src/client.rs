@@ -1,0 +1,49 @@
+//! Client-side (user) operations — **no SGX required** (paper §IV, footnote:
+//! only membership operations rely on the TEE).
+
+use crate::engine::unwrap_gk;
+use crate::error::CoreError;
+use crate::metadata::{GroupKey, GroupMetadata};
+use ibbe::{decrypt, PublicKey, UserSecretKey};
+
+/// Derives the group key `gk` from published group metadata: finds the
+/// caller's partition, runs IBBE decryption (`O(|p|²)`, bounded by the
+/// partition size — the point of the partitioning mechanism, Table I), and
+/// unwraps `y_p` with `SHA-256(bk_p)`.
+///
+/// # Errors
+/// * [`CoreError::NotAMember`] if `identity` is in no partition;
+/// * [`CoreError::Ibbe`] if IBBE decryption fails structurally;
+/// * [`CoreError::CorruptMetadata`] if `y_p` does not authenticate under
+///   the recovered broadcast key (e.g. the user was just revoked and is
+///   replaying stale credentials against fresh metadata).
+pub fn client_decrypt_group_key(
+    pk: &PublicKey,
+    usk: &UserSecretKey,
+    identity: &str,
+    meta: &GroupMetadata,
+) -> Result<GroupKey, CoreError> {
+    let idx = meta
+        .partition_of(identity)
+        .ok_or_else(|| CoreError::NotAMember(identity.to_string()))?;
+    let p = &meta.partitions[idx];
+    let bk = decrypt(pk, usk, identity, &p.members, &p.ciphertext)?;
+    unwrap_gk(&bk, &p.wrapped_gk, &meta.name)
+}
+
+/// Decrypts the group key from a *single partition's* metadata — the unit
+/// the client actually watches on the cloud (one long-poll per partition
+/// folder, §V-A).
+///
+/// # Errors
+/// Same contract as [`client_decrypt_group_key`].
+pub fn client_decrypt_from_partition(
+    pk: &PublicKey,
+    usk: &UserSecretKey,
+    identity: &str,
+    group_name: &str,
+    partition: &crate::metadata::PartitionMetadata,
+) -> Result<GroupKey, CoreError> {
+    let bk = decrypt(pk, usk, identity, &partition.members, &partition.ciphertext)?;
+    unwrap_gk(&bk, &partition.wrapped_gk, group_name)
+}

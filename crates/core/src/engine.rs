@@ -1,0 +1,502 @@
+//! The IBBE-SGX group engine: the administrator-side implementation of the
+//! paper's Algorithms 1 (create group), 2 (add user) and 3 (remove user),
+//! every sensitive step of which executes inside the simulated enclave.
+//!
+//! The admin process — modelled honest-but-curious — only ever observes
+//! [`GroupMetadata`]: IBBE ciphertexts, AES-wrapped group keys and a sealed
+//! group key. Neither `gk` nor any partition broadcast key `bk` crosses the
+//! enclave boundary, which is the paper's zero-knowledge property.
+
+use crate::error::CoreError;
+use crate::metadata::{GroupKey, GroupMetadata, PartitionMetadata, WrappedGroupKey};
+use ibbe::{
+    add_user_with_msk, encrypt_with_msk, extract, remove_user_with_msk, setup, BroadcastKey,
+    MasterSecretKey, PublicKey, UserSecretKey,
+};
+use sgx_sim::{ChannelKeyPair, Enclave, EnclaveBuilder, EnclaveContext, Measurement};
+use symcrypto::gcm::{AesGcm, NONCE_LEN};
+use symcrypto::sha256::sha256;
+
+/// A validated partition size (the paper's fixed `|p|`, 1000–4000 in the
+/// evaluation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PartitionSize(usize);
+
+impl PartitionSize {
+    /// Creates a partition size; must be at least 1.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidPartitionSize`] for 0.
+    pub fn new(size: usize) -> Result<Self, CoreError> {
+        if size == 0 {
+            return Err(CoreError::InvalidPartitionSize(size));
+        }
+        Ok(Self(size))
+    }
+
+    /// The size as a plain integer.
+    pub fn get(&self) -> usize {
+        self.0
+    }
+}
+
+/// Outcome of an add-user operation (Algorithm 2 takes one of two paths).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AddOutcome {
+    /// Index of the partition the user landed in.
+    pub partition: usize,
+    /// True if a brand-new partition had to be created (all others full).
+    pub created_new_partition: bool,
+}
+
+/// Outcome of a remove-user operation (Algorithm 3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RemoveOutcome {
+    /// Index of the partition the user was removed from, if the partition
+    /// still exists (removal of its last member deletes it).
+    pub shrunk_partition: Option<usize>,
+    /// Number of partitions re-keyed (all surviving ones).
+    pub rekeyed_partitions: usize,
+}
+
+/// Private enclave state: the IBBE master secret and the provisioning
+/// channel keys. Only reachable through ecalls.
+struct AdminEnclaveState {
+    msk: MasterSecretKey,
+    channel: ChannelKeyPair,
+}
+
+/// The administrator's IBBE-SGX engine.
+///
+/// See the crate-level example for the full flow.
+pub struct GroupEngine {
+    enclave: Enclave<AdminEnclaveState>,
+    /// The IBBE public key; public by definition (clients need it too).
+    pk: PublicKey,
+    partition_size: PartitionSize,
+}
+
+/// Identity string of the admin enclave code; its hash is the measurement
+/// auditors compare against (Fig. 3).
+pub const ENCLAVE_CODE_IDENTITY: &[u8] = b"ibbe-sgx-admin-enclave-v1";
+
+impl GroupEngine {
+    /// Boots the admin enclave and runs IBBE system setup inside it
+    /// (paper Fig. 6a: `O(|p|)` — the public key is linear in the
+    /// *partition* size, not the group size).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidPartitionSize`] is impossible here since
+    /// `partition_size` is pre-validated; the signature is fallible for
+    /// forward compatibility with resource limits.
+    pub fn bootstrap<R: rand::RngCore + ?Sized>(
+        partition_size: PartitionSize,
+        rng: &mut R,
+    ) -> Result<Self, CoreError> {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self::bootstrap_seeded(partition_size, seed)
+    }
+
+    /// Deterministic bootstrap (tests and reproducible benchmarks).
+    ///
+    /// # Errors
+    /// Same contract as [`GroupEngine::bootstrap`].
+    pub fn bootstrap_seeded(
+        partition_size: PartitionSize,
+        seed: [u8; 32],
+    ) -> Result<Self, CoreError> {
+        let mut pk_out: Option<PublicKey> = None;
+        let enclave = EnclaveBuilder::new(ENCLAVE_CODE_IDENTITY)
+            .deterministic_seed(seed)
+            .build_with(|ctx| {
+                let (msk, pk) = setup(partition_size.get(), ctx.rng());
+                let channel = ChannelKeyPair::generate(ctx.rng());
+                pk_out = Some(pk);
+                AdminEnclaveState { msk, channel }
+            });
+        Ok(Self {
+            enclave,
+            pk: pk_out.expect("setup ran"),
+            partition_size,
+        })
+    }
+
+    /// The system public key (needed by clients for decryption).
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// The configured partition size.
+    pub fn partition_size(&self) -> PartitionSize {
+        self.partition_size
+    }
+
+    /// The enclave measurement, for attestation.
+    pub fn measurement(&self) -> Measurement {
+        self.enclave.measurement()
+    }
+
+    /// The enclave's provisioning-channel public key (certified by the
+    /// Auditor in the full system; see the `acs` crate).
+    pub fn channel_public_key(&self) -> sgx_sim::ChannelPublicKey {
+        self.enclave.ecall(|st, _| st.channel.public_key())
+    }
+
+    /// Decrypts a provisioning-channel message inside the enclave (used by
+    /// the `acs` layer for authenticated admin requests).
+    ///
+    /// # Errors
+    /// [`CoreError::Sgx`] if channel authentication fails.
+    pub fn channel_decrypt(
+        &self,
+        msg: &sgx_sim::ChannelMessage,
+        aad: &[u8],
+    ) -> Result<Vec<u8>, CoreError> {
+        self.enclave
+            .ecall(|st, _| st.channel.decrypt(msg, aad))
+            .map_err(CoreError::from)
+    }
+
+    /// Full in-enclave provisioning step (Fig. 3, step 4): decrypts a
+    /// provisioning-request channel message, extracts the
+    /// requested user's secret key, and re-encrypts it to the user's own
+    /// channel key — the USK plaintext never exists outside the enclave.
+    ///
+    /// Request wire format (produced by `acs::provisioning`):
+    /// `identity_len: u16 BE ‖ identity ‖ user_channel_pk (49 bytes)`.
+    ///
+    /// # Errors
+    /// [`CoreError::Sgx`] if the request fails to decrypt or parse.
+    pub fn provision_user_key(
+        &self,
+        request: &sgx_sim::ChannelMessage,
+    ) -> Result<sgx_sim::ChannelMessage, CoreError> {
+        self.enclave.ecall(|st, ctx| {
+            let plain = st
+                .channel
+                .decrypt(request, b"ibbe-provisioning-request")
+                .map_err(CoreError::Sgx)?;
+            if plain.len() < 2 {
+                return Err(CoreError::Sgx(sgx_sim::SgxError::ChannelFailed));
+            }
+            let id_len = u16::from_be_bytes([plain[0], plain[1]]) as usize;
+            if plain.len() < 2 + id_len {
+                return Err(CoreError::Sgx(sgx_sim::SgxError::ChannelFailed));
+            }
+            let identity = std::str::from_utf8(&plain[2..2 + id_len])
+                .map_err(|_| CoreError::Sgx(sgx_sim::SgxError::ChannelFailed))?
+                .to_string();
+            let user_pk = sgx_sim::ChannelPublicKey::from_bytes(&plain[2 + id_len..])
+                .ok_or(CoreError::Sgx(sgx_sim::SgxError::ChannelFailed))?;
+            let usk = extract(&st.msk, &identity);
+            Ok(user_pk.encrypt(ctx.rng(), &usk.to_bytes(), identity.as_bytes()))
+        })
+    }
+
+    /// Extracts a user secret key inside the enclave (paper Fig. 6b;
+    /// constant time per user). Distribution to the user must go through
+    /// the certified provisioning channel — see `acs::provisioning`.
+    pub fn extract_user_key(&self, identity: &str) -> Result<UserSecretKey, CoreError> {
+        Ok(self.enclave.ecall(|st, _| extract(&st.msk, identity)))
+    }
+
+    /// **Algorithm 1 — Create Group.** Splits `members` into fixed-size
+    /// partitions, draws `gk` inside the enclave, and per partition `p`
+    /// produces `(c_p, y_p = AES(SHA-256(bk_p), gk))`. Returns cloud-ready
+    /// metadata plus the sealed `gk`.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyGroup`] or IBBE set-validation failures
+    /// (duplicates).
+    pub fn create_group(&self, name: &str, members: Vec<String>) -> Result<GroupMetadata, CoreError> {
+        self.create_group_with_fill(name, members, self.partition_size)
+    }
+
+    /// Algorithm 1 with an explicit target fill size `fill ≤` the public
+    /// key's capacity. Used by the adaptive-partitioning extension
+    /// ([`crate::adaptive::AdaptivePolicy`], paper §VIII future work): the
+    /// PK is provisioned for the *maximum* partition size at bootstrap and
+    /// the live fill adapts to the workload below it.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidPartitionSize`] if `fill` exceeds the capacity,
+    /// plus the [`GroupEngine::create_group`] failure modes.
+    pub fn create_group_with_fill(
+        &self,
+        name: &str,
+        members: Vec<String>,
+        fill: PartitionSize,
+    ) -> Result<GroupMetadata, CoreError> {
+        if members.is_empty() {
+            return Err(CoreError::EmptyGroup);
+        }
+        if fill.get() > self.partition_size.get() {
+            return Err(CoreError::InvalidPartitionSize(fill.get()));
+        }
+        let m = fill.get();
+        let pk = self.pk.clone();
+        let name_owned = name.to_string();
+        self.enclave.ecall(move |st, ctx| {
+            // line 2: gk ← RandomKey()
+            let gk = random_gk(ctx);
+            // lines 3–5: per-partition encrypt + wrap
+            let mut partitions = Vec::with_capacity(members.len().div_ceil(m));
+            for chunk in members.chunks(m) {
+                partitions.push(make_partition(&st.msk, &pk, chunk.to_vec(), &gk, &name_owned, ctx)?);
+            }
+            // line 6: seal gk for persistence
+            let sealed_gk = seal_gk(ctx, &gk, &name_owned);
+            Ok(GroupMetadata { name: name_owned, partitions, sealed_gk })
+        })
+    }
+
+    /// **Algorithm 2 — Add User to Group.** If some partition has room the
+    /// user joins it — only `c_p` changes (`O(1)`, the broadcast key is
+    /// unchanged so `y_p` needs no update). Otherwise a new partition is
+    /// created and the unsealed `gk` wrapped under its fresh broadcast key.
+    ///
+    /// # Errors
+    /// [`CoreError::AlreadyMember`]; [`CoreError::Sgx`] if the sealed group
+    /// key fails to unseal.
+    pub fn add_user(
+        &self,
+        meta: &mut GroupMetadata,
+        identity: &str,
+    ) -> Result<AddOutcome, CoreError> {
+        if meta.contains(identity) {
+            return Err(CoreError::AlreadyMember(identity.to_string()));
+        }
+        let m = self.partition_size.get();
+        // line 1: partitions with remaining capacity
+        let open: Vec<usize> = (0..meta.partitions.len())
+            .filter(|&i| meta.partitions[i].members.len() < m)
+            .collect();
+        let pk = self.pk.clone();
+        if open.is_empty() {
+            // lines 3–7: new partition wrapping the existing gk
+            let name = meta.name.clone();
+            let sealed = meta.sealed_gk.clone();
+            let identity_owned = identity.to_string();
+            let partition = self.enclave.ecall(move |st, ctx| {
+                let gk = unseal_gk(ctx, &sealed, &name)?;
+                make_partition(&st.msk, &pk, vec![identity_owned], &gk, &name, ctx)
+            })?;
+            meta.partitions.push(partition);
+            Ok(AddOutcome {
+                partition: meta.partitions.len() - 1,
+                created_new_partition: true,
+            })
+        } else {
+            // lines 9–12: join a random open partition; only c changes
+            let pick = self.enclave.ecall(|_, ctx| {
+                let mut b = [0u8; 8];
+                ctx.rng().generate(&mut b);
+                usize::from_le_bytes(b) % open.len()
+            });
+            let idx = open[pick];
+            let target = &mut meta.partitions[idx];
+            let identity_owned = identity.to_string();
+            let new_ct = self
+                .enclave
+                .ecall(|st, _| add_user_with_msk(&st.msk, &target.ciphertext, &identity_owned));
+            target.ciphertext = new_ct;
+            target.members.push(identity.to_string());
+            Ok(AddOutcome { partition: idx, created_new_partition: false })
+        }
+    }
+
+    /// **Algorithm 3 — Remove User from Group.** Draws a fresh `gk`, removes
+    /// the user from their partition with the constant-time `C3` update
+    /// (Eqs. 6–7), re-keys every other partition in constant time each, and
+    /// re-wraps the new `gk` everywhere. Cost: `|P| × O(1)`.
+    ///
+    /// Empty partitions are dropped. The caller should consult
+    /// [`GroupMetadata::needs_repartitioning`] afterwards (§V-A heuristic)
+    /// and recreate the group when advised.
+    ///
+    /// # Errors
+    /// [`CoreError::NotAMember`]; [`CoreError::Sgx`] on unseal failure.
+    pub fn remove_user(
+        &self,
+        meta: &mut GroupMetadata,
+        identity: &str,
+    ) -> Result<RemoveOutcome, CoreError> {
+        let Some(idx) = meta.partition_of(identity) else {
+            return Err(CoreError::NotAMember(identity.to_string()));
+        };
+        let pk = self.pk.clone();
+        let name = meta.name.clone();
+        let identity_owned = identity.to_string();
+        let mut partitions = std::mem::take(&mut meta.partitions);
+
+        let (sealed_gk, outcome) = self.enclave.ecall(move |st, ctx| {
+            // line 3: fresh gk
+            let gk = random_gk(ctx);
+            // lines 1–2, 4–5: shrink the hosting partition
+            let host = &mut partitions[idx];
+            host.members.retain(|u| u != &identity_owned);
+            let host_empty = host.members.is_empty();
+            if !host_empty {
+                let (bk, ct) = remove_user_with_msk(
+                    &st.msk,
+                    &pk,
+                    &host.ciphertext,
+                    &identity_owned,
+                    ctx.rng(),
+                );
+                host.ciphertext = ct;
+                host.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
+            }
+            // lines 6–8: constant-time re-key of every other partition
+            let mut rekeyed = 0;
+            for (i, p) in partitions.iter_mut().enumerate() {
+                if i == idx {
+                    continue;
+                }
+                let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
+                p.ciphertext = ct;
+                p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
+                rekeyed += 1;
+            }
+            if host_empty {
+                partitions.remove(idx);
+            }
+            // line 9: seal the new gk
+            let sealed = seal_gk(ctx, &gk, &name);
+            let outcome = RemoveOutcome {
+                shrunk_partition: if host_empty { None } else { Some(idx) },
+                rekeyed_partitions: rekeyed,
+            };
+            ((sealed, partitions), outcome)
+        });
+        let (sealed, partitions) = sealed_gk;
+        meta.partitions = partitions;
+        meta.sealed_gk = sealed;
+        Ok(outcome)
+    }
+
+    /// Re-partitioning (§V-A): recreates the group from its current member
+    /// list via Algorithm 1, merging sparse partitions.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyGroup`] if the group has no members left.
+    pub fn repartition(&self, meta: &GroupMetadata) -> Result<GroupMetadata, CoreError> {
+        let members: Vec<String> = meta.members().map(String::from).collect();
+        self.create_group(&meta.name, members)
+    }
+
+    /// Re-partitioning with an explicit target fill size (adaptive
+    /// extension; see [`GroupEngine::create_group_with_fill`]).
+    ///
+    /// # Errors
+    /// Same contract as [`GroupEngine::create_group_with_fill`].
+    pub fn repartition_with_fill(
+        &self,
+        meta: &GroupMetadata,
+        fill: PartitionSize,
+    ) -> Result<GroupMetadata, CoreError> {
+        let members: Vec<String> = meta.members().map(String::from).collect();
+        self.create_group_with_fill(&meta.name, members, fill)
+    }
+
+    /// Re-keys the whole group without membership change (paper §A-G):
+    /// fresh `gk`, constant-time re-key per partition.
+    ///
+    /// # Errors
+    /// [`CoreError::Sgx`] on unseal failure.
+    pub fn rekey_group(&self, meta: &mut GroupMetadata) -> Result<(), CoreError> {
+        let pk = self.pk.clone();
+        let name = meta.name.clone();
+        let mut partitions = std::mem::take(&mut meta.partitions);
+        let (sealed, partitions) = self.enclave.ecall(move |_, ctx| {
+            let gk = random_gk(ctx);
+            for p in partitions.iter_mut() {
+                let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
+                p.ciphertext = ct;
+                p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
+            }
+            (seal_gk(ctx, &gk, &name), partitions)
+        });
+        meta.partitions = partitions;
+        meta.sealed_gk = sealed;
+        Ok(())
+    }
+}
+
+impl core::fmt::Debug for GroupEngine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "GroupEngine(partition_size={}, {:?})",
+            self.partition_size.get(),
+            self.enclave.measurement()
+        )
+    }
+}
+
+fn random_gk(ctx: &mut EnclaveContext<'_>) -> GroupKey {
+    let mut k = [0u8; 32];
+    ctx.rng().generate(&mut k);
+    GroupKey(k)
+}
+
+/// `AES(SHA-256(bk), gk)` — the paper's `y_p` (Algorithm 1, line 5), as
+/// AES-256-GCM so corruption is detected.
+fn wrap_gk(
+    bk: &BroadcastKey,
+    gk: &GroupKey,
+    group_name: &str,
+    ctx: &mut EnclaveContext<'_>,
+) -> WrappedGroupKey {
+    let key = sha256(&bk.to_bytes());
+    let mut nonce = [0u8; NONCE_LEN];
+    ctx.rng().generate(&mut nonce);
+    let ciphertext = AesGcm::new(&key).seal(&nonce, group_name.as_bytes(), &gk.0);
+    WrappedGroupKey { nonce, ciphertext }
+}
+
+/// Client-side unwrap of `y_p` given the recovered broadcast key.
+pub(crate) fn unwrap_gk(
+    bk: &BroadcastKey,
+    wrapped: &WrappedGroupKey,
+    group_name: &str,
+) -> Result<GroupKey, CoreError> {
+    let key = sha256(&bk.to_bytes());
+    let pt = AesGcm::new(&key)
+        .open(&wrapped.nonce, group_name.as_bytes(), &wrapped.ciphertext)
+        .map_err(|_| CoreError::CorruptMetadata("wrapped group key failed to authenticate"))?;
+    let bytes: [u8; 32] = pt
+        .try_into()
+        .map_err(|_| CoreError::CorruptMetadata("wrapped group key has wrong length"))?;
+    Ok(GroupKey(bytes))
+}
+
+fn seal_gk(ctx: &mut EnclaveContext<'_>, gk: &GroupKey, group_name: &str) -> sgx_sim::SealedBlob {
+    ctx.seal(&gk.0, group_name.as_bytes())
+}
+
+fn unseal_gk(
+    ctx: &mut EnclaveContext<'_>,
+    sealed: &sgx_sim::SealedBlob,
+    group_name: &str,
+) -> Result<GroupKey, CoreError> {
+    let pt = ctx.unseal(sealed, group_name.as_bytes())?;
+    let bytes: [u8; 32] = pt
+        .try_into()
+        .map_err(|_| CoreError::CorruptMetadata("sealed group key has wrong length"))?;
+    Ok(GroupKey(bytes))
+}
+
+fn make_partition(
+    msk: &MasterSecretKey,
+    pk: &PublicKey,
+    members: Vec<String>,
+    gk: &GroupKey,
+    group_name: &str,
+    ctx: &mut EnclaveContext<'_>,
+) -> Result<PartitionMetadata, CoreError> {
+    let (bk, ciphertext) = encrypt_with_msk(msk, pk, &members, ctx.rng())?;
+    let wrapped_gk = wrap_gk(&bk, gk, group_name, ctx);
+    Ok(PartitionMetadata { members, ciphertext, wrapped_gk })
+}

@@ -1,0 +1,61 @@
+//! Error type for IBBE-SGX group operations.
+
+use core::fmt;
+
+/// Errors returned by the IBBE-SGX engine and client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Propagated IBBE scheme failure.
+    Ibbe(ibbe::IbbeError),
+    /// Propagated enclave/sealing failure.
+    Sgx(sgx_sim::SgxError),
+    /// The identity is already a member of the group.
+    AlreadyMember(String),
+    /// The identity is not a member of the group.
+    NotAMember(String),
+    /// The group metadata is internally inconsistent (e.g. a wrapped key
+    /// that does not authenticate).
+    CorruptMetadata(&'static str),
+    /// A group must contain at least one member.
+    EmptyGroup,
+    /// Invalid partition size (must be ≥ 1).
+    InvalidPartitionSize(usize),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ibbe(e) => write!(f, "ibbe: {e}"),
+            CoreError::Sgx(e) => write!(f, "sgx: {e}"),
+            CoreError::AlreadyMember(id) => write!(f, "already a member: {id}"),
+            CoreError::NotAMember(id) => write!(f, "not a member: {id}"),
+            CoreError::CorruptMetadata(what) => write!(f, "corrupt group metadata: {what}"),
+            CoreError::EmptyGroup => write!(f, "group has no members"),
+            CoreError::InvalidPartitionSize(n) => {
+                write!(f, "invalid partition size {n} (must be at least 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ibbe(e) => Some(e),
+            CoreError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ibbe::IbbeError> for CoreError {
+    fn from(e: ibbe::IbbeError) -> Self {
+        CoreError::Ibbe(e)
+    }
+}
+
+impl From<sgx_sim::SgxError> for CoreError {
+    fn from(e: sgx_sim::SgxError) -> Self {
+        CoreError::Sgx(e)
+    }
+}

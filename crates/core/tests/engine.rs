@@ -1,0 +1,294 @@
+//! End-to-end tests of the IBBE-SGX engine: the paper's Algorithms 1–3,
+//! the partitioning mechanism, the re-partitioning heuristic and the
+//! revocation security properties of §II.
+
+use ibbe_sgx_core::{
+    client_decrypt_from_partition, client_decrypt_group_key, CoreError, GroupEngine,
+    PartitionSize,
+};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn engine(partition: usize, seed: u64) -> GroupEngine {
+    let mut seed_bytes = [0u8; 32];
+    seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    GroupEngine::bootstrap_seeded(PartitionSize::new(partition).unwrap(), seed_bytes).unwrap()
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("user-{i}")).collect()
+}
+
+#[test]
+fn create_group_partitions_correctly() {
+    let e = engine(3, 1);
+    let meta = e.create_group("g", names(8)).unwrap();
+    assert_eq!(meta.partition_count(), 3); // 3 + 3 + 2
+    assert_eq!(meta.member_count(), 8);
+    assert_eq!(meta.partitions[0].members.len(), 3);
+    assert_eq!(meta.partitions[2].members.len(), 2);
+}
+
+#[test]
+fn every_member_in_every_partition_decrypts_same_gk() {
+    let e = engine(3, 2);
+    let members = names(7);
+    let meta = e.create_group("g", members.clone()).unwrap();
+    let mut keys = Vec::new();
+    for m in &members {
+        let usk = e.extract_user_key(m).unwrap();
+        let gk = client_decrypt_group_key(e.public_key(), &usk, m, &meta).unwrap();
+        keys.push(gk);
+    }
+    assert!(
+        keys.windows(2).all(|w| w[0] == w[1]),
+        "all partitions must wrap the same gk"
+    );
+}
+
+#[test]
+fn add_user_fills_open_partition_without_touching_gk() {
+    let e = engine(4, 3);
+    let members = names(5); // partitions: 4 + 1
+    let mut meta = e.create_group("g", members.clone()).unwrap();
+    let usk0 = e.extract_user_key(&members[0]).unwrap();
+    let gk_before =
+        client_decrypt_group_key(e.public_key(), &usk0, &members[0], &meta).unwrap();
+
+    let outcome = e.add_user(&mut meta, "late-joiner").unwrap();
+    assert!(!outcome.created_new_partition, "partition 1 has room");
+    assert_eq!(outcome.partition, 1);
+
+    // existing member still derives the same gk; joiner derives it too
+    let gk_after =
+        client_decrypt_group_key(e.public_key(), &usk0, &members[0], &meta).unwrap();
+    assert_eq!(gk_before, gk_after);
+    let usk_new = e.extract_user_key("late-joiner").unwrap();
+    let gk_new =
+        client_decrypt_group_key(e.public_key(), &usk_new, "late-joiner", &meta).unwrap();
+    assert_eq!(gk_new, gk_before);
+}
+
+#[test]
+fn add_user_creates_partition_when_all_full() {
+    let e = engine(2, 4);
+    let mut meta = e.create_group("g", names(4)).unwrap(); // 2 full partitions
+    let outcome = e.add_user(&mut meta, "overflow").unwrap();
+    assert!(outcome.created_new_partition);
+    assert_eq!(meta.partition_count(), 3);
+    let usk = e.extract_user_key("overflow").unwrap();
+    let gk = client_decrypt_group_key(e.public_key(), &usk, "overflow", &meta).unwrap();
+    // matches what an original member sees
+    let usk0 = e.extract_user_key("user-0").unwrap();
+    let gk0 = client_decrypt_group_key(e.public_key(), &usk0, "user-0", &meta).unwrap();
+    assert_eq!(gk, gk0);
+}
+
+#[test]
+fn duplicate_add_rejected() {
+    let e = engine(4, 5);
+    let mut meta = e.create_group("g", names(3)).unwrap();
+    assert_eq!(
+        e.add_user(&mut meta, "user-1"),
+        Err(CoreError::AlreadyMember("user-1".into()))
+    );
+}
+
+#[test]
+fn remove_user_rotates_gk_everywhere_and_revokes() {
+    let e = engine(3, 6);
+    let members = names(7);
+    let mut meta = e.create_group("g", members.clone()).unwrap();
+    let victim = "user-4";
+    let usk_victim = e.extract_user_key(victim).unwrap();
+    let gk_old =
+        client_decrypt_group_key(e.public_key(), &usk_victim, victim, &meta).unwrap();
+
+    let outcome = e.remove_user(&mut meta, victim).unwrap();
+    assert_eq!(outcome.rekeyed_partitions, meta.partition_count() - 1);
+    assert!(!meta.contains(victim));
+
+    // every survivor (in every partition) sees the same NEW gk
+    let mut new_keys = Vec::new();
+    for m in members.iter().filter(|m| m.as_str() != victim) {
+        let usk = e.extract_user_key(m).unwrap();
+        let gk = client_decrypt_group_key(e.public_key(), &usk, m, &meta).unwrap();
+        assert_ne!(gk, gk_old, "gk must rotate on revocation");
+        new_keys.push(gk);
+    }
+    assert!(new_keys.windows(2).all(|w| w[0] == w[1]));
+
+    // the revoked user cannot derive the new key from fresh metadata:
+    // not listed → NotAMember; and replaying their old partition slot fails
+    let err =
+        client_decrypt_group_key(e.public_key(), &usk_victim, victim, &meta).unwrap_err();
+    assert_eq!(err, CoreError::NotAMember(victim.into()));
+}
+
+#[test]
+fn revoked_user_cannot_decrypt_even_with_forged_membership() {
+    // A curious cloud colluding with the revoked user can hand them the new
+    // metadata with their name re-inserted; IBBE must still refuse (their
+    // identity is no longer in the ciphertext's receiver product).
+    let e = engine(3, 7);
+    let members = names(3); // single partition
+    let mut meta = e.create_group("g", members.clone()).unwrap();
+    let victim = "user-1";
+    let usk_victim = e.extract_user_key(victim).unwrap();
+    e.remove_user(&mut meta, victim).unwrap();
+
+    let mut forged = meta.clone();
+    forged.partitions[0].members.push(victim.to_string());
+    let result = client_decrypt_group_key(e.public_key(), &usk_victim, victim, &forged);
+    // decryption either errors (wrong bk → GCM failure) — it must never
+    // yield the new gk
+    match result {
+        Err(CoreError::CorruptMetadata(_)) => {}
+        Err(other) => panic!("unexpected error kind: {other:?}"),
+        Ok(_) => panic!("revoked user recovered the rotated group key"),
+    }
+}
+
+#[test]
+fn removing_last_member_of_partition_drops_it() {
+    let e = engine(2, 8);
+    let mut meta = e.create_group("g", names(5)).unwrap(); // 2+2+1
+    assert_eq!(meta.partition_count(), 3);
+    e.remove_user(&mut meta, "user-4").unwrap(); // sole member of partition 2
+    assert_eq!(meta.partition_count(), 2);
+    assert_eq!(meta.member_count(), 4);
+}
+
+#[test]
+fn remove_until_empty_group() {
+    let e = engine(2, 9);
+    let mut meta = e.create_group("g", names(2)).unwrap();
+    e.remove_user(&mut meta, "user-0").unwrap();
+    e.remove_user(&mut meta, "user-1").unwrap();
+    assert_eq!(meta.member_count(), 0);
+    assert_eq!(meta.partition_count(), 0);
+    assert_eq!(
+        e.remove_user(&mut meta, "user-0"),
+        Err(CoreError::NotAMember("user-0".into()))
+    );
+}
+
+#[test]
+fn repartitioning_heuristic_and_recreate() {
+    let e = engine(3, 10);
+    // 4 partitions of 3; removals leave most partitions sparse
+    let members = names(12);
+    let mut meta = e.create_group("g", members.clone()).unwrap();
+    for victim in ["user-1", "user-2", "user-4", "user-5", "user-7", "user-8"] {
+        e.remove_user(&mut meta, victim).unwrap();
+    }
+    assert!(meta.needs_repartitioning(3));
+    let meta2 = e.repartition(&meta).unwrap();
+    assert_eq!(meta2.member_count(), 6);
+    assert_eq!(meta2.partition_count(), 2);
+    assert!(!meta2.needs_repartitioning(3));
+    // survivors can still decrypt after repartitioning
+    let usk = e.extract_user_key("user-0").unwrap();
+    let gk = client_decrypt_group_key(e.public_key(), &usk, "user-0", &meta2);
+    assert!(gk.is_ok());
+}
+
+#[test]
+fn rekey_group_rotates_gk_without_membership_change() {
+    let e = engine(3, 11);
+    let members = names(5);
+    let mut meta = e.create_group("g", members.clone()).unwrap();
+    let usk = e.extract_user_key("user-2").unwrap();
+    let gk1 = client_decrypt_group_key(e.public_key(), &usk, "user-2", &meta).unwrap();
+    e.rekey_group(&mut meta).unwrap();
+    let gk2 = client_decrypt_group_key(e.public_key(), &usk, "user-2", &meta).unwrap();
+    assert_ne!(gk1, gk2);
+    assert_eq!(meta.member_count(), 5, "membership unchanged");
+}
+
+#[test]
+fn per_partition_decrypt_matches_group_decrypt() {
+    let e = engine(3, 12);
+    let members = names(6);
+    let meta = e.create_group("g", members.clone()).unwrap();
+    let usk = e.extract_user_key("user-5").unwrap();
+    let whole = client_decrypt_group_key(e.public_key(), &usk, "user-5", &meta).unwrap();
+    let idx = meta.partition_of("user-5").unwrap();
+    let per = client_decrypt_from_partition(
+        e.public_key(),
+        &usk,
+        "user-5",
+        &meta.name,
+        &meta.partitions[idx],
+    )
+    .unwrap();
+    assert_eq!(whole, per);
+}
+
+#[test]
+fn metadata_is_constant_size_per_partition() {
+    let e = engine(4, 13);
+    let small = e.create_group("g1", names(4)).unwrap(); // 1 partition
+    let large = e.create_group("g2", names(16)).unwrap(); // 4 partitions
+    assert_eq!(small.crypto_size_bytes() * 4, large.crypto_size_bytes());
+}
+
+#[test]
+fn wrong_user_key_cannot_decrypt() {
+    let e = engine(3, 14);
+    let members = names(3);
+    let meta = e.create_group("g", members).unwrap();
+    let mallory_key = e.extract_user_key("mallory").unwrap();
+    // mallory is not a member
+    assert_eq!(
+        client_decrypt_group_key(e.public_key(), &mallory_key, "mallory", &meta),
+        Err(CoreError::NotAMember("mallory".into()))
+    );
+    // mallory impersonating user-0 with her own key
+    let res = client_decrypt_group_key(e.public_key(), &mallory_key, "user-0", &meta);
+    assert!(
+        matches!(res, Err(CoreError::CorruptMetadata(_))),
+        "wrong key must fail the wrap authentication, got {res:?}"
+    );
+}
+
+#[test]
+fn cross_engine_isolation() {
+    // Metadata produced by one engine (one enclave identity + MSK) is
+    // useless with keys from another.
+    let e1 = engine(3, 15);
+    let e2 = engine(3, 16);
+    let members = names(3);
+    let meta1 = e1.create_group("g", members.clone()).unwrap();
+    let usk_from_e2 = e2.extract_user_key("user-0").unwrap();
+    let res = client_decrypt_group_key(e2.public_key(), &usk_from_e2, "user-0", &meta1);
+    assert!(res.is_err());
+}
+
+#[test]
+fn empty_group_rejected() {
+    let e = engine(3, 17);
+    assert_eq!(e.create_group("g", vec![]), Err(CoreError::EmptyGroup));
+}
+
+#[test]
+fn invalid_partition_size_rejected() {
+    assert_eq!(
+        PartitionSize::new(0).unwrap_err(),
+        CoreError::InvalidPartitionSize(0)
+    );
+    assert_eq!(PartitionSize::new(5).unwrap().get(), 5);
+}
+
+#[test]
+fn deterministic_bootstrap_is_reproducible() {
+    let e1 = engine(3, 18);
+    let e2 = engine(3, 18);
+    // Same seed → same public key (and same measurement).
+    assert_eq!(e1.public_key(), e2.public_key());
+    assert_eq!(e1.measurement(), e2.measurement());
+    let _ = rng(0); // keep helper used
+}

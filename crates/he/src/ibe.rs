@@ -1,0 +1,160 @@
+//! HE-IBE building block: Boneh–Franklin identity-based encryption
+//! (BasicIdent as a KEM + AES-256-GCM DEM), the paper's PKI-free
+//! alternative (§III-B).
+//!
+//! Asymmetric-pairing instantiation: system parameters `(P, P_pub = P^s)`
+//! live in `G2`, identity keys `d_ID = H1(ID)^s` in `G1`, and the KEM secret
+//! is `e(H1(ID), P_pub)^r = e(d_ID, U)` for `U = P^r`.
+
+use ibbe_pairing::{
+    hash_to_g1, pairing, G1Affine, G2Affine, G2Projective, Scalar,
+};
+use symcrypto::gcm::{AesGcm, NONCE_LEN};
+use symcrypto::hmac::hkdf;
+
+const H1_DOMAIN: &[u8] = b"he-ibe-bf-h1-v1";
+
+/// The trusted authority's master secret.
+#[derive(Clone)]
+pub struct IbeMasterKey {
+    s: Scalar,
+}
+
+/// Public system parameters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IbeParams {
+    p_pub: G2Affine,
+}
+
+/// A user's identity secret key `d_ID`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct IbeUserKey(G1Affine);
+
+/// Serialized envelope overhead for Boneh–Franklin envelopes.
+pub const ENVELOPE_OVERHEAD: usize = ibbe_pairing::G2_COMPRESSED_BYTES + NONCE_LEN + 16;
+
+/// IBE system setup: returns the master key and public parameters.
+pub fn ibe_setup<R: rand::RngCore + ?Sized>(rng: &mut R) -> (IbeMasterKey, IbeParams) {
+    let s = Scalar::random_nonzero(rng);
+    let p_pub = G2Projective::generator().mul_scalar(&s).to_affine();
+    (IbeMasterKey { s }, IbeParams { p_pub })
+}
+
+impl IbeMasterKey {
+    /// Extracts the secret key for an identity: `d_ID = H1(ID)^s`.
+    pub fn extract(&self, identity: &str) -> IbeUserKey {
+        let q = hash_to_g1(H1_DOMAIN, identity.as_bytes());
+        IbeUserKey(q.mul_scalar(&self.s))
+    }
+}
+
+impl IbeParams {
+    /// Seals `plaintext` to `identity` — no per-user public key needed.
+    pub fn seal<R: rand::RngCore + ?Sized>(
+        &self,
+        identity: &str,
+        plaintext: &[u8],
+        rng: &mut R,
+    ) -> Vec<u8> {
+        let r = Scalar::random_nonzero(rng);
+        let u = G2Projective::generator().mul_scalar(&r).to_affine();
+        let q = hash_to_g1(H1_DOMAIN, identity.as_bytes());
+        let shared = pairing(&q, &self.p_pub).pow(&r);
+        let key = kem_key(&shared.to_bytes(), &u, identity);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        let ct = AesGcm::new(&key).seal(&nonce, b"he-ibe", plaintext);
+        let mut out = u.to_bytes();
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(&ct);
+        out
+    }
+}
+
+impl IbeUserKey {
+    /// Opens an envelope addressed to the key's identity; `None` on failure.
+    pub fn open(&self, identity: &str, envelope: &[u8]) -> Option<Vec<u8>> {
+        use ibbe_pairing::G2_COMPRESSED_BYTES as L;
+        if envelope.len() < ENVELOPE_OVERHEAD {
+            return None;
+        }
+        let u = G2Affine::from_bytes(&envelope[..L])?;
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&envelope[L..L + NONCE_LEN]);
+        let shared = pairing(&self.0, &u);
+        let key = kem_key(&shared.to_bytes(), &u, identity);
+        AesGcm::new(&key)
+            .open(&nonce, b"he-ibe", &envelope[L + NONCE_LEN..])
+            .ok()
+    }
+}
+
+fn kem_key(shared: &[u8], u: &G2Affine, identity: &str) -> [u8; 32] {
+    let mut ikm = shared.to_vec();
+    ikm.extend_from_slice(&u.to_bytes());
+    ikm.extend_from_slice(identity.as_bytes());
+    let mut key = [0u8; 32];
+    hkdf(b"he-ibe-kem-v1", &ikm, b"aes-256-gcm", &mut key);
+    key
+}
+
+impl core::fmt::Debug for IbeMasterKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "IbeMasterKey(<redacted>)")
+    }
+}
+
+impl core::fmt::Debug for IbeUserKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "IbeUserKey(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(43)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = rng();
+        let (msk, params) = ibe_setup(&mut rng);
+        let env = params.seal("alice@example.org", b"the group key", &mut rng);
+        let key = msk.extract("alice@example.org");
+        assert_eq!(key.open("alice@example.org", &env).unwrap(), b"the group key");
+    }
+
+    #[test]
+    fn wrong_identity_key_fails() {
+        let mut rng = rng();
+        let (msk, params) = ibe_setup(&mut rng);
+        let env = params.seal("alice", b"secret", &mut rng);
+        let bob_key = msk.extract("bob");
+        assert!(bob_key.open("bob", &env).is_none());
+        assert!(bob_key.open("alice", &env).is_none());
+    }
+
+    #[test]
+    fn wrong_authority_fails() {
+        let mut rng = rng();
+        let (_msk1, params1) = ibe_setup(&mut rng);
+        let (msk2, _params2) = ibe_setup(&mut rng);
+        let env = params1.seal("alice", b"secret", &mut rng);
+        let key_from_other_ta = msk2.extract("alice");
+        assert!(key_from_other_ta.open("alice", &env).is_none());
+    }
+
+    #[test]
+    fn tamper_detection_and_size() {
+        let mut rng = rng();
+        let (msk, params) = ibe_setup(&mut rng);
+        let mut env = params.seal("alice", &[0u8; 32], &mut rng);
+        assert_eq!(env.len(), ENVELOPE_OVERHEAD + 32);
+        env[0] ^= 1;
+        assert!(msk.extract("alice").open("alice", &env).is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! # he — Hybrid Encryption baselines (HE-PKI and HE-IBE)
+//!
+//! The comparison schemes of the paper (§III-B): a symmetric group key is
+//! individually enveloped to every member, either with per-user public keys
+//! certified by a PKI ([`pki`], ECIES on `G1`) or with identity-based
+//! encryption ([`ibe`], Boneh–Franklin). The [`group`] module implements the
+//! membership operations whose costs the paper benchmarks against IBBE-SGX:
+//! `O(n)` create/remove, `O(n)` metadata, `O(1)` add/decrypt.
+//!
+//! ```
+//! use he::{HeGroupManager, HePki, PkiKeyPair};
+//! let mut rng = rand::thread_rng();
+//! let mut mgr = HeGroupManager::new(HePki);
+//! let alice = PkiKeyPair::generate(&mut rng);
+//! mgr.register_user("alice", alice.public_key());
+//! let (gk, meta) = mgr.create_group(&["alice".to_string()], &mut rng);
+//! assert_eq!(mgr.decrypt("alice", &alice, &meta).unwrap(), gk);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod ibe;
+pub mod pki;
+
+pub use group::{EnvelopeScheme, GroupKey, HeGroupManager, HeGroupMetadata, HeIbe, HePki};
+pub use ibe::{ibe_setup, IbeMasterKey, IbeParams, IbeUserKey};
+pub use pki::{PkiKeyPair, PkiPublicKey};

@@ -1,0 +1,152 @@
+//! HE-PKI building block: ECIES-style public-key envelope encryption
+//! (ElGamal KEM on secp256k1 + AES-256-GCM), standing in for the paper's
+//! RSA/ECC + PKI user keys (§III-B).
+//!
+//! secp256k1 rather than the pairing curve keeps the baseline's cost
+//! profile faithful: the paper's HE-PKI uses conventional ECC (OpenSSL),
+//! which is substantially cheaper per operation than pairing-curve
+//! arithmetic — benchmarking the baseline on the pairing curve would
+//! flatter IBBE-SGX (see EXPERIMENTS.md, Fig. 2 discussion).
+
+use ibbe_pairing::k256::{K256Affine, K256Projective, ScalarK, K256_COMPRESSED_BYTES};
+use symcrypto::gcm::{AesGcm, NONCE_LEN};
+use symcrypto::hmac::hkdf;
+
+/// A user's public encryption key (with its PKI-certified identity handled
+/// at the system layer).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PkiPublicKey(K256Affine);
+
+/// A user's key pair.
+#[derive(Clone)]
+pub struct PkiKeyPair {
+    sk: ScalarK,
+    pk: PkiPublicKey,
+}
+
+/// Serialized envelope size for a 32-byte plaintext: ephemeral point,
+/// nonce, ciphertext and GCM tag.
+pub const ENVELOPE_OVERHEAD: usize = K256_COMPRESSED_BYTES + NONCE_LEN + 16;
+
+impl PkiKeyPair {
+    /// Generates a key pair.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        let (sk, pk_point) = K256Projective::random_keypair(rng);
+        Self { sk, pk: PkiPublicKey(pk_point.to_affine()) }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> PkiPublicKey {
+        self.pk
+    }
+
+    /// Opens an envelope addressed to this key pair; `None` if the envelope
+    /// is malformed or fails authentication.
+    pub fn open(&self, envelope: &[u8]) -> Option<Vec<u8>> {
+        const L: usize = K256_COMPRESSED_BYTES;
+        if envelope.len() < ENVELOPE_OVERHEAD {
+            return None;
+        }
+        let eph = K256Affine::from_bytes(&envelope[..L])?;
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&envelope[L..L + NONCE_LEN]);
+        let shared = K256Projective::from(eph).mul_scalar_k(&self.sk).to_affine();
+        let key = kem_key(&shared, &eph, &self.pk);
+        AesGcm::new(&key)
+            .open(&nonce, b"he-pki", &envelope[L + NONCE_LEN..])
+            .ok()
+    }
+}
+
+impl PkiPublicKey {
+    /// Seals `plaintext` to this public key.
+    pub fn seal<R: rand::RngCore + ?Sized>(&self, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+        let (e, eph_point) = K256Projective::random_keypair(rng);
+        let eph = eph_point.to_affine();
+        let shared = K256Projective::from(self.0).mul_scalar_k(&e).to_affine();
+        let key = kem_key(&shared, &eph, self);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        let ct = AesGcm::new(&key).seal(&nonce, b"he-pki", plaintext);
+        let mut out = eph.to_bytes();
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(&ct);
+        out
+    }
+
+    /// Serialized form (compressed secp256k1 point).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+}
+
+fn kem_key(shared: &K256Affine, eph: &K256Affine, pk: &PkiPublicKey) -> [u8; 32] {
+    let mut ikm = shared.to_bytes();
+    ikm.extend_from_slice(&eph.to_bytes());
+    ikm.extend_from_slice(&pk.0.to_bytes());
+    let mut key = [0u8; 32];
+    hkdf(b"he-pki-kem-v1", &ikm, b"aes-256-gcm", &mut key);
+    key
+}
+
+impl core::fmt::Debug for PkiKeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PkiKeyPair(pk={:?}, sk=<redacted>)", self.pk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(41)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = rng();
+        let kp = PkiKeyPair::generate(&mut rng);
+        let env = kp.public_key().seal(b"group key bytes", &mut rng);
+        assert_eq!(kp.open(&env).unwrap(), b"group key bytes");
+    }
+
+    #[test]
+    fn envelope_size_is_constant_overhead() {
+        let mut rng = rng();
+        let kp = PkiKeyPair::generate(&mut rng);
+        let env = kp.public_key().seal(&[0u8; 32], &mut rng);
+        assert_eq!(env.len(), ENVELOPE_OVERHEAD + 32);
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut rng = rng();
+        let kp = PkiKeyPair::generate(&mut rng);
+        let other = PkiKeyPair::generate(&mut rng);
+        let env = kp.public_key().seal(b"x", &mut rng);
+        assert!(other.open(&env).is_none());
+    }
+
+    #[test]
+    fn tampered_envelope_fails() {
+        let mut rng = rng();
+        let kp = PkiKeyPair::generate(&mut rng);
+        let mut env = kp.public_key().seal(b"x", &mut rng);
+        let n = env.len();
+        env[n - 1] ^= 1;
+        assert!(kp.open(&env).is_none());
+        assert!(kp.open(&env[..10]).is_none());
+    }
+
+    #[test]
+    fn envelopes_are_randomized() {
+        let mut rng = rng();
+        let kp = PkiKeyPair::generate(&mut rng);
+        let e1 = kp.public_key().seal(b"same", &mut rng);
+        let e2 = kp.public_key().seal(b"same", &mut rng);
+        assert_ne!(e1, e2);
+        assert_eq!(kp.open(&e1).unwrap(), kp.open(&e2).unwrap());
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for IBBE operations.
+
+use core::fmt;
+
+/// Errors returned by IBBE scheme operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IbbeError {
+    /// The receiver set exceeds the maximum size fixed at system setup.
+    GroupTooLarge {
+        /// Requested receiver-set size.
+        requested: usize,
+        /// Maximum supported by the public key.
+        max: usize,
+    },
+    /// The receiver set is empty.
+    EmptyGroup,
+    /// The same identity appears twice in a receiver set.
+    DuplicateIdentity(String),
+    /// The decrypting identity is not in the receiver set.
+    NotAMember(String),
+    /// The identity to add is already in the receiver set.
+    AlreadyMember(String),
+    /// A serialized key or ciphertext failed to parse or validate.
+    InvalidEncoding,
+}
+
+impl fmt::Display for IbbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IbbeError::GroupTooLarge { requested, max } => write!(
+                f,
+                "receiver set of {requested} exceeds the setup maximum of {max}"
+            ),
+            IbbeError::EmptyGroup => write!(f, "receiver set is empty"),
+            IbbeError::DuplicateIdentity(id) => {
+                write!(f, "identity appears twice in receiver set: {id}")
+            }
+            IbbeError::NotAMember(id) => write!(f, "identity is not a receiver: {id}"),
+            IbbeError::AlreadyMember(id) => write!(f, "identity is already a receiver: {id}"),
+            IbbeError::InvalidEncoding => write!(f, "invalid key or ciphertext encoding"),
+        }
+    }
+}
+
+impl std::error::Error for IbbeError {}

@@ -1,0 +1,97 @@
+//! Polynomial expansion over the scalar field.
+//!
+//! The traditional (no-`MSK`) IBBE paths must evaluate
+//! `h^(∏_j (γ + H_j))` using only the published powers `h^(γ^l)`, which
+//! requires expanding `∏_j (x + H_j)` into coefficients — the `O(n²)` step
+//! the paper's Appendix A attributes to IBBE encryption (Eq. 4) and to user
+//! decryption. This module isolates that expansion.
+
+use ibbe_pairing::Scalar;
+
+/// Expands `∏_j (x + roots[j])` into coefficients, constant term first.
+///
+/// Returns `n + 1` coefficients for `n` roots; the leading coefficient is
+/// always 1. Cost is `O(n²)` scalar multiplications — exactly the cost the
+/// `MSK`-based IBBE-SGX path avoids.
+///
+/// ```
+/// use ibbe_pairing::Scalar;
+/// use ibbe::poly::expand_from_roots;
+/// let r = [Scalar::from_u64(2), Scalar::from_u64(3)];
+/// // (x+2)(x+3) = x² + 5x + 6
+/// let c = expand_from_roots(&r);
+/// assert_eq!(c, vec![Scalar::from_u64(6), Scalar::from_u64(5), Scalar::ONE]);
+/// ```
+pub fn expand_from_roots(roots: &[Scalar]) -> Vec<Scalar> {
+    let mut coeffs = Vec::with_capacity(roots.len() + 1);
+    coeffs.push(Scalar::ONE);
+    for &r in roots {
+        // multiply the current polynomial by (x + r), in place
+        coeffs.push(Scalar::ZERO);
+        for i in (1..coeffs.len()).rev() {
+            coeffs[i] = coeffs[i - 1] + coeffs[i] * r;
+        }
+        coeffs[0] = coeffs[0] * r;
+    }
+    coeffs
+}
+
+/// Evaluates a coefficient vector (constant first) at `x` — test helper and
+/// cross-check for the expansion.
+pub fn eval(coeffs: &[Scalar], x: Scalar) -> Scalar {
+    coeffs
+        .iter()
+        .rev()
+        .fold(Scalar::ZERO, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expands_empty_product() {
+        assert_eq!(expand_from_roots(&[]), vec![Scalar::ONE]);
+    }
+
+    #[test]
+    fn expands_known_quadratic() {
+        let c = expand_from_roots(&[Scalar::from_u64(2), Scalar::from_u64(3)]);
+        assert_eq!(
+            c,
+            vec![Scalar::from_u64(6), Scalar::from_u64(5), Scalar::ONE]
+        );
+    }
+
+    #[test]
+    fn constant_term_is_product_of_roots() {
+        let roots = [5u64, 7, 11].map(Scalar::from_u64);
+        let c = expand_from_roots(&roots);
+        assert_eq!(c[0], Scalar::from_u64(385));
+        assert_eq!(*c.last().unwrap(), Scalar::ONE);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn evaluation_matches_direct_product() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let roots: Vec<Scalar> = (0..20).map(|_| Scalar::random(&mut rng)).collect();
+        let coeffs = expand_from_roots(&roots);
+        for _ in 0..5 {
+            let x = Scalar::random(&mut rng);
+            let direct: Scalar = roots.iter().map(|&r| x + r).product();
+            assert_eq!(eval(&coeffs, x), direct);
+        }
+    }
+
+    #[test]
+    fn roots_are_zeros_of_the_polynomial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let roots: Vec<Scalar> = (0..8).map(|_| Scalar::random(&mut rng)).collect();
+        let coeffs = expand_from_roots(&roots);
+        for &r in &roots {
+            assert!(eval(&coeffs, -r).is_zero());
+        }
+    }
+}

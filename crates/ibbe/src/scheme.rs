@@ -1,0 +1,582 @@
+//! The Delerablée IBBE scheme, in both its traditional (public-key, `O(n²)`)
+//! and IBBE-SGX (`MSK`-based, `O(n)`) variants — paper §IV-B and Appendix A.
+//!
+//! The two encryption paths produce **identical** ciphertext distributions;
+//! the `MSK` path merely computes the exponent `∏(γ + H(u))` directly in
+//! `Z_r` instead of expanding a polynomial against published powers of `γ`.
+//! This is the entire source of the paper's complexity cut, and it is only
+//! safe because `γ` lives inside the enclave.
+
+use crate::error::IbbeError;
+use crate::poly::expand_from_roots;
+use ibbe_pairing::{
+    hash_to_scalar, pairing, G1Affine, G1Projective, G2Affine, G2Projective, Gt, Scalar,
+};
+
+/// Domain-separation tag for identity hashing (`H : {0,1}* → Z_r*`).
+const ID_DOMAIN: &[u8] = b"ibbe-delerablee-identity-v1";
+
+/// Hashes a user identity to `Z_r*` (the paper's `H(u)`).
+pub fn hash_identity(id: &str) -> Scalar {
+    hash_to_scalar(ID_DOMAIN, id.as_bytes())
+}
+
+/// The master secret key `MSK = (g, γ)`. In IBBE-SGX this value exists only
+/// inside the admin enclave.
+#[derive(Clone)]
+pub struct MasterSecretKey {
+    pub(crate) g: G1Affine,
+    pub(crate) gamma: Scalar,
+}
+
+impl core::fmt::Debug for MasterSecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "MasterSecretKey(<redacted>)")
+    }
+}
+
+/// The system public key
+/// `PK = (w, v, h, h^γ, …, h^(γ^m))`, linear in the maximum receiver-set
+/// size `m` (paper §III-C: for IBBE-SGX, `m` is the *partition* size).
+#[derive(Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    pub(crate) w: G1Affine,
+    pub(crate) v: Gt,
+    pub(crate) h_powers: Vec<G2Affine>,
+}
+
+impl PublicKey {
+    /// Maximum receiver-set size supported.
+    pub fn max_group_size(&self) -> usize {
+        self.h_powers.len() - 1
+    }
+
+    /// `h = h^(γ^0)`.
+    pub fn h(&self) -> &G2Affine {
+        &self.h_powers[0]
+    }
+
+    /// Approximate serialized size in bytes (for footprint accounting).
+    pub fn size_bytes(&self) -> usize {
+        use ibbe_pairing::{G1_COMPRESSED_BYTES, G2_COMPRESSED_BYTES};
+        G1_COMPRESSED_BYTES + 576 + self.h_powers.len() * G2_COMPRESSED_BYTES
+    }
+}
+
+impl core::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PublicKey(m={})", self.max_group_size())
+    }
+}
+
+/// A user secret key `USK_u = g^(1/(γ + H(u)))` — constant size.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct UserSecretKey(pub(crate) G1Affine);
+
+impl UserSecretKey {
+    /// Serialized form (compressed `G1`, 49 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Parses a serialized key, validating group membership.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IbbeError> {
+        G1Affine::from_bytes(bytes)
+            .map(Self)
+            .ok_or(IbbeError::InvalidEncoding)
+    }
+}
+
+impl core::fmt::Debug for UserSecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "UserSecretKey(<redacted>)")
+    }
+}
+
+/// The broadcast key `bk = v^k` — the secret shared with the receiver set
+/// (wrapped around the group key by the partitioning layer).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastKey(pub(crate) Gt);
+
+impl BroadcastKey {
+    /// Key-derivation bytes: the paper computes `sgx_sha(bk)` and feeds it
+    /// to AES; this is the `bk` serialization that gets hashed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+}
+
+impl core::fmt::Debug for BroadcastKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "BroadcastKey(<redacted>)")
+    }
+}
+
+/// The broadcast ciphertext `(C1, C2, C3)`.
+///
+/// `C1 = w^(-k)`, `C2 = h^(k·∏(γ+H(u)))`, and the auxiliary
+/// `C3 = h^(∏(γ+H(u)))` (paper Eq. 5) enabling `O(1)` removal and re-keying.
+/// Constant size: 49 + 97 + 97 = 243 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ciphertext {
+    pub(crate) c1: G1Affine,
+    pub(crate) c2: G2Affine,
+    pub(crate) c3: G2Affine,
+}
+
+/// Serialized ciphertext size in bytes.
+pub const CIPHERTEXT_BYTES: usize =
+    ibbe_pairing::G1_COMPRESSED_BYTES + 2 * ibbe_pairing::G2_COMPRESSED_BYTES;
+
+impl Ciphertext {
+    /// Serializes to `CIPHERTEXT_BYTES` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CIPHERTEXT_BYTES);
+        out.extend_from_slice(&self.c1.to_bytes());
+        out.extend_from_slice(&self.c2.to_bytes());
+        out.extend_from_slice(&self.c3.to_bytes());
+        out
+    }
+
+    /// Parses a serialized ciphertext, validating all group elements.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IbbeError> {
+        use ibbe_pairing::{G1_COMPRESSED_BYTES as L1, G2_COMPRESSED_BYTES as L2};
+        if bytes.len() != CIPHERTEXT_BYTES {
+            return Err(IbbeError::InvalidEncoding);
+        }
+        let c1 = G1Affine::from_bytes(&bytes[..L1]).ok_or(IbbeError::InvalidEncoding)?;
+        let c2 = G2Affine::from_bytes(&bytes[L1..L1 + L2]).ok_or(IbbeError::InvalidEncoding)?;
+        let c3 = G2Affine::from_bytes(&bytes[L1 + L2..]).ok_or(IbbeError::InvalidEncoding)?;
+        Ok(Self { c1, c2, c3 })
+    }
+}
+
+fn check_members(members: &[String], max: usize) -> Result<Vec<Scalar>, IbbeError> {
+    if members.is_empty() {
+        return Err(IbbeError::EmptyGroup);
+    }
+    if members.len() > max {
+        return Err(IbbeError::GroupTooLarge { requested: members.len(), max });
+    }
+    let mut seen = std::collections::HashSet::new();
+    for m in members {
+        if !seen.insert(m.as_str()) {
+            return Err(IbbeError::DuplicateIdentity(m.clone()));
+        }
+    }
+    Ok(members.iter().map(|m| hash_identity(m)).collect())
+}
+
+/// System setup (paper §A-A): generates `MSK = (g, γ)` and
+/// `PK = (w, v, h, h^γ, …, h^(γ^m))` for maximum receiver-set size `m`.
+/// Cost is `O(m)` `G2` exponentiations.
+pub fn setup<R: rand::RngCore + ?Sized>(
+    max_group_size: usize,
+    rng: &mut R,
+) -> (MasterSecretKey, PublicKey) {
+    assert!(max_group_size >= 1, "maximum group size must be at least 1");
+    let g_scalar = Scalar::random_nonzero(rng);
+    let g = G1Projective::generator().mul_scalar(&g_scalar).to_affine();
+    let h_scalar = Scalar::random_nonzero(rng);
+    let h_base = G2Projective::generator().mul_scalar(&h_scalar);
+    let gamma = Scalar::random_nonzero(rng);
+
+    let w = G1Projective::from(g).mul_scalar(&gamma).to_affine();
+    let v = pairing(&g, &h_base.to_affine());
+
+    let mut h_powers = Vec::with_capacity(max_group_size + 1);
+    let mut cur = h_base;
+    h_powers.push(cur.to_affine());
+    for _ in 0..max_group_size {
+        cur = cur.mul_scalar(&gamma);
+        h_powers.push(cur.to_affine());
+    }
+
+    (MasterSecretKey { g, gamma }, PublicKey { w, v, h_powers })
+}
+
+/// Extracts a user secret key (paper §A-B): `USK = g^(1/(γ + H(u)))`.
+/// Constant cost.
+pub fn extract(msk: &MasterSecretKey, identity: &str) -> UserSecretKey {
+    let denom = msk.gamma + hash_identity(identity);
+    let inv = denom
+        .invert()
+        .expect("γ + H(u) = 0 has probability ≈ 2⁻²⁵⁵");
+    UserSecretKey(G1Projective::from(msk.g).mul_scalar(&inv).to_affine())
+}
+
+fn finish_encrypt(
+    pk: &PublicKey,
+    k: &Scalar,
+    c2_base: G2Projective,
+) -> (BroadcastKey, Ciphertext) {
+    let bk = BroadcastKey(pk.v.pow(k));
+    let c1 = G1Projective::from(pk.w).mul_scalar(&(-*k)).to_affine();
+    let c3 = c2_base.to_affine();
+    let c2 = c2_base.mul_scalar(k).to_affine();
+    (bk, Ciphertext { c1, c2, c3 })
+}
+
+/// IBBE-SGX encryption (paper §A-C, Eq. 3): using `MSK`, the exponent
+/// `∏(γ + H(u))` is computed directly in `Z_r`, making the operation
+/// **linear** in the receiver-set size (one `G2` exponentiation overall).
+///
+/// # Errors
+/// Set-validation failures ([`IbbeError::EmptyGroup`],
+/// [`IbbeError::GroupTooLarge`], [`IbbeError::DuplicateIdentity`]).
+pub fn encrypt_with_msk<R: rand::RngCore + ?Sized>(
+    msk: &MasterSecretKey,
+    pk: &PublicKey,
+    members: &[String],
+    rng: &mut R,
+) -> Result<(BroadcastKey, Ciphertext), IbbeError> {
+    let hashes = check_members(members, pk.max_group_size())?;
+    let k = Scalar::random_nonzero(rng);
+    let exponent: Scalar = hashes.iter().map(|&h| msk.gamma + h).product();
+    let c2_base = G2Projective::from(*pk.h()).mul_scalar(&exponent);
+    Ok(finish_encrypt(pk, &k, c2_base))
+}
+
+/// Traditional IBBE encryption (paper Eq. 4): without `MSK`, the polynomial
+/// `∏(x + H(u))` is expanded (`O(n²)` scalar work) and evaluated "in the
+/// exponent" against the published `h^(γ^l)` (`O(n)` `G2` exponentiations).
+///
+/// # Errors
+/// Same set-validation failures as [`encrypt_with_msk`].
+pub fn encrypt_public<R: rand::RngCore + ?Sized>(
+    pk: &PublicKey,
+    members: &[String],
+    rng: &mut R,
+) -> Result<(BroadcastKey, Ciphertext), IbbeError> {
+    let hashes = check_members(members, pk.max_group_size())?;
+    let k = Scalar::random_nonzero(rng);
+    let coeffs = expand_from_roots(&hashes);
+    let c2_base = eval_in_exponent(pk, &coeffs);
+    Ok(finish_encrypt(pk, &k, c2_base))
+}
+
+/// Computes `h^(Σ coeffs[l]·γ^l)` from the published powers.
+pub(crate) fn eval_in_exponent(pk: &PublicKey, coeffs: &[Scalar]) -> G2Projective {
+    debug_assert!(coeffs.len() <= pk.h_powers.len());
+    let mut acc = G2Projective::identity();
+    for (l, c) in coeffs.iter().enumerate() {
+        if !c.is_zero() {
+            acc = acc + G2Projective::from(pk.h_powers[l]).mul_scalar(c);
+        }
+    }
+    acc
+}
+
+/// Decryption (paper §A-D): recovers `bk` for member `identity` of the
+/// receiver set `members`. `O(n²)` scalar work for the polynomial expansion
+/// plus `O(n)` `G2` exponentiations and two pairings — identical for IBBE
+/// and IBBE-SGX, which is why the partitioning mechanism exists.
+///
+/// # Errors
+/// [`IbbeError::NotAMember`] if `identity ∉ members`, plus set-validation
+/// failures.
+pub fn decrypt(
+    pk: &PublicKey,
+    usk: &UserSecretKey,
+    identity: &str,
+    members: &[String],
+    ct: &Ciphertext,
+) -> Result<BroadcastKey, IbbeError> {
+    let _ = check_members(members, pk.max_group_size())?;
+    if !members.iter().any(|m| m == identity) {
+        return Err(IbbeError::NotAMember(identity.to_string()));
+    }
+    let others: Vec<Scalar> = members
+        .iter()
+        .filter(|m| m.as_str() != identity)
+        .map(|m| hash_identity(m))
+        .collect();
+
+    // p_{i,S}(γ) = (1/γ)·(∏_{j≠i}(γ+H_j) − ∏_{j≠i}H_j): with coefficients
+    // c_l of ∏_{j≠i}(x+H_j), this is Σ_{l≥1} c_l·γ^(l-1).
+    let coeffs = expand_from_roots(&others);
+    let h_p = eval_in_exponent_shifted(pk, &coeffs);
+    let denom: Scalar = coeffs[0]; // ∏_{j≠i} H_j
+    let denom_inv = denom
+        .invert()
+        .expect("identity hashes are non-zero, so the product is non-zero");
+
+    let e1 = pairing(&ct.c1, &h_p.to_affine());
+    let e2 = pairing(&usk.0, &ct.c2);
+    Ok(BroadcastKey((e1 * e2).pow(&denom_inv)))
+}
+
+/// `h^(Σ_{l≥1} coeffs[l]·γ^(l-1))` — the shifted evaluation used by decrypt.
+fn eval_in_exponent_shifted(pk: &PublicKey, coeffs: &[Scalar]) -> G2Projective {
+    let mut acc = G2Projective::identity();
+    for (l, c) in coeffs.iter().enumerate().skip(1) {
+        if !c.is_zero() {
+            acc = acc + G2Projective::from(pk.h_powers[l - 1]).mul_scalar(c);
+        }
+    }
+    acc
+}
+
+/// Adds a user to an existing ciphertext using `MSK` (paper §A-E):
+/// `C2 ← C2^(γ+H(u))`, `C3 ← C3^(γ+H(u))`, constant cost, `bk` unchanged
+/// (the joiner may read prior secrets).
+pub fn add_user_with_msk(msk: &MasterSecretKey, ct: &Ciphertext, new_identity: &str) -> Ciphertext {
+    let e = msk.gamma + hash_identity(new_identity);
+    Ciphertext {
+        c1: ct.c1,
+        c2: G2Projective::from(ct.c2).mul_scalar(&e).to_affine(),
+        c3: G2Projective::from(ct.c3).mul_scalar(&e).to_affine(),
+    }
+}
+
+/// Removes a user using `MSK` (paper §A-F, Eqs. 6–7): `C3` is divided by
+/// `(γ+H(u))` in the exponent, a fresh `k` is drawn, and `(bk, C1, C2)` are
+/// rebuilt from `C3` — constant cost.
+pub fn remove_user_with_msk<R: rand::RngCore + ?Sized>(
+    msk: &MasterSecretKey,
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    removed_identity: &str,
+    rng: &mut R,
+) -> (BroadcastKey, Ciphertext) {
+    let e = msk.gamma + hash_identity(removed_identity);
+    let e_inv = e.invert().expect("γ + H(u) ≠ 0");
+    let c3 = G2Projective::from(ct.c3).mul_scalar(&e_inv);
+    rekey_from_c3(pk, c3, rng)
+}
+
+/// Re-keying (paper §A-G): draws a fresh `k` and rebuilds `(bk, C1, C2)`
+/// from `C3` in constant time. Works with the public key only — `C3` is
+/// public — so **both** IBBE and IBBE-SGX get `O(1)` re-keys.
+pub fn rekey<R: rand::RngCore + ?Sized>(
+    pk: &PublicKey,
+    ct: &Ciphertext,
+    rng: &mut R,
+) -> (BroadcastKey, Ciphertext) {
+    rekey_from_c3(pk, G2Projective::from(ct.c3), rng)
+}
+
+fn rekey_from_c3<R: rand::RngCore + ?Sized>(
+    pk: &PublicKey,
+    c3: G2Projective,
+    rng: &mut R,
+) -> (BroadcastKey, Ciphertext) {
+    let k = Scalar::random_nonzero(rng);
+    let bk = BroadcastKey(pk.v.pow(&k));
+    let c1 = G1Projective::from(pk.w).mul_scalar(&(-k)).to_affine();
+    let c2 = c3.mul_scalar(&k).to_affine();
+    (bk, Ciphertext { c1, c2, c3: c3.to_affine() })
+}
+
+/// Traditional-IBBE user addition (paper Table I: `O(1)` for both schemes
+/// *in the ciphertext update*; without `MSK` the update
+/// `C2^(γ+H(u))` is not computable, so the broadcaster re-keys from `C3`
+/// after extending it via the public polynomial relation — which costs
+/// `O(n²)` like encryption). Returns the new broadcast key.
+///
+/// # Errors
+/// Set-validation failures for the extended member list.
+pub fn add_user_public<R: rand::RngCore + ?Sized>(
+    pk: &PublicKey,
+    members_with_new_user: &[String],
+    rng: &mut R,
+) -> Result<(BroadcastKey, Ciphertext), IbbeError> {
+    encrypt_public(pk, members_with_new_user, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("user-{i}@example.org")).collect()
+    }
+
+    #[test]
+    fn msk_encrypt_then_member_decrypts() {
+        let mut r = rng(1);
+        let (msk, pk) = setup(8, &mut r);
+        let members = names(5);
+        let (bk, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        for m in &members {
+            let usk = extract(&msk, m);
+            let got = decrypt(&pk, &usk, m, &members, &ct).unwrap();
+            assert_eq!(got, bk, "member {m} must recover bk");
+        }
+    }
+
+    #[test]
+    fn public_encrypt_then_member_decrypts() {
+        let mut r = rng(2);
+        let (msk, pk) = setup(8, &mut r);
+        let members = names(4);
+        let (bk, ct) = encrypt_public(&pk, &members, &mut r).unwrap();
+        let usk = extract(&msk, &members[2]);
+        assert_eq!(decrypt(&pk, &usk, &members[2], &members, &ct).unwrap(), bk);
+    }
+
+    #[test]
+    fn msk_and_public_paths_agree_exactly_with_same_randomness() {
+        // Same seed → same k → bit-identical (bk, C1, C2, C3). This
+        // cross-validates the polynomial expansion against direct use of γ.
+        let mut r = rng(3);
+        let (msk, pk) = setup(8, &mut r);
+        let members = names(6);
+        let (bk1, ct1) = encrypt_with_msk(&msk, &pk, &members, &mut rng(77)).unwrap();
+        let (bk2, ct2) = encrypt_public(&pk, &members, &mut rng(77)).unwrap();
+        assert_eq!(bk1, bk2);
+        assert_eq!(ct1, ct2);
+    }
+
+    #[test]
+    fn non_member_cannot_decrypt() {
+        let mut r = rng(4);
+        let (msk, pk) = setup(8, &mut r);
+        let members = names(3);
+        let (bk, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        // not in the set at all → API error
+        let outsider_key = extract(&msk, "eve@example.org");
+        assert_eq!(
+            decrypt(&pk, &outsider_key, "eve@example.org", &members, &ct),
+            Err(IbbeError::NotAMember("eve@example.org".into()))
+        );
+        // in the set, but using someone else's key → wrong bk
+        let got = decrypt(&pk, &outsider_key, &members[0], &members, &ct).unwrap();
+        assert_ne!(got, bk, "wrong key must not recover bk");
+    }
+
+    #[test]
+    fn add_user_msk_keeps_bk_and_admits_new_member() {
+        let mut r = rng(5);
+        let (msk, pk) = setup(8, &mut r);
+        let mut members = names(3);
+        let (bk, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        let ct2 = add_user_with_msk(&msk, &ct, "dave@example.org");
+        members.push("dave@example.org".into());
+        // new member decrypts the same bk
+        let usk = extract(&msk, "dave@example.org");
+        assert_eq!(
+            decrypt(&pk, &usk, "dave@example.org", &members, &ct2).unwrap(),
+            bk
+        );
+        // old member still decrypts
+        let usk0 = extract(&msk, &members[0]);
+        assert_eq!(decrypt(&pk, &usk0, &members[0], &members, &ct2).unwrap(), bk);
+    }
+
+    #[test]
+    fn remove_user_msk_rotates_bk_and_excludes_removed() {
+        let mut r = rng(6);
+        let (msk, pk) = setup(8, &mut r);
+        let members = names(4);
+        let (bk_old, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        let removed = members[1].clone();
+        let (bk_new, ct2) = remove_user_with_msk(&msk, &pk, &ct, &removed, &mut r);
+        assert_ne!(bk_old, bk_new);
+        let remaining: Vec<String> =
+            members.iter().filter(|m| **m != removed).cloned().collect();
+        // remaining members recover the new key
+        for m in &remaining {
+            let usk = extract(&msk, m);
+            assert_eq!(decrypt(&pk, &usk, m, &remaining, &ct2).unwrap(), bk_new);
+        }
+        // the removed member, even with a valid key and full knowledge of the
+        // old member list, cannot recover the new key
+        let usk_rm = extract(&msk, &removed);
+        let got = decrypt(&pk, &usk_rm, &removed, &members, &ct2).unwrap();
+        assert_ne!(got, bk_new);
+    }
+
+    #[test]
+    fn rekey_is_public_and_rotates_bk() {
+        let mut r = rng(7);
+        let (msk, pk) = setup(8, &mut r);
+        let members = names(3);
+        let (bk_old, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        let (bk_new, ct2) = rekey(&pk, &ct, &mut r); // no MSK needed
+        assert_ne!(bk_old, bk_new);
+        assert_eq!(ct.c3, ct2.c3, "re-keying preserves C3");
+        let usk = extract(&msk, &members[0]);
+        assert_eq!(decrypt(&pk, &usk, &members[0], &members, &ct2).unwrap(), bk_new);
+    }
+
+    #[test]
+    fn set_validation_errors() {
+        let mut r = rng(8);
+        let (msk, pk) = setup(3, &mut r);
+        assert_eq!(
+            encrypt_with_msk(&msk, &pk, &[], &mut r),
+            Err(IbbeError::EmptyGroup)
+        );
+        assert_eq!(
+            encrypt_with_msk(&msk, &pk, &names(4), &mut r),
+            Err(IbbeError::GroupTooLarge { requested: 4, max: 3 })
+        );
+        let dup = vec!["a".to_string(), "a".to_string()];
+        assert_eq!(
+            encrypt_with_msk(&msk, &pk, &dup, &mut r),
+            Err(IbbeError::DuplicateIdentity("a".into()))
+        );
+    }
+
+    #[test]
+    fn singleton_group_works() {
+        let mut r = rng(9);
+        let (msk, pk) = setup(4, &mut r);
+        let members = vec!["solo".to_string()];
+        let (bk, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        let usk = extract(&msk, "solo");
+        assert_eq!(decrypt(&pk, &usk, "solo", &members, &ct).unwrap(), bk);
+    }
+
+    #[test]
+    fn full_capacity_group_works() {
+        let mut r = rng(10);
+        let (msk, pk) = setup(5, &mut r);
+        let members = names(5);
+        let (bk, ct) = encrypt_public(&pk, &members, &mut r).unwrap();
+        let usk = extract(&msk, &members[4]);
+        assert_eq!(decrypt(&pk, &usk, &members[4], &members, &ct).unwrap(), bk);
+    }
+
+    #[test]
+    fn ciphertext_serialization_roundtrip() {
+        let mut r = rng(11);
+        let (msk, pk) = setup(4, &mut r);
+        let (_, ct) = encrypt_with_msk(&msk, &pk, &names(3), &mut r).unwrap();
+        let bytes = ct.to_bytes();
+        assert_eq!(bytes.len(), CIPHERTEXT_BYTES);
+        assert_eq!(Ciphertext::from_bytes(&bytes).unwrap(), ct);
+        assert!(Ciphertext::from_bytes(&bytes[..100]).is_err());
+        let mut bad = bytes.clone();
+        bad[1] ^= 0xff;
+        assert!(Ciphertext::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn usk_serialization_roundtrip() {
+        let mut r = rng(12);
+        let (msk, _) = setup(2, &mut r);
+        let usk = extract(&msk, "alice");
+        assert_eq!(UserSecretKey::from_bytes(&usk.to_bytes()).unwrap(), usk);
+        assert!(UserSecretKey::from_bytes(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn removed_then_readded_user_can_decrypt_again() {
+        let mut r = rng(13);
+        let (msk, pk) = setup(8, &mut r);
+        let members = names(3);
+        let (_, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        let (_, ct2) = remove_user_with_msk(&msk, &pk, &ct, &members[0], &mut r);
+        let ct3 = add_user_with_msk(&msk, &ct2, &members[0]);
+        let (bk4, ct4) = rekey(&pk, &ct3, &mut r);
+        let usk = extract(&msk, &members[0]);
+        assert_eq!(decrypt(&pk, &usk, &members[0], &members, &ct4).unwrap(), bk4);
+    }
+}

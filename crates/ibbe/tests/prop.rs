@@ -1,0 +1,89 @@
+//! Property-based tests of the IBBE scheme invariants over random member
+//! sets, identities and operation sequences.
+
+use ibbe::{
+    add_user_with_msk, decrypt, encrypt_public, encrypt_with_msk, extract, rekey,
+    remove_user_with_msk, setup,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Between 1 and 6 distinct identities.
+fn arb_members() -> impl Strategy<Value = Vec<String>> {
+    (1usize..=6).prop_map(|n| (0..n).map(|i| format!("u{i}")).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_member_recovers_bk(seed: u64, members in arb_members()) {
+        let mut r = rng(seed);
+        let (msk, pk) = setup(8, &mut r);
+        let (bk, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        for m in &members {
+            let usk = extract(&msk, m);
+            prop_assert_eq!(decrypt(&pk, &usk, m, &members, &ct).unwrap(), bk);
+        }
+    }
+
+    #[test]
+    fn msk_and_public_paths_agree(seed: u64, members in arb_members()) {
+        let mut r = rng(seed);
+        let (msk, pk) = setup(8, &mut r);
+        let (bk1, ct1) = encrypt_with_msk(&msk, &pk, &members, &mut rng(seed ^ 1)).unwrap();
+        let (bk2, ct2) = encrypt_public(&pk, &members, &mut rng(seed ^ 1)).unwrap();
+        prop_assert_eq!(bk1, bk2);
+        prop_assert_eq!(ct1, ct2);
+    }
+
+    #[test]
+    fn add_then_remove_restores_decryptability_under_new_key(
+        seed: u64, members in arb_members()
+    ) {
+        let mut r = rng(seed);
+        let (msk, pk) = setup(8, &mut r);
+        let (_, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        // add a guest, then revoke them
+        let ct2 = add_user_with_msk(&msk, &ct, "guest");
+        let (bk3, ct3) = remove_user_with_msk(&msk, &pk, &ct2, "guest", &mut r);
+        // originals still decrypt, guest does not
+        let mut with_guest = members.clone();
+        with_guest.push("guest".to_string());
+        for m in &members {
+            let usk = extract(&msk, m);
+            prop_assert_eq!(decrypt(&pk, &usk, m, &members, &ct3).unwrap(), bk3);
+        }
+        let guest_usk = extract(&msk, "guest");
+        let got = decrypt(&pk, &guest_usk, "guest", &with_guest, &ct3).unwrap();
+        prop_assert_ne!(got, bk3);
+    }
+
+    #[test]
+    fn rekey_chain_always_decryptable(seed: u64, rounds in 1usize..4) {
+        let mut r = rng(seed);
+        let (msk, pk) = setup(4, &mut r);
+        let members = vec!["a".to_string(), "b".to_string()];
+        let (mut bk, mut ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        let usk = extract(&msk, "a");
+        for _ in 0..rounds {
+            let (nbk, nct) = rekey(&pk, &ct, &mut r);
+            prop_assert_ne!(nbk, bk);
+            bk = nbk;
+            ct = nct;
+            prop_assert_eq!(decrypt(&pk, &usk, "a", &members, &ct).unwrap(), bk);
+        }
+    }
+
+    #[test]
+    fn ciphertext_bytes_roundtrip(seed: u64, members in arb_members()) {
+        let mut r = rng(seed);
+        let (msk, pk) = setup(8, &mut r);
+        let (_, ct) = encrypt_with_msk(&msk, &pk, &members, &mut r).unwrap();
+        prop_assert_eq!(ibbe::Ciphertext::from_bytes(&ct.to_bytes()).unwrap(), ct);
+    }
+}

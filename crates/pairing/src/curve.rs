@@ -1,0 +1,450 @@
+//! Generic short-Weierstrass group arithmetic shared by `G1` (over `Fp`)
+//! and `G2` (over `Fp2`).
+//!
+//! Points are exposed in two shapes: [`Affine`] (for serialization, curve
+//! membership checks and pairing inputs) and [`Projective`] (Jacobian
+//! coordinates, for arithmetic). Both are generic over a [`Curve`] marker
+//! type supplying the base field and curve constants.
+
+use crate::fr::Scalar;
+use core::fmt::Debug;
+use core::marker::PhantomData;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// Operations the group arithmetic needs from a coordinate field.
+///
+/// Implemented by [`crate::fp::Fp`] and [`crate::fp2::Fp2`]. This trait is an
+/// internal seam of the crate; it is public only because `Affine`/`Projective`
+/// expose it in their bounds.
+pub trait CurveField:
+    Copy
+    + PartialEq
+    + Eq
+    + Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// True for the additive identity.
+    fn is_zero(&self) -> bool;
+    /// `self²`.
+    fn square(&self) -> Self;
+    /// `2·self`.
+    fn double(&self) -> Self;
+    /// Multiplicative inverse; `None` for zero.
+    fn invert(&self) -> Option<Self>;
+    /// Square root, if one exists.
+    fn sqrt(&self) -> Option<Self>;
+    /// Sign used to disambiguate `±y` in compressed encodings.
+    fn is_lexicographically_largest(&self) -> bool;
+    /// Canonical encoding length in bytes.
+    fn encoded_len() -> usize;
+    /// Canonical encoding appended to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+    /// Parses a canonical encoding of length [`CurveField::encoded_len`].
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl CurveField for crate::fp::Fp {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+    fn one() -> Self {
+        Self::ONE
+    }
+    fn is_zero(&self) -> bool {
+        Self::is_zero(self)
+    }
+    fn square(&self) -> Self {
+        Self::square(self)
+    }
+    fn double(&self) -> Self {
+        Self::double(self)
+    }
+    fn invert(&self) -> Option<Self> {
+        Self::invert(self)
+    }
+    fn sqrt(&self) -> Option<Self> {
+        Self::sqrt(self)
+    }
+    fn is_lexicographically_largest(&self) -> bool {
+        Self::is_lexicographically_largest(self)
+    }
+    fn encoded_len() -> usize {
+        Self::BYTES
+    }
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let arr: &[u8; 48] = bytes.try_into().ok()?;
+        Self::from_bytes(arr)
+    }
+}
+
+impl CurveField for crate::fp2::Fp2 {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+    fn one() -> Self {
+        Self::ONE
+    }
+    fn is_zero(&self) -> bool {
+        Self::is_zero(self)
+    }
+    fn square(&self) -> Self {
+        Self::square(self)
+    }
+    fn double(&self) -> Self {
+        Self::double(self)
+    }
+    fn invert(&self) -> Option<Self> {
+        Self::invert(self)
+    }
+    fn sqrt(&self) -> Option<Self> {
+        Self::sqrt(self)
+    }
+    fn is_lexicographically_largest(&self) -> bool {
+        Self::is_lexicographically_largest(self)
+    }
+    fn encoded_len() -> usize {
+        Self::BYTES
+    }
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let arr: &[u8; 96] = bytes.try_into().ok()?;
+        Self::from_bytes(arr)
+    }
+}
+
+/// Marker trait describing one concrete curve `y² = x³ + b`.
+pub trait Curve: Copy + PartialEq + Eq + Debug + 'static {
+    /// Coordinate field.
+    type Base: CurveField;
+    /// The constant `b` of the curve equation.
+    fn b() -> Self::Base;
+    /// Affine coordinates of the subgroup generator.
+    fn generator_xy() -> (Self::Base, Self::Base);
+    /// Human-readable group name for `Debug` output.
+    fn name() -> &'static str;
+    /// True iff the (on-curve) point lies in the prime-order subgroup.
+    /// BLS curves check by annihilating with `r`; prime-order curves
+    /// (cofactor 1, e.g. secp256k1) return true unconditionally.
+    fn is_in_prime_subgroup(p: &Projective<Self>) -> bool {
+        p.mul_uint(&crate::fr::MODULUS).is_identity()
+    }
+}
+
+/// An affine point (or the point at infinity).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Affine<C: Curve> {
+    /// x-coordinate (unspecified when `infinity`).
+    pub x: C::Base,
+    /// y-coordinate (unspecified when `infinity`).
+    pub y: C::Base,
+    /// True for the point at infinity.
+    pub infinity: bool,
+    _curve: PhantomData<C>,
+}
+
+/// A point in Jacobian projective coordinates `(X : Y : Z)`,
+/// `x = X/Z²`, `y = Y/Z³`; infinity is `Z = 0`.
+#[derive(Clone, Copy)]
+pub struct Projective<C: Curve> {
+    x: C::Base,
+    y: C::Base,
+    z: C::Base,
+    _curve: PhantomData<C>,
+}
+
+impl<C: Curve> Affine<C> {
+    /// The point at infinity.
+    pub fn identity() -> Self {
+        Self {
+            x: C::Base::zero(),
+            y: C::Base::zero(),
+            infinity: true,
+            _curve: PhantomData,
+        }
+    }
+
+    /// The subgroup generator.
+    pub fn generator() -> Self {
+        let (x, y) = C::generator_xy();
+        Self { x, y, infinity: false, _curve: PhantomData }
+    }
+
+    /// Constructs a point from coordinates **without** a curve check.
+    /// Intended for internal use and tests; untrusted inputs should go
+    /// through [`Affine::from_bytes`].
+    pub fn from_xy_unchecked(x: C::Base, y: C::Base) -> Self {
+        Self { x, y, infinity: false, _curve: PhantomData }
+    }
+
+    /// True for the point at infinity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Checks `y² = x³ + b` (the point at infinity counts as on-curve).
+    pub fn is_on_curve(&self) -> bool {
+        self.infinity || self.y.square() == self.x.square() * self.x + C::b()
+    }
+
+    /// Checks that the point lies in the prime-order subgroup.
+    pub fn is_in_subgroup(&self) -> bool {
+        let p: Projective<C> = (*self).into();
+        C::is_in_prime_subgroup(&p)
+    }
+
+    /// Compressed encoding: a flag byte (`0` infinity, `2`/`3` sign of y)
+    /// followed by the x-coordinate.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + C::Base::encoded_len());
+        if self.infinity {
+            out.push(0);
+            out.resize(1 + C::Base::encoded_len(), 0);
+            return out;
+        }
+        out.push(if self.y.is_lexicographically_largest() { 3 } else { 2 });
+        self.x.encode_into(&mut out);
+        out
+    }
+
+    /// Parses a compressed encoding, enforcing the curve equation and
+    /// (`r`-order) subgroup membership.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 1 + C::Base::encoded_len() {
+            return None;
+        }
+        match bytes[0] {
+            0 => {
+                if bytes[1..].iter().all(|&b| b == 0) {
+                    Some(Self::identity())
+                } else {
+                    None
+                }
+            }
+            flag @ (2 | 3) => {
+                let x = C::Base::decode(&bytes[1..])?;
+                let y2 = x.square() * x + C::b();
+                let mut y = y2.sqrt()?;
+                if y.is_lexicographically_largest() != (flag == 3) {
+                    y = -y;
+                }
+                let p = Self::from_xy_unchecked(x, y);
+                if p.is_in_subgroup() {
+                    Some(p)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Scalar multiplication (via projective arithmetic).
+    pub fn mul_scalar(&self, s: &Scalar) -> Self {
+        let p: Projective<C> = (*self).into();
+        p.mul_scalar(s).to_affine()
+    }
+}
+
+impl<C: Curve> Neg for Affine<C> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.infinity {
+            self
+        } else {
+            Self { y: -self.y, ..self }
+        }
+    }
+}
+
+impl<C: Curve> Debug for Affine<C> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.infinity {
+            write!(f, "{}(infinity)", C::name())
+        } else {
+            write!(f, "{}({:?}, {:?})", C::name(), self.x, self.y)
+        }
+    }
+}
+
+impl<C: Curve> From<Affine<C>> for Projective<C> {
+    fn from(a: Affine<C>) -> Self {
+        if a.infinity {
+            Projective::identity()
+        } else {
+            Projective { x: a.x, y: a.y, z: C::Base::one(), _curve: PhantomData }
+        }
+    }
+}
+
+impl<C: Curve> Projective<C> {
+    /// The point at infinity.
+    pub fn identity() -> Self {
+        Self {
+            x: C::Base::one(),
+            y: C::Base::one(),
+            z: C::Base::zero(),
+            _curve: PhantomData,
+        }
+    }
+
+    /// The subgroup generator.
+    pub fn generator() -> Self {
+        Affine::<C>::generator().into()
+    }
+
+    /// True for the point at infinity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (Jacobian, `a = 0` formulas).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        // dbl-2009-l: A = X², B = Y², C = B², D = 2((X+B)² − A − C),
+        // E = 3A, F = E², X3 = F − 2D, Y3 = E(D − X3) − 8C, Z3 = 2YZ
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let eight_c = c.double().double().double();
+        let y3 = e * (d - x3) - eight_c;
+        let z3 = (self.y * self.z).double();
+        Self { x: x3, y: y3, z: z3, _curve: PhantomData }
+    }
+
+    /// General point addition (Jacobian add-2007-bl).
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.is_identity() {
+            return *rhs;
+        }
+        if rhs.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = rhs.x * z1z1;
+        let s1 = self.y * rhs.z * z2z2;
+        let s2 = rhs.y * self.z * z1z1;
+        if u1 == u2 {
+            return if s1 == s2 { self.double() } else { Self::identity() };
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
+        Self { x: x3, y: y3, z: z3, _curve: PhantomData }
+    }
+
+    /// Scalar multiplication by a canonical multi-limb integer
+    /// (double-and-add, MSB first).
+    pub fn mul_uint<const E: usize>(&self, k: &ibbe_bigint::Uint<E>) -> Self {
+        let mut acc = Self::identity();
+        for i in (0..k.bits()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = Projective::add(&acc, self);
+            }
+        }
+        acc
+    }
+
+    /// Scalar multiplication by a field scalar.
+    pub fn mul_scalar(&self, s: &Scalar) -> Self {
+        self.mul_uint(&s.to_uint())
+    }
+
+    /// Converts to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine<C> {
+        if self.is_identity() {
+            return Affine::identity();
+        }
+        let zinv = self.z.invert().expect("nonzero z");
+        let zinv2 = zinv.square();
+        Affine::from_xy_unchecked(self.x * zinv2, self.y * zinv2 * zinv)
+    }
+
+    /// Uniformly random subgroup element (generator times random scalar).
+    pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::generator().mul_scalar(&Scalar::random_nonzero(rng))
+    }
+}
+
+impl<C: Curve> PartialEq for Projective<C> {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1, Y1, Z1) == (X2, Y2, Z2) iff X1 Z2² == X2 Z1² and Y1 Z2³ == Y2 Z1³
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+
+impl<C: Curve> Eq for Projective<C> {}
+
+impl<C: Curve> Add for Projective<C> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Projective::add(&self, &rhs)
+    }
+}
+
+impl<C: Curve> Sub for Projective<C> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Projective::add(&self, &(-rhs))
+    }
+}
+
+impl<C: Curve> Neg for Projective<C> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self { y: -self.y, ..self }
+    }
+}
+
+impl<C: Curve> Debug for Projective<C> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        Debug::fmt(&self.to_affine(), f)
+    }
+}
+
+impl<C: Curve> Default for Projective<C> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<C: Curve> Default for Affine<C> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}

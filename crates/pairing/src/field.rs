@@ -1,0 +1,213 @@
+//! Shared `prime_field!` macro: generates a Montgomery-form prime-field type
+//! on top of [`ibbe_bigint::MontParams`].
+//!
+//! Both [`crate::fp::Fp`] (base field, 6 limbs) and [`crate::fr::Scalar`]
+//! (scalar field, 4 limbs) are instances; field-specific extras (square
+//! roots, wide reduction) live next to each instantiation.
+
+/// Generates a prime-field newtype with constructors, arithmetic operator
+/// impls, exponentiation, inversion, serialization and a canonical `Debug`.
+macro_rules! prime_field {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $limbs:expr, $modulus:expr, $bytes:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name(pub(crate) ibbe_bigint::Uint<$limbs>);
+
+        impl $name {
+            /// Montgomery parameters of the field modulus.
+            pub(crate) const PARAMS: ibbe_bigint::MontParams<$limbs> =
+                ibbe_bigint::MontParams::new($modulus);
+
+            /// Number of 64-bit limbs in an element.
+            pub const LIMBS: usize = $limbs;
+
+            /// Size of the canonical big-endian encoding in bytes.
+            pub const BYTES: usize = $bytes;
+
+            /// Additive identity.
+            pub const ZERO: Self = Self(ibbe_bigint::Uint::ZERO);
+
+            /// Multiplicative identity (Montgomery form of 1).
+            pub const ONE: Self = Self(Self::PARAMS.one());
+
+            /// The field modulus as an integer.
+            pub fn modulus() -> ibbe_bigint::Uint<$limbs> {
+                Self::PARAMS.modulus()
+            }
+
+            /// Element from a small integer.
+            pub fn from_u64(v: u64) -> Self {
+                Self(Self::PARAMS.to_mont(&ibbe_bigint::Uint::from_u64(v)))
+            }
+
+            /// Element from a canonical integer, if it is `< modulus`.
+            pub fn from_uint(v: &ibbe_bigint::Uint<$limbs>) -> Option<Self> {
+                use core::cmp::Ordering;
+                match v.cmp_uint(&Self::PARAMS.modulus()) {
+                    Ordering::Less => Some(Self(Self::PARAMS.to_mont(v))),
+                    _ => None,
+                }
+            }
+
+            /// Canonical integer representation of the element.
+            pub fn to_uint(&self) -> ibbe_bigint::Uint<$limbs> {
+                Self::PARAMS.from_mont(&self.0)
+            }
+
+            /// True for the additive identity.
+            #[inline]
+            pub fn is_zero(&self) -> bool {
+                self.0.is_zero()
+            }
+
+            /// `self²`.
+            #[inline]
+            pub fn square(&self) -> Self {
+                Self(Self::PARAMS.square(&self.0))
+            }
+
+            /// `2·self`.
+            #[inline]
+            pub fn double(&self) -> Self {
+                Self(Self::PARAMS.double(&self.0))
+            }
+
+            /// Exponentiation by a canonical (plain-integer) exponent.
+            pub fn pow<const E: usize>(&self, exp: &ibbe_bigint::Uint<E>) -> Self {
+                Self(Self::PARAMS.pow(&self.0, exp))
+            }
+
+            /// Multiplicative inverse; `None` for zero.
+            pub fn invert(&self) -> Option<Self> {
+                Self::PARAMS.inverse(&self.0).map(Self)
+            }
+
+            /// Uniformly random field element.
+            pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+                let mut lo = [0u64; $limbs];
+                let mut hi = [0u64; $limbs];
+                for l in lo.iter_mut().chain(hi.iter_mut()) {
+                    *l = rng.next_u64();
+                }
+                let reduced = Self::PARAMS.reduce_wide(
+                    &ibbe_bigint::Uint::new(lo),
+                    &ibbe_bigint::Uint::new(hi),
+                );
+                Self(Self::PARAMS.to_mont(&reduced))
+            }
+
+            /// Canonical big-endian encoding.
+            pub fn to_bytes(&self) -> [u8; $bytes] {
+                let mut out = [0u8; $bytes];
+                self.to_uint().write_be_bytes(&mut out);
+                out
+            }
+
+            /// Parses a canonical big-endian encoding; `None` if out of range.
+            pub fn from_bytes(bytes: &[u8; $bytes]) -> Option<Self> {
+                let v = ibbe_bigint::Uint::<$limbs>::from_be_bytes(bytes);
+                Self::from_uint(&v)
+            }
+
+            /// Reduces an arbitrary big-endian byte string into the field.
+            pub fn from_bytes_reduced(bytes: &[u8]) -> Self {
+                let reduced = Self::PARAMS.reduce_be_bytes(bytes);
+                Self(Self::PARAMS.to_mont(&reduced))
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::ZERO
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), self.to_uint())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(Self::PARAMS.add(&self.0, &rhs.0))
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(Self::PARAMS.sub(&self.0, &rhs.0))
+            }
+        }
+
+        impl core::ops::Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                Self(Self::PARAMS.mul(&self.0, &rhs.0))
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(Self::PARAMS.neg(&self.0))
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl core::ops::MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl core::iter::Product for $name {
+            fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ONE, |a, b| a * b)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self::from_u64(v)
+            }
+        }
+    };
+}
+
+pub(crate) use prime_field;

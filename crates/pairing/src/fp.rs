@@ -1,0 +1,175 @@
+//! The BLS12-381 base field `Fp`, `p` a 381-bit prime.
+
+use crate::field::prime_field;
+use ibbe_bigint::Uint;
+
+/// The BLS12-381 base-field modulus
+/// `p = 0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624`
+/// `1eabfffeb153ffffb9feffffffffaaab` (little-endian limbs below).
+pub const MODULUS: Uint<6> = Uint::new([
+    0xb9fe_ffff_ffff_aaab,
+    0x1eab_fffe_b153_ffff,
+    0x6730_d2a0_f6b0_f624,
+    0x6477_4b84_f385_12bf,
+    0x4b1b_a7b6_434b_acd7,
+    0x1a01_11ea_397f_e69a,
+]);
+
+prime_field!(
+    /// An element of the BLS12-381 base field, kept in Montgomery form.
+    ///
+    /// ```
+    /// use ibbe_pairing::fp::Fp;
+    /// let x = Fp::from_u64(7);
+    /// assert_eq!(x * x.invert().unwrap(), Fp::ONE);
+    /// ```
+    Fp,
+    6,
+    MODULUS,
+    48
+);
+
+impl Fp {
+    /// Square root, if one exists. `p ≡ 3 (mod 4)`, so
+    /// `sqrt(a) = a^((p+1)/4)`; the result is verified by squaring.
+    pub fn sqrt(&self) -> Option<Self> {
+        // (p + 1) / 4 == (p >> 2) + 1 because p ≡ 3 (mod 4).
+        let mut e = MODULUS.shr1().shr1();
+        let (e1, _) = e.add_carry(&Uint::ONE);
+        e = e1;
+        let cand = self.pow(&e);
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+
+    /// Euler criterion: true iff the element is a quadratic residue
+    /// (zero counts as a square).
+    pub fn is_square(&self) -> bool {
+        if self.is_zero() {
+            return true;
+        }
+        // (p - 1) / 2
+        let e = {
+            let (m1, _) = MODULUS.sub_borrow(&Uint::ONE);
+            m1.shr1()
+        };
+        self.pow(&e) == Self::ONE
+    }
+
+    /// Lexicographic "sign": true if the canonical integer is strictly
+    /// greater than `(p - 1) / 2`. Used to pick the compressed-point y bit.
+    pub fn is_lexicographically_largest(&self) -> bool {
+        let half = {
+            let (m1, _) = MODULUS.sub_borrow(&Uint::ONE);
+            m1.shr1()
+        };
+        self.to_uint() > half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn modulus_is_381_bits_and_odd() {
+        assert_eq!(MODULUS.bits(), 381);
+        assert!(MODULUS.is_odd());
+        // p ≡ 3 (mod 4) is what sqrt() relies on
+        assert_eq!(MODULUS.limbs()[0] & 3, 3);
+    }
+
+    #[test]
+    fn field_axioms_smoke() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let a = Fp::random(&mut rng);
+            let b = Fp::random(&mut rng);
+            let c = Fp::random(&mut rng);
+            assert_eq!(a + b, b + a);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a - a, Fp::ZERO);
+            assert_eq!(a + (-a), Fp::ZERO);
+            assert_eq!(a * Fp::ONE, a);
+        }
+    }
+
+    #[test]
+    fn inversion() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let a = Fp::random(&mut rng);
+            if !a.is_zero() {
+                assert_eq!(a * a.invert().unwrap(), Fp::ONE);
+            }
+        }
+        assert!(Fp::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let mut rng = rng();
+        let mut found_square = 0;
+        for _ in 0..20 {
+            let a = Fp::random(&mut rng);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square of an element must have a root");
+            assert!(root == a || root == -a);
+            found_square += 1;
+        }
+        assert_eq!(found_square, 20);
+    }
+
+    #[test]
+    fn non_residue_has_no_sqrt() {
+        // -1 is a non-residue when p ≡ 3 (mod 4)
+        let minus_one = -Fp::ONE;
+        assert!(minus_one.sqrt().is_none());
+        assert!(!minus_one.is_square());
+        assert!(Fp::ZERO.is_square());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = rng();
+        let a = Fp::random(&mut rng);
+        assert_eq!(Fp::from_bytes(&a.to_bytes()).unwrap(), a);
+        // The modulus itself is rejected.
+        let mut m = [0u8; 48];
+        MODULUS.write_be_bytes(&mut m);
+        assert!(Fp::from_bytes(&m).is_none());
+    }
+
+    #[test]
+    fn from_bytes_reduced_is_mod_p() {
+        // 2 * p reduces to zero
+        let (two_p, carry) = MODULUS.add_carry(&MODULUS);
+        assert_eq!(carry, 0);
+        let mut buf = [0u8; 48];
+        two_p.write_be_bytes(&mut buf);
+        assert!(Fp::from_bytes_reduced(&buf).is_zero());
+    }
+
+    #[test]
+    fn lexicographic_sign_flips_under_negation() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let a = Fp::random(&mut rng);
+            if !a.is_zero() {
+                assert_ne!(
+                    a.is_lexicographically_largest(),
+                    (-a).is_lexicographically_largest()
+                );
+            }
+        }
+    }
+}

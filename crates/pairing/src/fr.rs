@@ -1,0 +1,109 @@
+//! The BLS12-381 scalar field `Fr` (order of `G1`/`G2`/`GT`).
+//!
+//! This is the `Z_p*` of the IBBE paper: identity hashes, the master secret
+//! `γ`, and all broadcast-key exponents live here.
+
+use crate::field::prime_field;
+use ibbe_bigint::Uint;
+
+/// The group order
+/// `r = 0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001`.
+pub const MODULUS: Uint<4> = Uint::new([
+    0xffff_ffff_0000_0001,
+    0x53bd_a402_fffe_5bfe,
+    0x3339_d808_09a1_d805,
+    0x73ed_a753_299d_7d48,
+]);
+
+prime_field!(
+    /// An element of the BLS12-381 scalar field `Fr`, in Montgomery form.
+    ///
+    /// ```
+    /// use ibbe_pairing::fr::Scalar;
+    /// let gamma = Scalar::from_u64(123456789);
+    /// assert_eq!(gamma * gamma.invert().unwrap(), Scalar::ONE);
+    /// ```
+    Scalar,
+    4,
+    MODULUS,
+    32
+);
+
+impl Scalar {
+    /// Uniformly random **non-zero** scalar, as required for `γ`, ephemeral
+    /// keys `k`, and hashed identities.
+    pub fn random_nonzero<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let s = Self::random(rng);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn modulus_is_255_bits() {
+        assert_eq!(MODULUS.bits(), 255);
+        assert!(MODULUS.is_odd());
+    }
+
+    #[test]
+    fn axioms_and_inverse() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a + b) - b, a);
+            if !a.is_zero() {
+                assert_eq!(a * a.invert().unwrap(), Scalar::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn random_nonzero_is_nonzero() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert!(!Scalar::random_nonzero(&mut rng).is_zero());
+        }
+    }
+
+    #[test]
+    fn product_and_sum_iterators() {
+        let v = [2u64, 3, 5].map(Scalar::from_u64);
+        let p: Scalar = v.iter().copied().product();
+        assert_eq!(p, Scalar::from_u64(30));
+        let s: Scalar = v.iter().copied().sum();
+        assert_eq!(s, Scalar::from_u64(10));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = rng();
+        let a = Scalar::random(&mut rng);
+        assert_eq!(Scalar::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn reduced_from_bytes_folds_mod_r() {
+        let mut buf = [0xffu8; 64];
+        let a = Scalar::from_bytes_reduced(&buf);
+        buf[0] = 0xfe;
+        let b = Scalar::from_bytes_reduced(&buf);
+        assert_ne!(a, b);
+        // and values below r are untouched
+        let small = Scalar::from_u64(12345);
+        assert_eq!(Scalar::from_bytes_reduced(&small.to_bytes()), small);
+    }
+}

@@ -1,0 +1,59 @@
+//! The pairing target group `GT ⊂ Fp12*` (order `r`), written multiplicatively.
+
+use crate::fp12::Fp12;
+use crate::fr::Scalar;
+use core::ops::Mul;
+
+/// An element of `GT`, the image of the pairing after final exponentiation.
+///
+/// `Gt` values are produced by [`crate::pairing()`] and by group operations on
+/// existing elements; there is no public constructor from raw `Fp12`, which
+/// preserves the invariant that elements lie in the order-`r` subgroup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Gt(pub(crate) Fp12);
+
+impl Gt {
+    /// The identity element.
+    pub const IDENTITY: Self = Self(Fp12::ONE);
+
+    /// True for the identity.
+    pub fn is_identity(&self) -> bool {
+        self.0 == Fp12::ONE
+    }
+
+    /// Group exponentiation `self^k` (cyclotomic squarings — all `GT`
+    /// elements are unitary).
+    pub fn pow(&self, k: &Scalar) -> Self {
+        Self(self.0.cyclotomic_pow(&k.to_uint()))
+    }
+
+    /// Inverse; on the cyclotomic subgroup this is conjugation, so it is
+    /// cheap and never fails.
+    pub fn invert(&self) -> Self {
+        Self(self.0.conjugate())
+    }
+
+    /// Deterministic, injective serialization (576 bytes). Used to derive
+    /// symmetric keys from broadcast keys (`sha256(bk)` in the paper).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Access to the underlying field element (read-only).
+    pub fn as_fp12(&self) -> &Fp12 {
+        &self.0
+    }
+}
+
+impl Mul for Gt {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+impl Default for Gt {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the algebraic laws the IBBE constructions rely
+//! on: field axioms across the tower, group laws, and pairing bilinearity.
+
+use ibbe_pairing::{
+    hash_to_scalar, pairing, Fp, Fp12, Fp2, G1Projective, G2Projective, Gt, Scalar,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn scalar(seed: u64) -> Scalar {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Scalar::random_nonzero(&mut rng)
+}
+
+fn fp(seed: u64) -> Fp {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Fp::random(&mut rng)
+}
+
+fn fp2(seed: u64) -> Fp2 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Fp2::random(&mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fp_field_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (fp(a), fp(b), fp(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a - a, Fp::ZERO);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.invert().unwrap(), Fp::ONE);
+        }
+    }
+
+    #[test]
+    fn fp2_axioms_and_frobenius(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (fp2(a), fp2(b));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a.square(), a * a);
+        // conjugation is the p-power Frobenius: multiplicative
+        prop_assert_eq!((a * b).conjugate(), a.conjugate() * b.conjugate());
+        // norm is multiplicative
+        prop_assert_eq!((a * b).norm(), a.norm() * b.norm());
+    }
+
+    #[test]
+    fn scalar_inverse_and_distribution(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (scalar(a), scalar(b));
+        prop_assert_eq!((a * b) * b.invert().unwrap(), a);
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn g1_group_laws(a in any::<u64>(), b in any::<u64>()) {
+        let p = G1Projective::generator().mul_scalar(&scalar(a));
+        let q = G1Projective::generator().mul_scalar(&scalar(b));
+        prop_assert_eq!(p + q, q + p);
+        prop_assert_eq!(p.double(), p + p);
+        prop_assert!((p - p).is_identity());
+        // scalar-mul is a homomorphism Z_r → G1
+        let (sa, sb) = (scalar(a), scalar(b));
+        let lhs = G1Projective::generator().mul_scalar(&(sa + sb));
+        prop_assert_eq!(lhs, p + q);
+    }
+
+    #[test]
+    fn g2_scalar_mul_homomorphism(a in any::<u64>(), b in any::<u64>()) {
+        let (sa, sb) = (scalar(a), scalar(b));
+        let lhs = G2Projective::generator().mul_scalar(&(sa * sb));
+        let rhs = G2Projective::generator().mul_scalar(&sa).mul_scalar(&sb);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_bilinearity(a in any::<u64>(), b in any::<u64>()) {
+        let (sa, sb) = (scalar(a), scalar(b));
+        let p = G1Projective::generator().mul_scalar(&sa).to_affine();
+        let q = G2Projective::generator().mul_scalar(&sb).to_affine();
+        let base = pairing(
+            &G1Projective::generator().to_affine(),
+            &G2Projective::generator().to_affine(),
+        );
+        prop_assert_eq!(pairing(&p, &q), base.pow(&(sa * sb)));
+    }
+
+    #[test]
+    fn gt_is_a_group(a in any::<u64>(), b in any::<u64>()) {
+        let base = pairing(
+            &G1Projective::generator().to_affine(),
+            &G2Projective::generator().to_affine(),
+        );
+        let (sa, sb) = (scalar(a), scalar(b));
+        let x = base.pow(&sa);
+        let y = base.pow(&sb);
+        prop_assert_eq!(x * y, base.pow(&(sa + sb)));
+        prop_assert_eq!(x * x.invert(), Gt::IDENTITY);
+    }
+
+    #[test]
+    fn point_serialization_roundtrips(a in any::<u64>()) {
+        let s = scalar(a);
+        let p = G1Projective::generator().mul_scalar(&s).to_affine();
+        let q = G2Projective::generator().mul_scalar(&s).to_affine();
+        prop_assert_eq!(ibbe_pairing::G1Affine::from_bytes(&p.to_bytes()).unwrap(), p);
+        prop_assert_eq!(ibbe_pairing::G2Affine::from_bytes(&q.to_bytes()).unwrap(), q);
+    }
+
+    #[test]
+    fn fp12_inversion(a in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(a);
+        let x = Fp12::random(&mut rng);
+        if !x.is_zero() {
+            prop_assert_eq!(x * x.invert().unwrap(), Fp12::ONE);
+        }
+    }
+
+    #[test]
+    fn hash_to_scalar_no_collisions_on_distinct_inputs(a: u64, b: u64) {
+        prop_assume!(a != b);
+        prop_assert_ne!(
+            hash_to_scalar(b"d", &a.to_be_bytes()),
+            hash_to_scalar(b"d", &b.to_be_bytes())
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Quotes and the simulated Intel Attestation Service (IAS).
+//!
+//! A [`Quote`] binds an enclave measurement and 32 bytes of report data
+//! (here: the hash of the enclave's channel public key) under the
+//! platform's quoting key. The [`IasSim`] plays Intel's role: it knows which
+//! platform keys are genuine and countersigns verdicts with its own report
+//! key, which relying parties (the Auditor) pin.
+
+use crate::bls::{Signature, SigningKey, VerifyingKey};
+use crate::enclave::Measurement;
+use crate::SgxError;
+use symcrypto::sha256::Sha256;
+
+/// A CPU quote: evidence that `report_data` was produced by an enclave with
+/// `measurement` on a genuine platform.
+#[derive(Clone, Debug)]
+pub struct Quote {
+    /// The attested enclave's measurement.
+    pub measurement: Measurement,
+    /// Free-form data bound by the enclave (typically a key hash).
+    pub report_data: [u8; 32],
+    signature: Signature,
+}
+
+fn quote_message(measurement: &Measurement, report_data: &[u8; 32]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(80);
+    m.extend_from_slice(b"sgx-sim-quote-v1");
+    m.extend_from_slice(&measurement.0);
+    m.extend_from_slice(report_data);
+    m
+}
+
+/// The platform's quoting identity (one per simulated machine).
+#[derive(Debug)]
+pub struct QuotingKey {
+    key: SigningKey,
+}
+
+impl QuotingKey {
+    /// Provisions a new platform quoting key.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self { key: SigningKey::generate(rng) }
+    }
+
+    /// The public part, registered with the attestation service.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Produces a quote for an enclave running on this platform.
+    pub fn quote(&self, measurement: Measurement, report_data: [u8; 32]) -> Quote {
+        let msg = quote_message(&measurement, &report_data);
+        Quote { measurement, report_data, signature: self.key.sign(&msg) }
+    }
+}
+
+/// Convenience: the report data for attesting a public key.
+pub fn report_data_for_key(public_key_bytes: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"sgx-sim-report-data-v1");
+    h.update(public_key_bytes);
+    h.finalize()
+}
+
+/// A signed verdict from the attestation service.
+#[derive(Clone, Debug)]
+pub struct AttestationReport {
+    /// The quote this report covers.
+    pub quote: Quote,
+    /// True iff the service judged the quote genuine.
+    pub is_genuine: bool,
+    signature: Signature,
+}
+
+impl AttestationReport {
+    fn message(quote: &Quote, is_genuine: bool) -> Vec<u8> {
+        let mut m = quote_message(&quote.measurement, &quote.report_data);
+        m.extend_from_slice(&quote.signature.to_bytes());
+        m.push(is_genuine as u8);
+        m
+    }
+
+    /// Verifies the report against the service's pinned report key.
+    pub fn verify(&self, ias_key: &VerifyingKey) -> Result<(), SgxError> {
+        let msg = Self::message(&self.quote, self.is_genuine);
+        if !ias_key.verify(&msg, &self.signature) {
+            return Err(SgxError::AttestationRejected("bad report signature".into()));
+        }
+        if !self.is_genuine {
+            return Err(SgxError::AttestationRejected("platform not genuine".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Simulated Intel Attestation Service.
+#[derive(Debug)]
+pub struct IasSim {
+    report_key: SigningKey,
+    genuine_platforms: Vec<VerifyingKey>,
+}
+
+impl IasSim {
+    /// Boots the service with its report-signing key.
+    pub fn new<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self { report_key: SigningKey::generate(rng), genuine_platforms: Vec::new() }
+    }
+
+    /// Registers a platform quoting key as genuine (Intel's provisioning).
+    pub fn register_platform(&mut self, platform: VerifyingKey) {
+        self.genuine_platforms.push(platform);
+    }
+
+    /// The service's public report key, pinned by relying parties.
+    pub fn report_verifying_key(&self) -> VerifyingKey {
+        self.report_key.verifying_key()
+    }
+
+    /// Checks a quote and returns a signed report (Fig. 3, step 2).
+    pub fn verify_quote(&self, quote: &Quote) -> AttestationReport {
+        let msg = quote_message(&quote.measurement, &quote.report_data);
+        let is_genuine = self
+            .genuine_platforms
+            .iter()
+            .any(|pk| pk.verify(&msg, &quote.signature));
+        let sig_msg = AttestationReport::message(quote, is_genuine);
+        AttestationReport {
+            quote: quote.clone(),
+            is_genuine,
+            signature: self.report_key.sign(&sig_msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn genuine_quote_passes_end_to_end() {
+        let mut rng = rng();
+        let platform = QuotingKey::generate(&mut rng);
+        let mut ias = IasSim::new(&mut rng);
+        ias.register_platform(platform.verifying_key());
+
+        let m = Measurement::of(b"enclave");
+        let quote = platform.quote(m, [9u8; 32]);
+        let report = ias.verify_quote(&quote);
+        assert!(report.is_genuine);
+        assert!(report.verify(&ias.report_verifying_key()).is_ok());
+    }
+
+    #[test]
+    fn unregistered_platform_is_rejected() {
+        let mut rng = rng();
+        let rogue = QuotingKey::generate(&mut rng);
+        let ias = IasSim::new(&mut rng); // no platforms registered
+        let quote = rogue.quote(Measurement::of(b"e"), [0u8; 32]);
+        let report = ias.verify_quote(&quote);
+        assert!(!report.is_genuine);
+        assert!(report.verify(&ias.report_verifying_key()).is_err());
+    }
+
+    #[test]
+    fn tampered_quote_fails() {
+        let mut rng = rng();
+        let platform = QuotingKey::generate(&mut rng);
+        let mut ias = IasSim::new(&mut rng);
+        ias.register_platform(platform.verifying_key());
+        let mut quote = platform.quote(Measurement::of(b"e"), [0u8; 32]);
+        quote.report_data[0] ^= 1;
+        assert!(!ias.verify_quote(&quote).is_genuine);
+    }
+
+    #[test]
+    fn report_pinning_detects_wrong_service() {
+        let mut rng = rng();
+        let platform = QuotingKey::generate(&mut rng);
+        let mut ias = IasSim::new(&mut rng);
+        ias.register_platform(platform.verifying_key());
+        let other_ias = IasSim::new(&mut rng);
+        let quote = platform.quote(Measurement::of(b"e"), [0u8; 32]);
+        let report = ias.verify_quote(&quote);
+        assert!(report.verify(&other_ias.report_verifying_key()).is_err());
+    }
+
+    #[test]
+    fn report_data_binds_key_bytes() {
+        assert_ne!(report_data_for_key(b"k1"), report_data_for_key(b"k2"));
+        assert_eq!(report_data_for_key(b"k1"), report_data_for_key(b"k1"));
+    }
+}

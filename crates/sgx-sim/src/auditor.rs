@@ -1,0 +1,177 @@
+//! The Auditor / Certificate Authority of the paper's trust-establishment
+//! flow (Fig. 3): it attests the admin enclave (via IAS) and signs a
+//! certificate over the enclave's channel public key, which users then pin.
+
+use crate::attest::{report_data_for_key, IasSim, Quote};
+use crate::bls::{Signature, SigningKey, VerifyingKey};
+use crate::channel::ChannelPublicKey;
+use crate::enclave::Measurement;
+use crate::SgxError;
+
+/// A certificate binding an enclave channel key to an audited measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// The enclave's public channel key (users encrypt to / verify with it).
+    pub enclave_key: ChannelPublicKey,
+    /// The audited measurement.
+    pub measurement: Measurement,
+    signature: Signature,
+}
+
+impl Certificate {
+    fn message(enclave_key: &ChannelPublicKey, measurement: &Measurement) -> Vec<u8> {
+        let mut m = Vec::with_capacity(96);
+        m.extend_from_slice(b"sgx-sim-cert-v1");
+        m.extend_from_slice(&enclave_key.to_bytes());
+        m.extend_from_slice(&measurement.0);
+        m
+    }
+
+    /// Verifies the certificate against a pinned CA key (Fig. 3, step 4:
+    /// what every user does before accepting a provisioned secret).
+    pub fn verify(&self, ca_key: &VerifyingKey) -> Result<(), SgxError> {
+        let msg = Self::message(&self.enclave_key, &self.measurement);
+        if ca_key.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(SgxError::CertificateInvalid)
+        }
+    }
+}
+
+/// The Auditor: relying party for attestation and certificate issuer.
+#[derive(Debug)]
+pub struct Auditor {
+    ca_key: SigningKey,
+    ias_report_key: VerifyingKey,
+    expected_measurement: Measurement,
+}
+
+impl Auditor {
+    /// Creates an auditor that trusts `ias` and expects enclaves with the
+    /// given measurement (the published hash of the reviewed enclave code).
+    pub fn new<R: rand::RngCore + ?Sized>(
+        rng: &mut R,
+        ias: &IasSim,
+        expected_measurement: Measurement,
+    ) -> Self {
+        Self {
+            ca_key: SigningKey::generate(rng),
+            ias_report_key: ias.report_verifying_key(),
+            expected_measurement,
+        }
+    }
+
+    /// The CA verification key users pin.
+    pub fn ca_verifying_key(&self) -> VerifyingKey {
+        self.ca_key.verifying_key()
+    }
+
+    /// Runs the full audit (Fig. 3 steps 1–3): submits the quote to IAS,
+    /// verifies the report, checks the measurement and that the quote binds
+    /// `enclave_key`, then issues a certificate.
+    ///
+    /// # Errors
+    /// Any failed verification step maps to the corresponding [`SgxError`].
+    pub fn audit(
+        &self,
+        ias: &IasSim,
+        quote: &Quote,
+        enclave_key: &ChannelPublicKey,
+    ) -> Result<Certificate, SgxError> {
+        let report = ias.verify_quote(quote);
+        report.verify(&self.ias_report_key)?;
+        if quote.measurement != self.expected_measurement {
+            return Err(SgxError::MeasurementMismatch);
+        }
+        if quote.report_data != report_data_for_key(&enclave_key.to_bytes()) {
+            return Err(SgxError::QuoteInvalid);
+        }
+        let msg = Certificate::message(enclave_key, &quote.measurement);
+        Ok(Certificate {
+            enclave_key: *enclave_key,
+            measurement: quote.measurement,
+            signature: self.ca_key.sign(&msg),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::QuotingKey;
+    use crate::channel::ChannelKeyPair;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    struct Setup {
+        platform: QuotingKey,
+        ias: IasSim,
+        auditor: Auditor,
+        keys: ChannelKeyPair,
+        measurement: Measurement,
+    }
+
+    fn setup() -> Setup {
+        let mut rng = rng();
+        let platform = QuotingKey::generate(&mut rng);
+        let mut ias = IasSim::new(&mut rng);
+        ias.register_platform(platform.verifying_key());
+        let measurement = Measurement::of(b"ibbe-enclave");
+        let auditor = Auditor::new(&mut rng, &ias, measurement);
+        let keys = ChannelKeyPair::generate(&mut rng);
+        Setup { platform, ias, auditor, keys, measurement }
+    }
+
+    #[test]
+    fn happy_path_issues_verifiable_certificate() {
+        let s = setup();
+        let rd = report_data_for_key(&s.keys.public_key().to_bytes());
+        let quote = s.platform.quote(s.measurement, rd);
+        let cert = s.auditor.audit(&s.ias, &quote, &s.keys.public_key()).unwrap();
+        assert!(cert.verify(&s.auditor.ca_verifying_key()).is_ok());
+        assert_eq!(cert.measurement, s.measurement);
+    }
+
+    #[test]
+    fn wrong_measurement_is_rejected() {
+        let s = setup();
+        let rd = report_data_for_key(&s.keys.public_key().to_bytes());
+        let quote = s.platform.quote(Measurement::of(b"evil-enclave"), rd);
+        assert_eq!(
+            s.auditor.audit(&s.ias, &quote, &s.keys.public_key()),
+            Err(SgxError::MeasurementMismatch)
+        );
+    }
+
+    #[test]
+    fn key_substitution_is_rejected() {
+        let s = setup();
+        let mut rng = rng();
+        let other = ChannelKeyPair::generate(&mut rng);
+        // quote binds s.keys, attacker presents other's public key
+        let rd = report_data_for_key(&s.keys.public_key().to_bytes());
+        let quote = s.platform.quote(s.measurement, rd);
+        assert_eq!(
+            s.auditor.audit(&s.ias, &quote, &other.public_key()),
+            Err(SgxError::QuoteInvalid)
+        );
+    }
+
+    #[test]
+    fn certificate_pinning_detects_wrong_ca() {
+        let s = setup();
+        let mut rng = rng();
+        let rd = report_data_for_key(&s.keys.public_key().to_bytes());
+        let quote = s.platform.quote(s.measurement, rd);
+        let cert = s.auditor.audit(&s.ias, &quote, &s.keys.public_key()).unwrap();
+        let rogue_ca = SigningKey::generate(&mut rng);
+        assert_eq!(
+            cert.verify(&rogue_ca.verifying_key()),
+            Err(SgxError::CertificateInvalid)
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Secure provisioning channel to an enclave (the TLS-like channel of
+//! Fig. 3, step 4).
+//!
+//! ECIES over `G1`: the sender encrypts to the enclave's channel public key
+//! with an ephemeral Diffie–Hellman share and AES-256-GCM; only code holding
+//! the private scalar — which never leaves the enclave — can decrypt.
+
+use crate::SgxError;
+use ibbe_pairing::{G1Affine, G1Projective, Scalar};
+use symcrypto::gcm::{AesGcm, NONCE_LEN};
+use symcrypto::hmac::hkdf;
+
+/// Public half of a channel key pair (a `G1` point).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChannelPublicKey(G1Affine);
+
+/// An enclave channel key pair. Constructed inside the enclave; the secret
+/// scalar is not exposed by any accessor.
+#[derive(Clone)]
+pub struct ChannelKeyPair {
+    sk: Scalar,
+    pk: ChannelPublicKey,
+}
+
+/// A message encrypted to a [`ChannelPublicKey`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelMessage {
+    ephemeral: G1Affine,
+    nonce: [u8; NONCE_LEN],
+    ciphertext: Vec<u8>,
+}
+
+fn derive_key(shared: &G1Affine, ephemeral: &G1Affine, recipient: &ChannelPublicKey) -> [u8; 32] {
+    let mut ikm = shared.to_bytes();
+    ikm.extend_from_slice(&ephemeral.to_bytes());
+    ikm.extend_from_slice(&recipient.0.to_bytes());
+    let mut key = [0u8; 32];
+    hkdf(b"sgx-sim-channel-v1", &ikm, b"aes-256-gcm", &mut key);
+    key
+}
+
+impl ChannelKeyPair {
+    /// Generates a key pair (run inside the enclave).
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        let sk = Scalar::random_nonzero(rng);
+        let pk = ChannelPublicKey(G1Projective::generator().mul_scalar(&sk).to_affine());
+        Self { sk, pk }
+    }
+
+    /// The public key (exported with the quote for certification).
+    pub fn public_key(&self) -> ChannelPublicKey {
+        self.pk
+    }
+
+    /// Decrypts a message encrypted to this key pair.
+    ///
+    /// # Errors
+    /// [`SgxError::ChannelFailed`] on any authentication/format failure.
+    pub fn decrypt(&self, msg: &ChannelMessage, aad: &[u8]) -> Result<Vec<u8>, SgxError> {
+        let shared: G1Projective = msg.ephemeral.into();
+        let shared = shared.mul_scalar(&self.sk).to_affine();
+        let key = derive_key(&shared, &msg.ephemeral, &self.pk);
+        AesGcm::new(&key)
+            .open(&msg.nonce, aad, &msg.ciphertext)
+            .map_err(|_| SgxError::ChannelFailed)
+    }
+}
+
+impl ChannelPublicKey {
+    /// Encrypts `plaintext` so only the key-pair holder can read it.
+    pub fn encrypt<R: rand::RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        plaintext: &[u8],
+        aad: &[u8],
+    ) -> ChannelMessage {
+        let e = Scalar::random_nonzero(rng);
+        let ephemeral = G1Projective::generator().mul_scalar(&e).to_affine();
+        let shared: G1Projective = self.0.into();
+        let shared = shared.mul_scalar(&e).to_affine();
+        let key = derive_key(&shared, &ephemeral, self);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        let ciphertext = AesGcm::new(&key).seal(&nonce, aad, plaintext);
+        ChannelMessage { ephemeral, nonce, ciphertext }
+    }
+
+    /// Serialized form (compressed `G1`, 49 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Parses a serialized key, validating group membership.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        G1Affine::from_bytes(bytes).map(Self)
+    }
+}
+
+impl core::fmt::Debug for ChannelKeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ChannelKeyPair(pk={:?}, sk=<redacted>)", self.pk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut rng = rng();
+        let pair = ChannelKeyPair::generate(&mut rng);
+        let msg = pair.public_key().encrypt(&mut rng, b"user secret key", b"alice");
+        assert_eq!(pair.decrypt(&msg, b"alice").unwrap(), b"user secret key");
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_decrypt() {
+        let mut rng = rng();
+        let pair = ChannelKeyPair::generate(&mut rng);
+        let eve = ChannelKeyPair::generate(&mut rng);
+        let msg = pair.public_key().encrypt(&mut rng, b"secret", b"");
+        assert_eq!(eve.decrypt(&msg, b""), Err(SgxError::ChannelFailed));
+    }
+
+    #[test]
+    fn aad_binding() {
+        let mut rng = rng();
+        let pair = ChannelKeyPair::generate(&mut rng);
+        let msg = pair.public_key().encrypt(&mut rng, b"secret", b"for-alice");
+        assert_eq!(pair.decrypt(&msg, b"for-bob"), Err(SgxError::ChannelFailed));
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let mut rng = rng();
+        let pair = ChannelKeyPair::generate(&mut rng);
+        let mut msg = pair.public_key().encrypt(&mut rng, b"secret", b"");
+        let n = msg.ciphertext.len();
+        msg.ciphertext[n - 1] ^= 0x80;
+        assert_eq!(pair.decrypt(&msg, b""), Err(SgxError::ChannelFailed));
+    }
+
+    #[test]
+    fn public_key_serialization() {
+        let mut rng = rng();
+        let pair = ChannelKeyPair::generate(&mut rng);
+        let pk2 = ChannelPublicKey::from_bytes(&pair.public_key().to_bytes()).unwrap();
+        assert_eq!(pk2, pair.public_key());
+        assert!(ChannelPublicKey::from_bytes(&[0xaa; 49]).is_none());
+    }
+}

@@ -1,0 +1,264 @@
+//! AES block cipher (FIPS 197), encryption direction.
+//!
+//! The S-box and round constants are derived programmatically from the
+//! GF(2⁸) structure instead of being transcribed, and the implementation is
+//! validated against the FIPS 197 appendix vectors. Only the encryption
+//! direction is provided — CTR and GCM modes never invert the block cipher.
+
+use std::sync::OnceLock;
+
+/// Block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+fn sbox() -> &'static [u8; 256] {
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        // exp/log tables for GF(2^8) with generator 3 (x+1)
+        let mut exp = [0u8; 256];
+        let mut log = [0u8; 256];
+        let mut x = 1u8;
+        for i in 0..255 {
+            exp[i] = x;
+            log[x as usize] = i as u8;
+            // multiply x by 3: x ^= xtime(x)
+            let hi = x & 0x80 != 0;
+            let mut xt = x << 1;
+            if hi {
+                xt ^= 0x1b;
+            }
+            x ^= xt;
+        }
+        exp[255] = exp[0];
+
+        let mut s = [0u8; 256];
+        for (i, slot) in s.iter_mut().enumerate() {
+            let inv = if i == 0 { 0 } else { exp[255 - log[i] as usize] };
+            // affine transform
+            let b = inv;
+            *slot = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+        }
+        s
+    })
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+/// AES key sizes supported by [`Aes`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KeySize {
+    /// AES-128 (10 rounds). Present for test-vector coverage; the IBBE-SGX
+    /// system itself always uses 256-bit keys ("maximal security level",
+    /// paper §V-B).
+    Aes128,
+    /// AES-256 (14 rounds) — the paper's choice.
+    Aes256,
+}
+
+/// An AES encryption key schedule.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands a key. `key.len()` must be 16 (AES-128) or 32 (AES-256).
+    ///
+    /// # Panics
+    /// Panics if the key length does not match a supported [`KeySize`].
+    pub fn new(key: &[u8]) -> Self {
+        let (nk, rounds) = match key.len() {
+            16 => (4usize, 10usize),
+            32 => (8, 14),
+            n => panic!("unsupported AES key length {n}"),
+        };
+        let s = sbox();
+        let nw = 4 * (rounds + 1);
+        let mut w = vec![[0u8; 4]; nw];
+        for i in 0..nk {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in nk..nw {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = s[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = s[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let round_keys = (0..=rounds)
+            .map(|r| {
+                let mut rk = [0u8; 16];
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+                rk
+            })
+            .collect();
+        Self { round_keys, rounds }
+    }
+
+    /// Creates an AES-256 schedule from a 32-byte key.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::new(key)
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        let s = sbox();
+        let add_rk = |b: &mut [u8; 16], rk: &[u8; 16]| {
+            for i in 0..16 {
+                b[i] ^= rk[i];
+            }
+        };
+        add_rk(block, &self.round_keys[0]);
+        for round in 1..=self.rounds {
+            // SubBytes
+            for b in block.iter_mut() {
+                *b = s[*b as usize];
+            }
+            // ShiftRows (state is column-major: byte (r, c) at 4c + r)
+            let prev = *block;
+            for r in 1..4 {
+                for c in 0..4 {
+                    block[4 * c + r] = prev[4 * ((c + r) % 4) + r];
+                }
+            }
+            // MixColumns (skipped in the final round)
+            if round != self.rounds {
+                for c in 0..4 {
+                    let col = [
+                        block[4 * c],
+                        block[4 * c + 1],
+                        block[4 * c + 2],
+                        block[4 * c + 3],
+                    ];
+                    block[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+                    block[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+                    block[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+                    block[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+                }
+            }
+            add_rk(block, &self.round_keys[round]);
+        }
+    }
+
+    /// Encrypts a copy of `block` and returns it.
+    pub fn encrypt_block_copy(&self, block: &[u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+impl core::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Aes({} rounds, key material redacted)", self.rounds)
+    }
+}
+
+/// AES-CTR keystream XOR: encrypts or decrypts `data` in place with the
+/// 16-byte initial counter block `iv_counter` (incremented big-endian on the
+/// low 32 bits, GCM-style).
+pub fn ctr_xor(aes: &Aes, iv_counter: &[u8; 16], data: &mut [u8]) {
+    let mut counter = *iv_counter;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let ks = aes.encrypt_block_copy(&counter);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        inc32(&mut counter);
+    }
+}
+
+/// Increments the last 32 bits of a counter block (big-endian, wrapping).
+pub fn inc32(block: &mut [u8; 16]) {
+    let mut v = u32::from_be_bytes([block[12], block[13], block[14], block[15]]);
+    v = v.wrapping_add(1);
+    block[12..].copy_from_slice(&v.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn fips197_c1_aes128() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(&key);
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), unhex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_c3_aes256() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let aes = Aes::new(&key);
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), unhex("8ea2b7ca516745bfeafc49904b496089"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported AES key length")]
+    fn bad_key_length_panics() {
+        let _ = Aes::new(&[0u8; 17]);
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_partial_block() {
+        let aes = Aes::new(&[7u8; 32]);
+        let iv = [9u8; 16];
+        let mut data = b"attack at dawn -- 19 bytes".to_vec();
+        let orig = data.clone();
+        ctr_xor(&aes, &iv, &mut data);
+        assert_ne!(data, orig);
+        ctr_xor(&aes, &iv, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn inc32_wraps() {
+        let mut b = [0u8; 16];
+        b[12..].copy_from_slice(&u32::MAX.to_be_bytes());
+        b[0] = 0xaa;
+        inc32(&mut b);
+        assert_eq!(&b[12..], &[0, 0, 0, 0]);
+        assert_eq!(b[0], 0xaa, "upper 96 bits untouched");
+    }
+}

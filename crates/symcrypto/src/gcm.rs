@@ -1,0 +1,241 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+
+use crate::aes::{ctr_xor, inc32, Aes, BLOCK_LEN};
+use crate::hmac::ct_eq;
+
+/// Authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Nonce (IV) length in bytes; only the standard 96-bit IV is supported.
+pub const NONCE_LEN: usize = 12;
+
+/// Error returned when decryption fails authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl core::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "GCM authentication failed")
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// GF(2¹²⁸) multiplication with the GCM bit order (right-shift variant,
+/// reduction polynomial `R = 0xe1 ∥ 0¹²⁰`).
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn block_to_u128(b: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    buf[..b.len()].copy_from_slice(b);
+    u128::from_be_bytes(buf)
+}
+
+/// GHASH over `aad` and `ct` with hash subkey `h`.
+fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> [u8; 16] {
+    let mut y = 0u128;
+    for chunk in aad.chunks(BLOCK_LEN) {
+        y = gf_mul(y ^ block_to_u128(chunk), h);
+    }
+    for chunk in ct.chunks(BLOCK_LEN) {
+        y = gf_mul(y ^ block_to_u128(chunk), h);
+    }
+    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+    y = gf_mul(y ^ lens, h);
+    y.to_be_bytes()
+}
+
+/// An AES-GCM key (any AES key size accepted by [`Aes::new`]).
+#[derive(Clone, Debug)]
+pub struct AesGcm {
+    aes: Aes,
+    h: u128,
+}
+
+impl AesGcm {
+    /// Creates a GCM instance from raw key bytes (16 or 32).
+    pub fn new(key: &[u8]) -> Self {
+        let aes = Aes::new(key);
+        let h = u128::from_be_bytes(aes.encrypt_block_copy(&[0u8; 16]));
+        Self { aes, h }
+    }
+
+    fn j0(nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..NONCE_LEN].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    /// Encrypts `plaintext` with associated data `aad`, returning
+    /// `ciphertext ‖ tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let j0 = Self::j0(nonce);
+        let mut ctr = j0;
+        inc32(&mut ctr);
+        let mut ct = plaintext.to_vec();
+        ctr_xor(&self.aes, &ctr, &mut ct);
+        let s = ghash(self.h, aad, &ct);
+        let ek_j0 = self.aes.encrypt_block_copy(&j0);
+        let mut tag = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
+            tag[i] = s[i] ^ ek_j0[i];
+        }
+        ct.extend_from_slice(&tag);
+        ct
+    }
+
+    /// Verifies and decrypts `ciphertext ‖ tag`.
+    ///
+    /// # Errors
+    /// Returns [`AuthError`] if the input is too short or the tag does not
+    /// verify; no plaintext is released in that case.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+    ) -> Result<Vec<u8>, AuthError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(AuthError);
+        }
+        let (ct, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
+        let j0 = Self::j0(nonce);
+        let s = ghash(self.h, aad, ct);
+        let ek_j0 = self.aes.encrypt_block_copy(&j0);
+        let mut expect = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
+            expect[i] = s[i] ^ ek_j0[i];
+        }
+        if !ct_eq(&expect, tag) {
+            return Err(AuthError);
+        }
+        let mut pt = ct.to_vec();
+        let mut ctr = j0;
+        inc32(&mut ctr);
+        ctr_xor(&self.aes, &ctr, &mut pt);
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn nist_aes128_gcm_empty() {
+        // NIST GCM test case 1
+        let gcm = AesGcm::new(&[0u8; 16]);
+        // Tag = E_K(J0); value cross-checked against `openssl enc -aes-128-ecb`.
+        let out = gcm.seal(&[0u8; 12], b"", b"");
+        assert_eq!(hex(&out), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_aes128_gcm_one_block() {
+        // NIST GCM test case 2
+        let gcm = AesGcm::new(&[0u8; 16]);
+        let out = gcm.seal(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(
+            hex(&out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn nist_aes256_gcm_empty() {
+        // NIST GCM test case 13
+        let gcm = AesGcm::new(&[0u8; 32]);
+        let out = gcm.seal(&[0u8; 12], b"", b"");
+        assert_eq!(hex(&out), "530f8afbc74536b9a963b4f1c4cb738b");
+    }
+
+    #[test]
+    fn nist_aes256_gcm_one_block() {
+        // NIST GCM test case 14
+        let gcm = AesGcm::new(&[0u8; 32]);
+        let out = gcm.seal(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(
+            hex(&out),
+            "cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919"
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_aad() {
+        let gcm = AesGcm::new(&[42u8; 32]);
+        let nonce = [1u8; 12];
+        let sealed = gcm.seal(&nonce, b"header", b"the group key");
+        let opened = gcm.open(&nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"the group key");
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let gcm = AesGcm::new(&[42u8; 32]);
+        let nonce = [1u8; 12];
+        let mut sealed = gcm.seal(&nonce, b"aad", b"secret");
+        // flip a ciphertext bit
+        sealed[0] ^= 1;
+        assert_eq!(gcm.open(&nonce, b"aad", &sealed), Err(AuthError));
+        sealed[0] ^= 1;
+        // wrong AAD
+        assert_eq!(gcm.open(&nonce, b"aax", &sealed), Err(AuthError));
+        // truncated input
+        assert_eq!(gcm.open(&nonce, b"aad", &sealed[..10]), Err(AuthError));
+        // wrong nonce
+        assert_eq!(gcm.open(&[2u8; 12], b"aad", &sealed), Err(AuthError));
+        // original still opens
+        assert!(gcm.open(&nonce, b"aad", &sealed).is_ok());
+    }
+
+    #[test]
+    fn gf_mul_is_commutative_and_distributive() {
+        let a = 0x0123456789abcdef0123456789abcdefu128;
+        let b = 0xfedcba9876543210fedcba9876543210u128;
+        let c = 0xaaaaaaaaaaaaaaaa5555555555555555u128;
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+        assert_eq!(gf_mul(a, 0), 0);
+    }
+
+    #[test]
+    fn multiblock_and_unaligned_lengths() {
+        let gcm = AesGcm::new(&unhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        ));
+        for len in [1usize, 15, 16, 17, 31, 32, 100] {
+            let pt: Vec<u8> = (0..len as u8).collect();
+            let nonce = [3u8; 12];
+            let sealed = gcm.seal(&nonce, b"x", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(gcm.open(&nonce, b"x", &sealed).unwrap(), pt, "len={len}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # symcrypto — symmetric-cryptography substrate
+//!
+//! From-scratch implementations of the symmetric primitives the IBBE-SGX
+//! system needs, standing in for the OpenSSL port the paper uses inside SGX
+//! (Intel SGX-SSL):
+//!
+//! * [`mod@sha256`] — SHA-256 (FIPS 180-4), used as the paper's `sgx_sha` for
+//!   deriving AES keys from broadcast keys;
+//! * [`aes`] / [`gcm`] — AES-128/256 and AES-GCM (the paper's `sgx_aes`,
+//!   at the 256-bit "maximal security level");
+//! * [`hmac`] — HMAC-SHA256, HKDF and constant-time comparison;
+//! * [`drbg`] — HMAC-DRBG with a [`rand::RngCore`] adapter for deterministic
+//!   in-enclave randomness.
+//!
+//! Every primitive is validated against FIPS/NIST/RFC test vectors in its
+//! module tests.
+//!
+//! ```
+//! use symcrypto::gcm::AesGcm;
+//! let gcm = AesGcm::new(&[0u8; 32]);
+//! let sealed = gcm.seal(&[0u8; 12], b"ctx", b"group key");
+//! assert_eq!(gcm.open(&[0u8; 12], b"ctx", &sealed).unwrap(), b"group key");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod drbg;
+pub mod gcm;
+pub mod hmac;
+pub mod sha256;
+
+pub use aes::Aes;
+pub use drbg::HmacDrbg;
+pub use gcm::{AesGcm, AuthError, NONCE_LEN, TAG_LEN};
+pub use hmac::{ct_eq, hkdf, hmac_sha256};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,140 @@
+//! Synthesizer for the Linux-kernel-style membership trace (§VI-B1).
+//!
+//! The paper derives its real trace from kernel git history (first commit =
+//! join, last commit = leave): 43,468 membership operations over ten years
+//! with the group never exceeding 2,803 members. The dataset itself is not
+//! redistributable, so this generator reproduces those published invariants:
+//! configurable total operation count, a hard cap on concurrent membership,
+//! an early growth phase followed by churn, and heavy-tailed member
+//! lifetimes (most contributors leave quickly, a core stays for years).
+
+use crate::trace::{Trace, TraceOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the kernel-style generator.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelTraceConfig {
+    /// Total membership operations (paper: 43,468).
+    pub ops: usize,
+    /// Hard cap on concurrent group size (paper: 2,803).
+    pub max_group_size: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for KernelTraceConfig {
+    fn default() -> Self {
+        Self { ops: 43_468, max_group_size: 2_803, seed: 0x1b5e }
+    }
+}
+
+impl KernelTraceConfig {
+    /// A scaled-down copy with `ops` operations and a proportionally scaled
+    /// group cap — used by the default benchmark profiles.
+    pub fn scaled(&self, ops: usize) -> Self {
+        let ratio = ops as f64 / self.ops as f64;
+        Self {
+            ops,
+            max_group_size: ((self.max_group_size as f64 * ratio).ceil() as usize).max(8),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Generates a kernel-style trace.
+///
+/// Properties guaranteed (asserted in tests):
+/// * exactly `cfg.ops` operations;
+/// * concurrent membership never exceeds `cfg.max_group_size`;
+/// * the trace is consistent (no duplicate adds / ghost removes);
+/// * both adds and removes occur in non-trivial numbers.
+pub fn generate_kernel_trace(cfg: &KernelTraceConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ops = Vec::with_capacity(cfg.ops);
+    let mut present: Vec<String> = Vec::new();
+    let mut next_uid = 0usize;
+
+    while ops.len() < cfg.ops {
+        let progress = ops.len() as f64 / cfg.ops as f64;
+        // Growth phase: strong add bias early, converging to balanced churn
+        // (the kernel community grows, then contributors come and go).
+        let add_bias = 0.9 - 0.42 * progress;
+        let must_add = present.is_empty();
+        let must_remove = present.len() >= cfg.max_group_size;
+        let do_add = must_add || (!must_remove && rng.gen_bool(add_bias));
+        if do_add {
+            let user = format!("dev-{next_uid:06}");
+            next_uid += 1;
+            present.push(user.clone());
+            ops.push(TraceOp::Add { user });
+        } else {
+            // Heavy-tailed departure: recent joiners are much more likely to
+            // leave than the long-lived core (pick an index biased towards
+            // the end of the presence list).
+            let n = present.len();
+            let idx = n - 1 - (rng.gen_range(0.0f64..1.0).powi(3) * n as f64) as usize;
+            let idx = idx.min(n - 1);
+            let user = present.swap_remove(idx);
+            ops.push(TraceOp::Remove { user });
+        }
+    }
+
+    Trace {
+        name: format!(
+            "kernel(ops={}, cap={}, seed={:#x})",
+            cfg.ops, cfg.max_group_size, cfg.seed
+        ),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_invariants() {
+        let cfg = KernelTraceConfig::default();
+        assert_eq!(cfg.ops, 43_468);
+        assert_eq!(cfg.max_group_size, 2_803);
+        let trace = generate_kernel_trace(&cfg);
+        let stats = trace.stats();
+        assert_eq!(stats.ops, 43_468);
+        assert!(stats.peak_group_size <= 2_803);
+        // paper's group reaches the cap region during ten years of growth
+        assert!(
+            stats.peak_group_size > 2_000,
+            "expected near-cap peak, got {}",
+            stats.peak_group_size
+        );
+        assert!(stats.removes > 5_000, "non-trivial churn expected");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = KernelTraceConfig { ops: 500, max_group_size: 50, seed: 7 };
+        let a = generate_kernel_trace(&cfg);
+        let b = generate_kernel_trace(&cfg);
+        assert_eq!(a.ops, b.ops);
+        let c = generate_kernel_trace(&KernelTraceConfig { seed: 8, ..cfg });
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn cap_is_respected_under_pressure() {
+        let cfg = KernelTraceConfig { ops: 2_000, max_group_size: 10, seed: 1 };
+        let stats = generate_kernel_trace(&cfg).stats();
+        assert!(stats.peak_group_size <= 10);
+        assert_eq!(stats.ops, 2_000);
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let cfg = KernelTraceConfig::default().scaled(1_000);
+        assert_eq!(cfg.ops, 1_000);
+        assert!(cfg.max_group_size >= 8);
+        let stats = generate_kernel_trace(&cfg).stats();
+        assert!(stats.peak_group_size <= cfg.max_group_size);
+    }
+}

@@ -1,0 +1,33 @@
+//! # workloads — membership traces and replay
+//!
+//! Workload generation and replay for the macrobenchmarks (paper §VI-B):
+//!
+//! * [`kernel`] — a synthesizer reproducing the published invariants of the
+//!   paper's Linux-kernel ACL trace (43,468 ops, ≤ 2,803 concurrent members,
+//!   growth-then-churn, heavy-tailed lifetimes) — see DESIGN.md §1 for the
+//!   dataset substitution rationale;
+//! * [`synthetic`] — the 11-trace revocation-ratio sweep of Fig. 10;
+//! * [`replay()`] — a timing-capturing replay engine generic over any
+//!   [`ReplayBackend`] (IBBE-SGX and HE backends live in the bench crate).
+//!
+//! ```
+//! use workloads::{generate_kernel_trace, KernelTraceConfig};
+//! let trace = generate_kernel_trace(&KernelTraceConfig::default().scaled(200));
+//! let stats = trace.stats();
+//! assert_eq!(stats.ops, 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod replay;
+pub mod synthetic;
+pub mod trace;
+
+pub use kernel::{generate_kernel_trace, KernelTraceConfig};
+pub use replay::{replay, ReplayBackend, ReplayReport};
+pub use synthetic::{
+    generate_synthetic_trace, revocation_sweep, SyntheticTrace, SyntheticTraceConfig,
+};
+pub use trace::{Trace, TraceOp, TraceStats};

@@ -1,0 +1,165 @@
+//! Trace replay with timing capture (drives Figs. 8a, 9 and 10).
+
+use crate::trace::{Trace, TraceOp};
+use std::time::{Duration, Instant};
+
+/// What the replay engine drives: any group access control system that can
+/// add and remove members, and optionally measure one client decryption.
+pub trait ReplayBackend {
+    /// Applies an add-user operation.
+    fn add_user(&mut self, user: &str);
+    /// Applies a remove-user operation.
+    fn remove_user(&mut self, user: &str);
+    /// Measures one client decryption of the current state; `None` if the
+    /// backend cannot (e.g. the group is empty).
+    fn sample_decrypt(&mut self) -> Option<Duration> {
+        None
+    }
+}
+
+/// Timing report of one replay.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Wall-clock total across all operations (the paper's "total
+    /// administrator replay time").
+    pub total: Duration,
+    /// Individual add-operation latencies (Fig. 8a CDF input).
+    pub add_latencies: Vec<Duration>,
+    /// Individual remove-operation latencies.
+    pub remove_latencies: Vec<Duration>,
+    /// Sampled client decryption latencies (Fig. 9 right axis).
+    pub decrypt_samples: Vec<Duration>,
+}
+
+impl ReplayReport {
+    /// Mean of a latency series (zero for empty input).
+    pub fn mean(series: &[Duration]) -> Duration {
+        if series.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: Duration = series.iter().sum();
+        sum / series.len() as u32
+    }
+
+    /// The `q`-quantile (0.0–1.0) of a latency series by nearest-rank.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(series: &[Duration], q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+        if series.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = series.to_vec();
+        sorted.sort();
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank]
+    }
+}
+
+/// Replays `trace` against `backend`, timing each operation; every
+/// `decrypt_every`-th operation additionally samples a client decryption.
+pub fn replay<B: ReplayBackend>(
+    trace: &Trace,
+    backend: &mut B,
+    decrypt_every: Option<usize>,
+) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    for (i, op) in trace.ops.iter().enumerate() {
+        let t0 = Instant::now();
+        match op {
+            TraceOp::Add { user } => {
+                backend.add_user(user);
+                let dt = t0.elapsed();
+                report.add_latencies.push(dt);
+                report.total += dt;
+            }
+            TraceOp::Remove { user } => {
+                backend.remove_user(user);
+                let dt = t0.elapsed();
+                report.remove_latencies.push(dt);
+                report.total += dt;
+            }
+        }
+        if let Some(every) = decrypt_every {
+            if every > 0 && (i + 1) % every == 0 {
+                if let Some(d) = backend.sample_decrypt() {
+                    report.decrypt_samples.push(d);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// A backend that tracks membership and burns deterministic time.
+    #[derive(Default)]
+    struct FakeBackend {
+        members: HashSet<String>,
+        decrypts: usize,
+    }
+
+    impl ReplayBackend for FakeBackend {
+        fn add_user(&mut self, user: &str) {
+            assert!(self.members.insert(user.to_string()));
+        }
+        fn remove_user(&mut self, user: &str) {
+            assert!(self.members.remove(user));
+        }
+        fn sample_decrypt(&mut self) -> Option<Duration> {
+            self.decrypts += 1;
+            Some(Duration::from_micros(10))
+        }
+    }
+
+    fn trace() -> Trace {
+        Trace {
+            name: "t".into(),
+            ops: vec![
+                TraceOp::Add { user: "a".into() },
+                TraceOp::Add { user: "b".into() },
+                TraceOp::Remove { user: "a".into() },
+                TraceOp::Add { user: "c".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn replay_counts_and_samples() {
+        let mut backend = FakeBackend::default();
+        let report = replay(&trace(), &mut backend, Some(2));
+        assert_eq!(report.add_latencies.len(), 3);
+        assert_eq!(report.remove_latencies.len(), 1);
+        assert_eq!(backend.decrypts, 2); // ops 2 and 4
+        assert_eq!(report.decrypt_samples.len(), 2);
+        assert_eq!(backend.members.len(), 2);
+    }
+
+    #[test]
+    fn no_decrypt_sampling_when_disabled() {
+        let mut backend = FakeBackend::default();
+        let report = replay(&trace(), &mut backend, None);
+        assert!(report.decrypt_samples.is_empty());
+        assert_eq!(backend.decrypts, 0);
+    }
+
+    #[test]
+    fn quantile_and_mean() {
+        let series: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(
+            ReplayReport::mean(&series),
+            Duration::from_micros(50) + Duration::from_nanos(500)
+        );
+        assert_eq!(ReplayReport::quantile(&series, 0.0), Duration::from_micros(1));
+        assert_eq!(ReplayReport::quantile(&series, 1.0), Duration::from_micros(100));
+        let median = ReplayReport::quantile(&series, 0.5);
+        assert!(median >= Duration::from_micros(50) && median <= Duration::from_micros(51));
+        assert_eq!(ReplayReport::mean(&[]), Duration::ZERO);
+        assert_eq!(ReplayReport::quantile(&[], 0.5), Duration::ZERO);
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic revocation-ratio traces (§VI-B2, Fig. 10).
+//!
+//! The paper generates 11 traces of 10,000 membership operations whose
+//! composition varies the revocation (remove) ratio from 0 % to 100 % in
+//! 10-point steps, and replays each against partition sizes 1000/1500/2000.
+
+use crate::trace::{Trace, TraceOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for one synthetic trace.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticTraceConfig {
+    /// Number of timed operations (paper: 10,000).
+    pub ops: usize,
+    /// Fraction of operations that are revocations, in `[0, 1]`.
+    pub revocation_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticTraceConfig {
+    fn default() -> Self {
+        Self { ops: 10_000, revocation_ratio: 0.0, seed: 0xd5 }
+    }
+}
+
+/// Output of the generator: the members that must exist **before** replay
+/// (removals need victims) and the timed operation sequence.
+#[derive(Clone, Debug)]
+pub struct SyntheticTrace {
+    /// Group members to create before the timed section starts.
+    pub initial_members: Vec<String>,
+    /// The timed trace.
+    pub trace: Trace,
+}
+
+/// Generates a synthetic trace with the requested revocation ratio.
+///
+/// The exact number of removals is `round(ops × ratio)`; their positions
+/// are uniformly shuffled. Removals pick a uniformly random current member,
+/// mirroring the paper's "composition randomly generated".
+///
+/// # Panics
+/// Panics if `revocation_ratio` is outside `[0, 1]`.
+pub fn generate_synthetic_trace(cfg: &SyntheticTraceConfig) -> SyntheticTrace {
+    assert!(
+        (0.0..=1.0).contains(&cfg.revocation_ratio),
+        "revocation ratio must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let removes = (cfg.ops as f64 * cfg.revocation_ratio).round() as usize;
+    let adds = cfg.ops - removes;
+
+    // The pre-existing group is sized by the trace length, *independent of
+    // the ratio*: this is what produces Fig. 10's drop beyond ~90 % — under
+    // heavy revocation the group (and with it the partition count) collapses
+    // during the replay, making the remaining operations cheaper.
+    let initial = cfg.ops.max(1);
+    let initial_members: Vec<String> =
+        (0..initial).map(|i| format!("seed-{i:06}")).collect();
+
+    // op kind sequence: `removes` true flags among `ops`, Fisher–Yates shuffled
+    let mut kinds = vec![false; adds];
+    kinds.extend(std::iter::repeat(true).take(removes));
+    for i in (1..kinds.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        kinds.swap(i, j);
+    }
+
+    let mut present = initial_members.clone();
+    let mut ops = Vec::with_capacity(cfg.ops);
+    let mut next_uid = 0usize;
+    for is_remove in kinds {
+        if is_remove {
+            let idx = rng.gen_range(0..present.len());
+            let user = present.swap_remove(idx);
+            ops.push(TraceOp::Remove { user });
+        } else {
+            let user = format!("new-{next_uid:06}");
+            next_uid += 1;
+            present.push(user.clone());
+            ops.push(TraceOp::Add { user });
+        }
+    }
+
+    SyntheticTrace {
+        initial_members,
+        trace: Trace {
+            name: format!(
+                "synthetic(ops={}, revocation={:.0}%, seed={:#x})",
+                cfg.ops,
+                cfg.revocation_ratio * 100.0,
+                cfg.seed
+            ),
+            ops,
+        },
+    }
+}
+
+/// The paper's 11-point revocation sweep (0 %, 10 %, …, 100 %).
+pub fn revocation_sweep(ops: usize, seed: u64) -> Vec<SyntheticTrace> {
+    (0..=10)
+        .map(|i| {
+            generate_synthetic_trace(&SyntheticTraceConfig {
+                ops,
+                revocation_ratio: i as f64 / 10.0,
+                seed: seed.wrapping_add(i),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_stats(t: &SyntheticTrace) -> crate::trace::TraceStats {
+        // prepend initial adds so Trace::stats can validate consistency
+        let mut ops: Vec<TraceOp> = t
+            .initial_members
+            .iter()
+            .map(|u| TraceOp::Add { user: u.clone() })
+            .collect();
+        ops.extend(t.trace.ops.iter().cloned());
+        Trace { name: "full".into(), ops }.stats()
+    }
+
+    #[test]
+    fn ratio_is_respected_exactly() {
+        for (ratio, want_removes) in [(0.0, 0usize), (0.3, 300), (1.0, 1000)] {
+            let t = generate_synthetic_trace(&SyntheticTraceConfig {
+                ops: 1000,
+                revocation_ratio: ratio,
+                seed: 1,
+            });
+            let removes = t
+                .trace
+                .ops
+                .iter()
+                .filter(|o| matches!(o, TraceOp::Remove { .. }))
+                .count();
+            assert_eq!(removes, want_removes, "ratio {ratio}");
+            assert_eq!(t.trace.ops.len(), 1000);
+        }
+    }
+
+    #[test]
+    fn traces_are_consistent() {
+        for ratio in [0.0, 0.5, 0.9, 1.0] {
+            let t = generate_synthetic_trace(&SyntheticTraceConfig {
+                ops: 500,
+                revocation_ratio: ratio,
+                seed: 2,
+            });
+            let stats = full_stats(&t);
+            assert_eq!(stats.ops, 500 + t.initial_members.len());
+        }
+    }
+
+    #[test]
+    fn sweep_has_eleven_points() {
+        let sweep = revocation_sweep(100, 3);
+        assert_eq!(sweep.len(), 11);
+        let removes: Vec<usize> = sweep
+            .iter()
+            .map(|t| {
+                t.trace
+                    .ops
+                    .iter()
+                    .filter(|o| matches!(o, TraceOp::Remove { .. }))
+                    .count()
+            })
+            .collect();
+        assert_eq!(removes[0], 0);
+        assert_eq!(removes[10], 100);
+        assert!(removes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "revocation ratio")]
+    fn bad_ratio_panics() {
+        generate_synthetic_trace(&SyntheticTraceConfig {
+            ops: 10,
+            revocation_ratio: 1.5,
+            seed: 0,
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! Membership traces: the unit of input for the macrobenchmarks (§VI-B).
+
+/// One membership operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceOp {
+    /// Add `user` to the group.
+    Add {
+        /// Identity to add.
+        user: String,
+    },
+    /// Remove `user` from the group.
+    Remove {
+        /// Identity to remove.
+        user: String,
+    },
+}
+
+/// An ordered membership trace plus provenance.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Human-readable provenance (generator + parameters).
+    pub name: String,
+    /// The operations, in replay order.
+    pub ops: Vec<TraceOp>,
+}
+
+/// Summary invariants of a trace (used to validate generators against the
+/// published properties of the paper's dataset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceStats {
+    /// Total operations.
+    pub ops: usize,
+    /// Number of adds.
+    pub adds: usize,
+    /// Number of removes.
+    pub removes: usize,
+    /// Peak concurrent group size.
+    pub peak_group_size: usize,
+    /// Group size after the full trace.
+    pub final_group_size: usize,
+}
+
+impl Trace {
+    /// Computes summary statistics by simulating membership.
+    ///
+    /// # Panics
+    /// Panics if the trace is inconsistent (removal of a non-member or
+    /// duplicate add) — generators must produce consistent traces.
+    pub fn stats(&self) -> TraceStats {
+        let mut current = std::collections::HashSet::new();
+        let mut peak = 0usize;
+        let mut adds = 0usize;
+        let mut removes = 0usize;
+        for op in &self.ops {
+            match op {
+                TraceOp::Add { user } => {
+                    assert!(current.insert(user.as_str()), "duplicate add of {user}");
+                    adds += 1;
+                    peak = peak.max(current.len());
+                }
+                TraceOp::Remove { user } => {
+                    assert!(current.remove(user.as_str()), "removing non-member {user}");
+                    removes += 1;
+                }
+            }
+        }
+        TraceStats {
+            ops: self.ops.len(),
+            adds,
+            removes,
+            peak_group_size: peak,
+            final_group_size: current.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(u: &str) -> TraceOp {
+        TraceOp::Add { user: u.into() }
+    }
+    fn rm(u: &str) -> TraceOp {
+        TraceOp::Remove { user: u.into() }
+    }
+
+    #[test]
+    fn stats_track_membership() {
+        let t = Trace {
+            name: "t".into(),
+            ops: vec![add("a"), add("b"), rm("a"), add("c"), add("d"), rm("b")],
+        };
+        let s = t.stats();
+        assert_eq!(s.ops, 6);
+        assert_eq!(s.adds, 4);
+        assert_eq!(s.removes, 2);
+        assert_eq!(s.peak_group_size, 3);
+        assert_eq!(s.final_group_size, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing non-member")]
+    fn inconsistent_trace_detected() {
+        let t = Trace { name: "bad".into(), ops: vec![rm("ghost")] };
+        t.stats();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate add")]
+    fn duplicate_add_detected() {
+        let t = Trace { name: "bad".into(), ops: vec![add("a"), add("a")] };
+        t.stats();
+    }
+}

@@ -1,0 +1,56 @@
+//! # IBBE-SGX — cryptographic group access control using trusted execution
+//!
+//! Facade crate for the reproduction of *IBBE-SGX: Cryptographic Group Access
+//! Control using Trusted Execution Environments* (Contiu et al., DSN 2018).
+//!
+//! The repository is a Cargo workspace; this root crate re-exports every
+//! member so examples and integration tests can address the whole system
+//! through a single dependency.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ibbe_sgx::core::{GroupEngine, PartitionSize};
+//! use ibbe_sgx::sgx::EnclaveBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Boot the (simulated) enclave that guards the IBBE master secret.
+//! let engine = GroupEngine::bootstrap(PartitionSize::new(8)?, &mut rand::thread_rng())?;
+//!
+//! // Create a group for three identities; the admin only ever sees sealed keys.
+//! let members = ["alice", "bob", "carol"].map(String::from).to_vec();
+//! let group = engine.create_group("demo", members.clone())?;
+//!
+//! // A member derives the shared group key with her user secret key.
+//! let usk = engine.extract_user_key("alice")?;
+//! let gk = ibbe_sgx::core::client_decrypt_group_key(
+//!     engine.public_key(), &usk, "alice", &group)?;
+//! assert_eq!(gk.as_bytes().len(), 32);
+//! # Ok(()) }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Underlying crate | Role |
+//! |---|---|---|
+//! | [`bigint`] | `ibbe-bigint` | fixed-width Montgomery arithmetic (GMP replacement) |
+//! | [`pairing`] | `ibbe-pairing` | BLS12-381 pairing (PBC replacement) |
+//! | [`symcrypto`] | `symcrypto` | AES-256-GCM/CTR, SHA-256, HMAC, HKDF, DRBG |
+//! | [`sgx`] | `sgx-sim` | simulated SGX enclaves, sealing, attestation |
+//! | [`ibbe`] | `ibbe` | Delerablée IBBE scheme (public + MSK fast paths) |
+//! | [`he`] | `he` | HE-PKI / HE-IBE baselines |
+//! | [`core`] | `ibbe-sgx-core` | the paper's contribution: partitioned IBBE inside SGX |
+//! | [`cloud`] | `cloud-store` | simulated Dropbox (PUT / long polling) |
+//! | [`acs`] | `acs` | end-to-end admin/client access control system |
+//! | [`workloads`] | `workloads` | membership traces and replay |
+
+pub use acs;
+pub use cloud_store as cloud;
+pub use he;
+pub use ibbe;
+pub use ibbe_bigint as bigint;
+pub use ibbe_pairing as pairing;
+pub use ibbe_sgx_core as core;
+pub use sgx_sim as sgx;
+pub use symcrypto;
+pub use workloads;

@@ -1,0 +1,171 @@
+//! Failure-injection and adversarial tests at the system level: a curious
+//! or actively tampering cloud, spliced metadata, stale replays, and
+//! cross-group confusion. The system must fail closed — wrong keys must
+//! never be silently accepted.
+
+use ibbe_sgx::acs::{bootstrap_admin, AcsError, Client};
+use ibbe_sgx::cloud::CloudStore;
+use ibbe_sgx::core::{
+    client_decrypt_group_key, CoreError, GroupEngine, GroupMetadata, PartitionSize,
+};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("u{i}")).collect()
+}
+
+#[test]
+fn tampered_cloud_object_fails_closed() {
+    let mut r = rng(1);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(4).unwrap(), store.clone(), &mut r).unwrap();
+    admin.create_group("g", names(4)).unwrap();
+
+    // flip one byte of the stored partition object
+    let (bytes, _) = store.get("g", "p000000").unwrap();
+    let mut forged = bytes.to_vec();
+    let n = forged.len();
+    forged[n / 2] ^= 0x40;
+    store.put("g", "p000000", forged);
+
+    let usk = admin.engine().extract_user_key("u0").unwrap();
+    let mut client = Client::new("u0", usk, admin.engine().public_key().clone(), store, "g");
+    match client.sync() {
+        Ok(_) => panic!("tampered metadata must never yield a key"),
+        Err(
+            AcsError::WireFormat(_)
+            | AcsError::NotAMember(_)
+            | AcsError::Core(CoreError::CorruptMetadata(_) | CoreError::Ibbe(_)),
+        ) => {}
+        Err(other) => panic!("unexpected error kind: {other:?}"),
+    }
+}
+
+#[test]
+fn cross_group_partition_splice_rejected() {
+    // The cloud serves group A's partition under group B's folder; the
+    // wrapped key is AAD-bound to the group name, so unwrap must fail.
+    let mut r = rng(2);
+    let engine = GroupEngine::bootstrap(PartitionSize::new(4).unwrap(), &mut r).unwrap();
+    let meta_a = engine.create_group("group-a", names(3)).unwrap();
+    let meta_b = engine.create_group("group-b", names(3)).unwrap();
+
+    let spliced = GroupMetadata {
+        name: meta_b.name.clone(),
+        partitions: meta_a.partitions.clone(), // A's partitions under B's name
+        sealed_gk: meta_b.sealed_gk.clone(),
+    };
+    let usk = engine.extract_user_key("u0").unwrap();
+    let res = client_decrypt_group_key(engine.public_key(), &usk, "u0", &spliced);
+    assert!(
+        matches!(res, Err(CoreError::CorruptMetadata(_))),
+        "cross-group splice must fail the wrap AAD check, got {res:?}"
+    );
+}
+
+#[test]
+fn stale_metadata_replay_cannot_reveal_rotated_key() {
+    // A cloud colluding with a revoked user replays the pre-revocation
+    // metadata. The revoked user recovers the OLD gk (expected — they held
+    // it legitimately), but nothing about the NEW key.
+    let mut r = rng(3);
+    let engine = GroupEngine::bootstrap(PartitionSize::new(4).unwrap(), &mut r).unwrap();
+    let mut meta = engine.create_group("g", names(3)).unwrap();
+    let stale = meta.clone();
+
+    let usk = engine.extract_user_key("u1").unwrap();
+    let gk_old = client_decrypt_group_key(engine.public_key(), &usk, "u1", &stale).unwrap();
+    engine.remove_user(&mut meta, "u1").unwrap();
+
+    // stale replay still yields only the old key
+    let replayed = client_decrypt_group_key(engine.public_key(), &usk, "u1", &stale).unwrap();
+    assert_eq!(replayed, gk_old);
+    // and the fresh metadata yields nothing for the revoked user
+    assert!(client_decrypt_group_key(engine.public_key(), &usk, "u1", &meta).is_err());
+    // while survivors get a key different from the leaked old one
+    let usk0 = engine.extract_user_key("u0").unwrap();
+    let gk_new = client_decrypt_group_key(engine.public_key(), &usk0, "u0", &meta).unwrap();
+    assert_ne!(gk_new, gk_old);
+}
+
+#[test]
+fn sealed_blob_from_other_group_is_rejected_by_enclave() {
+    // Algorithm 2's new-partition path must unseal gk; a spliced sealed
+    // blob (from another group) fails the AAD binding inside the enclave.
+    let mut r = rng(4);
+    let engine = GroupEngine::bootstrap(PartitionSize::new(1).unwrap(), &mut r).unwrap();
+    let mut meta = engine.create_group("g1", names(2)).unwrap(); // partitions full
+    let other = engine.create_group("g2", names(1)).unwrap();
+    meta.sealed_gk = other.sealed_gk; // cloud swaps the sealed objects
+    let res = engine.add_user(&mut meta, "late");
+    assert!(
+        matches!(res, Err(CoreError::Sgx(_))),
+        "spliced sealed gk must fail to unseal, got {res:?}"
+    );
+}
+
+#[test]
+fn truncated_and_oversized_cloud_objects_rejected() {
+    let mut r = rng(5);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(4).unwrap(), store.clone(), &mut r).unwrap();
+    admin.create_group("g", names(2)).unwrap();
+    let (bytes, _) = store.get("g", "p000000").unwrap();
+
+    // truncated
+    store.put("g", "p000000", bytes.slice(..bytes.len() - 3));
+    let usk = admin.engine().extract_user_key("u0").unwrap();
+    let mut c = Client::new(
+        "u0",
+        usk,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "g",
+    );
+    assert!(c.sync().is_err());
+
+    // trailing garbage
+    let mut extended = bytes.to_vec();
+    extended.extend_from_slice(b"xx");
+    store.put("g", "p000000", extended);
+    assert!(c.sync().is_err());
+
+    // restoring the original heals the client
+    store.put("g", "p000000", bytes);
+    assert!(c.sync().is_ok());
+}
+
+#[test]
+fn member_list_forgery_in_cloud_cannot_widen_access() {
+    // The cloud inserts an attacker identity into a stored member list.
+    // The attacker (with a valid USK for their own identity) still cannot
+    // derive gk: the IBBE ciphertext's receiver product does not include
+    // them, so the unwrap fails.
+    let mut r = rng(6);
+    let store = CloudStore::new();
+    let admin = bootstrap_admin(PartitionSize::new(4).unwrap(), store.clone(), &mut r).unwrap();
+    admin.create_group("g", names(3)).unwrap();
+
+    let meta = admin.metadata("g").unwrap();
+    let mut forged_partition = meta.partitions[0].clone();
+    forged_partition.members.push("mallory".to_string());
+    store.put("g", "p000000", forged_partition.to_bytes());
+
+    let usk_mallory = admin.engine().extract_user_key("mallory").unwrap();
+    let mut mallory = Client::new(
+        "mallory",
+        usk_mallory,
+        admin.engine().public_key().clone(),
+        store,
+        "g",
+    );
+    match mallory.sync() {
+        Ok(_) => panic!("forged member list must not grant access"),
+        Err(AcsError::Core(CoreError::CorruptMetadata(_))) => {}
+        Err(other) => panic!("unexpected error: {other:?}"),
+    }
+}
