@@ -8,9 +8,7 @@
 
 use crate::error::AcsError;
 use cloud_store::CloudStore;
-use ibbe_sgx_core::{
-    AddOutcome, GroupEngine, GroupMetadata, PartitionSize, RemoveOutcome,
-};
+use ibbe_sgx_core::{AddOutcome, GroupEngine, GroupMetadata, PartitionSize, RemoveOutcome};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -79,7 +77,8 @@ impl Admin {
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         let outcome = self.engine.add_user(meta, identity)?;
         let p = &meta.partitions[outcome.partition];
-        self.store.put(group, &partition_item(outcome.partition), p.to_bytes());
+        self.store
+            .put(group, &partition_item(outcome.partition), p.to_bytes());
         // `y` unchanged on the fast path, so nothing else to push; the new
         // sealed gk only changes when gk rotates.
         Ok(outcome)
@@ -98,9 +97,7 @@ impl Admin {
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         let before = meta.partition_count();
         let outcome = self.engine.remove_user(meta, identity)?;
-        if self.auto_repartition
-            && meta.needs_repartitioning(self.engine.partition_size().get())
-        {
+        if self.auto_repartition && meta.needs_repartitioning(self.engine.partition_size().get()) {
             *meta = self.engine.repartition(meta)?;
         }
         self.push_all(meta);
@@ -178,5 +175,8 @@ pub fn bootstrap_admin<R: rand::RngCore + ?Sized>(
     store: CloudStore,
     rng: &mut R,
 ) -> Result<Admin, AcsError> {
-    Ok(Admin::new(GroupEngine::bootstrap(partition_size, rng)?, store))
+    Ok(Admin::new(
+        GroupEngine::bootstrap(partition_size, rng)?,
+        store,
+    ))
 }

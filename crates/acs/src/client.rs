@@ -95,7 +95,8 @@ impl Client {
     }
 
     fn derive(&mut self, item: String, p: PartitionMetadata) -> Result<GroupKey, AcsError> {
-        let gk = client_decrypt_from_partition(&self.pk, &self.usk, &self.identity, &self.group, &p)?;
+        let gk =
+            client_decrypt_from_partition(&self.pk, &self.usk, &self.identity, &self.group, &p)?;
         self.cached = Some((item, p));
         self.gk = Some(gk);
         Ok(gk)

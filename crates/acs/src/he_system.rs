@@ -88,7 +88,8 @@ impl HeAdmin {
             let mut k = [0u8; 32];
             ctx.rng().generate(&mut k);
             let gk = HeGroupKey(k);
-            self.mgr.remove_user_with_key(meta, identity, &gk, ctx.rng());
+            self.mgr
+                .remove_user_with_key(meta, identity, &gk, ctx.rng());
             vault.insert(group.to_string(), gk);
         });
         self.push(group, meta);
@@ -162,7 +163,9 @@ pub fn decode_he_metadata(bytes: &[u8]) -> Option<HeGroupMetadata> {
     let mut meta = HeGroupMetadata::default();
     for _ in 0..count {
         let id_len = u16::from_be_bytes(take(&mut cur, 2)?.try_into().ok()?) as usize;
-        let id = std::str::from_utf8(take(&mut cur, id_len)?).ok()?.to_string();
+        let id = std::str::from_utf8(take(&mut cur, id_len)?)
+            .ok()?
+            .to_string();
         let env_len = u32::from_be_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
         let env = take(&mut cur, env_len)?.to_vec();
         meta.push_envelope(id, env);

@@ -153,7 +153,10 @@ pub struct AdminSigner {
 impl AdminSigner {
     /// Creates a signer with a fresh key.
     pub fn new<R: rand::RngCore + ?Sized>(name: &str, rng: &mut R) -> Self {
-        Self { name: name.to_string(), key: SigningKey::generate(rng) }
+        Self {
+            name: name.to_string(),
+            key: SigningKey::generate(rng),
+        }
     }
 
     /// The verification key auditors register.
@@ -192,11 +195,7 @@ impl OpLog {
     /// Appends an operation signed by `signer`.
     pub fn append(&mut self, signer: &AdminSigner, group: &str, op: LogOp) -> &LogEntry {
         let seq = self.entries.len() as u64;
-        let prev_hash = self
-            .entries
-            .last()
-            .map(LogEntry::hash)
-            .unwrap_or([0u8; 32]);
+        let prev_hash = self.entries.last().map(LogEntry::hash).unwrap_or([0u8; 32]);
         let msg = LogEntry::signing_message(seq, group, &op, &prev_hash, &signer.name);
         let signature = signer.key.sign(&msg);
         self.entries.push(LogEntry {
@@ -268,7 +267,12 @@ mod tests {
         rand::rngs::StdRng::seed_from_u64(71)
     }
 
-    fn setup() -> (OpLog, AdminSigner, AdminSigner, HashMap<String, VerifyingKey>) {
+    fn setup() -> (
+        OpLog,
+        AdminSigner,
+        AdminSigner,
+        HashMap<String, VerifyingKey>,
+    ) {
         let mut r = rng();
         let a1 = AdminSigner::new("alice-admin", &mut r);
         let a2 = AdminSigner::new("bob-admin", &mut r);
@@ -282,21 +286,38 @@ mod tests {
     #[test]
     fn multi_admin_chain_verifies() {
         let (mut log, a1, a2, keys) = setup();
-        log.append(&a1, "g", LogOp::Create { members: vec!["u0".into(), "u1".into()] });
+        log.append(
+            &a1,
+            "g",
+            LogOp::Create {
+                members: vec!["u0".into(), "u1".into()],
+            },
+        );
         log.append(&a2, "g", LogOp::Add { user: "u2".into() });
         log.append(&a1, "g", LogOp::Remove { user: "u0".into() });
         log.append(&a2, "g", LogOp::Rekey);
         assert_eq!(log.verify(&keys), Ok(()));
-        assert_eq!(log.membership_of("g"), vec!["u1".to_string(), "u2".to_string()]);
+        assert_eq!(
+            log.membership_of("g"),
+            vec!["u1".to_string(), "u2".to_string()]
+        );
     }
 
     #[test]
     fn tampered_entry_detected() {
         let (mut log, a1, _, keys) = setup();
-        log.append(&a1, "g", LogOp::Create { members: vec!["u0".into()] });
+        log.append(
+            &a1,
+            "g",
+            LogOp::Create {
+                members: vec!["u0".into()],
+            },
+        );
         log.append(&a1, "g", LogOp::Add { user: "u1".into() });
         // retroactively change who was added
-        log.entries[1].op = LogOp::Add { user: "mallory".into() };
+        log.entries[1].op = LogOp::Add {
+            user: "mallory".into(),
+        };
         let err = log.verify(&keys).unwrap_err();
         assert_eq!(err.1, LogError::BadSignature);
     }
@@ -304,7 +325,13 @@ mod tests {
     #[test]
     fn reordering_detected() {
         let (mut log, a1, _, keys) = setup();
-        log.append(&a1, "g", LogOp::Create { members: vec!["u0".into()] });
+        log.append(
+            &a1,
+            "g",
+            LogOp::Create {
+                members: vec!["u0".into()],
+            },
+        );
         log.append(&a1, "g", LogOp::Add { user: "u1".into() });
         log.append(&a1, "g", LogOp::Remove { user: "u1".into() });
         log.entries.swap(1, 2);
@@ -330,7 +357,13 @@ mod tests {
         let mut r = rng();
         let rogue = AdminSigner::new("rogue", &mut r);
         log.append(&a1, "g", LogOp::Create { members: vec![] });
-        log.append(&rogue, "g", LogOp::Add { user: "backdoor".into() });
+        log.append(
+            &rogue,
+            "g",
+            LogOp::Add {
+                user: "backdoor".into(),
+            },
+        );
         assert_eq!(log.verify(&keys).unwrap_err(), (1, LogError::UnknownAdmin));
     }
 

@@ -10,8 +10,7 @@ use crate::error::AcsError;
 use ibbe::UserSecretKey;
 use ibbe_sgx_core::GroupEngine;
 use sgx_sim::{
-    report_data_for_key, Auditor, Certificate, ChannelKeyPair, ChannelMessage, IasSim,
-    QuotingKey,
+    report_data_for_key, Auditor, Certificate, ChannelKeyPair, ChannelMessage, IasSim, QuotingKey,
 };
 
 /// The attestation infrastructure of one deployment.
@@ -44,7 +43,14 @@ pub fn establish_trust<R: rand::RngCore + ?Sized>(
         report_data_for_key(&enclave_pk.to_bytes()),
     );
     let cert = auditor.audit(&ias, &quote, &enclave_pk)?;
-    Ok((TrustContext { platform, ias, auditor }, cert))
+    Ok((
+        TrustContext {
+            platform,
+            ias,
+            auditor,
+        },
+        cert,
+    ))
 }
 
 /// A user's in-flight key request (holds the ephemeral channel keys the
@@ -76,7 +82,13 @@ impl KeyRequest {
         let msg = cert
             .enclave_key
             .encrypt(rng, &plain, b"ibbe-provisioning-request");
-        Ok((Self { identity: identity.to_string(), keys }, msg))
+        Ok((
+            Self {
+                identity: identity.to_string(),
+                keys,
+            },
+            msg,
+        ))
     }
 
     /// Step 4b: decrypts the enclave's reply into the user's secret key.

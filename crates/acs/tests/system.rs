@@ -43,7 +43,8 @@ fn full_lifecycle_with_attested_provisioning() {
     let gk1 = alice.sync().unwrap();
 
     // all members agree on gk
-    let usk_u0 = provisioning::provision_user(admin.engine(), &cert, &ca, "user-0", &mut r).unwrap();
+    let usk_u0 =
+        provisioning::provision_user(admin.engine(), &cert, &ca, "user-0", &mut r).unwrap();
     let mut u0 = Client::new(
         "user-0",
         usk_u0,
@@ -175,11 +176,9 @@ fn rogue_enclave_cannot_get_certified() {
         sgx_sim::Measurement::of(b"definitely-not-the-reviewed-enclave"),
         sgx_sim::report_data_for_key(&genuine.engine().channel_public_key().to_bytes()),
     );
-    let res = trust.auditor.audit(
-        &trust.ias,
-        &quote,
-        &genuine.engine().channel_public_key(),
-    );
+    let res = trust
+        .auditor
+        .audit(&trust.ias, &quote, &genuine.engine().channel_public_key());
     assert_eq!(res.unwrap_err(), sgx_sim::SgxError::MeasurementMismatch);
 }
 
@@ -202,12 +201,21 @@ fn he_system_parity() {
     admin.create_group("g", &members);
 
     let meta = admin.fetch_metadata("g").unwrap();
-    let gk1 = admin.manager().decrypt(&members[0], &keys[0], &meta).unwrap();
+    let gk1 = admin
+        .manager()
+        .decrypt(&members[0], &keys[0], &meta)
+        .unwrap();
 
     admin.remove_user("g", &members[1]).unwrap();
     let meta2 = admin.fetch_metadata("g").unwrap();
-    assert!(admin.manager().decrypt(&members[1], &keys[1], &meta2).is_none());
-    let gk2 = admin.manager().decrypt(&members[0], &keys[0], &meta2).unwrap();
+    assert!(admin
+        .manager()
+        .decrypt(&members[1], &keys[1], &meta2)
+        .is_none());
+    let gk2 = admin
+        .manager()
+        .decrypt(&members[0], &keys[0], &meta2)
+        .unwrap();
     assert_ne!(gk1, gk2);
 
     // linear metadata growth on the cloud

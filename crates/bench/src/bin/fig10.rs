@@ -48,10 +48,16 @@ fn main() {
     print_table(
         &format!(
             "Fig. 10 — synthetic revocation sweep ({ops} ops{})",
-            if args.no_repartition { ", repartitioning DISABLED" } else { "" }
+            if args.no_repartition {
+                ", repartitioning DISABLED"
+            } else {
+                ""
+            }
         ),
         &headers_ref,
         &rows,
     );
-    println!("\nshape check: rise with revocation ratio, plateau, drop near 100% (partition merging).");
+    println!(
+        "\nshape check: rise with revocation ratio, plateau, drop near 100% (partition merging)."
+    );
 }

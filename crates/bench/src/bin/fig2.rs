@@ -62,19 +62,14 @@ fn main() {
     print_table(
         "Fig. 2a — group creation latency (no SGX)",
         &["group", "HE-PKI", "HE-IBE", "IBBE"],
-        &rows
-            .iter()
-            .map(|r| r[..4].to_vec())
-            .collect::<Vec<_>>(),
+        &rows.iter().map(|r| r[..4].to_vec()).collect::<Vec<_>>(),
     );
     print_table(
         "Fig. 2b — group metadata expansion",
         &["group", "HE-PKI", "HE-IBE", "IBBE"],
         &rows
             .iter()
-            .map(|r| {
-                vec![r[0].clone(), r[4].clone(), r[5].clone(), r[6].clone()]
-            })
+            .map(|r| vec![r[0].clone(), r[4].clone(), r[5].clone(), r[6].clone()])
             .collect::<Vec<_>>(),
     );
     println!(

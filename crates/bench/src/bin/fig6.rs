@@ -20,9 +20,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for &m in sizes {
-        let (engine, t_setup) = time(|| {
-            GroupEngine::bootstrap(PartitionSize::new(m).unwrap(), &mut rng).unwrap()
-        });
+        let (engine, t_setup) =
+            time(|| GroupEngine::bootstrap(PartitionSize::new(m).unwrap(), &mut rng).unwrap());
         let (_, t_extract) = time(|| {
             for i in 0..extracts {
                 engine.extract_user_key(&format!("user-{i}")).unwrap();

@@ -32,8 +32,11 @@ fn main() {
     for &n in group_sizes {
         let members = names(n);
 
-        let (meta, t_create) =
-            time(|| engine.create_group(&format!("g{n}"), members.clone()).unwrap());
+        let (meta, t_create) = time(|| {
+            engine
+                .create_group(&format!("g{n}"), members.clone())
+                .unwrap()
+        });
         let mut meta_rm = meta.clone();
         let victim = members[n / 2].clone();
         let (_, t_remove) = time(|| engine.remove_user(&mut meta_rm, &victim).unwrap());
@@ -84,10 +87,9 @@ fn main() {
     let members = names(group);
     let mut rows = Vec::new();
     for &p in partitions {
-        let engine = GroupEngine::bootstrap(PartitionSize::new(p).unwrap(), &mut rng)
-            .expect("bootstrap");
-        let (meta, t_create) =
-            time(|| engine.create_group("g", members.clone()).unwrap());
+        let engine =
+            GroupEngine::bootstrap(PartitionSize::new(p).unwrap(), &mut rng).expect("bootstrap");
+        let (meta, t_create) = time(|| engine.create_group("g", members.clone()).unwrap());
         let mut meta_rm = meta.clone();
         let victim = members[group / 2].clone();
         let (_, t_remove) = time(|| engine.remove_user(&mut meta_rm, &victim).unwrap());

@@ -58,8 +58,8 @@ fn main() {
     let mut rng = bench_rng(88);
     let mut rows = Vec::new();
     for &p in partitions {
-        let engine = GroupEngine::bootstrap(PartitionSize::new(p).unwrap(), &mut rng)
-            .expect("bootstrap");
+        let engine =
+            GroupEngine::bootstrap(PartitionSize::new(p).unwrap(), &mut rng).expect("bootstrap");
         // one full partition
         let members = names(p);
         let meta = engine.create_group("g", members.clone()).unwrap();

@@ -41,7 +41,8 @@ fn main() {
     };
 
     // System setup: O(|p|)
-    let (e1, t1) = time(|| GroupEngine::bootstrap(PartitionSize::new(n).unwrap(), &mut rng).unwrap());
+    let (e1, t1) =
+        time(|| GroupEngine::bootstrap(PartitionSize::new(n).unwrap(), &mut rng).unwrap());
     let (e2, t2) =
         time(|| GroupEngine::bootstrap(PartitionSize::new(2 * n).unwrap(), &mut rng).unwrap());
     push("system setup", "O(|p|)", t1, t2);
@@ -82,7 +83,8 @@ fn main() {
 
     // Decrypt: O(|p|²) — scale the partition size
     let p1 = n / 2;
-    for (label, p) in [("decrypt", p1)] {
+    {
+        let (label, p) = ("decrypt", p1);
         let ea = GroupEngine::bootstrap(PartitionSize::new(p).unwrap(), &mut rng).unwrap();
         let eb = GroupEngine::bootstrap(PartitionSize::new(2 * p).unwrap(), &mut rng).unwrap();
         let members_a = names(p);
@@ -92,10 +94,22 @@ fn main() {
         let ua = ea.extract_user_key(&members_a[0]).unwrap();
         let ub = eb.extract_user_key(&members_b[0]).unwrap();
         let (ra, t1) = time(|| {
-            client_decrypt_from_partition(ea.public_key(), &ua, &members_a[0], "g", &ma.partitions[0])
+            client_decrypt_from_partition(
+                ea.public_key(),
+                &ua,
+                &members_a[0],
+                "g",
+                &ma.partitions[0],
+            )
         });
         let (rb, t2) = time(|| {
-            client_decrypt_from_partition(eb.public_key(), &ub, &members_b[0], "g", &mb.partitions[0])
+            client_decrypt_from_partition(
+                eb.public_key(),
+                &ub,
+                &members_b[0],
+                "g",
+                &mb.partitions[0],
+            )
         });
         ra.unwrap();
         rb.unwrap();

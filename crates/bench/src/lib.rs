@@ -48,7 +48,11 @@ pub struct BenchArgs {
 impl BenchArgs {
     /// Parses `std::env::args`.
     pub fn parse() -> Self {
-        let mut args = Self { full: false, ops: None, no_repartition: false };
+        let mut args = Self {
+            full: false,
+            ops: None,
+            no_repartition: false,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -144,19 +148,25 @@ impl IbbeBackend {
     /// Boots an engine/admin and creates `group` with `initial` members.
     pub fn new(partition_size: usize, group: &str, initial: &[String], seed: u64) -> Self {
         let mut rng = bench_rng(seed);
-        let engine =
-            GroupEngine::bootstrap(PartitionSize::new(partition_size).unwrap(), &mut rng)
-                .expect("bootstrap");
+        let engine = GroupEngine::bootstrap(PartitionSize::new(partition_size).unwrap(), &mut rng)
+            .expect("bootstrap");
         let admin = Admin::new(engine, CloudStore::new());
         if !initial.is_empty() {
-            admin.create_group(group, initial.to_vec()).expect("create group");
+            admin
+                .create_group(group, initial.to_vec())
+                .expect("create group");
         } else {
             // groups cannot be empty; start with a resident placeholder
             admin
                 .create_group(group, vec!["__resident".to_string()])
                 .expect("create group");
         }
-        Self { admin, group: group.to_string(), usk_cache: HashMap::new(), rng }
+        Self {
+            admin,
+            group: group.to_string(),
+            usk_cache: HashMap::new(),
+            rng,
+        }
     }
 
     /// Access to the underlying admin.
@@ -236,7 +246,12 @@ impl HeBackend {
         } else {
             admin.create_group(group, &members);
         }
-        Self { admin, group: group.to_string(), keys, rng }
+        Self {
+            admin,
+            group: group.to_string(),
+            keys,
+            rng,
+        }
     }
 
     /// Access to the underlying HE admin.

@@ -17,7 +17,10 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// No artificial latency (unit tests, microbenchmarks).
     pub fn none() -> Self {
-        Self { base: Duration::ZERO, jitter: Duration::ZERO }
+        Self {
+            base: Duration::ZERO,
+            jitter: Duration::ZERO,
+        }
     }
 
     /// Fixed latency plus uniform jitter in `[0, jitter]`.

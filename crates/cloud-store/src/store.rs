@@ -169,20 +169,27 @@ impl CloudStore {
                 })
                 .unwrap_or_default();
             if !changed.is_empty() {
-                return PollResult { version: st.version, changed, timed_out: false };
+                return PollResult {
+                    version: st.version,
+                    changed,
+                    timed_out: false,
+                };
             }
             let now = Instant::now();
             if now >= deadline {
-                return PollResult { version: st.version, changed: vec![], timed_out: true };
+                return PollResult {
+                    version: st.version,
+                    changed: vec![],
+                    timed_out: true,
+                };
             }
             let wait = deadline - now;
-            if self
-                .inner
-                .changed
-                .wait_for(&mut st, wait)
-                .timed_out()
-            {
-                return PollResult { version: st.version, changed: vec![], timed_out: true };
+            if self.inner.changed.wait_for(&mut st, wait).timed_out() {
+                return PollResult {
+                    version: st.version,
+                    changed: vec![],
+                    timed_out: true,
+                };
             }
         }
     }
@@ -267,9 +274,7 @@ mod tests {
     fn long_poll_wakes_on_concurrent_put() {
         let s = CloudStore::new();
         let s2 = s.clone();
-        let handle = std::thread::spawn(move || {
-            s2.long_poll("g", 0, Duration::from_secs(5))
-        });
+        let handle = std::thread::spawn(move || s2.long_poll("g", 0, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(30));
         s.put("g", "p7", &b"x"[..]);
         let r = handle.join().unwrap();
@@ -281,8 +286,7 @@ mod tests {
     fn long_poll_scoped_to_folder() {
         let s = CloudStore::new();
         let s2 = s.clone();
-        let handle =
-            std::thread::spawn(move || s2.long_poll("g1", 0, Duration::from_millis(200)));
+        let handle = std::thread::spawn(move || s2.long_poll("g1", 0, Duration::from_millis(200)));
         std::thread::sleep(Duration::from_millis(30));
         s.put("g2", "p0", &b"x"[..]); // different folder: must not satisfy poller
         let r = handle.join().unwrap();
@@ -305,10 +309,8 @@ mod tests {
 
     #[test]
     fn latency_model_slows_requests() {
-        let s = CloudStore::with_latency(LatencyModel::new(
-            Duration::from_millis(5),
-            Duration::ZERO,
-        ));
+        let s =
+            CloudStore::with_latency(LatencyModel::new(Duration::from_millis(5), Duration::ZERO));
         let t0 = Instant::now();
         s.put("g", "p", &b"x"[..]);
         assert!(t0.elapsed() >= Duration::from_millis(5));

@@ -209,7 +209,11 @@ impl GroupEngine {
     /// # Errors
     /// [`CoreError::EmptyGroup`] or IBBE set-validation failures
     /// (duplicates).
-    pub fn create_group(&self, name: &str, members: Vec<String>) -> Result<GroupMetadata, CoreError> {
+    pub fn create_group(
+        &self,
+        name: &str,
+        members: Vec<String>,
+    ) -> Result<GroupMetadata, CoreError> {
         self.create_group_with_fill(name, members, self.partition_size)
     }
 
@@ -243,11 +247,22 @@ impl GroupEngine {
             // lines 3–5: per-partition encrypt + wrap
             let mut partitions = Vec::with_capacity(members.len().div_ceil(m));
             for chunk in members.chunks(m) {
-                partitions.push(make_partition(&st.msk, &pk, chunk.to_vec(), &gk, &name_owned, ctx)?);
+                partitions.push(make_partition(
+                    &st.msk,
+                    &pk,
+                    chunk.to_vec(),
+                    &gk,
+                    &name_owned,
+                    ctx,
+                )?);
             }
             // line 6: seal gk for persistence
             let sealed_gk = seal_gk(ctx, &gk, &name_owned);
-            Ok(GroupMetadata { name: name_owned, partitions, sealed_gk })
+            Ok(GroupMetadata {
+                name: name_owned,
+                partitions,
+                sealed_gk,
+            })
         })
     }
 
@@ -302,7 +317,10 @@ impl GroupEngine {
                 .ecall(|st, _| add_user_with_msk(&st.msk, &target.ciphertext, &identity_owned));
             target.ciphertext = new_ct;
             target.members.push(identity.to_string());
-            Ok(AddOutcome { partition: idx, created_new_partition: false })
+            Ok(AddOutcome {
+                partition: idx,
+                created_new_partition: false,
+            })
         }
     }
 
@@ -498,5 +516,9 @@ fn make_partition(
 ) -> Result<PartitionMetadata, CoreError> {
     let (bk, ciphertext) = encrypt_with_msk(msk, pk, &members, ctx.rng())?;
     let wrapped_gk = wrap_gk(&bk, gk, group_name, ctx);
-    Ok(PartitionMetadata { members, ciphertext, wrapped_gk })
+    Ok(PartitionMetadata {
+        members,
+        ciphertext,
+        wrapped_gk,
+    })
 }

@@ -56,7 +56,10 @@ impl WrappedGroupKey {
         }
         let mut nonce = [0u8; NONCE_LEN];
         nonce.copy_from_slice(&bytes[..NONCE_LEN]);
-        Some(Self { nonce, ciphertext: bytes[NONCE_LEN..].to_vec() })
+        Some(Self {
+            nonce,
+            ciphertext: bytes[NONCE_LEN..].to_vec(),
+        })
     }
 }
 
@@ -117,7 +120,11 @@ impl PartitionMetadata {
         if cur != bytes.len() {
             return None;
         }
-        Some(Self { members, ciphertext, wrapped_gk })
+        Some(Self {
+            members,
+            ciphertext,
+            wrapped_gk,
+        })
     }
 }
 
@@ -211,12 +218,19 @@ mod tests {
         PartitionMetadata {
             members: (0..n).map(|i| format!("p{tag}-u{i}")).collect(),
             ciphertext: ct,
-            wrapped_gk: WrappedGroupKey { nonce: [0; NONCE_LEN], ciphertext: vec![0; 48] },
+            wrapped_gk: WrappedGroupKey {
+                nonce: [0; NONCE_LEN],
+                ciphertext: vec![0; 48],
+            },
         }
     }
 
     fn meta(parts: Vec<PartitionMetadata>) -> GroupMetadata {
-        GroupMetadata { name: "g".into(), partitions: parts, sealed_gk: fake_sealed() }
+        GroupMetadata {
+            name: "g".into(),
+            partitions: parts,
+            sealed_gk: fake_sealed(),
+        }
     }
 
     fn fake_sealed() -> SealedBlob {
@@ -259,7 +273,7 @@ mod tests {
     #[test]
     fn repartition_heuristic() {
         let size = 3; // two-thirds threshold = 2
-        // all partitions full: no repartition
+                      // all partitions full: no repartition
         let m = meta(vec![fake_partition(3, 0), fake_partition(3, 1)]);
         assert!(!m.needs_repartitioning(size));
         // one of two below threshold: 1*2 >= 2 → still fine

@@ -3,8 +3,7 @@
 //! revocation security properties of §II.
 
 use ibbe_sgx_core::{
-    client_decrypt_from_partition, client_decrypt_group_key, CoreError, GroupEngine,
-    PartitionSize,
+    client_decrypt_from_partition, client_decrypt_group_key, CoreError, GroupEngine, PartitionSize,
 };
 use rand::SeedableRng;
 
@@ -55,20 +54,17 @@ fn add_user_fills_open_partition_without_touching_gk() {
     let members = names(5); // partitions: 4 + 1
     let mut meta = e.create_group("g", members.clone()).unwrap();
     let usk0 = e.extract_user_key(&members[0]).unwrap();
-    let gk_before =
-        client_decrypt_group_key(e.public_key(), &usk0, &members[0], &meta).unwrap();
+    let gk_before = client_decrypt_group_key(e.public_key(), &usk0, &members[0], &meta).unwrap();
 
     let outcome = e.add_user(&mut meta, "late-joiner").unwrap();
     assert!(!outcome.created_new_partition, "partition 1 has room");
     assert_eq!(outcome.partition, 1);
 
     // existing member still derives the same gk; joiner derives it too
-    let gk_after =
-        client_decrypt_group_key(e.public_key(), &usk0, &members[0], &meta).unwrap();
+    let gk_after = client_decrypt_group_key(e.public_key(), &usk0, &members[0], &meta).unwrap();
     assert_eq!(gk_before, gk_after);
     let usk_new = e.extract_user_key("late-joiner").unwrap();
-    let gk_new =
-        client_decrypt_group_key(e.public_key(), &usk_new, "late-joiner", &meta).unwrap();
+    let gk_new = client_decrypt_group_key(e.public_key(), &usk_new, "late-joiner", &meta).unwrap();
     assert_eq!(gk_new, gk_before);
 }
 
@@ -104,8 +100,7 @@ fn remove_user_rotates_gk_everywhere_and_revokes() {
     let mut meta = e.create_group("g", members.clone()).unwrap();
     let victim = "user-4";
     let usk_victim = e.extract_user_key(victim).unwrap();
-    let gk_old =
-        client_decrypt_group_key(e.public_key(), &usk_victim, victim, &meta).unwrap();
+    let gk_old = client_decrypt_group_key(e.public_key(), &usk_victim, victim, &meta).unwrap();
 
     let outcome = e.remove_user(&mut meta, victim).unwrap();
     assert_eq!(outcome.rekeyed_partitions, meta.partition_count() - 1);
@@ -123,8 +118,7 @@ fn remove_user_rotates_gk_everywhere_and_revokes() {
 
     // the revoked user cannot derive the new key from fresh metadata:
     // not listed → NotAMember; and replaying their old partition slot fails
-    let err =
-        client_decrypt_group_key(e.public_key(), &usk_victim, victim, &meta).unwrap_err();
+    let err = client_decrypt_group_key(e.public_key(), &usk_victim, victim, &meta).unwrap_err();
     assert_eq!(err, CoreError::NotAMember(victim.into()));
 }
 

@@ -174,7 +174,10 @@ pub struct HeGroupManager<S: EnvelopeScheme> {
 impl<S: EnvelopeScheme> HeGroupManager<S> {
     /// Creates a manager around an envelope scheme.
     pub fn new(scheme: S) -> Self {
-        Self { scheme, directory: HashMap::new() }
+        Self {
+            scheme,
+            directory: HashMap::new(),
+        }
     }
 
     /// Registers a user so groups can address them (PKI certificate

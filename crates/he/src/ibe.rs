@@ -6,9 +6,7 @@
 //! live in `G2`, identity keys `d_ID = H1(ID)^s` in `G1`, and the KEM secret
 //! is `e(H1(ID), P_pub)^r = e(d_ID, U)` for `U = P^r`.
 
-use ibbe_pairing::{
-    hash_to_g1, pairing, G1Affine, G2Affine, G2Projective, Scalar,
-};
+use ibbe_pairing::{hash_to_g1, pairing, G1Affine, G2Affine, G2Projective, Scalar};
 use symcrypto::gcm::{AesGcm, NONCE_LEN};
 use symcrypto::hmac::hkdf;
 
@@ -125,7 +123,10 @@ mod tests {
         let (msk, params) = ibe_setup(&mut rng);
         let env = params.seal("alice@example.org", b"the group key", &mut rng);
         let key = msk.extract("alice@example.org");
-        assert_eq!(key.open("alice@example.org", &env).unwrap(), b"the group key");
+        assert_eq!(
+            key.open("alice@example.org", &env).unwrap(),
+            b"the group key"
+        );
     }
 
     #[test]

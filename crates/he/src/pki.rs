@@ -32,7 +32,10 @@ impl PkiKeyPair {
     /// Generates a key pair.
     pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
         let (sk, pk_point) = K256Projective::random_keypair(rng);
-        Self { sk, pk: PkiPublicKey(pk_point.to_affine()) }
+        Self {
+            sk,
+            pk: PkiPublicKey(pk_point.to_affine()),
+        }
     }
 
     /// The public half.

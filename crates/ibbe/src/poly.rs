@@ -31,7 +31,7 @@ pub fn expand_from_roots(roots: &[Scalar]) -> Vec<Scalar> {
         for i in (1..coeffs.len()).rev() {
             coeffs[i] = coeffs[i - 1] + coeffs[i] * r;
         }
-        coeffs[0] = coeffs[0] * r;
+        coeffs[0] *= r;
     }
     coeffs
 }

@@ -156,7 +156,10 @@ fn check_members(members: &[String], max: usize) -> Result<Vec<Scalar>, IbbeErro
         return Err(IbbeError::EmptyGroup);
     }
     if members.len() > max {
-        return Err(IbbeError::GroupTooLarge { requested: members.len(), max });
+        return Err(IbbeError::GroupTooLarge {
+            requested: members.len(),
+            max,
+        });
     }
     let mut seen = std::collections::HashSet::new();
     for m in members {
@@ -205,11 +208,7 @@ pub fn extract(msk: &MasterSecretKey, identity: &str) -> UserSecretKey {
     UserSecretKey(G1Projective::from(msk.g).mul_scalar(&inv).to_affine())
 }
 
-fn finish_encrypt(
-    pk: &PublicKey,
-    k: &Scalar,
-    c2_base: G2Projective,
-) -> (BroadcastKey, Ciphertext) {
+fn finish_encrypt(pk: &PublicKey, k: &Scalar, c2_base: G2Projective) -> (BroadcastKey, Ciphertext) {
     let bk = BroadcastKey(pk.v.pow(k));
     let c1 = G1Projective::from(pk.w).mul_scalar(&(-*k)).to_affine();
     let c3 = c2_base.to_affine();
@@ -365,7 +364,14 @@ fn rekey_from_c3<R: rand::RngCore + ?Sized>(
     let bk = BroadcastKey(pk.v.pow(&k));
     let c1 = G1Projective::from(pk.w).mul_scalar(&(-k)).to_affine();
     let c2 = c3.mul_scalar(&k).to_affine();
-    (bk, Ciphertext { c1, c2, c3: c3.to_affine() })
+    (
+        bk,
+        Ciphertext {
+            c1,
+            c2,
+            c3: c3.to_affine(),
+        },
+    )
 }
 
 /// Traditional-IBBE user addition (paper Table I: `O(1)` for both schemes
@@ -466,7 +472,10 @@ mod tests {
         );
         // old member still decrypts
         let usk0 = extract(&msk, &members[0]);
-        assert_eq!(decrypt(&pk, &usk0, &members[0], &members, &ct2).unwrap(), bk);
+        assert_eq!(
+            decrypt(&pk, &usk0, &members[0], &members, &ct2).unwrap(),
+            bk
+        );
     }
 
     #[test]
@@ -478,8 +487,7 @@ mod tests {
         let removed = members[1].clone();
         let (bk_new, ct2) = remove_user_with_msk(&msk, &pk, &ct, &removed, &mut r);
         assert_ne!(bk_old, bk_new);
-        let remaining: Vec<String> =
-            members.iter().filter(|m| **m != removed).cloned().collect();
+        let remaining: Vec<String> = members.iter().filter(|m| **m != removed).cloned().collect();
         // remaining members recover the new key
         for m in &remaining {
             let usk = extract(&msk, m);
@@ -502,7 +510,10 @@ mod tests {
         assert_ne!(bk_old, bk_new);
         assert_eq!(ct.c3, ct2.c3, "re-keying preserves C3");
         let usk = extract(&msk, &members[0]);
-        assert_eq!(decrypt(&pk, &usk, &members[0], &members, &ct2).unwrap(), bk_new);
+        assert_eq!(
+            decrypt(&pk, &usk, &members[0], &members, &ct2).unwrap(),
+            bk_new
+        );
     }
 
     #[test]
@@ -515,7 +526,10 @@ mod tests {
         );
         assert_eq!(
             encrypt_with_msk(&msk, &pk, &names(4), &mut r),
-            Err(IbbeError::GroupTooLarge { requested: 4, max: 3 })
+            Err(IbbeError::GroupTooLarge {
+                requested: 4,
+                max: 3
+            })
         );
         let dup = vec!["a".to_string(), "a".to_string()];
         assert_eq!(
@@ -577,6 +591,9 @@ mod tests {
         let ct3 = add_user_with_msk(&msk, &ct2, &members[0]);
         let (bk4, ct4) = rekey(&pk, &ct3, &mut r);
         let usk = extract(&msk, &members[0]);
-        assert_eq!(decrypt(&pk, &usk, &members[0], &members, &ct4).unwrap(), bk4);
+        assert_eq!(
+            decrypt(&pk, &usk, &members[0], &members, &ct4).unwrap(),
+            bk4
+        );
     }
 }

@@ -179,14 +179,24 @@ impl<C: Curve> Affine<C> {
     /// The subgroup generator.
     pub fn generator() -> Self {
         let (x, y) = C::generator_xy();
-        Self { x, y, infinity: false, _curve: PhantomData }
+        Self {
+            x,
+            y,
+            infinity: false,
+            _curve: PhantomData,
+        }
     }
 
     /// Constructs a point from coordinates **without** a curve check.
     /// Intended for internal use and tests; untrusted inputs should go
     /// through [`Affine::from_bytes`].
     pub fn from_xy_unchecked(x: C::Base, y: C::Base) -> Self {
-        Self { x, y, infinity: false, _curve: PhantomData }
+        Self {
+            x,
+            y,
+            infinity: false,
+            _curve: PhantomData,
+        }
     }
 
     /// True for the point at infinity.
@@ -214,7 +224,11 @@ impl<C: Curve> Affine<C> {
             out.resize(1 + C::Base::encoded_len(), 0);
             return out;
         }
-        out.push(if self.y.is_lexicographically_largest() { 3 } else { 2 });
+        out.push(if self.y.is_lexicographically_largest() {
+            3
+        } else {
+            2
+        });
         self.x.encode_into(&mut out);
         out
     }
@@ -284,7 +298,12 @@ impl<C: Curve> From<Affine<C>> for Projective<C> {
         if a.infinity {
             Projective::identity()
         } else {
-            Projective { x: a.x, y: a.y, z: C::Base::one(), _curve: PhantomData }
+            Projective {
+                x: a.x,
+                y: a.y,
+                z: C::Base::one(),
+                _curve: PhantomData,
+            }
         }
     }
 }
@@ -327,7 +346,12 @@ impl<C: Curve> Projective<C> {
         let eight_c = c.double().double().double();
         let y3 = e * (d - x3) - eight_c;
         let z3 = (self.y * self.z).double();
-        Self { x: x3, y: y3, z: z3, _curve: PhantomData }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+            _curve: PhantomData,
+        }
     }
 
     /// General point addition (Jacobian add-2007-bl).
@@ -345,7 +369,11 @@ impl<C: Curve> Projective<C> {
         let s1 = self.y * rhs.z * z2z2;
         let s2 = rhs.y * self.z * z1z1;
         if u1 == u2 {
-            return if s1 == s2 { self.double() } else { Self::identity() };
+            return if s1 == s2 {
+                self.double()
+            } else {
+                Self::identity()
+            };
         }
         let h = u2 - u1;
         let i = h.double().square();
@@ -355,7 +383,12 @@ impl<C: Curve> Projective<C> {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (s1 * j).double();
         let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
-        Self { x: x3, y: y3, z: z3, _curve: PhantomData }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+            _curve: PhantomData,
+        }
     }
 
     /// Scalar multiplication by a canonical multi-limb integer

@@ -16,10 +16,16 @@ pub struct Fp12 {
 
 impl Fp12 {
     /// Additive identity.
-    pub const ZERO: Self = Self { c0: Fp6::ZERO, c1: Fp6::ZERO };
+    pub const ZERO: Self = Self {
+        c0: Fp6::ZERO,
+        c1: Fp6::ZERO,
+    };
 
     /// Multiplicative identity.
-    pub const ONE: Self = Self { c0: Fp6::ONE, c1: Fp6::ZERO };
+    pub const ONE: Self = Self {
+        c0: Fp6::ONE,
+        c1: Fp6::ZERO,
+    };
 
     /// Constructs `c0 + c1·w`.
     pub const fn new(c0: Fp6, c1: Fp6) -> Self {
@@ -33,7 +39,10 @@ impl Fp12 {
 
     /// Uniformly random element (for tests).
     pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
-        Self { c0: Fp6::random(rng), c1: Fp6::random(rng) }
+        Self {
+            c0: Fp6::random(rng),
+            c1: Fp6::random(rng),
+        }
     }
 
     /// `self²`.
@@ -41,20 +50,29 @@ impl Fp12 {
         // (a + bw)² = a² + b²v + 2abw
         let ab = self.c0 * self.c1;
         let c0 = self.c0.square() + self.c1.square().mul_by_v();
-        Self { c0, c1: ab.double() }
+        Self {
+            c0,
+            c1: ab.double(),
+        }
     }
 
     /// Conjugation over `Fp6`: `c0 - c1·w`. Equals the `p⁶`-power Frobenius,
     /// and the inverse on the cyclotomic subgroup (unitary elements).
     pub fn conjugate(&self) -> Self {
-        Self { c0: self.c0, c1: -self.c1 }
+        Self {
+            c0: self.c0,
+            c1: -self.c1,
+        }
     }
 
     /// Multiplicative inverse; `None` for zero.
     pub fn invert(&self) -> Option<Self> {
         // 1/(a + bw) = (a - bw) / (a² - b²·v)
         let denom = self.c0.square() - self.c1.square().mul_by_v();
-        denom.invert().map(|d| Self { c0: self.c0 * d, c1: -(self.c1 * d) })
+        denom.invert().map(|d| Self {
+            c0: self.c0 * d,
+            c1: -(self.c1 * d),
+        })
     }
 
     /// Exponentiation by a canonical integer exponent
@@ -64,7 +82,7 @@ impl Fp12 {
         for i in (0..exp.bits()).rev() {
             acc = acc.square();
             if exp.bit(i) {
-                acc = acc * *self;
+                acc *= *self;
             }
         }
         acc
@@ -126,7 +144,7 @@ impl Fp12 {
         for i in (0..exp.bits()).rev() {
             acc = acc.cyclotomic_square();
             if exp.bit(i) {
-                acc = acc * *self;
+                acc *= *self;
             }
         }
         acc
@@ -135,7 +153,9 @@ impl Fp12 {
     /// The flat `Fp2` coefficient view `(w⁰, w², w⁴, w¹, w³, w⁵)`; helper for
     /// building sparse line elements and serialization.
     pub fn coefficients(&self) -> [Fp2; 6] {
-        [self.c0.c0, self.c0.c1, self.c0.c2, self.c1.c0, self.c1.c1, self.c1.c2]
+        [
+            self.c0.c0, self.c0.c1, self.c0.c2, self.c1.c0, self.c1.c1, self.c1.c2,
+        ]
     }
 
     /// Serializes all twelve `Fp` coefficients (576 bytes). Only used to
@@ -153,21 +173,30 @@ impl Fp12 {
 impl Add for Fp12 {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
-        Self { c0: self.c0 + rhs.c0, c1: self.c1 + rhs.c1 }
+        Self {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+        }
     }
 }
 
 impl Sub for Fp12 {
     type Output = Self;
     fn sub(self, rhs: Self) -> Self {
-        Self { c0: self.c0 - rhs.c0, c1: self.c1 - rhs.c1 }
+        Self {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+        }
     }
 }
 
 impl Neg for Fp12 {
     type Output = Self;
     fn neg(self) -> Self {
-        Self { c0: -self.c0, c1: -self.c1 }
+        Self {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
     }
 }
 
@@ -178,7 +207,10 @@ impl Mul for Fp12 {
         let aa = self.c0 * rhs.c0;
         let bb = self.c1 * rhs.c1;
         let cross = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
-        Self { c0: aa + bb.mul_by_v(), c1: cross - aa - bb }
+        Self {
+            c0: aa + bb.mul_by_v(),
+            c1: cross - aa - bb,
+        }
     }
 }
 
@@ -247,7 +279,7 @@ mod tests {
         let a = Fp12::random(&mut rng);
         let mut want = Fp12::ONE;
         for _ in 0..9 {
-            want = want * a;
+            want *= a;
         }
         assert_eq!(a.pow(&Uint::<1>::from_u64(9)), want);
     }

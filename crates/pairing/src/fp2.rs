@@ -15,10 +15,16 @@ pub struct Fp2 {
 
 impl Fp2 {
     /// Additive identity.
-    pub const ZERO: Self = Self { c0: Fp::ZERO, c1: Fp::ZERO };
+    pub const ZERO: Self = Self {
+        c0: Fp::ZERO,
+        c1: Fp::ZERO,
+    };
 
     /// Multiplicative identity.
-    pub const ONE: Self = Self { c0: Fp::ONE, c1: Fp::ZERO };
+    pub const ONE: Self = Self {
+        c0: Fp::ONE,
+        c1: Fp::ZERO,
+    };
 
     /// Size of the canonical encoding in bytes (`c1 ‖ c0`, big-endian parts).
     pub const BYTES: usize = 96;
@@ -35,7 +41,10 @@ impl Fp2 {
 
     /// The quadratic non-residue `ξ = u + 1` used to build `Fp6`.
     pub fn xi() -> Self {
-        Self { c0: Fp::ONE, c1: Fp::ONE }
+        Self {
+            c0: Fp::ONE,
+            c1: Fp::ONE,
+        }
     }
 
     /// True for the additive identity.
@@ -45,7 +54,10 @@ impl Fp2 {
 
     /// Uniformly random element.
     pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
-        Self { c0: Fp::random(rng), c1: Fp::random(rng) }
+        Self {
+            c0: Fp::random(rng),
+            c1: Fp::random(rng),
+        }
     }
 
     /// `self²` (complex squaring).
@@ -53,17 +65,26 @@ impl Fp2 {
         // (a + bu)² = (a+b)(a-b) + 2ab·u
         let a = self.c0;
         let b = self.c1;
-        Self { c0: (a + b) * (a - b), c1: (a * b).double() }
+        Self {
+            c0: (a + b) * (a - b),
+            c1: (a * b).double(),
+        }
     }
 
     /// `2·self`.
     pub fn double(&self) -> Self {
-        Self { c0: self.c0.double(), c1: self.c1.double() }
+        Self {
+            c0: self.c0.double(),
+            c1: self.c1.double(),
+        }
     }
 
     /// Complex conjugate `c0 - c1·u`; this is also the `p`-power Frobenius.
     pub fn conjugate(&self) -> Self {
-        Self { c0: self.c0, c1: -self.c1 }
+        Self {
+            c0: self.c0,
+            c1: -self.c1,
+        }
     }
 
     /// Field norm `N(a) = c0² + c1² ∈ Fp`.
@@ -74,12 +95,18 @@ impl Fp2 {
     /// Multiplication by the non-residue `ξ = u + 1`:
     /// `(c0 + c1·u)(1 + u) = (c0 - c1) + (c0 + c1)·u`.
     pub fn mul_by_xi(&self) -> Self {
-        Self { c0: self.c0 - self.c1, c1: self.c0 + self.c1 }
+        Self {
+            c0: self.c0 - self.c1,
+            c1: self.c0 + self.c1,
+        }
     }
 
     /// Scales by a base-field element.
     pub fn mul_by_fp(&self, s: Fp) -> Self {
-        Self { c0: self.c0 * s, c1: self.c1 * s }
+        Self {
+            c0: self.c0 * s,
+            c1: self.c1 * s,
+        }
     }
 
     /// Multiplicative inverse; `None` for zero.
@@ -97,7 +124,7 @@ impl Fp2 {
         for i in (0..exp.bits()).rev() {
             acc = acc.square();
             if exp.bit(i) {
-                acc = acc * *self;
+                acc *= *self;
             }
         }
         acc
@@ -129,7 +156,10 @@ impl Fp2 {
             // a = c1·u with c1 ≠ 0; root is x1·u·(1+u)/... fall back: x1² = -c0? —
             // handle via: (x1·u)² = -x1², so need c1 = 0; here c0 = -x1².
             let x1 = (-self.c0).sqrt()?;
-            Self { c0: Fp::ZERO, c1: x1 }
+            Self {
+                c0: Fp::ZERO,
+                c1: x1,
+            }
         } else {
             let x1 = self.c1 * two_inv * x0.invert().expect("x0 nonzero");
             Self { c0: x0, c1: x1 }
@@ -165,28 +195,40 @@ impl Fp2 {
         let mut c0b = [0u8; 48];
         c1b.copy_from_slice(&bytes[..48]);
         c0b.copy_from_slice(&bytes[48..]);
-        Some(Self { c0: Fp::from_bytes(&c0b)?, c1: Fp::from_bytes(&c1b)? })
+        Some(Self {
+            c0: Fp::from_bytes(&c0b)?,
+            c1: Fp::from_bytes(&c1b)?,
+        })
     }
 }
 
 impl Add for Fp2 {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
-        Self { c0: self.c0 + rhs.c0, c1: self.c1 + rhs.c1 }
+        Self {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+        }
     }
 }
 
 impl Sub for Fp2 {
     type Output = Self;
     fn sub(self, rhs: Self) -> Self {
-        Self { c0: self.c0 - rhs.c0, c1: self.c1 - rhs.c1 }
+        Self {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+        }
     }
 }
 
 impl Neg for Fp2 {
     type Output = Self;
     fn neg(self) -> Self {
-        Self { c0: -self.c0, c1: -self.c1 }
+        Self {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
     }
 }
 
@@ -198,7 +240,10 @@ impl Mul for Fp2 {
         let aa = self.c0 * rhs.c0;
         let bb = self.c1 * rhs.c1;
         let cross = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
-        Self { c0: aa - bb, c1: cross - aa - bb }
+        Self {
+            c0: aa - bb,
+            c1: cross - aa - bb,
+        }
     }
 }
 
@@ -315,7 +360,7 @@ mod tests {
         let a = Fp2::random(&mut rng);
         let mut want = Fp2::ONE;
         for _ in 0..13 {
-            want = want * a;
+            want *= a;
         }
         assert_eq!(a.pow(&Uint::<1>::from_u64(13)), want);
     }

@@ -16,10 +16,18 @@ pub struct Fp6 {
 
 impl Fp6 {
     /// Additive identity.
-    pub const ZERO: Self = Self { c0: Fp2::ZERO, c1: Fp2::ZERO, c2: Fp2::ZERO };
+    pub const ZERO: Self = Self {
+        c0: Fp2::ZERO,
+        c1: Fp2::ZERO,
+        c2: Fp2::ZERO,
+    };
 
     /// Multiplicative identity.
-    pub const ONE: Self = Self { c0: Fp2::ONE, c1: Fp2::ZERO, c2: Fp2::ZERO };
+    pub const ONE: Self = Self {
+        c0: Fp2::ONE,
+        c1: Fp2::ZERO,
+        c2: Fp2::ZERO,
+    };
 
     /// Constructs `c0 + c1·v + c2·v²`.
     pub const fn new(c0: Fp2, c1: Fp2, c2: Fp2) -> Self {
@@ -28,7 +36,11 @@ impl Fp6 {
 
     /// Embeds an `Fp2` element.
     pub const fn from_fp2(c0: Fp2) -> Self {
-        Self { c0, c1: Fp2::ZERO, c2: Fp2::ZERO }
+        Self {
+            c0,
+            c1: Fp2::ZERO,
+            c2: Fp2::ZERO,
+        }
     }
 
     /// True for the additive identity.
@@ -38,12 +50,20 @@ impl Fp6 {
 
     /// Uniformly random element.
     pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
-        Self { c0: Fp2::random(rng), c1: Fp2::random(rng), c2: Fp2::random(rng) }
+        Self {
+            c0: Fp2::random(rng),
+            c1: Fp2::random(rng),
+            c2: Fp2::random(rng),
+        }
     }
 
     /// Multiplication by `v`: `(c0, c1, c2) ↦ (ξ·c2, c0, c1)`.
     pub fn mul_by_v(&self) -> Self {
-        Self { c0: self.c2.mul_by_xi(), c1: self.c0, c2: self.c1 }
+        Self {
+            c0: self.c2.mul_by_xi(),
+            c1: self.c0,
+            c2: self.c1,
+        }
     }
 
     /// `self²`.
@@ -53,7 +73,11 @@ impl Fp6 {
 
     /// `2·self`.
     pub fn double(&self) -> Self {
-        Self { c0: self.c0.double(), c1: self.c1.double(), c2: self.c2.double() }
+        Self {
+            c0: self.c0.double(),
+            c1: self.c1.double(),
+            c2: self.c2.double(),
+        }
     }
 
     /// Multiplicative inverse; `None` for zero.
@@ -77,21 +101,33 @@ impl Fp6 {
 impl Add for Fp6 {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
-        Self { c0: self.c0 + rhs.c0, c1: self.c1 + rhs.c1, c2: self.c2 + rhs.c2 }
+        Self {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+            c2: self.c2 + rhs.c2,
+        }
     }
 }
 
 impl Sub for Fp6 {
     type Output = Self;
     fn sub(self, rhs: Self) -> Self {
-        Self { c0: self.c0 - rhs.c0, c1: self.c1 - rhs.c1, c2: self.c2 - rhs.c2 }
+        Self {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+            c2: self.c2 - rhs.c2,
+        }
     }
 }
 
 impl Neg for Fp6 {
     type Output = Self;
     fn neg(self) -> Self {
-        Self { c0: -self.c0, c1: -self.c1, c2: -self.c2 }
+        Self {
+            c0: -self.c0,
+            c1: -self.c1,
+            c2: -self.c2,
+        }
     }
 }
 
@@ -196,9 +232,6 @@ mod tests {
         let mut rng = rng();
         let a = Fp2::random(&mut rng);
         let b = Fp2::random(&mut rng);
-        assert_eq!(
-            Fp6::from_fp2(a) * Fp6::from_fp2(b),
-            Fp6::from_fp2(a * b)
-        );
+        assert_eq!(Fp6::from_fp2(a) * Fp6::from_fp2(b), Fp6::from_fp2(a * b));
     }
 }

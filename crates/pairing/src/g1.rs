@@ -99,10 +99,7 @@ mod tests {
         let b = Scalar::random(&mut rng);
         let g = G1Projective::generator();
         assert_eq!(g.mul_scalar(&a) + g.mul_scalar(&b), g.mul_scalar(&(a + b)));
-        assert_eq!(
-            g.mul_scalar(&a).mul_scalar(&b),
-            g.mul_scalar(&(a * b))
-        );
+        assert_eq!(g.mul_scalar(&a).mul_scalar(&b), g.mul_scalar(&(a * b)));
     }
 
     #[test]

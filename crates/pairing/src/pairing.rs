@@ -9,9 +9,9 @@
 //! therefore fails loudly instead of producing a subtly non-bilinear map.
 
 use crate::fp;
+use crate::fp12::Fp12;
 use crate::fp2::Fp2;
 use crate::fp6::Fp6;
-use crate::fp12::Fp12;
 use crate::fr;
 use crate::g1::G1Affine;
 use crate::g2::G2Affine;
@@ -136,18 +136,17 @@ pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
         f = f.square();
         // Tangent at T: λ = 3x²/(2y). y ≠ 0 on an odd-order subgroup.
         let x2 = tx.square();
-        let lambda = (x2.double() + x2)
-            * ty.double().invert().expect("2y ≠ 0 in odd-order subgroup");
-        f = f * line(p, tx, ty, lambda);
+        let lambda =
+            (x2.double() + x2) * ty.double().invert().expect("2y ≠ 0 in odd-order subgroup");
+        f *= line(p, tx, ty, lambda);
         let x3 = lambda.square() - tx.double();
         ty = lambda * (tx - x3) - ty;
         tx = x3;
 
         if (BLS_X_ABS >> i) & 1 == 1 {
             // Chord through T and Q: T = mQ with 2 ≤ m < r-1, so T ≠ ±Q.
-            let lambda = (ty - q.y)
-                * (tx - q.x).invert().expect("T ≠ ±Q inside the Miller loop");
-            f = f * line(p, tx, ty, lambda);
+            let lambda = (ty - q.y) * (tx - q.x).invert().expect("T ≠ ±Q inside the Miller loop");
+            f *= line(p, tx, ty, lambda);
             let x3 = lambda.square() - tx - q.x;
             ty = lambda * (tx - x3) - ty;
             tx = x3;

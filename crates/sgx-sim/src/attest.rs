@@ -39,7 +39,9 @@ pub struct QuotingKey {
 impl QuotingKey {
     /// Provisions a new platform quoting key.
     pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
-        Self { key: SigningKey::generate(rng) }
+        Self {
+            key: SigningKey::generate(rng),
+        }
     }
 
     /// The public part, registered with the attestation service.
@@ -50,7 +52,11 @@ impl QuotingKey {
     /// Produces a quote for an enclave running on this platform.
     pub fn quote(&self, measurement: Measurement, report_data: [u8; 32]) -> Quote {
         let msg = quote_message(&measurement, &report_data);
-        Quote { measurement, report_data, signature: self.key.sign(&msg) }
+        Quote {
+            measurement,
+            report_data,
+            signature: self.key.sign(&msg),
+        }
     }
 }
 
@@ -103,7 +109,10 @@ pub struct IasSim {
 impl IasSim {
     /// Boots the service with its report-signing key.
     pub fn new<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
-        Self { report_key: SigningKey::generate(rng), genuine_platforms: Vec::new() }
+        Self {
+            report_key: SigningKey::generate(rng),
+            genuine_platforms: Vec::new(),
+        }
     }
 
     /// Registers a platform quoting key as genuine (Intel's provisioning).

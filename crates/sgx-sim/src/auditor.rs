@@ -123,7 +123,13 @@ mod tests {
         let measurement = Measurement::of(b"ibbe-enclave");
         let auditor = Auditor::new(&mut rng, &ias, measurement);
         let keys = ChannelKeyPair::generate(&mut rng);
-        Setup { platform, ias, auditor, keys, measurement }
+        Setup {
+            platform,
+            ias,
+            auditor,
+            keys,
+            measurement,
+        }
     }
 
     #[test]
@@ -131,7 +137,10 @@ mod tests {
         let s = setup();
         let rd = report_data_for_key(&s.keys.public_key().to_bytes());
         let quote = s.platform.quote(s.measurement, rd);
-        let cert = s.auditor.audit(&s.ias, &quote, &s.keys.public_key()).unwrap();
+        let cert = s
+            .auditor
+            .audit(&s.ias, &quote, &s.keys.public_key())
+            .unwrap();
         assert!(cert.verify(&s.auditor.ca_verifying_key()).is_ok());
         assert_eq!(cert.measurement, s.measurement);
     }
@@ -167,7 +176,10 @@ mod tests {
         let mut rng = rng();
         let rd = report_data_for_key(&s.keys.public_key().to_bytes());
         let quote = s.platform.quote(s.measurement, rd);
-        let cert = s.auditor.audit(&s.ias, &quote, &s.keys.public_key()).unwrap();
+        let cert = s
+            .auditor
+            .audit(&s.ias, &quote, &s.keys.public_key())
+            .unwrap();
         let rogue_ca = SigningKey::generate(&mut rng);
         assert_eq!(
             cert.verify(&rogue_ca.verifying_key()),

@@ -82,7 +82,11 @@ impl ChannelPublicKey {
         let mut nonce = [0u8; NONCE_LEN];
         rng.fill_bytes(&mut nonce);
         let ciphertext = AesGcm::new(&key).seal(&nonce, aad, plaintext);
-        ChannelMessage { ephemeral, nonce, ciphertext }
+        ChannelMessage {
+            ephemeral,
+            nonce,
+            ciphertext,
+        }
     }
 
     /// Serialized form (compressed `G1`, 49 bytes).
@@ -115,7 +119,9 @@ mod tests {
     fn encrypt_decrypt_roundtrip() {
         let mut rng = rng();
         let pair = ChannelKeyPair::generate(&mut rng);
-        let msg = pair.public_key().encrypt(&mut rng, b"user secret key", b"alice");
+        let msg = pair
+            .public_key()
+            .encrypt(&mut rng, b"user secret key", b"alice");
         assert_eq!(pair.decrypt(&msg, b"alice").unwrap(), b"user secret key");
     }
 

@@ -66,7 +66,13 @@ impl<'a> EnclaveContext<'a> {
     /// Seals data so only this enclave identity can recover it
     /// (MRENCLAVE policy).
     pub fn seal(&mut self, plaintext: &[u8], aad: &[u8]) -> SealedBlob {
-        seal_with_key(self.sealing_key, self.measurement, plaintext, aad, self.drbg)
+        seal_with_key(
+            self.sealing_key,
+            self.measurement,
+            plaintext,
+            aad,
+            self.drbg,
+        )
     }
 
     /// Unseals a blob previously produced by [`EnclaveContext::seal`] for the

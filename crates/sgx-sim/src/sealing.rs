@@ -30,12 +30,7 @@ impl SealingKey {
     /// Derives the sealing key for `measurement` on this (simulated) CPU.
     pub fn derive_for_platform(measurement: Measurement) -> Self {
         let mut key = [0u8; 32];
-        hkdf(
-            b"sgx-sim-seal-v1",
-            cpu_root_key(),
-            &measurement.0,
-            &mut key,
-        );
+        hkdf(b"sgx-sim-seal-v1", cpu_root_key(), &measurement.0, &mut key);
         Self { key }
     }
 }
@@ -112,7 +107,11 @@ pub(crate) fn seal_with_key(
     let mut full_aad = measurement.0.to_vec();
     full_aad.extend_from_slice(aad);
     let ciphertext = gcm.seal(&nonce, &full_aad, plaintext);
-    SealedBlob { measurement, nonce, ciphertext }
+    SealedBlob {
+        measurement,
+        nonce,
+        ciphertext,
+    }
 }
 
 pub(crate) fn unseal_with_key(

@@ -17,8 +17,8 @@ fn sbox() -> &'static [u8; 256] {
         let mut exp = [0u8; 256];
         let mut log = [0u8; 256];
         let mut x = 1u8;
-        for i in 0..255 {
-            exp[i] = x;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x;
             log[x as usize] = i as u8;
             // multiply x by 3: x ^= xtime(x)
             let hi = x & 0x80 != 0;
@@ -32,7 +32,11 @@ fn sbox() -> &'static [u8; 256] {
 
         let mut s = [0u8; 256];
         for (i, slot) in s.iter_mut().enumerate() {
-            let inv = if i == 0 { 0 } else { exp[255 - log[i] as usize] };
+            let inv = if i == 0 {
+                0
+            } else {
+                exp[255 - log[i] as usize]
+            };
             // affine transform
             let b = inv;
             *slot = b
@@ -220,7 +224,9 @@ mod tests {
     fn fips197_c1_aes128() {
         let key = unhex("000102030405060708090a0b0c0d0e0f");
         let aes = Aes::new(&key);
-        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         aes.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), unhex("69c4e0d86a7b0430d8cdb78070b4c55a"));
     }
@@ -229,7 +235,9 @@ mod tests {
     fn fips197_c3_aes256() {
         let key = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
         let aes = Aes::new(&key);
-        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         aes.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), unhex("8ea2b7ca516745bfeafc49904b496089"));
     }

@@ -17,7 +17,11 @@ pub struct HmacDrbg {
 impl HmacDrbg {
     /// Instantiates from seed material (entropy ‖ nonce ‖ personalization).
     pub fn new(seed: &[u8]) -> Self {
-        let mut drbg = Self { k: [0u8; 32], v: [1u8; 32], reseed_counter: 1 };
+        let mut drbg = Self {
+            k: [0u8; 32],
+            v: [1u8; 32],
+            reseed_counter: 1,
+        };
         drbg.update(Some(seed));
         drbg
     }

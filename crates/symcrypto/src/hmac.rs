@@ -33,7 +33,10 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        Self { inner, opad_key: opad }
+        Self {
+            inner,
+            opad_key: opad,
+        }
     }
 
     /// Absorbs message bytes.
@@ -136,7 +139,10 @@ mod tests {
     fn rfc4231_case_long_key() {
         // case 6: 131-byte key forces the key-hashing path
         let key = [0xaau8; 131];
-        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -41,7 +41,12 @@ pub struct Sha256 {
 impl Sha256 {
     /// Fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buf: [0; BLOCK_LEN], buf_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data`.
@@ -203,7 +208,9 @@ mod tests {
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

@@ -25,7 +25,11 @@ pub struct KernelTraceConfig {
 
 impl Default for KernelTraceConfig {
     fn default() -> Self {
-        Self { ops: 43_468, max_group_size: 2_803, seed: 0x1b5e }
+        Self {
+            ops: 43_468,
+            max_group_size: 2_803,
+            seed: 0x1b5e,
+        }
     }
 }
 
@@ -113,7 +117,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = KernelTraceConfig { ops: 500, max_group_size: 50, seed: 7 };
+        let cfg = KernelTraceConfig {
+            ops: 500,
+            max_group_size: 50,
+            seed: 7,
+        };
         let a = generate_kernel_trace(&cfg);
         let b = generate_kernel_trace(&cfg);
         assert_eq!(a.ops, b.ops);
@@ -123,7 +131,11 @@ mod tests {
 
     #[test]
     fn cap_is_respected_under_pressure() {
-        let cfg = KernelTraceConfig { ops: 2_000, max_group_size: 10, seed: 1 };
+        let cfg = KernelTraceConfig {
+            ops: 2_000,
+            max_group_size: 10,
+            seed: 1,
+        };
         let stats = generate_kernel_trace(&cfg).stats();
         assert!(stats.peak_group_size <= 10);
         assert_eq!(stats.ops, 2_000);

@@ -155,8 +155,14 @@ mod tests {
             ReplayReport::mean(&series),
             Duration::from_micros(50) + Duration::from_nanos(500)
         );
-        assert_eq!(ReplayReport::quantile(&series, 0.0), Duration::from_micros(1));
-        assert_eq!(ReplayReport::quantile(&series, 1.0), Duration::from_micros(100));
+        assert_eq!(
+            ReplayReport::quantile(&series, 0.0),
+            Duration::from_micros(1)
+        );
+        assert_eq!(
+            ReplayReport::quantile(&series, 1.0),
+            Duration::from_micros(100)
+        );
         let median = ReplayReport::quantile(&series, 0.5);
         assert!(median >= Duration::from_micros(50) && median <= Duration::from_micros(51));
         assert_eq!(ReplayReport::mean(&[]), Duration::ZERO);

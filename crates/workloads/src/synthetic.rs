@@ -21,7 +21,11 @@ pub struct SyntheticTraceConfig {
 
 impl Default for SyntheticTraceConfig {
     fn default() -> Self {
-        Self { ops: 10_000, revocation_ratio: 0.0, seed: 0xd5 }
+        Self {
+            ops: 10_000,
+            revocation_ratio: 0.0,
+            seed: 0xd5,
+        }
     }
 }
 
@@ -57,12 +61,11 @@ pub fn generate_synthetic_trace(cfg: &SyntheticTraceConfig) -> SyntheticTrace {
     // heavy revocation the group (and with it the partition count) collapses
     // during the replay, making the remaining operations cheaper.
     let initial = cfg.ops.max(1);
-    let initial_members: Vec<String> =
-        (0..initial).map(|i| format!("seed-{i:06}")).collect();
+    let initial_members: Vec<String> = (0..initial).map(|i| format!("seed-{i:06}")).collect();
 
     // op kind sequence: `removes` true flags among `ops`, Fisher–Yates shuffled
     let mut kinds = vec![false; adds];
-    kinds.extend(std::iter::repeat(true).take(removes));
+    kinds.extend(std::iter::repeat_n(true, removes));
     for i in (1..kinds.len()).rev() {
         let j = rng.gen_range(0..=i);
         kinds.swap(i, j);
@@ -123,7 +126,11 @@ mod tests {
             .map(|u| TraceOp::Add { user: u.clone() })
             .collect();
         ops.extend(t.trace.ops.iter().cloned());
-        Trace { name: "full".into(), ops }.stats()
+        Trace {
+            name: "full".into(),
+            ops,
+        }
+        .stats()
     }
 
     #[test]

@@ -102,14 +102,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "removing non-member")]
     fn inconsistent_trace_detected() {
-        let t = Trace { name: "bad".into(), ops: vec![rm("ghost")] };
+        let t = Trace {
+            name: "bad".into(),
+            ops: vec![rm("ghost")],
+        };
         t.stats();
     }
 
     #[test]
     #[should_panic(expected = "duplicate add")]
     fn duplicate_add_detected() {
-        let t = Trace { name: "bad".into(), ops: vec![add("a"), add("a")] };
+        let t = Trace {
+            name: "bad".into(),
+            ops: vec![add("a"), add("a")],
+        };
         t.stats();
     }
 }

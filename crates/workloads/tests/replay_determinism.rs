@@ -1,0 +1,136 @@
+//! Integration tests: trace generation is a pure function of its
+//! configuration (seed included), and replay drives a backend through
+//! exactly the generated operation sequence.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use workloads::{
+    generate_kernel_trace, generate_synthetic_trace, replay, revocation_sweep, KernelTraceConfig,
+    ReplayBackend, SyntheticTraceConfig, Trace, TraceOp,
+};
+
+/// Backend that records the exact operation sequence it is driven through.
+#[derive(Default)]
+struct RecordingBackend {
+    members: HashSet<String>,
+    log: Vec<(char, String)>,
+}
+
+impl ReplayBackend for RecordingBackend {
+    fn add_user(&mut self, user: &str) {
+        assert!(
+            self.members.insert(user.to_string()),
+            "duplicate add {user}"
+        );
+        self.log.push(('+', user.to_string()));
+    }
+
+    fn remove_user(&mut self, user: &str) {
+        assert!(self.members.remove(user), "removing non-member {user}");
+        self.log.push(('-', user.to_string()));
+    }
+
+    fn sample_decrypt(&mut self) -> Option<Duration> {
+        Some(Duration::from_micros(1))
+    }
+}
+
+fn op_fingerprint(trace: &Trace) -> Vec<(char, String)> {
+    trace
+        .ops
+        .iter()
+        .map(|op| match op {
+            TraceOp::Add { user } => ('+', user.clone()),
+            TraceOp::Remove { user } => ('-', user.clone()),
+        })
+        .collect()
+}
+
+#[test]
+fn synthetic_generation_is_deterministic_per_seed() {
+    let cfg = SyntheticTraceConfig {
+        ops: 400,
+        revocation_ratio: 0.4,
+        seed: 77,
+    };
+    let a = generate_synthetic_trace(&cfg);
+    let b = generate_synthetic_trace(&cfg);
+    assert_eq!(a.initial_members, b.initial_members);
+    assert_eq!(op_fingerprint(&a.trace), op_fingerprint(&b.trace));
+
+    let c = generate_synthetic_trace(&SyntheticTraceConfig { seed: 78, ..cfg });
+    assert_ne!(
+        op_fingerprint(&a.trace),
+        op_fingerprint(&c.trace),
+        "different seeds must yield different traces"
+    );
+}
+
+#[test]
+fn kernel_generation_is_deterministic() {
+    let cfg = KernelTraceConfig::default().scaled(500);
+    let a = generate_kernel_trace(&cfg);
+    let b = generate_kernel_trace(&cfg);
+    assert_eq!(op_fingerprint(&a), op_fingerprint(&b));
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.stats().ops, 500);
+}
+
+#[test]
+fn replay_applies_exactly_the_generated_sequence() {
+    let t = generate_synthetic_trace(&SyntheticTraceConfig {
+        ops: 300,
+        revocation_ratio: 0.5,
+        seed: 9,
+    });
+    let mut backend = RecordingBackend::default();
+    for user in &t.initial_members {
+        backend.add_user(user);
+    }
+    let prefix = backend.log.len();
+    let report = replay(&t.trace, &mut backend, Some(10));
+
+    assert_eq!(backend.log[prefix..], op_fingerprint(&t.trace)[..]);
+    assert_eq!(
+        report.add_latencies.len() + report.remove_latencies.len(),
+        t.trace.ops.len()
+    );
+    assert_eq!(report.decrypt_samples.len(), t.trace.ops.len() / 10);
+    assert!(report.total >= Duration::ZERO);
+}
+
+#[test]
+fn replay_twice_visits_identical_membership_states() {
+    let t = generate_synthetic_trace(&SyntheticTraceConfig {
+        ops: 200,
+        revocation_ratio: 0.3,
+        seed: 4,
+    });
+    let run = |trace: &Trace, initial: &[String]| {
+        let mut backend = RecordingBackend::default();
+        for user in initial {
+            backend.add_user(user);
+        }
+        replay(trace, &mut backend, None);
+        let mut members: Vec<String> = backend.members.into_iter().collect();
+        members.sort();
+        members
+    };
+    assert_eq!(
+        run(&t.trace, &t.initial_members),
+        run(&t.trace, &t.initial_members)
+    );
+}
+
+#[test]
+fn sweep_traces_replay_consistently_end_to_end() {
+    for t in revocation_sweep(100, 11) {
+        let mut backend = RecordingBackend::default();
+        for user in &t.initial_members {
+            backend.add_user(user);
+        }
+        // RecordingBackend asserts membership consistency on every op.
+        replay(&t.trace, &mut backend, None);
+    }
+}

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (session, request) = KeyRequest::new("alice@example.org", &cert, &ca, &mut rng)?;
     let reply = engine.provision_user_key(&request)?;
     let usk = session.receive(&reply)?;
-    println!("alice provisioned; usk is {} bytes, constant-size", usk.to_bytes().len());
+    println!(
+        "alice provisioned; usk is {} bytes, constant-size",
+        usk.to_bytes().len()
+    );
 
     // Sanity: the provisioned key actually works.
     let meta = engine.create_group("g", vec!["alice@example.org".into()])?;

@@ -34,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let members: Vec<String> = (0..48).map(|i| format!("emp-{i:03}")).collect();
     let mut meta =
         engine.create_group_with_fill("hr-records", members.clone(), policy.recommended(48))?;
-    log.append(&admin_a, "hr-records", LogOp::Create { members: members.clone() });
+    log.append(
+        &admin_a,
+        "hr-records",
+        LogOp::Create {
+            members: members.clone(),
+        },
+    );
     println!(
         "created with fill {} → {} partitions",
         policy.recommended(48).get(),
@@ -45,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // learns that re-keying dominates and recommends bigger partitions.
     for victim in members.iter().take(20) {
         engine.remove_user(&mut meta, victim)?;
-        log.append(&admin_b, "hr-records", LogOp::Remove { user: victim.clone() });
+        log.append(
+            &admin_b,
+            "hr-records",
+            LogOp::Remove {
+                user: victim.clone(),
+            },
+        );
         policy.record_remove();
     }
     let fill = policy.recommended(meta.member_count());
@@ -57,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if meta.needs_repartitioning(capacity.get()) || fill.get() != capacity.get() {
         meta = engine.repartition_with_fill(&meta, fill)?;
         log.append(&admin_a, "hr-records", LogOp::Rekey);
-        println!("re-partitioned into {} partition(s)", meta.partition_count());
+        println!(
+            "re-partitioned into {} partition(s)",
+            meta.partition_count()
+        );
     }
 
     // Read-heavy steady state: decryptions dominate, the policy swings back
@@ -71,7 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Any auditor can verify the complete operation history…
-    log.verify(&registry).map_err(|(i, e)| format!("entry {i}: {e}"))?;
+    log.verify(&registry)
+        .map_err(|(i, e)| format!("entry {i}: {e}"))?;
     println!("operation log verified: {} entries, 2 admins", log.len());
 
     // …and cross-check it against the live cryptographic state.
@@ -86,7 +102,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut forged = OpLog::new();
     forged.append(&admin_a, "hr-records", LogOp::Create { members: vec![] });
     let rogue = AdminSigner::new("rogue", &mut rng);
-    forged.append(&rogue, "hr-records", LogOp::Add { user: "backdoor".into() });
+    forged.append(
+        &rogue,
+        "hr-records",
+        LogOp::Add {
+            user: "backdoor".into(),
+        },
+    );
     assert!(forged.verify(&registry).is_err());
     println!("rogue admin entry rejected by auditors");
 

@@ -16,9 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("enclave measurement: {:?}", engine.measurement());
 
     // Create a group. The metadata returned is safe to publish anywhere.
-    let members: Vec<String> = ["alice", "bob", "carol", "dave"]
-        .map(String::from)
-        .to_vec();
+    let members: Vec<String> = ["alice", "bob", "carol", "dave"].map(String::from).to_vec();
     let mut meta = engine.create_group("design-docs", members.clone())?;
     println!(
         "group '{}': {} members in {} partition(s), {}B of crypto metadata",

@@ -27,7 +27,9 @@ fn encrypt_doc(gk: &[u8; 32], name: &str, body: &[u8]) -> Vec<u8> {
 
 fn decrypt_doc(gk: &[u8; 32], name: &str, blob: &[u8]) -> Option<Vec<u8>> {
     let nonce: [u8; 12] = blob.get(..12)?.try_into().ok()?;
-    AesGcm::new(gk).open(&nonce, name.as_bytes(), blob.get(12..)?).ok()
+    AesGcm::new(gk)
+        .open(&nonce, name.as_bytes(), blob.get(12..)?)
+        .ok()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -68,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (blob, _) = cloud.get("compilers-team-files", "allocator.md").unwrap();
     let plain = decrypt_doc(gk_tony.as_bytes(), "allocator.md", &blob).expect("member can read");
     assert_eq!(plain, doc);
-    println!("tony decrypted allocator.md: \"{}…\"", String::from_utf8_lossy(&plain[..23]));
+    println!(
+        "tony decrypted allocator.md: \"{}…\"",
+        String::from_utf8_lossy(&plain[..23])
+    );
 
     // --- tony leaves the company -------------------------------------------
     admin.remove_user("compilers-team", "tony")?;
@@ -91,9 +96,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // the cloud never saw a key: every stored object is ciphertext or
     // public metadata (see acs tests for the systematic check)
-    println!(
-        "cloud traffic: {:?}",
-        cloud.metrics()
-    );
+    println!("cloud traffic: {:?}", cloud.metrics());
     Ok(())
 }

@@ -54,7 +54,9 @@ fn group_key_actually_protects_data() {
     let reader_usk = engine.extract_user_key("reader").unwrap();
     let gk_r = client_decrypt_group_key(engine.public_key(), &reader_usk, "reader", &meta).unwrap();
     assert_eq!(
-        AesGcm::new(gk_r.as_bytes()).open(&[9u8; 12], b"vault", &sealed).unwrap(),
+        AesGcm::new(gk_r.as_bytes())
+            .open(&[9u8; 12], b"vault", &sealed)
+            .unwrap(),
         b"payroll.xlsx"
     );
 
@@ -87,7 +89,11 @@ fn kernel_trace_replays_against_real_engine() {
 
     let mut rng = rand::thread_rng();
     let engine = GroupEngine::bootstrap(PartitionSize::new(4).unwrap(), &mut rng).unwrap();
-    let cfg = KernelTraceConfig { ops: 120, max_group_size: 16, seed: 42 };
+    let cfg = KernelTraceConfig {
+        ops: 120,
+        max_group_size: 16,
+        seed: 42,
+    };
     let trace = generate_kernel_trace(&cfg);
     let expected_final = trace.stats().final_group_size;
 
@@ -117,20 +123,12 @@ fn kernel_trace_replays_against_real_engine() {
 #[test]
 fn latency_model_propagates_to_client_path() {
     let mut rng = rand::thread_rng();
-    let cloud = CloudStore::with_latency(LatencyModel::new(
-        Duration::from_millis(5),
-        Duration::ZERO,
-    ));
+    let cloud =
+        CloudStore::with_latency(LatencyModel::new(Duration::from_millis(5), Duration::ZERO));
     let admin = bootstrap_admin(PartitionSize::new(4).unwrap(), cloud.clone(), &mut rng).unwrap();
     admin.create_group("g", vec!["u".to_string()]).unwrap();
     let usk = admin.engine().extract_user_key("u").unwrap();
-    let mut client = Client::new(
-        "u",
-        usk,
-        admin.engine().public_key().clone(),
-        cloud,
-        "g",
-    );
+    let mut client = Client::new("u", usk, admin.engine().public_key().clone(), cloud, "g");
     let t0 = std::time::Instant::now();
     client.sync().unwrap();
     // at least one GET and one LIST hit the latency model

@@ -1,0 +1,643 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property suites use:
+//!
+//! * the [`proptest!`], [`prop_compose!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros,
+//!   including the `#![proptest_config(..)]` inner attribute and both
+//!   `name in strategy` and `name: Type` parameter forms;
+//! * [`strategy::Strategy`] with `prop_map`, range strategies over the
+//!   primitive integers, [`arbitrary::any`] for primitives and byte arrays,
+//!   and [`collection::vec`];
+//! * [`test_runner::Config`] (a.k.a. `ProptestConfig`) with `with_cases`.
+//!
+//! Differences from upstream: cases are generated from a **deterministic**
+//! per-test seed (override with `PROPTEST_SEED`), there is **no shrinking**
+//! (the failing values are printed instead), and the default case count is
+//! CI-friendly (64) and tunable via the `PROPTEST_CASES` environment
+//! variable — raise it for deep runs, e.g. `PROPTEST_CASES=4096 cargo test`.
+
+// Re-exported so the macros can name it via `$crate` from consumer crates
+// that do not themselves depend on `rand`.
+#[doc(hidden)]
+pub use rand;
+
+pub mod test_runner {
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Error produced by a single test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case's inputs did not satisfy a `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Configuration for a property test (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// The default case count when `PROPTEST_CASES` is unset. Kept small
+        /// so the full workspace suite stays CI-friendly; deep runs raise it
+        /// through the environment.
+        pub const DEFAULT_CASES: u32 = 64;
+
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(Self::DEFAULT_CASES);
+            Self {
+                cases,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a of the test path. Setting
+    /// `PROPTEST_SEED` replaces the seed outright, so the value printed in a
+    /// failure message reproduces that failure when fed back through the
+    /// environment (run the single failing test: with one shared seed, other
+    /// tests draw different case sequences than in the original run).
+    pub fn seed_for(test_path: &str) -> u64 {
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            return seed;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy is just a samplable distribution.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `f` (bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1024 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1024 samples in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// Always produces clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A strategy backed by a sampling closure.
+    pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T> {
+        f: F,
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> FnStrategy<T, F> {
+        pub fn new(f: F) -> Self {
+            Self { f }
+        }
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> i128 {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// The canonical strategy for `T` — see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — vectors of `element` with `size` length.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+}
+
+/// Binds one strategy-parameter list entry after another inside the runner
+/// closure. Supports `name in strategy`, `mut name in strategy`,
+/// `name: Type` and `mut name: Type`, with an optional trailing comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bind {
+    ($rng:ident; $(,)?) => {};
+    ($rng:ident; mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__prop_bind!($rng; $($($rest)*)?);
+    };
+    ($rng:ident; $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__prop_bind!($rng; $($($rest)*)?);
+    };
+    ($rng:ident; mut $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__prop_bind!($rng; $($($rest)*)?);
+    };
+    ($rng:ident; $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__prop_bind!($rng; $($($rest)*)?);
+    };
+}
+
+/// Expands one `#[test] fn` after another under a shared config expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config: $crate::test_runner::Config = $cfg;
+            let __proptest_seed = $crate::test_runner::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __proptest_rng =
+                <$crate::test_runner::TestRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    __proptest_seed,
+                );
+            let mut __proptest_ok: u32 = 0;
+            let mut __proptest_rejects: u32 = 0;
+            while __proptest_ok < __proptest_config.cases {
+                // The closure gives `prop_assert*` a scope to early-return
+                // from without aborting the whole case loop.
+                #[allow(clippy::redundant_closure_call)]
+                let __proptest_result: $crate::test_runner::TestCaseResult = (|| {
+                    $crate::__prop_bind!(__proptest_rng; $($params)*);
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __proptest_result {
+                    Ok(()) => __proptest_ok += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __proptest_rejects += 1;
+                        if __proptest_rejects > __proptest_config.max_global_rejects {
+                            panic!(
+                                "proptest '{}': too many prop_assume! rejections ({})",
+                                stringify!($name),
+                                __proptest_rejects
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {} (seed {}):\n{}",
+                            stringify!($name),
+                            __proptest_ok,
+                            __proptest_seed,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+/// The main proptest entry point: a block of `#[test]` functions whose
+/// parameters are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            <$crate::test_runner::Config as core::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `fn name(outer)(inner strategy params) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)($($inner:tt)*) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(
+                move |mut __proptest_rng: &mut $crate::test_runner::TestRng| {
+                    $crate::__prop_bind!(__proptest_rng; $($inner)*);
+                    $body
+                },
+            )
+        }
+    };
+}
+
+/// Like `assert!` but returns a test-case failure instead of panicking, so
+/// the runner can attach case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn small_even()(v in 0u64..50) -> u64 { v * 2 }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in 0usize..=3, c: u8) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!(b <= 3);
+            let _ = c;
+        }
+
+        #[test]
+        fn composed_strategies_apply_map(v in small_even(), w in (1usize..=4).prop_map(|n| n * 10)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!((10..=40).contains(&w) && w % 10 == 0);
+        }
+
+        #[test]
+        fn vec_and_arrays(xs in crate::collection::vec(any::<u8>(), 2..6), arr in any::<[u8; 16]>(), mut ys in crate::collection::vec(any::<u64>(), 1..3)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(arr.len(), 16);
+            ys.push(1);
+            prop_assert!(!ys.is_empty());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a: u8) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_override_applies(_a: u64) {
+            // runner loops exactly 3 times; nothing to assert per-case
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let s = crate::collection::vec(any::<u64>(), 3..5);
+        let mut r1 = crate::test_runner::TestRng::seed_from_u64(9);
+        let mut r2 = crate::test_runner::TestRng::seed_from_u64(9);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}
