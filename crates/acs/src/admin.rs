@@ -5,10 +5,24 @@
 //! only manipulated by administrators, so they can locally cache it and thus
 //! bypass the cost of accessing the cloud"), and pushes only the partitions
 //! an operation touched.
+//!
+//! Membership churn should go through the **batched pipeline**:
+//! [`Admin::begin_batch`] collects operations and [`GroupBatch::commit`]
+//! applies them as one coalesced [`MembershipBatch`] — one re-key per
+//! surviving partition per batch in the engine, one [`CloudStore::put_many`]
+//! round-trip publishing every dirty object, and (when a signer is
+//! configured) one coalesced [`LogOp::Batch`] entry in the certified op-log.
+//! The single-op [`Admin::add_user`] / [`Admin::remove_user`] entry points
+//! retain the sequential per-object PUT profile of the paper's original
+//! design (they are what the batch pipeline is benchmarked against).
 
 use crate::error::AcsError;
+use crate::oplog::{AdminSigner, LogOp, OpLog};
 use cloud_store::CloudStore;
-use ibbe_sgx_core::{AddOutcome, GroupEngine, GroupMetadata, PartitionSize, RemoveOutcome};
+use ibbe_sgx_core::{
+    AddOutcome, BatchOutcome, GroupEngine, GroupMetadata, MembershipBatch, PartitionSize,
+    RemoveOutcome,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -20,12 +34,20 @@ pub fn partition_item(i: usize) -> String {
     format!("p{i:06}")
 }
 
+/// Optional certified journaling: every mutation this admin performs is
+/// appended to a hash-chained, signed [`OpLog`].
+struct Journal {
+    signer: AdminSigner,
+    log: Mutex<OpLog>,
+}
+
 /// The administrator API.
 pub struct Admin {
     engine: GroupEngine,
     store: CloudStore,
     cache: Mutex<HashMap<String, GroupMetadata>>,
     auto_repartition: bool,
+    journal: Option<Journal>,
 }
 
 impl Admin {
@@ -36,6 +58,33 @@ impl Admin {
             store,
             cache: Mutex::new(HashMap::new()),
             auto_repartition: true,
+            journal: None,
+        }
+    }
+
+    /// Enables certified op-logging: every mutation is recorded as one
+    /// signed, hash-chained entry (batches as a single coalesced
+    /// [`LogOp::Batch`]).
+    pub fn with_signer(mut self, signer: AdminSigner) -> Self {
+        self.journal = Some(Journal {
+            signer,
+            log: Mutex::new(OpLog::new()),
+        });
+        self
+    }
+
+    /// Snapshot of the certified op-log, if a signer is configured.
+    pub fn oplog(&self) -> Option<OpLog> {
+        self.journal.as_ref().map(|j| j.log.lock().clone())
+    }
+
+    /// Appends a journal entry. Callers invoke this while still holding the
+    /// cache lock, so journal order always matches application order (lock
+    /// order is cache → journal everywhere; nothing acquires them the other
+    /// way around).
+    fn record(&self, group: &str, op: LogOp) {
+        if let Some(j) = &self.journal {
+            j.log.lock().append(&j.signer, group, op);
         }
     }
 
@@ -60,9 +109,17 @@ impl Admin {
     /// # Errors
     /// Propagates engine failures ([`AcsError::Core`]).
     pub fn create_group(&self, name: &str, members: Vec<String>) -> Result<(), AcsError> {
+        // clone the member list only when a journal will actually record it
+        let log_members = self.journal.as_ref().map(|_| members.clone());
         let meta = self.engine.create_group(name, members)?;
         self.push_all(&meta);
-        self.cache.lock().insert(name.to_string(), meta);
+        let mut cache = self.cache.lock();
+        cache.insert(name.to_string(), meta);
+        if let Some(members) = log_members {
+            // journal while holding the cache lock so entry order matches
+            // application order (see `record`)
+            self.record(name, LogOp::Create { members });
+        }
         Ok(())
     }
 
@@ -81,6 +138,12 @@ impl Admin {
             .put(group, &partition_item(outcome.partition), p.to_bytes());
         // `y` unchanged on the fast path, so nothing else to push; the new
         // sealed gk only changes when gk rotates.
+        self.record(
+            group,
+            LogOp::Add {
+                user: identity.to_string(),
+            },
+        );
         Ok(outcome)
     }
 
@@ -105,6 +168,87 @@ impl Admin {
         for i in meta.partition_count()..before {
             self.store.delete(group, &partition_item(i));
         }
+        self.record(
+            group,
+            LogOp::Remove {
+                user: identity.to_string(),
+            },
+        );
+        Ok(outcome)
+    }
+
+    /// Starts collecting a membership batch for `group`. Operations queued
+    /// on the returned [`GroupBatch`] are applied atomically by
+    /// [`GroupBatch::commit`] through the batched pipeline.
+    pub fn begin_batch(&self, group: &str) -> GroupBatch<'_> {
+        GroupBatch {
+            admin: self,
+            group: group.to_string(),
+            batch: MembershipBatch::new(),
+        }
+    }
+
+    /// Applies a pre-built [`MembershipBatch`] to `group` atomically:
+    /// at most one engine re-key per surviving partition, one
+    /// [`CloudStore::put_many`] round-trip for all dirty cloud objects, one
+    /// coalesced op-log entry.
+    ///
+    /// When the §V-A re-partitioning heuristic is enabled and a gk-rotating
+    /// batch leaves the group sparse, the group is recreated before
+    /// publishing — still within the same single store round-trip.
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`] or engine failures; on engine validation
+    /// failure neither the cache nor the cloud is modified.
+    pub fn apply_batch(
+        &self,
+        group: &str,
+        batch: &MembershipBatch,
+    ) -> Result<BatchOutcome, AcsError> {
+        let mut cache = self.cache.lock();
+        let meta = cache
+            .get_mut(group)
+            .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
+        let before = meta.partition_count();
+        let outcome = self.engine.apply_batch(meta, batch)?;
+        let mut dirty = outcome.dirty_partitions.clone();
+        let mut publish_sealed = outcome.gk_rotated;
+        if self.auto_repartition
+            && outcome.gk_rotated
+            && meta.needs_repartitioning(self.engine.partition_size().get())
+        {
+            *meta = self.engine.repartition(meta)?;
+            dirty = (0..meta.partition_count()).collect();
+            publish_sealed = true;
+        }
+        // publish every dirty object in one round-trip (a 1-item batch is an
+        // ordinary PUT — no point charging it as a batched request)
+        let mut items: Vec<(String, Vec<u8>)> = dirty
+            .iter()
+            .map(|&i| (partition_item(i), meta.partitions[i].to_bytes()))
+            .collect();
+        if publish_sealed {
+            items.push((SEALED_ITEM.to_string(), meta.sealed_gk.to_bytes()));
+        }
+        if items.len() == 1 {
+            let (item, data) = items.pop().expect("len checked");
+            self.store.put(group, &item, data);
+        } else if !items.is_empty() {
+            self.store.put_many(group, items);
+        }
+        // drop stale trailing items if the partition count shrank
+        for i in meta.partition_count()..before {
+            self.store.delete(group, &partition_item(i));
+        }
+        if !outcome.added.is_empty() || !outcome.removed.is_empty() || outcome.gk_rotated {
+            self.record(
+                group,
+                LogOp::Batch {
+                    adds: outcome.added.clone(),
+                    removes: outcome.removed.clone(),
+                },
+            );
+        }
         Ok(outcome)
     }
 
@@ -119,6 +263,7 @@ impl Admin {
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         self.engine.rekey_group(meta)?;
         self.push_all(meta);
+        self.record(group, LogOp::Rekey);
         Ok(())
     }
 
@@ -152,6 +297,57 @@ impl Admin {
         }
         self.store
             .put(&meta.name, SEALED_ITEM, meta.sealed_gk.to_bytes());
+    }
+}
+
+/// A membership batch being collected against one group; created by
+/// [`Admin::begin_batch`], applied atomically by [`GroupBatch::commit`].
+pub struct GroupBatch<'a> {
+    admin: &'a Admin,
+    group: String,
+    batch: MembershipBatch,
+}
+
+impl GroupBatch<'_> {
+    /// Queues an add operation.
+    // the builder verb mirrors MembershipBatch::add; no `+` semantics implied
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(mut self, identity: impl Into<String>) -> Self {
+        self.batch.add(identity);
+        self
+    }
+
+    /// Queues a remove operation.
+    #[must_use]
+    pub fn remove(mut self, identity: impl Into<String>) -> Self {
+        self.batch.remove(identity);
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// True if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Commits the collected operations through
+    /// [`Admin::apply_batch`].
+    ///
+    /// # Errors
+    /// Same contract as [`Admin::apply_batch`].
+    pub fn commit(self) -> Result<BatchOutcome, AcsError> {
+        self.admin.apply_batch(&self.group, &self.batch)
+    }
+}
+
+impl core::fmt::Debug for GroupBatch<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "GroupBatch({}, {} ops)", self.group, self.batch.len())
     }
 }
 

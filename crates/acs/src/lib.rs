@@ -2,12 +2,21 @@
 //!
 //! Assembles the paper's Fig. 5 architecture from the workspace substrates:
 //!
-//! * [`Admin`] — IBBE-SGX engine + local cache + cloud PUT path;
+//! * [`Admin`] — IBBE-SGX engine + local cache + cloud PUT path, with the
+//!   **batched membership pipeline** ([`Admin::begin_batch`] →
+//!   [`GroupBatch::commit`]): a burst of adds/removes is coalesced into one
+//!   engine batch (one re-key per surviving partition per batch), published
+//!   in one `put_many` store round-trip, and journaled as one coalesced
+//!   op-log entry;
+//! * [`ShardedAdmin`] — groups partitioned across N independent engine
+//!   workers by group-name hash, applying multi-group churn in parallel;
 //! * [`Client`] — long-polling group member deriving `gk` (no SGX);
 //! * [`provisioning`] — the Fig. 3 trust establishment (quote → IAS →
 //!   Auditor/CA certificate → encrypted user-key delivery);
 //! * [`HeAdmin`] — the Hybrid-Encryption comparison system at equal
-//!   zero-knowledge guarantees (HE inside an enclave).
+//!   zero-knowledge guarantees (HE inside an enclave);
+//! * [`OpLog`] — the certified membership-operation log (§VIII future
+//!   work), wired into [`Admin`] via [`Admin::with_signer`].
 //!
 //! ```
 //! use acs::{bootstrap_admin, Client, provisioning};
@@ -41,10 +50,12 @@ pub mod error;
 pub mod he_system;
 pub mod oplog;
 pub mod provisioning;
+pub mod sharded;
 
-pub use admin::{bootstrap_admin, partition_item, Admin, SEALED_ITEM};
+pub use admin::{bootstrap_admin, partition_item, Admin, GroupBatch, SEALED_ITEM};
 pub use client::{find_partition_of, Client};
 pub use error::AcsError;
 pub use he_system::{decode_he_metadata, encode_he_metadata, HeAdmin, HE_ITEM};
 pub use oplog::{AdminSigner, LogEntry, LogError, LogOp, OpLog};
 pub use provisioning::{establish_trust, provision_user, KeyRequest, TrustContext};
+pub use sharded::ShardedAdmin;

@@ -33,19 +33,31 @@ pub enum LogOp {
     },
     /// Whole-group re-key (no membership change).
     Rekey,
+    /// One coalesced batch of membership operations (the batched membership
+    /// pipeline): the *net* additions and removals the batch applied. A
+    /// batch that only refreshed the group key records empty sets.
+    Batch {
+        /// Net-added identities.
+        adds: Vec<String>,
+        /// Net-removed identities.
+        removes: Vec<String>,
+    },
 }
 
 impl LogOp {
     fn encode(&self) -> Vec<u8> {
+        fn encode_list(out: &mut Vec<u8>, list: &[String]) {
+            out.extend_from_slice(&(list.len() as u32).to_be_bytes());
+            for m in list {
+                out.extend_from_slice(&(m.len() as u16).to_be_bytes());
+                out.extend_from_slice(m.as_bytes());
+            }
+        }
         let mut out = Vec::new();
         match self {
             LogOp::Create { members } => {
                 out.push(0);
-                out.extend_from_slice(&(members.len() as u32).to_be_bytes());
-                for m in members {
-                    out.extend_from_slice(&(m.len() as u16).to_be_bytes());
-                    out.extend_from_slice(m.as_bytes());
-                }
+                encode_list(&mut out, members);
             }
             LogOp::Add { user } => {
                 out.push(1);
@@ -56,6 +68,11 @@ impl LogOp {
                 out.extend_from_slice(user.as_bytes());
             }
             LogOp::Rekey => out.push(3),
+            LogOp::Batch { adds, removes } => {
+                out.push(4);
+                encode_list(&mut out, adds);
+                encode_list(&mut out, removes);
+            }
         }
         out
     }
@@ -138,7 +155,7 @@ impl core::fmt::Display for LogError {
 impl std::error::Error for LogError {}
 
 /// An append-only certified operation log for one deployment.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct OpLog {
     entries: Vec<LogEntry>,
 }
@@ -251,6 +268,11 @@ impl OpLog {
                 LogOp::Add { user } => members.push(user.clone()),
                 LogOp::Remove { user } => members.retain(|u| u != user),
                 LogOp::Rekey => {}
+                LogOp::Batch { adds, removes } => {
+                    // net sets are disjoint, so order does not matter
+                    members.extend(adds.iter().cloned());
+                    members.retain(|u| !removes.contains(u));
+                }
             }
         }
         members
@@ -301,6 +323,37 @@ mod tests {
             log.membership_of("g"),
             vec!["u1".to_string(), "u2".to_string()]
         );
+    }
+
+    #[test]
+    fn batch_entry_verifies_and_replays_net_membership() {
+        let (mut log, a1, a2, keys) = setup();
+        log.append(
+            &a1,
+            "g",
+            LogOp::Create {
+                members: vec!["u0".into(), "u1".into(), "u2".into()],
+            },
+        );
+        log.append(
+            &a2,
+            "g",
+            LogOp::Batch {
+                adds: vec!["u3".into(), "u4".into()],
+                removes: vec!["u0".into(), "u2".into()],
+            },
+        );
+        assert_eq!(log.verify(&keys), Ok(()));
+        assert_eq!(
+            log.membership_of("g"),
+            vec!["u1".to_string(), "u3".to_string(), "u4".to_string()]
+        );
+        // tampering with the batch contents breaks the signature
+        let mut forged = log.clone();
+        if let LogOp::Batch { adds, .. } = &mut forged.entries[1].op {
+            adds.push("mallory".into());
+        }
+        assert_eq!(forged.verify(&keys).unwrap_err().1, LogError::BadSignature);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Sharded administration: groups partitioned across N independent engine
+//! workers for parallel multi-group churn.
+//!
+//! Every group is owned by exactly one shard, selected by a stable hash of
+//! the group name, and each shard is a full [`Admin`] (its own enclave, IBBE
+//! master secret and metadata cache) sharing the one cloud store namespace.
+//! Because shards are fully independent — no shared mutable state beyond the
+//! store, which is already thread-safe — batches against different groups
+//! can be applied by all shard workers concurrently
+//! ([`ShardedAdmin::apply_batches`]).
+//!
+//! Clients are unaffected: they still long-poll the group folder and derive
+//! `gk` from public metadata. The only operational difference is that a
+//! user's secret key must be provisioned by the shard owning the group
+//! (shards have distinct master secrets) — use [`ShardedAdmin::shard_for`]
+//! to reach the right engine.
+
+use crate::admin::{Admin, GroupBatch};
+use crate::error::AcsError;
+use cloud_store::CloudStore;
+use ibbe_sgx_core::{AddOutcome, BatchOutcome, GroupMetadata, MembershipBatch, RemoveOutcome};
+use ibbe_sgx_core::{GroupEngine, PartitionSize};
+use symcrypto::sha256::sha256;
+
+/// A pool of independent [`Admin`] workers, with groups routed to workers by
+/// group-name hash.
+pub struct ShardedAdmin {
+    shards: Vec<Admin>,
+}
+
+impl ShardedAdmin {
+    /// Boots `shards` independent engines (each with its own enclave and
+    /// master secret) over clones of one store handle.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    ///
+    /// # Errors
+    /// Propagates engine bootstrap failures.
+    pub fn bootstrap<R: rand::RngCore + ?Sized>(
+        shards: usize,
+        partition_size: PartitionSize,
+        store: CloudStore,
+        rng: &mut R,
+    ) -> Result<Self, AcsError> {
+        assert!(shards >= 1, "at least one shard is required");
+        let shards = (0..shards)
+            .map(|_| {
+                Ok(Admin::new(
+                    GroupEngine::bootstrap(partition_size, rng)?,
+                    store.clone(),
+                ))
+            })
+            .collect::<Result<Vec<_>, AcsError>>()?;
+        Ok(Self { shards })
+    }
+
+    /// Assembles a sharded admin from pre-built workers (e.g. admins with
+    /// signers or deterministic seeds).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn from_shards(shards: Vec<Admin>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard is required");
+        Self { shards }
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard workers, in index order.
+    pub fn shards(&self) -> &[Admin] {
+        &self.shards
+    }
+
+    /// Stable shard index owning `group` (SHA-256 of the group name,
+    /// reduced modulo the shard count).
+    pub fn shard_index(&self, group: &str) -> usize {
+        let h = sha256(group.as_bytes());
+        let x = u64::from_be_bytes(h[..8].try_into().expect("8 bytes"));
+        (x % self.shards.len() as u64) as usize
+    }
+
+    /// The worker owning `group` (for key provisioning, attestation and the
+    /// group's public key).
+    pub fn shard_for(&self, group: &str) -> &Admin {
+        &self.shards[self.shard_index(group)]
+    }
+
+    /// Creates `group` on its owning shard.
+    ///
+    /// # Errors
+    /// Same contract as [`Admin::create_group`].
+    pub fn create_group(&self, group: &str, members: Vec<String>) -> Result<(), AcsError> {
+        self.shard_for(group).create_group(group, members)
+    }
+
+    /// Adds a user on the owning shard.
+    ///
+    /// # Errors
+    /// Same contract as [`Admin::add_user`].
+    pub fn add_user(&self, group: &str, identity: &str) -> Result<AddOutcome, AcsError> {
+        self.shard_for(group).add_user(group, identity)
+    }
+
+    /// Removes a user on the owning shard.
+    ///
+    /// # Errors
+    /// Same contract as [`Admin::remove_user`].
+    pub fn remove_user(&self, group: &str, identity: &str) -> Result<RemoveOutcome, AcsError> {
+        self.shard_for(group).remove_user(group, identity)
+    }
+
+    /// Starts collecting a batch against `group` on its owning shard.
+    pub fn begin_batch(&self, group: &str) -> GroupBatch<'_> {
+        self.shard_for(group).begin_batch(group)
+    }
+
+    /// Applies a pre-built batch on the owning shard.
+    ///
+    /// # Errors
+    /// Same contract as [`Admin::apply_batch`].
+    pub fn apply_batch(
+        &self,
+        group: &str,
+        batch: &MembershipBatch,
+    ) -> Result<BatchOutcome, AcsError> {
+        self.shard_for(group).apply_batch(group, batch)
+    }
+
+    /// Snapshot of a group's metadata from its owning shard.
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`].
+    pub fn metadata(&self, group: &str) -> Result<GroupMetadata, AcsError> {
+        self.shard_for(group).metadata(group)
+    }
+
+    /// Applies many `(group, batch)` pairs, fanning the work out to one
+    /// worker thread per shard that owns any of the groups; batches routed
+    /// to the same shard are applied in input order, different shards run
+    /// concurrently. Results are returned in input order.
+    ///
+    /// # Errors
+    /// The first (by input order) engine/cache failure; batches on other
+    /// shards may still have been applied — batches are independent, so
+    /// there is no cross-group atomicity to lose.
+    pub fn apply_batches(
+        &self,
+        work: Vec<(String, MembershipBatch)>,
+    ) -> Result<Vec<(String, BatchOutcome)>, AcsError> {
+        let mut buckets: Vec<Vec<(usize, String, MembershipBatch)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, (group, batch)) in work.into_iter().enumerate() {
+            let s = self.shard_index(&group);
+            buckets[s].push((i, group, batch));
+        }
+        let mut slots: Vec<Option<Result<(String, BatchOutcome), AcsError>>> = Vec::new();
+        slots.resize_with(buckets.iter().map(Vec::len).sum(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .enumerate()
+                .filter(|(_, bucket)| !bucket.is_empty())
+                .map(|(shard, bucket)| {
+                    let admin = &self.shards[shard];
+                    scope.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|(i, group, batch)| {
+                                let res = admin
+                                    .apply_batch(&group, &batch)
+                                    .map(|outcome| (group, outcome));
+                                (i, res)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, res) in handle.join().expect("shard worker panicked") {
+                    slots[i] = Some(res);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every input slot filled"))
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for ShardedAdmin {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ShardedAdmin({} shards)", self.shards.len())
+    }
+}

@@ -1,0 +1,343 @@
+//! Integration tests of the batched admin pipeline: the acceptance
+//! criterion (|P| re-keys + one `put_many` round-trip per batch vs k × |P|
+//! on the sequential path), client-visible parity with the sequential
+//! schedule, sharded administration, and coalesced op-logging.
+
+use acs::{Admin, AdminSigner, Client, LogOp, ShardedAdmin};
+use cloud_store::CloudStore;
+use ibbe_sgx_core::{GroupEngine, MembershipBatch, PartitionSize};
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("user-{i}")).collect()
+}
+
+/// Two admins over the same deterministic engine seed: same enclave
+/// identity, same IBBE master secret — so user keys are interchangeable and
+/// the batched vs sequential schedules are directly comparable.
+fn seeded_admin(seed: u64, partition: usize, store: CloudStore) -> Admin {
+    let mut seed_bytes = [0u8; 32];
+    seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    let engine =
+        GroupEngine::bootstrap_seeded(PartitionSize::new(partition).unwrap(), seed_bytes).unwrap();
+    Admin::new(engine, store)
+}
+
+/// The PR's acceptance criterion: a batch of k removes over a group with
+/// |P| surviving partitions performs exactly |P| partition re-keys and
+/// exactly one `put_many` store round-trip, where the sequential path pays
+/// k × |P| re-keys (plus the k hosts' own refreshes) and k × (|P| + 1) PUTs.
+#[test]
+fn k_removes_cost_one_rekey_sweep_and_one_round_trip() {
+    let k = 3;
+    let store_batch = CloudStore::new();
+    let store_seq = CloudStore::new();
+    let mut admin_batch = seeded_admin(11, 2, store_batch.clone());
+    let mut admin_seq = seeded_admin(11, 2, store_seq.clone());
+    admin_batch.set_auto_repartition(false);
+    admin_seq.set_auto_repartition(false);
+
+    // 8 members at partition size 2 → |P| = 4; one victim in each of three
+    // different partitions, so all four partitions survive.
+    admin_batch.create_group("g", names(8)).unwrap();
+    admin_seq.create_group("g", names(8)).unwrap();
+    let victims = ["user-0", "user-2", "user-4"];
+
+    let base_batch = store_batch.metrics();
+    let base_seq = store_seq.metrics();
+
+    // batched path
+    let mut batch = admin_batch.begin_batch("g");
+    for v in victims {
+        batch = batch.remove(v);
+    }
+    let outcome = batch.commit().unwrap();
+    assert!(outcome.gk_rotated);
+    assert_eq!(
+        outcome.partitions_rekeyed, 4,
+        "exactly |P| re-keys for the whole batch"
+    );
+    let m = store_batch.metrics();
+    assert_eq!(
+        m.puts_batched - base_batch.puts_batched,
+        1,
+        "exactly one put_many round-trip publishes the batch"
+    );
+    assert_eq!(m.puts - base_batch.puts, 0, "no stray single PUTs");
+    assert_eq!(
+        m.batched_items - base_batch.batched_items,
+        5,
+        "4 partitions + the sealed gk in the one round-trip"
+    );
+
+    // sequential path: one full push per operation
+    let mut seq_rekeys = 0;
+    for v in victims {
+        let out = admin_seq.remove_user("g", v).unwrap();
+        // + 1: the host partition's own refresh is not in the counter
+        seq_rekeys += out.rekeyed_partitions + 1;
+    }
+    let m = store_seq.metrics();
+    assert_eq!(seq_rekeys, k * 4, "sequential pays k × |P| re-keys");
+    assert_eq!(
+        m.puts - base_seq.puts,
+        (k * (4 + 1)) as u64,
+        "sequential pays k × (|P| + 1) PUT round-trips"
+    );
+    assert_eq!(m.puts_batched - base_seq.puts_batched, 0);
+
+    // and both schedules end in the same membership
+    assert_eq!(
+        admin_batch.metadata("g").unwrap().member_count(),
+        admin_seq.metadata("g").unwrap().member_count()
+    );
+}
+
+#[test]
+fn client_sync_derives_identical_state_after_batch_as_after_op_sequence() {
+    let store_batch = CloudStore::new();
+    let store_seq = CloudStore::new();
+    let admin_batch = seeded_admin(22, 3, store_batch.clone());
+    let admin_seq = seeded_admin(22, 3, store_seq.clone());
+
+    admin_batch.create_group("g", names(7)).unwrap();
+    admin_seq.create_group("g", names(7)).unwrap();
+
+    // mixed schedule: two joins, two revocations, one churn (leave + rejoin)
+    let ops: &[(&str, bool)] = &[
+        ("newbie-0", false),
+        ("user-1", true),
+        ("newbie-1", false),
+        ("user-4", true),
+        ("user-5", true),
+        ("user-5", false),
+    ];
+    let mut batch = admin_batch.begin_batch("g");
+    for &(user, is_remove) in ops {
+        batch = if is_remove {
+            batch.remove(user)
+        } else {
+            batch.add(user)
+        };
+    }
+    batch.commit().unwrap();
+    for &(user, is_remove) in ops {
+        if is_remove {
+            admin_seq.remove_user("g", user).unwrap();
+        } else {
+            admin_seq.add_user("g", user).unwrap();
+        }
+    }
+
+    let meta_batch = admin_batch.metadata("g").unwrap();
+    let meta_seq = admin_seq.metadata("g").unwrap();
+    let members: BTreeSet<String> = meta_batch.members().map(String::from).collect();
+    assert_eq!(
+        members,
+        meta_seq
+            .members()
+            .map(String::from)
+            .collect::<BTreeSet<_>>()
+    );
+
+    // every surviving member syncs against the cloud on both deployments
+    // and all derive one consistent gk per deployment
+    for (admin, store, label) in [
+        (&admin_batch, &store_batch, "batched"),
+        (&admin_seq, &store_seq, "sequential"),
+    ] {
+        let mut gks = Vec::new();
+        for member in &members {
+            let usk = admin.engine().extract_user_key(member).unwrap();
+            let mut client = Client::new(
+                member.clone(),
+                usk,
+                admin.engine().public_key().clone(),
+                store.clone(),
+                "g",
+            );
+            gks.push(
+                client
+                    .sync()
+                    .unwrap_or_else(|e| panic!("{label}: surviving {member} failed to sync: {e}")),
+            );
+        }
+        assert!(
+            gks.windows(2).all(|w| w[0] == w[1]),
+            "{label}: all surviving clients must agree on gk"
+        );
+    }
+
+    // revoked members fail to sync on both deployments
+    for victim in ["user-1", "user-4"] {
+        for (admin, store) in [(&admin_batch, &store_batch), (&admin_seq, &store_seq)] {
+            let usk = admin.engine().extract_user_key(victim).unwrap();
+            let mut client = Client::new(
+                victim,
+                usk,
+                admin.engine().public_key().clone(),
+                store.clone(),
+                "g",
+            );
+            assert!(client.sync().is_err(), "revoked {victim} must not sync");
+        }
+    }
+}
+
+#[test]
+fn client_long_poll_sees_one_coalesced_update_per_batch() {
+    let mut r = rng(3);
+    let store = CloudStore::new();
+    let admin = Admin::new(
+        GroupEngine::bootstrap(PartitionSize::new(2).unwrap(), &mut r).unwrap(),
+        store.clone(),
+    );
+    admin.create_group("g", names(4)).unwrap();
+    let usk = admin.engine().extract_user_key("user-1").unwrap();
+    let mut client = Client::new(
+        "user-1",
+        usk,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "g",
+    );
+    let gk1 = client.sync().unwrap();
+
+    let admin_thread = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        admin
+            .begin_batch("g")
+            .remove("user-0")
+            .remove("user-3")
+            .add("late")
+            .commit()
+            .unwrap();
+        admin
+    });
+    let gk2 = client
+        .wait_for_update(std::time::Duration::from_secs(5))
+        .unwrap()
+        .expect("one coalesced update must wake the poller");
+    assert_ne!(gk1, gk2, "a revoking batch rotates gk for survivors");
+    let _ = admin_thread.join().unwrap();
+    assert_eq!(store.metrics().puts_batched, 1);
+}
+
+#[test]
+fn sharded_admin_routes_groups_and_applies_batches_in_parallel() {
+    let mut r = rng(4);
+    let store = CloudStore::new();
+    let sharded =
+        ShardedAdmin::bootstrap(3, PartitionSize::new(2).unwrap(), store.clone(), &mut r).unwrap();
+    assert_eq!(sharded.shard_count(), 3);
+
+    let groups: Vec<String> = (0..6).map(|i| format!("team-{i}")).collect();
+    for g in &groups {
+        sharded
+            .create_group(
+                g,
+                vec![format!("{g}-a"), format!("{g}-b"), format!("{g}-c")],
+            )
+            .unwrap();
+    }
+    // routing is stable and all shards are reachable through it
+    for g in &groups {
+        assert_eq!(sharded.shard_index(g), sharded.shard_index(g));
+        assert!(std::ptr::eq(sharded.shard_for(g), sharded.shard_for(g)));
+    }
+
+    // parallel multi-group churn: one batch per group, fanned out to shards
+    let work: Vec<(String, MembershipBatch)> = groups
+        .iter()
+        .map(|g| {
+            let mut b = MembershipBatch::new();
+            b.remove(format!("{g}-a")).add(format!("{g}-new"));
+            (g.clone(), b)
+        })
+        .collect();
+    let results = sharded.apply_batches(work).unwrap();
+    assert_eq!(results.len(), groups.len());
+    for (i, (g, outcome)) in results.iter().enumerate() {
+        assert_eq!(g, &groups[i], "results come back in input order");
+        assert!(outcome.gk_rotated);
+        assert_eq!(outcome.removed, vec![format!("{g}-a")]);
+    }
+
+    // each group's members can still derive gk through the owning shard
+    for g in &groups {
+        let admin = sharded.shard_for(g);
+        let meta = sharded.metadata(g).unwrap();
+        assert_eq!(meta.member_count(), 3);
+        assert!(!meta.contains(&format!("{g}-a")));
+        let member = format!("{g}-new");
+        let usk = admin.engine().extract_user_key(&member).unwrap();
+        let mut client = Client::new(
+            member,
+            usk,
+            admin.engine().public_key().clone(),
+            store.clone(),
+            g.clone(),
+        );
+        client.sync().unwrap();
+    }
+}
+
+#[test]
+fn admin_journals_one_coalesced_entry_per_batch() {
+    let mut r = rng(5);
+    let signer = AdminSigner::new("ops-admin", &mut r);
+    let verifying = signer.verifying_key();
+    let admin = Admin::new(
+        GroupEngine::bootstrap(PartitionSize::new(3).unwrap(), &mut r).unwrap(),
+        CloudStore::new(),
+    )
+    .with_signer(signer);
+
+    admin.create_group("g", names(4)).unwrap();
+    admin
+        .begin_batch("g")
+        .remove("user-0")
+        .remove("user-2")
+        .add("new-0")
+        .commit()
+        .unwrap();
+    // a batch that coalesces to nothing is not journaled
+    admin
+        .begin_batch("g")
+        .add("ghost")
+        .remove("ghost")
+        .commit()
+        .unwrap();
+
+    let log = admin.oplog().expect("signer configured");
+    assert_eq!(log.len(), 2, "Create + one coalesced Batch entry");
+    match &log.entries()[1].op {
+        LogOp::Batch { adds, removes } => {
+            assert_eq!(adds, &vec!["new-0".to_string()]);
+            assert_eq!(
+                removes.iter().cloned().collect::<BTreeSet<_>>(),
+                BTreeSet::from(["user-0".to_string(), "user-2".to_string()])
+            );
+        }
+        other => panic!("expected a Batch entry, got {other:?}"),
+    }
+    let keys = std::collections::HashMap::from([("ops-admin".to_string(), verifying)]);
+    assert_eq!(log.verify(&keys), Ok(()));
+
+    // the replayed log agrees with the live metadata
+    let live: BTreeSet<String> = admin
+        .metadata("g")
+        .unwrap()
+        .members()
+        .map(String::from)
+        .collect();
+    assert_eq!(
+        log.membership_of("g").into_iter().collect::<BTreeSet<_>>(),
+        live
+    );
+}

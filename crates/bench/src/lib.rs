@@ -20,12 +20,14 @@ use acs::{Admin, HeAdmin};
 use cloud_store::CloudStore;
 use he::PkiKeyPair;
 use ibbe::UserSecretKey;
-use ibbe_sgx_core::{client_decrypt_from_partition, GroupEngine, PartitionSize};
+use ibbe_sgx_core::{
+    client_decrypt_from_partition, BatchOutcome, GroupEngine, MembershipBatch, PartitionSize,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use workloads::ReplayBackend;
+use workloads::{BatchReplayBackend, ReplayBackend, TraceOp};
 
 /// Times a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -135,6 +137,19 @@ pub fn bench_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Converts a burst of trace operations into one coalesced
+/// [`MembershipBatch`].
+pub fn to_membership_batch(ops: &[TraceOp]) -> MembershipBatch {
+    let mut batch = MembershipBatch::new();
+    for op in ops {
+        match op {
+            TraceOp::Add { user } => batch.add(user.clone()),
+            TraceOp::Remove { user } => batch.remove(user.clone()),
+        };
+    }
+    batch
+}
+
 /// IBBE-SGX replay backend over the full `acs` stack (engine + cloud PUTs),
 /// with a user-key cache for decrypt sampling.
 pub struct IbbeBackend {
@@ -142,6 +157,7 @@ pub struct IbbeBackend {
     group: String,
     usk_cache: HashMap<String, UserSecretKey>,
     rng: StdRng,
+    batch_outcomes: Vec<BatchOutcome>,
 }
 
 impl IbbeBackend {
@@ -166,6 +182,7 @@ impl IbbeBackend {
             group: group.to_string(),
             usk_cache: HashMap::new(),
             rng,
+            batch_outcomes: Vec::new(),
         }
     }
 
@@ -178,6 +195,12 @@ impl IbbeBackend {
     pub fn set_auto_repartition(&mut self, enabled: bool) {
         // Admin::set_auto_repartition takes &mut self
         self.admin.set_auto_repartition(enabled);
+    }
+
+    /// Outcomes of the batches applied so far (batch-aware cost
+    /// accounting; feed them to `AdaptivePolicy::record_batch`).
+    pub fn batch_outcomes(&self) -> &[BatchOutcome] {
+        &self.batch_outcomes
     }
 }
 
@@ -214,6 +237,14 @@ impl ReplayBackend for IbbeBackend {
         });
         gk.ok()?;
         Some(dt)
+    }
+}
+
+impl BatchReplayBackend for IbbeBackend {
+    fn apply_batch(&mut self, ops: &[TraceOp]) {
+        let batch = to_membership_batch(ops);
+        let outcome = self.admin.apply_batch(&self.group, &batch).expect("batch");
+        self.batch_outcomes.push(outcome);
     }
 }
 

@@ -12,6 +12,12 @@ use std::time::Duration;
 pub struct LatencyModel {
     base: Duration,
     jitter: Duration,
+    /// Marginal cost of each additional item in a batched request: a
+    /// multi-PUT pays one round trip (`base + jitter`) plus `per_item` for
+    /// every item beyond the first (serialization/owned-bandwidth cost),
+    /// which is what makes batched publishes realistically cheaper than N
+    /// independent round trips.
+    per_item: Duration,
 }
 
 impl LatencyModel {
@@ -20,18 +26,31 @@ impl LatencyModel {
         Self {
             base: Duration::ZERO,
             jitter: Duration::ZERO,
+            per_item: Duration::ZERO,
         }
     }
 
     /// Fixed latency plus uniform jitter in `[0, jitter]`.
     pub fn new(base: Duration, jitter: Duration) -> Self {
-        Self { base, jitter }
+        Self {
+            base,
+            jitter,
+            per_item: Duration::ZERO,
+        }
+    }
+
+    /// Sets the marginal per-item cost charged to batched requests.
+    pub fn with_per_item(mut self, per_item: Duration) -> Self {
+        self.per_item = per_item;
+        self
     }
 
     /// A profile resembling a public-cloud storage HTTP round trip
-    /// (tens of milliseconds).
+    /// (tens of milliseconds), with a small marginal cost per extra item in
+    /// a batched request.
     pub fn public_cloud() -> Self {
         Self::new(Duration::from_millis(40), Duration::from_millis(20))
+            .with_per_item(Duration::from_millis(2))
     }
 
     /// Samples one request's latency.
@@ -43,9 +62,18 @@ impl LatencyModel {
         self.base + Duration::from_micros(j)
     }
 
+    /// Samples the latency of one batched request carrying `items` items:
+    /// one round trip plus the marginal per-item cost beyond the first.
+    pub fn sample_batch<R: rand::Rng + ?Sized>(&self, rng: &mut R, items: usize) -> Duration {
+        if items == 0 {
+            return Duration::ZERO;
+        }
+        self.sample(rng) + self.per_item * (items - 1) as u32
+    }
+
     /// True when the model never sleeps (fast path).
     pub fn is_zero(&self) -> bool {
-        self.base.is_zero() && self.jitter.is_zero()
+        self.base.is_zero() && self.jitter.is_zero() && self.per_item.is_zero()
     }
 }
 
@@ -76,5 +104,18 @@ mod tests {
             assert!(d >= Duration::from_millis(10));
             assert!(d <= Duration::from_millis(15));
         }
+    }
+
+    #[test]
+    fn batched_requests_pay_one_round_trip_plus_marginal_items() {
+        let m = LatencyModel::new(Duration::from_millis(10), Duration::ZERO)
+            .with_per_item(Duration::from_millis(2));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(m.sample_batch(&mut rng, 0), Duration::ZERO);
+        assert_eq!(m.sample_batch(&mut rng, 1), Duration::from_millis(10));
+        // 5 items: one 10ms round trip + 4 × 2ms marginal — far below the
+        // 50ms five independent PUTs would cost
+        assert_eq!(m.sample_batch(&mut rng, 5), Duration::from_millis(18));
+        assert!(!m.is_zero());
     }
 }

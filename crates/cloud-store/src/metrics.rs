@@ -8,9 +8,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct Metrics {
     puts: AtomicU64,
+    puts_batched: AtomicU64,
+    batched_items: AtomicU64,
     gets: AtomicU64,
     deletes: AtomicU64,
     polls: AtomicU64,
+    poll_wakeups: AtomicU64,
     bytes_up: AtomicU64,
     bytes_down: AtomicU64,
 }
@@ -18,15 +21,26 @@ pub struct Metrics {
 /// A point-in-time snapshot of [`Metrics`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
-    /// Number of PUT requests.
+    /// Number of single-item PUT requests. Batched publishes are counted
+    /// separately in [`MetricsSnapshot::puts_batched`] so a multi-item
+    /// publish does not inflate per-item PUT counts.
     pub puts: u64,
+    /// Number of `put_many` round-trips (each is one request regardless of
+    /// how many items it carries).
+    pub puts_batched: u64,
+    /// Total items carried by batched PUT round-trips.
+    pub batched_items: u64,
     /// Number of GET requests.
     pub gets: u64,
     /// Number of DELETE requests.
     pub deletes: u64,
     /// Number of long-poll requests served.
     pub polls: u64,
-    /// Bytes uploaded (PUT payloads).
+    /// Long polls answered with changes (i.e. woken rather than timed out);
+    /// counted distinctly from the request count in
+    /// [`MetricsSnapshot::polls`].
+    pub poll_wakeups: u64,
+    /// Bytes uploaded (PUT payloads, single and batched).
     pub bytes_up: u64,
     /// Bytes downloaded (GET payloads).
     pub bytes_down: u64,
@@ -35,6 +49,13 @@ pub struct MetricsSnapshot {
 impl Metrics {
     pub(crate) fn record_put(&self, bytes: usize) {
         self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_up.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_put_many(&self, items: usize, bytes: usize) {
+        self.puts_batched.fetch_add(1, Ordering::Relaxed);
+        self.batched_items
+            .fetch_add(items as u64, Ordering::Relaxed);
         self.bytes_up.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
@@ -51,13 +72,20 @@ impl Metrics {
         self.polls.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_poll_wakeup(&self) {
+        self.poll_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             puts: self.puts.load(Ordering::Relaxed),
+            puts_batched: self.puts_batched.load(Ordering::Relaxed),
+            batched_items: self.batched_items.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             polls: self.polls.load(Ordering::Relaxed),
+            poll_wakeups: self.poll_wakeups.load(Ordering::Relaxed),
             bytes_up: self.bytes_up.load(Ordering::Relaxed),
             bytes_down: self.bytes_down.load(Ordering::Relaxed),
         }
@@ -83,5 +111,25 @@ mod tests {
         assert_eq!(s.bytes_down, 30);
         assert_eq!(s.deletes, 1);
         assert_eq!(s.polls, 1);
+        assert_eq!(s.puts_batched, 0);
+        assert_eq!(s.poll_wakeups, 0);
+    }
+
+    #[test]
+    fn batched_puts_and_wakeups_counted_distinctly() {
+        let m = Metrics::default();
+        m.record_put(10);
+        m.record_put_many(3, 300);
+        m.record_poll();
+        m.record_poll_wakeup();
+        m.record_poll();
+        let s = m.snapshot();
+        // a 3-item batch is ONE round-trip, not three PUTs
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.puts_batched, 1);
+        assert_eq!(s.batched_items, 3);
+        assert_eq!(s.bytes_up, 310);
+        assert_eq!(s.polls, 2);
+        assert_eq!(s.poll_wakeups, 1);
     }
 }

@@ -95,6 +95,48 @@ impl CloudStore {
         version
     }
 
+    /// Atomic multi-PUT: stores every `(item, data)` pair under `folder` in
+    /// one round-trip — a single latency charge (one round trip plus the
+    /// model's marginal per-item cost), a **single version bump** shared by
+    /// all items, and a single long-poller wake. Counted as one batched PUT
+    /// in the metrics ([`MetricsSnapshot::puts_batched`]) so it does not
+    /// inflate per-item PUT counts.
+    ///
+    /// Returns the new global version (the current version if `items` is
+    /// empty — an empty publish is a no-op that contacts nothing).
+    pub fn put_many<I, B>(&self, folder: &str, items: I) -> u64
+    where
+        I: IntoIterator<Item = (String, B)>,
+        B: Into<Bytes>,
+    {
+        let items: Vec<(String, Bytes)> = items
+            .into_iter()
+            .map(|(name, data)| (name, data.into()))
+            .collect();
+        if items.is_empty() {
+            return self.version();
+        }
+        if !self.inner.latency.is_zero() {
+            let d = self
+                .inner
+                .latency
+                .sample_batch(&mut rand::thread_rng(), items.len());
+            std::thread::sleep(d);
+        }
+        let total_bytes: usize = items.iter().map(|(_, d)| d.len()).sum();
+        self.inner.metrics.record_put_many(items.len(), total_bytes);
+        let mut st = self.inner.state.lock();
+        st.version += 1;
+        let version = st.version;
+        let folder_items = st.folders.entry(folder.to_string()).or_default();
+        for (name, data) in items {
+            folder_items.insert(name, Entry { data, version });
+        }
+        drop(st);
+        self.inner.changed.notify_all();
+        version
+    }
+
     /// GET: fetches `folder/item` with its version.
     pub fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
         self.simulate_latency();
@@ -169,6 +211,7 @@ impl CloudStore {
                 })
                 .unwrap_or_default();
             if !changed.is_empty() {
+                self.inner.metrics.record_poll_wakeup();
                 return PollResult {
                     version: st.version,
                     changed,
@@ -305,6 +348,66 @@ mod tests {
         assert_eq!(m.gets, 1);
         assert_eq!(m.bytes_down, 5);
         assert_eq!(m.polls, 1);
+    }
+
+    #[test]
+    fn put_many_is_one_version_bump_and_one_batched_put() {
+        let s = CloudStore::new();
+        let v0 = s.put("g", "p0", &b"old"[..]);
+        let v = s.put_many(
+            "g",
+            vec![
+                ("p0".to_string(), &b"a"[..]),
+                ("p1".to_string(), &b"b"[..]),
+                ("p2".to_string(), &b"cc"[..]),
+            ],
+        );
+        assert_eq!(v, v0 + 1, "a batch bumps the global version exactly once");
+        for item in ["p0", "p1", "p2"] {
+            assert_eq!(s.get("g", item).unwrap().1, v, "all items share a version");
+        }
+        assert_eq!(&s.get("g", "p0").unwrap().0[..], b"a");
+        let m = s.metrics();
+        assert_eq!(m.puts, 1, "only the initial single PUT");
+        assert_eq!(m.puts_batched, 1);
+        assert_eq!(m.batched_items, 3);
+        assert_eq!(m.bytes_up, 3 + 4);
+    }
+
+    #[test]
+    fn put_many_empty_is_a_noop() {
+        let s = CloudStore::new();
+        let v0 = s.put("g", "p0", &b"x"[..]);
+        let v = s.put_many("g", Vec::<(String, Bytes)>::new());
+        assert_eq!(v, v0);
+        assert_eq!(s.metrics().puts_batched, 0);
+    }
+
+    #[test]
+    fn put_many_wakes_long_pollers_once_with_all_items() {
+        let s = CloudStore::new();
+        let s2 = s.clone();
+        let handle = std::thread::spawn(move || s2.long_poll("g", 0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        s.put_many(
+            "g",
+            vec![("p0".to_string(), &b"a"[..]), ("p1".to_string(), &b"b"[..])],
+        );
+        let r = handle.join().unwrap();
+        assert!(!r.timed_out);
+        assert_eq!(r.changed, vec!["p0".to_string(), "p1".to_string()]);
+        let m = s.metrics();
+        assert_eq!(m.poll_wakeups, 1);
+        assert_eq!(m.polls, 1);
+    }
+
+    #[test]
+    fn poll_timeouts_are_not_wakeups() {
+        let s = CloudStore::new();
+        s.long_poll("g", 0, Duration::from_millis(5));
+        let m = s.metrics();
+        assert_eq!(m.polls, 1);
+        assert_eq!(m.poll_wakeups, 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! [`AdaptivePolicy`] observes the live operation mix over a sliding window
 //! and recommends the fill size that balances the two measured costs.
 
+use crate::batch::BatchOutcome;
 use crate::engine::PartitionSize;
 use crate::error::CoreError;
 
@@ -98,6 +99,24 @@ impl AdaptivePolicy {
     /// estimated from group size).
     pub fn record_decrypt(&mut self) {
         self.decrypts += 1;
+        self.maybe_decay();
+    }
+
+    /// Records a coalesced batch observation ([`BatchOutcome`], the batched
+    /// membership pipeline).
+    ///
+    /// Additions are counted per identity (each still costs one `O(1)`
+    /// ciphertext update), but a gk-rotating batch contributes **one**
+    /// revocation event no matter how many removals it coalesced: the admin
+    /// pays the `|P| × O(1)` re-key sweep once per batch, which is exactly
+    /// the cost the `removes` term of the model prices. Feeding raw per-op
+    /// removal counts from a batched workload would overstate revocation
+    /// pressure by the mean batch size.
+    pub fn record_batch(&mut self, outcome: &BatchOutcome) {
+        self.adds += outcome.added.len();
+        if outcome.gk_rotated {
+            self.removes += 1;
+        }
         self.maybe_decay();
     }
 
@@ -191,6 +210,64 @@ mod tests {
         }
         // new regime dominates: recommendation near the small bound
         assert!(p.recommended(1000).get() <= 64);
+    }
+
+    fn batch_outcome(adds: usize, removes: usize) -> BatchOutcome {
+        BatchOutcome {
+            added: (0..adds).map(|i| format!("a{i}")).collect(),
+            removed: (0..removes).map(|i| format!("r{i}")).collect(),
+            gk_rotated: removes > 0,
+            partitions_rekeyed: if removes > 0 { 4 } else { 0 },
+            ..BatchOutcome::default()
+        }
+    }
+
+    #[test]
+    fn batched_removes_count_one_rekey_sweep_per_batch() {
+        // 10 sequential removes vs one 10-remove batch: the batch costs the
+        // admin a single |P|-sweep, so it must register 10× less revocation
+        // pressure.
+        let mut sequential = AdaptivePolicy::new(8, 4096).unwrap();
+        let mut batched = AdaptivePolicy::new(8, 4096).unwrap();
+        for _ in 0..10 {
+            sequential.record_remove();
+            sequential.record_decrypt();
+            batched.record_decrypt();
+        }
+        batched.record_batch(&batch_outcome(0, 10));
+        assert!(
+            batched.recommended(2000).get() < sequential.recommended(2000).get(),
+            "coalesced removals must exert less per-op revocation pressure"
+        );
+    }
+
+    #[test]
+    fn recommendation_grows_with_batched_remove_share() {
+        // Same decrypt pressure, growing share of batches that carry
+        // removals: the recommendation must shift toward larger partitions
+        // monotonically.
+        let recommend_for_share = |remove_batches: usize| {
+            let mut p = AdaptivePolicy::new(8, 4096).unwrap();
+            for i in 0..20 {
+                p.record_decrypt();
+                let with_removes = i < remove_batches;
+                p.record_batch(&batch_outcome(3, usize::from(with_removes) * 5));
+            }
+            p.recommended(2000).get()
+        };
+        let shares: Vec<usize> = [0, 5, 10, 20]
+            .iter()
+            .map(|&s| recommend_for_share(s))
+            .collect();
+        assert!(
+            shares.windows(2).all(|w| w[0] <= w[1]),
+            "recommendation must be monotone in batched-remove share: {shares:?}"
+        );
+        assert!(
+            shares[3] > shares[0],
+            "all-remove batches must recommend strictly larger partitions \
+             than pure-add batches: {shares:?}"
+        );
     }
 
     #[test]

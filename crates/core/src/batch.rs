@@ -1,0 +1,218 @@
+//! Batched membership pipeline (admin-side cost optimization, paper §VIII).
+//!
+//! The paper's Algorithm 3 re-keys *every* surviving partition on *every*
+//! revocation, so a burst of `k` removals over a group with `|P|` partitions
+//! costs `k × |P|` re-keys and as many cloud PUTs. [`MembershipBatch`]
+//! coalesces a sequence of add/remove operations into one net per-partition
+//! delta that [`crate::GroupEngine::apply_batch`] applies atomically:
+//!
+//! * **invariant** — a batch containing at least one revocation of an
+//!   existing member performs **exactly one IBBE re-key per surviving
+//!   partition**, regardless of how many operations the batch holds;
+//! * a pure-add batch performs **zero** re-keys (`gk` is unchanged, exactly
+//!   like the sequential Algorithm 2 fast path) and packs overflowing users
+//!   into full-size new partitions instead of one partition per add;
+//! * users added and removed within the same batch never appear in any
+//!   published ciphertext — the intermediate states of the sequential
+//!   schedule are never materialized.
+//!
+//! The single-operation [`crate::GroupEngine::add_user`] /
+//! [`crate::GroupEngine::remove_user`] entry points are thin wrappers around
+//! one-element batches, so every membership mutation funnels through this
+//! one code path.
+
+use crate::error::CoreError;
+use crate::metadata::GroupMetadata;
+use std::collections::HashSet;
+
+/// One queued membership operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BatchOp {
+    /// Add an identity to the group.
+    Add(String),
+    /// Remove an identity from the group.
+    Remove(String),
+}
+
+impl BatchOp {
+    /// The identity the operation targets.
+    pub fn identity(&self) -> &str {
+        match self {
+            BatchOp::Add(u) | BatchOp::Remove(u) => u,
+        }
+    }
+}
+
+/// An ordered sequence of membership operations to be applied atomically.
+///
+/// The sequence is validated against the *sequential* semantics (adding a
+/// present member or removing an absent one is an error at the position the
+/// sequential schedule would have rejected it), then coalesced into a net
+/// delta: identities both added and removed inside the batch cancel out.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct MembershipBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl MembershipBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an add operation; returns `self` for chaining.
+    pub fn add(&mut self, identity: impl Into<String>) -> &mut Self {
+        self.ops.push(BatchOp::Add(identity.into()));
+        self
+    }
+
+    /// Queues a remove operation; returns `self` for chaining.
+    pub fn remove(&mut self, identity: impl Into<String>) -> &mut Self {
+        self.ops.push(BatchOp::Remove(identity.into()));
+        self
+    }
+
+    /// Number of queued operations (before coalescing).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued operations, in order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Validates the sequence against `meta` and computes the coalesced
+    /// plan. Pure (no enclave work): useful for pre-flighting a batch.
+    ///
+    /// # Errors
+    /// [`CoreError::AlreadyMember`] / [`CoreError::NotAMember`] at the first
+    /// operation the equivalent sequential schedule would have rejected.
+    pub fn plan(&self, meta: &GroupMetadata) -> Result<BatchPlan, CoreError> {
+        let pre: HashSet<&str> = meta.members().collect();
+        let mut present: HashSet<String> = meta.members().map(String::from).collect();
+        let mut rotate_gk = false;
+        for op in &self.ops {
+            match op {
+                BatchOp::Add(u) => {
+                    if !present.insert(u.clone()) {
+                        return Err(CoreError::AlreadyMember(u.clone()));
+                    }
+                }
+                BatchOp::Remove(u) => {
+                    if !present.remove(u) {
+                        return Err(CoreError::NotAMember(u.clone()));
+                    }
+                    // Revoking a pre-batch member forces a gk rotation even
+                    // if the identity is later re-added: the sequential
+                    // schedule would have rotated, and callers rely on
+                    // "remove ⇒ fresh gk" for forward secrecy.
+                    if pre.contains(u.as_str()) {
+                        rotate_gk = true;
+                    }
+                }
+            }
+        }
+        // Net additions in first-add order, net removals in partition order.
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut net_added = Vec::new();
+        for op in &self.ops {
+            if let BatchOp::Add(u) = op {
+                if present.contains(u) && !pre.contains(u.as_str()) && seen.insert(u) {
+                    net_added.push(u.clone());
+                }
+            }
+        }
+        let net_removed: Vec<String> = meta
+            .members()
+            .filter(|m| !present.contains(*m))
+            .map(String::from)
+            .collect();
+        Ok(BatchPlan {
+            net_added,
+            net_removed,
+            rotate_gk,
+        })
+    }
+}
+
+/// The coalesced, validated form of a [`MembershipBatch`] against one
+/// concrete group state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchPlan {
+    pub(crate) net_added: Vec<String>,
+    pub(crate) net_removed: Vec<String>,
+    pub(crate) rotate_gk: bool,
+}
+
+impl BatchPlan {
+    /// Identities that end up members without having been members before the
+    /// batch (first-add order).
+    pub fn net_added(&self) -> &[String] {
+        &self.net_added
+    }
+
+    /// Pre-batch members that end up removed (partition order).
+    pub fn net_removed(&self) -> &[String] {
+        &self.net_removed
+    }
+
+    /// True if applying the plan rotates the group key (any revocation of a
+    /// pre-batch member, even one later re-added).
+    pub fn rotates_gk(&self) -> bool {
+        self.rotate_gk
+    }
+
+    /// True if applying the plan would leave the metadata untouched.
+    pub fn is_noop(&self) -> bool {
+        self.net_added.is_empty() && self.net_removed.is_empty() && !self.rotate_gk
+    }
+}
+
+/// Where one net-added identity landed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// The identity placed.
+    pub identity: String,
+    /// Final index of the partition it joined.
+    pub partition: usize,
+    /// True if the partition was created by this batch.
+    pub created_new_partition: bool,
+}
+
+/// Outcome of [`crate::GroupEngine::apply_batch`]: the coalesced effect plus
+/// the per-partition work counters the batched pipeline is measured by.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BatchOutcome {
+    /// Net-added identities (first-add order).
+    pub added: Vec<String>,
+    /// Net-removed identities (partition order at batch start).
+    pub removed: Vec<String>,
+    /// True if the group key was rotated (the batch contained at least one
+    /// revocation of a pre-batch member).
+    pub gk_rotated: bool,
+    /// Partitions re-keyed — when `gk_rotated`, exactly one re-key per
+    /// surviving pre-existing partition; zero for pure-add batches.
+    pub partitions_rekeyed: usize,
+    /// Partitions newly created for overflowing additions.
+    pub partitions_created: usize,
+    /// Partitions dropped because the batch emptied them.
+    pub partitions_dropped: usize,
+    /// Final indices of partitions whose cloud objects must be re-published
+    /// (sorted ascending; the sealed group key is dirty iff `gk_rotated`).
+    pub dirty_partitions: Vec<usize>,
+    /// Final placement of every net-added identity.
+    pub placements: Vec<Placement>,
+}
+
+impl BatchOutcome {
+    /// Outcome of a batch that coalesced to nothing.
+    pub(crate) fn noop() -> Self {
+        Self::default()
+    }
+}

@@ -2,11 +2,19 @@
 //! paper's Algorithms 1 (create group), 2 (add user) and 3 (remove user),
 //! every sensitive step of which executes inside the simulated enclave.
 //!
+//! All membership mutation funnels through the batched pipeline
+//! ([`GroupEngine::apply_batch`], module [`crate::batch`]); the single-op
+//! entry points are one-element-batch wrappers. **Invariant:** a batch
+//! containing revocations performs exactly one IBBE re-key per surviving
+//! partition per *batch* — never one per operation — so `k` coalesced
+//! removals cost `|P|` re-keys instead of the sequential `k × |P|`.
+//!
 //! The admin process — modelled honest-but-curious — only ever observes
 //! [`GroupMetadata`]: IBBE ciphertexts, AES-wrapped group keys and a sealed
 //! group key. Neither `gk` nor any partition broadcast key `bk` crosses the
 //! enclave boundary, which is the paper's zero-knowledge property.
 
+use crate::batch::{BatchOutcome, BatchPlan, MembershipBatch, Placement};
 use crate::error::CoreError;
 use crate::metadata::{GroupKey, GroupMetadata, PartitionMetadata, WrappedGroupKey};
 use ibbe::{
@@ -14,6 +22,7 @@ use ibbe::{
     MasterSecretKey, PublicKey, UserSecretKey,
 };
 use sgx_sim::{ChannelKeyPair, Enclave, EnclaveBuilder, EnclaveContext, Measurement};
+use std::collections::HashSet;
 use symcrypto::gcm::{AesGcm, NONCE_LEN};
 use symcrypto::sha256::sha256;
 
@@ -266,10 +275,11 @@ impl GroupEngine {
         })
     }
 
-    /// **Algorithm 2 — Add User to Group.** If some partition has room the
-    /// user joins it — only `c_p` changes (`O(1)`, the broadcast key is
-    /// unchanged so `y_p` needs no update). Otherwise a new partition is
-    /// created and the unsealed `gk` wrapped under its fresh broadcast key.
+    /// **Algorithm 2 — Add User to Group**, as a one-element batch. If some
+    /// partition has room the user joins the first open one — only `c_p`
+    /// changes (`O(1)`, the broadcast key is unchanged so `y_p` needs no
+    /// update). Otherwise a new partition is created and the unsealed `gk`
+    /// wrapped under its fresh broadcast key.
     ///
     /// # Errors
     /// [`CoreError::AlreadyMember`]; [`CoreError::Sgx`] if the sealed group
@@ -279,55 +289,24 @@ impl GroupEngine {
         meta: &mut GroupMetadata,
         identity: &str,
     ) -> Result<AddOutcome, CoreError> {
-        if meta.contains(identity) {
-            return Err(CoreError::AlreadyMember(identity.to_string()));
-        }
-        let m = self.partition_size.get();
-        // line 1: partitions with remaining capacity
-        let open: Vec<usize> = (0..meta.partitions.len())
-            .filter(|&i| meta.partitions[i].members.len() < m)
-            .collect();
-        let pk = self.pk.clone();
-        if open.is_empty() {
-            // lines 3–7: new partition wrapping the existing gk
-            let name = meta.name.clone();
-            let sealed = meta.sealed_gk.clone();
-            let identity_owned = identity.to_string();
-            let partition = self.enclave.ecall(move |st, ctx| {
-                let gk = unseal_gk(ctx, &sealed, &name)?;
-                make_partition(&st.msk, &pk, vec![identity_owned], &gk, &name, ctx)
-            })?;
-            meta.partitions.push(partition);
-            Ok(AddOutcome {
-                partition: meta.partitions.len() - 1,
-                created_new_partition: true,
-            })
-        } else {
-            // lines 9–12: join a random open partition; only c changes
-            let pick = self.enclave.ecall(|_, ctx| {
-                let mut b = [0u8; 8];
-                ctx.rng().generate(&mut b);
-                usize::from_le_bytes(b) % open.len()
-            });
-            let idx = open[pick];
-            let target = &mut meta.partitions[idx];
-            let identity_owned = identity.to_string();
-            let new_ct = self
-                .enclave
-                .ecall(|st, _| add_user_with_msk(&st.msk, &target.ciphertext, &identity_owned));
-            target.ciphertext = new_ct;
-            target.members.push(identity.to_string());
-            Ok(AddOutcome {
-                partition: idx,
-                created_new_partition: false,
-            })
-        }
+        let mut batch = MembershipBatch::new();
+        batch.add(identity);
+        let outcome = self.apply_batch(meta, &batch)?;
+        let placement = outcome
+            .placements
+            .first()
+            .expect("a validated single add always places its user");
+        Ok(AddOutcome {
+            partition: placement.partition,
+            created_new_partition: placement.created_new_partition,
+        })
     }
 
-    /// **Algorithm 3 — Remove User from Group.** Draws a fresh `gk`, removes
-    /// the user from their partition with the constant-time `C3` update
-    /// (Eqs. 6–7), re-keys every other partition in constant time each, and
-    /// re-wraps the new `gk` everywhere. Cost: `|P| × O(1)`.
+    /// **Algorithm 3 — Remove User from Group**, as a one-element batch.
+    /// Draws a fresh `gk`, removes the user from their partition with the
+    /// constant-time `C3` update (Eqs. 6–7), re-keys every other partition in
+    /// constant time each, and re-wraps the new `gk` everywhere. Cost:
+    /// `|P| × O(1)`.
     ///
     /// Empty partitions are dropped. The caller should consult
     /// [`GroupMetadata::needs_repartitioning`] afterwards (§V-A heuristic)
@@ -343,55 +322,240 @@ impl GroupEngine {
         let Some(idx) = meta.partition_of(identity) else {
             return Err(CoreError::NotAMember(identity.to_string()));
         };
+        // With a single remove, only the hosting partition can be dropped,
+        // so final indices match pre-batch indices.
+        let host_survives = meta.partitions[idx].members.len() > 1;
+        let mut batch = MembershipBatch::new();
+        batch.remove(identity);
+        let outcome = self.apply_batch(meta, &batch)?;
+        Ok(RemoveOutcome {
+            shrunk_partition: host_survives.then_some(idx),
+            // Historical contract: the host's own refresh is not counted.
+            rekeyed_partitions: outcome.partitions_rekeyed - usize::from(host_survives),
+        })
+    }
+
+    /// Applies a whole [`MembershipBatch`] atomically (the batched
+    /// membership pipeline; see [`crate::batch`]).
+    ///
+    /// The batch is validated against sequential semantics, coalesced into a
+    /// net per-partition delta, and applied in a single enclave call:
+    ///
+    /// * a batch containing at least one revocation of a pre-batch member
+    ///   rotates `gk` and performs **exactly one IBBE re-key per surviving
+    ///   partition** — not one per operation;
+    /// * a pure-add batch leaves `gk` and all broadcast keys untouched and
+    ///   packs overflowing users into full-size new partitions.
+    ///
+    /// # Errors
+    /// [`CoreError::AlreadyMember`] / [`CoreError::NotAMember`] if the
+    /// sequential schedule would have rejected an operation (the metadata is
+    /// left untouched); [`CoreError::Sgx`] on unseal failure.
+    pub fn apply_batch(
+        &self,
+        meta: &mut GroupMetadata,
+        batch: &MembershipBatch,
+    ) -> Result<BatchOutcome, CoreError> {
+        let plan = batch.plan(meta)?;
+        if plan.is_noop() {
+            return Ok(BatchOutcome::noop());
+        }
+        if plan.rotates_gk() {
+            self.apply_batch_rotating(meta, plan)
+        } else {
+            self.apply_batch_additive(meta, plan)
+        }
+    }
+
+    /// Pure-add batch: fills open partitions first-fit with `O(1)`
+    /// ciphertext updates, then packs the overflow into new full-size
+    /// partitions wrapping the *existing* group key.
+    ///
+    /// All fallible enclave work (unsealing `gk`, encrypting new
+    /// partitions) happens before the first mutation, so a failure leaves
+    /// the metadata untouched.
+    fn apply_batch_additive(
+        &self,
+        meta: &mut GroupMetadata,
+        plan: BatchPlan,
+    ) -> Result<BatchOutcome, CoreError> {
+        let m = self.partition_size.get();
         let pk = self.pk.clone();
         let name = meta.name.clone();
-        let identity_owned = identity.to_string();
-        let mut partitions = std::mem::take(&mut meta.partitions);
+        let sealed = meta.sealed_gk.clone();
 
-        let (sealed_gk, outcome) = self.enclave.ecall(move |st, ctx| {
-            // line 3: fresh gk
-            let gk = random_gk(ctx);
-            // lines 1–2, 4–5: shrink the hosting partition
-            let host = &mut partitions[idx];
-            host.members.retain(|u| u != &identity_owned);
-            let host_empty = host.members.is_empty();
-            if !host_empty {
-                let (bk, ct) = remove_user_with_msk(
-                    &st.msk,
-                    &pk,
-                    &host.ciphertext,
-                    &identity_owned,
-                    ctx.rng(),
-                );
-                host.ciphertext = ct;
-                host.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
-            }
-            // lines 6–8: constant-time re-key of every other partition
-            let mut rekeyed = 0;
-            for (i, p) in partitions.iter_mut().enumerate() {
-                if i == idx {
-                    continue;
+        // Pure first-fit assignment over current occupancy (partitions only
+        // fill up under adds, so a monotone cursor suffices): final
+        // partition index per placed user, plus the overflow.
+        let (assignments, overflow) = plan_first_fit(
+            plan.net_added,
+            meta.partitions.iter().map(|p| p.members.len()),
+            m,
+        );
+
+        let base = meta.partitions.len();
+        let partitions = &mut meta.partitions;
+        let created = self.enclave.ecall(|st, ctx| -> Result<usize, CoreError> {
+            // Phase 1 — fallible, touches nothing.
+            let mut new_parts = Vec::new();
+            if !overflow.is_empty() {
+                let gk = unseal_gk(ctx, &sealed, &name)?;
+                for chunk in overflow.chunks(m) {
+                    new_parts.push(make_partition(
+                        &st.msk,
+                        &pk,
+                        chunk.to_vec(),
+                        &gk,
+                        &name,
+                        ctx,
+                    )?);
                 }
-                let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
-                p.ciphertext = ct;
-                p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
-                rekeyed += 1;
             }
-            if host_empty {
-                partitions.remove(idx);
+            // Phase 2 — infallible: one O(1) ciphertext update per
+            // assigned add, then append the packed new partitions.
+            for (idx, user) in &assignments {
+                let target = &mut partitions[*idx];
+                target.ciphertext = add_user_with_msk(&st.msk, &target.ciphertext, user);
+                target.members.push(user.clone());
             }
-            // line 9: seal the new gk
-            let sealed = seal_gk(ctx, &gk, &name);
-            let outcome = RemoveOutcome {
-                shrunk_partition: if host_empty { None } else { Some(idx) },
-                rekeyed_partitions: rekeyed,
-            };
-            ((sealed, partitions), outcome)
-        });
-        let (sealed, partitions) = sealed_gk;
-        meta.partitions = partitions;
+            let created = new_parts.len();
+            partitions.extend(new_parts);
+            Ok(created)
+        })?;
+
+        let placements = to_placements(assignments, overflow, base, m);
+        let mut dirty: Vec<usize> = Vec::new();
+        for p in &placements {
+            if dirty.last() != Some(&p.partition) {
+                dirty.push(p.partition);
+            }
+        }
+        Ok(BatchOutcome {
+            added: placements.iter().map(|p| p.identity.clone()).collect(),
+            removed: Vec::new(),
+            gk_rotated: false,
+            partitions_rekeyed: 0,
+            partitions_created: created,
+            partitions_dropped: 0,
+            dirty_partitions: dirty,
+            placements,
+        })
+    }
+
+    /// Batch containing revocations: strips all net-removed members with
+    /// constant-time `C3` updates, drops emptied partitions, places the net
+    /// additions, performs the **one re-key per surviving partition** under
+    /// a fresh `gk`, and packs the overflow into new partitions.
+    ///
+    /// The post-strip shape is pre-computed outside the enclave (it only
+    /// depends on public member lists), so the in-enclave fallible work (new
+    /// partition encryption) runs before the first mutation and a failure
+    /// leaves the metadata untouched.
+    fn apply_batch_rotating(
+        &self,
+        meta: &mut GroupMetadata,
+        plan: BatchPlan,
+    ) -> Result<BatchOutcome, CoreError> {
+        let m = self.partition_size.get();
+        let pk = self.pk.clone();
+        let name = meta.name.clone();
+        let BatchPlan {
+            net_added,
+            net_removed,
+            ..
+        } = plan;
+        let removed_set: HashSet<&str> = net_removed.iter().map(String::as_str).collect();
+
+        // Post-strip occupancy of the surviving partitions, in final
+        // (retained) order, and the first-fit placement over it.
+        let survivor_sizes: Vec<usize> = meta
+            .partitions
+            .iter()
+            .map(|p| {
+                p.members
+                    .iter()
+                    .filter(|u| !removed_set.contains(u.as_str()))
+                    .count()
+            })
+            .filter(|&left| left > 0)
+            .collect();
+        let dropped = meta.partitions.len() - survivor_sizes.len();
+        let base = survivor_sizes.len();
+        let (assignments, overflow) = plan_first_fit(net_added, survivor_sizes.into_iter(), m);
+
+        let partitions = &mut meta.partitions;
+        let (sealed, rekeyed, created) = self.enclave.ecall(
+            |st, ctx| -> Result<(sgx_sim::SealedBlob, usize, usize), CoreError> {
+                // Phase 1 — fallible, touches nothing: fresh gk and the
+                // overflow partitions wrapping it.
+                let gk = random_gk(ctx);
+                let mut new_parts = Vec::new();
+                for chunk in overflow.chunks(m) {
+                    new_parts.push(make_partition(
+                        &st.msk,
+                        &pk,
+                        chunk.to_vec(),
+                        &gk,
+                        &name,
+                        ctx,
+                    )?);
+                }
+                // Phase 2 — infallible. Strip revoked members with
+                // constant-time C3 updates, dropping emptied partitions.
+                for mut p in std::mem::take(partitions) {
+                    if p.members.iter().any(|u| removed_set.contains(u.as_str())) {
+                        let goners: Vec<String> = p
+                            .members
+                            .iter()
+                            .filter(|u| removed_set.contains(u.as_str()))
+                            .cloned()
+                            .collect();
+                        p.members.retain(|u| !removed_set.contains(u.as_str()));
+                        if p.members.is_empty() {
+                            continue; // no receivers left, nothing to maintain
+                        }
+                        for u in &goners {
+                            let (_, ct) =
+                                remove_user_with_msk(&st.msk, &pk, &p.ciphertext, u, ctx.rng());
+                            p.ciphertext = ct;
+                        }
+                    }
+                    partitions.push(p);
+                }
+                // Place net additions (O(1) ciphertext update each).
+                for (idx, user) in &assignments {
+                    let target = &mut partitions[*idx];
+                    target.ciphertext = add_user_with_msk(&st.msk, &target.ciphertext, user);
+                    target.members.push(user.clone());
+                }
+                // The batch invariant: one re-key per surviving partition.
+                let mut rekeyed = 0usize;
+                for p in partitions.iter_mut() {
+                    let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
+                    p.ciphertext = ct;
+                    p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
+                    rekeyed += 1;
+                }
+                let created = new_parts.len();
+                partitions.extend(new_parts);
+                Ok((seal_gk(ctx, &gk, &name), rekeyed, created))
+            },
+        )?;
         meta.sealed_gk = sealed;
-        Ok(outcome)
+
+        let placements = to_placements(assignments, overflow, base, m);
+        Ok(BatchOutcome {
+            added: placements.iter().map(|p| p.identity.clone()).collect(),
+            removed: net_removed,
+            gk_rotated: true,
+            partitions_rekeyed: rekeyed,
+            partitions_created: created,
+            partitions_dropped: dropped,
+            // everything changed: every surviving partition was re-keyed and
+            // every created one is new
+            dirty_partitions: (0..meta.partitions.len()).collect(),
+            placements,
+        })
     }
 
     /// Re-partitioning (§V-A): recreates the group from its current member
@@ -451,6 +615,59 @@ impl core::fmt::Debug for GroupEngine {
             self.enclave.measurement()
         )
     }
+}
+
+/// Pure first-fit planner shared by both batch paths: assigns `users` to
+/// the partitions whose current `sizes` leave room (capacity `m`), in
+/// index order; the rest overflow. Partitions only fill up under adds, so a
+/// monotone cursor suffices and assignment indices come out ascending.
+fn plan_first_fit(
+    users: Vec<String>,
+    sizes: impl Iterator<Item = usize>,
+    m: usize,
+) -> (Vec<(usize, String)>, Vec<String>) {
+    let mut free: Vec<usize> = sizes.map(|len| m.saturating_sub(len)).collect();
+    let mut assignments = Vec::new();
+    let mut overflow = Vec::new();
+    let mut cursor = 0usize;
+    for user in users {
+        while cursor < free.len() && free[cursor] == 0 {
+            cursor += 1;
+        }
+        if cursor == free.len() {
+            overflow.push(user);
+        } else {
+            free[cursor] -= 1;
+            assignments.push((cursor, user));
+        }
+    }
+    (assignments, overflow)
+}
+
+/// Expands a first-fit plan into [`Placement`]s; overflow users land in the
+/// packed partitions appended from index `base` on.
+fn to_placements(
+    assignments: Vec<(usize, String)>,
+    overflow: Vec<String>,
+    base: usize,
+    m: usize,
+) -> Vec<Placement> {
+    let mut placements: Vec<Placement> = assignments
+        .into_iter()
+        .map(|(partition, identity)| Placement {
+            identity,
+            partition,
+            created_new_partition: false,
+        })
+        .collect();
+    for (i, identity) in overflow.into_iter().enumerate() {
+        placements.push(Placement {
+            identity,
+            partition: base + i / m,
+            created_new_partition: true,
+        });
+    }
+    placements
 }
 
 fn random_gk(ctx: &mut EnclaveContext<'_>) -> GroupKey {

@@ -45,12 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod batch;
 pub mod client;
 pub mod engine;
 pub mod error;
 pub mod metadata;
 
 pub use adaptive::AdaptivePolicy;
+pub use batch::{BatchOp, BatchOutcome, BatchPlan, MembershipBatch, Placement};
 pub use client::{client_decrypt_from_partition, client_decrypt_group_key};
 pub use engine::{AddOutcome, GroupEngine, PartitionSize, RemoveOutcome, ENCLAVE_CODE_IDENTITY};
 pub use error::CoreError;

@@ -1,0 +1,238 @@
+//! Tests of the batched membership pipeline: coalescing semantics, the
+//! one-re-key-per-partition-per-batch invariant, and the security
+//! properties batches must preserve (gk rotation, revocation).
+
+use ibbe_sgx_core::{
+    client_decrypt_group_key, CoreError, GroupEngine, MembershipBatch, PartitionSize,
+};
+
+fn engine(partition: usize, seed: u64) -> GroupEngine {
+    let mut seed_bytes = [0u8; 32];
+    seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    GroupEngine::bootstrap_seeded(PartitionSize::new(partition).unwrap(), seed_bytes).unwrap()
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("user-{i}")).collect()
+}
+
+fn gk_of(e: &GroupEngine, meta: &ibbe_sgx_core::GroupMetadata, who: &str) -> [u8; 32] {
+    let usk = e.extract_user_key(who).unwrap();
+    *client_decrypt_group_key(e.public_key(), &usk, who, meta)
+        .unwrap()
+        .as_bytes()
+}
+
+#[test]
+fn remove_batch_rekeys_each_surviving_partition_exactly_once() {
+    let e = engine(2, 1);
+    let mut meta = e.create_group("g", names(8)).unwrap(); // 4 partitions of 2
+    let gk_old = gk_of(&e, &meta, "user-7");
+
+    // one victim from each of three different partitions; all 4 survive
+    let mut batch = MembershipBatch::new();
+    batch.remove("user-0").remove("user-2").remove("user-4");
+    let out = e.apply_batch(&mut meta, &batch).unwrap();
+
+    assert!(out.gk_rotated);
+    assert_eq!(out.removed.len(), 3);
+    assert_eq!(
+        out.partitions_rekeyed, 4,
+        "|P| re-keys for a k-remove batch, not k × |P|"
+    );
+    assert_eq!(out.partitions_dropped, 0);
+    assert_eq!(out.dirty_partitions, vec![0, 1, 2, 3]);
+    assert_eq!(meta.member_count(), 5);
+
+    // every survivor agrees on one NEW gk; victims are gone
+    let keys: Vec<[u8; 32]> = ["user-1", "user-3", "user-5", "user-6", "user-7"]
+        .iter()
+        .map(|m| gk_of(&e, &meta, m))
+        .collect();
+    assert!(keys.windows(2).all(|w| w[0] == w[1]));
+    assert_ne!(keys[0], gk_old, "gk must rotate on a revoking batch");
+    for victim in ["user-0", "user-2", "user-4"] {
+        let usk = e.extract_user_key(victim).unwrap();
+        assert_eq!(
+            client_decrypt_group_key(e.public_key(), &usk, victim, &meta),
+            Err(CoreError::NotAMember(victim.into()))
+        );
+    }
+}
+
+#[test]
+fn pure_add_batch_keeps_gk_and_packs_overflow_partitions() {
+    let e = engine(4, 2);
+    let mut meta = e.create_group("g", names(5)).unwrap(); // 4 + 1
+    let gk_before = gk_of(&e, &meta, "user-0");
+
+    let mut batch = MembershipBatch::new();
+    for i in 0..9 {
+        batch.add(format!("new-{i}"));
+    }
+    let out = e.apply_batch(&mut meta, &batch).unwrap();
+
+    assert!(!out.gk_rotated);
+    assert_eq!(out.partitions_rekeyed, 0, "adds never re-key");
+    // 3 fill partition 1, the remaining 6 pack into ⌈6/4⌉ = 2 new partitions
+    assert_eq!(out.partitions_created, 2);
+    assert_eq!(out.dirty_partitions, vec![1, 2, 3]);
+    assert_eq!(meta.partition_count(), 4);
+    assert_eq!(meta.member_count(), 14);
+
+    // gk unchanged for old members; newcomers in both filled and created
+    // partitions derive the same gk
+    assert_eq!(gk_of(&e, &meta, "user-0"), gk_before);
+    assert_eq!(gk_of(&e, &meta, "new-0"), gk_before);
+    assert_eq!(gk_of(&e, &meta, "new-8"), gk_before);
+
+    // placements agree with the metadata
+    for p in &out.placements {
+        assert!(meta.partitions[p.partition]
+            .members
+            .iter()
+            .any(|m| m == &p.identity));
+    }
+}
+
+#[test]
+fn add_then_remove_within_batch_is_a_noop() {
+    let e = engine(3, 3);
+    let mut meta = e.create_group("g", names(4)).unwrap();
+    let before = meta.clone();
+    let gk_before = gk_of(&e, &meta, "user-0");
+
+    let mut batch = MembershipBatch::new();
+    batch.add("ephemeral").remove("ephemeral");
+    let out = e.apply_batch(&mut meta, &batch).unwrap();
+
+    assert!(!out.gk_rotated, "a never-member cannot force rotation");
+    assert!(out.added.is_empty() && out.removed.is_empty());
+    assert!(out.dirty_partitions.is_empty());
+    assert_eq!(meta, before, "metadata must be untouched");
+    assert_eq!(gk_of(&e, &meta, "user-0"), gk_before);
+}
+
+#[test]
+fn remove_then_readd_rotates_gk_but_keeps_membership() {
+    let e = engine(3, 4);
+    let mut meta = e.create_group("g", names(5)).unwrap();
+    let gk_before = gk_of(&e, &meta, "user-1");
+
+    let mut batch = MembershipBatch::new();
+    batch.remove("user-1").add("user-1");
+    let out = e.apply_batch(&mut meta, &batch).unwrap();
+
+    assert!(out.gk_rotated, "revoking a pre-batch member must rotate gk");
+    assert!(out.added.is_empty() && out.removed.is_empty(), "net no-op");
+    assert_eq!(meta.member_count(), 5);
+    assert!(meta.contains("user-1"));
+    let gk_after = gk_of(&e, &meta, "user-1");
+    assert_ne!(gk_after, gk_before);
+    assert_eq!(gk_of(&e, &meta, "user-4"), gk_after);
+}
+
+#[test]
+fn invalid_sequences_are_rejected_atomically() {
+    let e = engine(3, 5);
+    let mut meta = e.create_group("g", names(4)).unwrap();
+    let before = meta.clone();
+
+    // valid prefix, then an invalid op: nothing may be applied
+    let mut batch = MembershipBatch::new();
+    batch.add("fresh").remove("ghost");
+    assert_eq!(
+        e.apply_batch(&mut meta, &batch),
+        Err(CoreError::NotAMember("ghost".into()))
+    );
+    let mut batch = MembershipBatch::new();
+    batch.remove("user-0").add("user-1");
+    assert_eq!(
+        e.apply_batch(&mut meta, &batch),
+        Err(CoreError::AlreadyMember("user-1".into()))
+    );
+    // double add of the same fresh identity follows sequential semantics
+    let mut batch = MembershipBatch::new();
+    batch.add("fresh").add("fresh");
+    assert_eq!(
+        e.apply_batch(&mut meta, &batch),
+        Err(CoreError::AlreadyMember("fresh".into()))
+    );
+    assert_eq!(meta, before, "failed batches leave the metadata untouched");
+}
+
+#[test]
+fn batch_drops_emptied_partitions_and_reports_final_indices() {
+    let e = engine(2, 6);
+    let mut meta = e.create_group("g", names(6)).unwrap(); // 3 partitions of 2
+    let mut batch = MembershipBatch::new();
+    // empty partition 0 entirely, shrink partition 2, add two newcomers
+    batch
+        .remove("user-0")
+        .remove("user-1")
+        .remove("user-4")
+        .add("fresh-0")
+        .add("fresh-1");
+    let out = e.apply_batch(&mut meta, &batch).unwrap();
+
+    assert_eq!(out.partitions_dropped, 1);
+    assert_eq!(out.partitions_rekeyed, 2, "two surviving partitions");
+    assert_eq!(meta.member_count(), 5);
+    for &i in &out.dirty_partitions {
+        assert!(i < meta.partition_count(), "dirty indices must be final");
+    }
+    for p in &out.placements {
+        assert!(meta.partitions[p.partition]
+            .members
+            .iter()
+            .any(|m| m == &p.identity));
+    }
+    // all five members agree on the rotated key
+    let keys: Vec<[u8; 32]> = ["user-2", "user-3", "user-5", "fresh-0", "fresh-1"]
+        .iter()
+        .map(|m| gk_of(&e, &meta, m))
+        .collect();
+    assert!(keys.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn batch_emptying_the_whole_group_leaves_no_partitions() {
+    let e = engine(2, 7);
+    let mut meta = e.create_group("g", names(3)).unwrap();
+    let mut batch = MembershipBatch::new();
+    batch.remove("user-0").remove("user-1").remove("user-2");
+    let out = e.apply_batch(&mut meta, &batch).unwrap();
+    assert_eq!(meta.member_count(), 0);
+    assert_eq!(meta.partition_count(), 0);
+    assert_eq!(out.partitions_rekeyed, 0);
+    assert_eq!(out.partitions_dropped, 2);
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let e = engine(3, 8);
+    let mut meta = e.create_group("g", names(3)).unwrap();
+    let before = meta.clone();
+    let out = e.apply_batch(&mut meta, &MembershipBatch::new()).unwrap();
+    assert_eq!(out, ibbe_sgx_core::BatchOutcome::default());
+    assert_eq!(meta, before);
+}
+
+#[test]
+fn planner_preflights_without_touching_metadata() {
+    let e = engine(2, 9);
+    let meta = e.create_group("g", names(4)).unwrap();
+    let mut batch = MembershipBatch::new();
+    batch.add("x").remove("user-0").remove("x").add("user-0");
+    let plan = batch.plan(&meta).unwrap();
+    assert!(plan.net_added().is_empty());
+    assert!(plan.net_removed().is_empty());
+    assert!(plan.rotates_gk(), "user-0 was revoked mid-batch");
+    assert!(!plan.is_noop());
+
+    let mut batch = MembershipBatch::new();
+    batch.add("y").remove("user-1");
+    let plan = batch.plan(&meta).unwrap();
+    assert_eq!(plan.net_added(), ["y".to_string()]);
+    assert_eq!(plan.net_removed(), ["user-1".to_string()]);
+}

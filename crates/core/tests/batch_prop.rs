@@ -1,0 +1,151 @@
+//! Property test of the batched membership pipeline: for random operation
+//! sequences, `apply_batch` and the sequential single-op path must yield
+//! metadata from which every surviving member derives one consistent `gk`,
+//! and removed members must fail to decrypt — on both paths.
+//!
+//! Case count: a light default (each case runs two full enclave stacks),
+//! scaled up by `PROPTEST_CASES` (1/8th of the requested depth, floor 4) so
+//! the scheduled deep CI run exercises it harder without dominating the
+//! tier-1 suite.
+
+use ibbe_sgx_core::{
+    client_decrypt_group_key, CoreError, GroupEngine, GroupMetadata, MembershipBatch, PartitionSize,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|c| (c / 8).max(4))
+        .unwrap_or(6)
+}
+
+fn engine(partition: usize, seed: u64) -> GroupEngine {
+    let mut seed_bytes = [0u8; 32];
+    seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    GroupEngine::bootstrap_seeded(PartitionSize::new(partition).unwrap(), seed_bytes).unwrap()
+}
+
+/// Turns raw decision pairs into a sequence that is consistent with
+/// sequential application (removals always target a current member).
+fn build_ops(initial: usize, decisions: &[(bool, u8)]) -> Vec<(bool, String)> {
+    let mut present: Vec<String> = (0..initial).map(|i| format!("m{i}")).collect();
+    let mut fresh = 0usize;
+    let mut ops = Vec::with_capacity(decisions.len());
+    for &(is_remove, sel) in decisions {
+        if is_remove && !present.is_empty() {
+            let user = present.remove(sel as usize % present.len());
+            ops.push((true, user));
+        } else {
+            let user = format!("f{fresh}");
+            fresh += 1;
+            present.push(user.clone());
+            ops.push((false, user));
+        }
+    }
+    ops
+}
+
+fn members_of(meta: &GroupMetadata) -> BTreeSet<String> {
+    meta.members().map(String::from).collect()
+}
+
+/// Every member derives the same gk; returns it (None for empty groups).
+fn consistent_gk(
+    e: &GroupEngine,
+    meta: &GroupMetadata,
+    label: &str,
+) -> Result<Option<[u8; 32]>, TestCaseError> {
+    let mut gk: Option<[u8; 32]> = None;
+    for m in members_of(meta) {
+        let usk = e.extract_user_key(&m).unwrap();
+        let got = client_decrypt_group_key(e.public_key(), &usk, &m, meta)
+            .map_err(|err| TestCaseError::fail(format!("{label}: {m} cannot decrypt: {err}")))?;
+        let got = *got.as_bytes();
+        match gk {
+            None => gk = Some(got),
+            Some(prev) => prop_assert!(prev == got, "{label}: members disagree on gk"),
+        }
+    }
+    Ok(gk)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn batch_and_sequential_paths_agree(
+        seed: u64,
+        initial in 2usize..=5,
+        decisions in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..=6),
+    ) {
+        let ops = build_ops(initial, &decisions);
+        let members: Vec<String> = (0..initial).map(|i| format!("m{i}")).collect();
+
+        // identically seeded engines: same enclave identity, same msk/pk
+        let e_batch = engine(3, seed);
+        let e_seq = engine(3, seed);
+        let mut meta_batch = e_batch.create_group("g", members.clone()).unwrap();
+        let mut meta_seq = e_seq.create_group("g", members.clone()).unwrap();
+
+        // apply once as a coalesced batch ...
+        let mut batch = MembershipBatch::new();
+        for (is_remove, user) in &ops {
+            if *is_remove { batch.remove(user.clone()) } else { batch.add(user.clone()) };
+        }
+        let outcome = e_batch.apply_batch(&mut meta_batch, &batch).unwrap();
+
+        // ... and once as the sequential single-op schedule
+        for (is_remove, user) in &ops {
+            if *is_remove {
+                e_seq.remove_user(&mut meta_seq, user).unwrap();
+            } else {
+                e_seq.add_user(&mut meta_seq, user).unwrap();
+            }
+        }
+
+        // both paths agree on the final membership
+        prop_assert_eq!(members_of(&meta_batch), members_of(&meta_seq));
+
+        // the one-re-key-per-surviving-partition invariant
+        if outcome.gk_rotated {
+            prop_assert_eq!(outcome.partitions_rekeyed, meta_batch.partition_count() - outcome.partitions_created);
+        } else {
+            prop_assert_eq!(outcome.partitions_rekeyed, 0);
+        }
+
+        // within each path every surviving member derives one consistent gk
+        consistent_gk(&e_batch, &meta_batch, "batched")?;
+        consistent_gk(&e_seq, &meta_seq, "sequential")?;
+
+        // removed members fail to decrypt on both paths, even when the
+        // (honest-but-curious) cloud re-inserts their name into a partition
+        for victim in &outcome.removed {
+            for (e, meta, label) in [
+                (&e_batch, &meta_batch, "batched"),
+                (&e_seq, &meta_seq, "sequential"),
+            ] {
+                let usk = e.extract_user_key(victim).unwrap();
+                let res = client_decrypt_group_key(e.public_key(), &usk, victim, meta);
+                prop_assert!(
+                    res == Err(CoreError::NotAMember(victim.clone())),
+                    "{label}: removed member must not be listed, got {res:?}"
+                );
+                if meta.partition_count() > 0 {
+                    // re-inserting the name may also overflow the receiver
+                    // set (GroupTooLarge) — any error is a refusal; only a
+                    // recovered key would break revocation
+                    let mut forged = meta.clone();
+                    forged.partitions[0].members.push(victim.clone());
+                    let res = client_decrypt_group_key(e.public_key(), &usk, victim, &forged);
+                    prop_assert!(
+                        res.is_err(),
+                        "{label}: forged membership must not recover gk"
+                    );
+                }
+            }
+        }
+    }
+}

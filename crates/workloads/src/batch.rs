@@ -1,0 +1,204 @@
+//! Batched-churn synthetic workload: membership operations arriving in
+//! bursts that an administrator coalesces into one batch each.
+//!
+//! This models the production pattern the batched pipeline targets (e.g. an
+//! HR system revoking a department, a nightly sync reconciling an LDAP
+//! delta): operations are grouped into fixed-size batches whose composition
+//! follows a revocation ratio, and each batch is internally consistent with
+//! sequential application — so the same trace can be replayed either op by
+//! op ([`BatchedChurnTrace::flatten`]) or batch by batch
+//! ([`crate::replay_batched`]), making the two admin cost profiles directly
+//! comparable.
+
+use crate::trace::{Trace, TraceOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for one batched-churn workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchedChurnConfig {
+    /// Number of batches.
+    pub batches: usize,
+    /// Operations per batch.
+    pub batch_size: usize,
+    /// Fraction of each batch that is revocations, in `[0, 1]`.
+    pub revocation_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BatchedChurnConfig {
+    fn default() -> Self {
+        Self {
+            batches: 100,
+            batch_size: 100,
+            revocation_ratio: 0.5,
+            seed: 0xba7c,
+        }
+    }
+}
+
+/// Output of the generator: the members that must exist before replay plus
+/// the batched operation sequence.
+#[derive(Clone, Debug)]
+pub struct BatchedChurnTrace {
+    /// Provenance (generator + parameters).
+    pub name: String,
+    /// Group members to create before the timed section starts.
+    pub initial_members: Vec<String>,
+    /// The batches, each internally consistent with sequential application.
+    pub batches: Vec<Vec<TraceOp>>,
+}
+
+impl BatchedChurnTrace {
+    /// The sequential-equivalent trace: all batches concatenated in order.
+    pub fn flatten(&self) -> Trace {
+        Trace {
+            name: format!("{} (flattened)", self.name),
+            ops: self.batches.iter().flatten().cloned().collect(),
+        }
+    }
+
+    /// Total operation count across batches.
+    pub fn op_count(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+}
+
+/// Generates a batched-churn workload: `batches` bursts of `batch_size`
+/// operations, each containing exactly `round(batch_size × ratio)`
+/// revocations of random current members (shuffled within the burst), the
+/// rest additions of fresh identities.
+///
+/// The pre-existing group is sized by the total operation count so heavy
+/// revocation ratios do not exhaust it mid-trace (same convention as
+/// [`crate::generate_synthetic_trace`]).
+///
+/// # Panics
+/// Panics if `revocation_ratio` is outside `[0, 1]`.
+pub fn generate_batched_churn(cfg: &BatchedChurnConfig) -> BatchedChurnTrace {
+    assert!(
+        (0.0..=1.0).contains(&cfg.revocation_ratio),
+        "revocation ratio must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let total_ops = cfg.batches * cfg.batch_size;
+    let initial = total_ops.max(1);
+    let initial_members: Vec<String> = (0..initial).map(|i| format!("seed-{i:06}")).collect();
+    let removes_per_batch = (cfg.batch_size as f64 * cfg.revocation_ratio).round() as usize;
+
+    let mut present = initial_members.clone();
+    let mut next_uid = 0usize;
+    let mut batches = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        // op kind sequence within the burst, Fisher–Yates shuffled
+        let mut kinds = vec![false; cfg.batch_size - removes_per_batch];
+        kinds.extend(std::iter::repeat_n(true, removes_per_batch));
+        for i in (1..kinds.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            kinds.swap(i, j);
+        }
+        let mut ops = Vec::with_capacity(cfg.batch_size);
+        for is_remove in kinds {
+            if is_remove {
+                let idx = rng.gen_range(0..present.len());
+                let user = present.swap_remove(idx);
+                ops.push(TraceOp::Remove { user });
+            } else {
+                let user = format!("new-{next_uid:06}");
+                next_uid += 1;
+                present.push(user.clone());
+                ops.push(TraceOp::Add { user });
+            }
+        }
+        batches.push(ops);
+    }
+
+    BatchedChurnTrace {
+        name: format!(
+            "batched-churn(batches={}, size={}, revocation={:.0}%, seed={:#x})",
+            cfg.batches,
+            cfg.batch_size,
+            cfg.revocation_ratio * 100.0,
+            cfg.seed
+        ),
+        initial_members,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_requested_shape() {
+        let t = generate_batched_churn(&BatchedChurnConfig {
+            batches: 10,
+            batch_size: 20,
+            revocation_ratio: 0.25,
+            seed: 1,
+        });
+        assert_eq!(t.batches.len(), 10);
+        assert_eq!(t.op_count(), 200);
+        for batch in &t.batches {
+            assert_eq!(batch.len(), 20);
+            let removes = batch
+                .iter()
+                .filter(|o| matches!(o, TraceOp::Remove { .. }))
+                .count();
+            assert_eq!(removes, 5, "exactly round(20 × 0.25) removes per batch");
+        }
+    }
+
+    #[test]
+    fn flattened_trace_is_sequentially_consistent() {
+        for ratio in [0.0, 0.5, 1.0] {
+            let t = generate_batched_churn(&BatchedChurnConfig {
+                batches: 5,
+                batch_size: 30,
+                revocation_ratio: ratio,
+                seed: 2,
+            });
+            // prepend the initial adds so stats() can validate consistency
+            let mut ops: Vec<TraceOp> = t
+                .initial_members
+                .iter()
+                .map(|u| TraceOp::Add { user: u.clone() })
+                .collect();
+            ops.extend(t.flatten().ops);
+            let stats = Trace {
+                name: "full".into(),
+                ops,
+            }
+            .stats();
+            assert_eq!(stats.ops, 150 + t.initial_members.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = BatchedChurnConfig {
+            batches: 4,
+            batch_size: 10,
+            revocation_ratio: 0.4,
+            seed: 7,
+        };
+        let a = generate_batched_churn(&cfg);
+        let b = generate_batched_churn(&cfg);
+        assert_eq!(a.batches, b.batches);
+        assert_ne!(
+            a.batches,
+            generate_batched_churn(&BatchedChurnConfig { seed: 8, ..cfg }).batches
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "revocation ratio")]
+    fn bad_ratio_panics() {
+        generate_batched_churn(&BatchedChurnConfig {
+            revocation_ratio: -0.1,
+            ..BatchedChurnConfig::default()
+        });
+    }
+}

@@ -7,8 +7,12 @@
 //!   growth-then-churn, heavy-tailed lifetimes) — see DESIGN.md §1 for the
 //!   dataset substitution rationale;
 //! * [`synthetic`] — the 11-trace revocation-ratio sweep of Fig. 10;
-//! * [`replay()`] — a timing-capturing replay engine generic over any
-//!   [`ReplayBackend`] (IBBE-SGX and HE backends live in the bench crate).
+//! * [`batch`] — the batched-churn workload: bursts of operations an admin
+//!   coalesces into one batch each, comparable against their own
+//!   sequential flattening;
+//! * [`replay()`] / [`replay_batched()`] — timing-capturing replay engines
+//!   generic over any [`ReplayBackend`] / [`BatchReplayBackend`] (IBBE-SGX
+//!   and HE backends live in the bench crate).
 //!
 //! ```
 //! use workloads::{generate_kernel_trace, KernelTraceConfig};
@@ -20,13 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod kernel;
 pub mod replay;
 pub mod synthetic;
 pub mod trace;
 
+pub use batch::{generate_batched_churn, BatchedChurnConfig, BatchedChurnTrace};
 pub use kernel::{generate_kernel_trace, KernelTraceConfig};
-pub use replay::{replay, ReplayBackend, ReplayReport};
+pub use replay::{
+    replay, replay_batched, BatchReplayBackend, BatchReplayReport, ReplayBackend, ReplayReport,
+};
 pub use synthetic::{
     generate_synthetic_trace, revocation_sweep, SyntheticTrace, SyntheticTraceConfig,
 };

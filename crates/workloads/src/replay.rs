@@ -57,6 +57,59 @@ impl ReplayReport {
     }
 }
 
+/// What the *batched* replay engine drives: a backend that can additionally
+/// apply a whole burst of operations atomically (e.g. through
+/// `Engine::apply_batch`). The default implementation falls back to
+/// sequential application, so any [`ReplayBackend`] can opt in.
+pub trait BatchReplayBackend: ReplayBackend {
+    /// Applies a whole batch of operations atomically.
+    fn apply_batch(&mut self, ops: &[TraceOp]) {
+        for op in ops {
+            match op {
+                TraceOp::Add { user } => self.add_user(user),
+                TraceOp::Remove { user } => self.remove_user(user),
+            }
+        }
+    }
+}
+
+/// Timing report of one batched replay.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReplayReport {
+    /// Wall-clock total across all batches.
+    pub total: Duration,
+    /// Individual batch-commit latencies.
+    pub batch_latencies: Vec<Duration>,
+    /// Sampled client decryption latencies.
+    pub decrypt_samples: Vec<Duration>,
+}
+
+/// Replays `batches` against `backend` one atomic batch at a time, timing
+/// each commit; every `decrypt_every`-th batch additionally samples a client
+/// decryption.
+pub fn replay_batched<B: BatchReplayBackend>(
+    batches: &[Vec<TraceOp>],
+    backend: &mut B,
+    decrypt_every: Option<usize>,
+) -> BatchReplayReport {
+    let mut report = BatchReplayReport::default();
+    for (i, batch) in batches.iter().enumerate() {
+        let t0 = Instant::now();
+        backend.apply_batch(batch);
+        let dt = t0.elapsed();
+        report.batch_latencies.push(dt);
+        report.total += dt;
+        if let Some(every) = decrypt_every {
+            if every > 0 && (i + 1) % every == 0 {
+                if let Some(d) = backend.sample_decrypt() {
+                    report.decrypt_samples.push(d);
+                }
+            }
+        }
+    }
+    report
+}
+
 /// Replays `trace` against `backend`, timing each operation; every
 /// `decrypt_every`-th operation additionally samples a client decryption.
 pub fn replay<B: ReplayBackend>(
@@ -102,6 +155,7 @@ mod tests {
     struct FakeBackend {
         members: HashSet<String>,
         decrypts: usize,
+        batches: usize,
     }
 
     impl ReplayBackend for FakeBackend {
@@ -146,6 +200,62 @@ mod tests {
         let report = replay(&trace(), &mut backend, None);
         assert!(report.decrypt_samples.is_empty());
         assert_eq!(backend.decrypts, 0);
+    }
+
+    impl BatchReplayBackend for FakeBackend {
+        fn apply_batch(&mut self, ops: &[TraceOp]) {
+            self.batches += 1;
+            for op in ops {
+                match op {
+                    TraceOp::Add { user } => self.add_user(user),
+                    TraceOp::Remove { user } => self.remove_user(user),
+                }
+            }
+        }
+    }
+
+    /// Opts into batched replay with the default sequential fallback only.
+    struct FallbackBackend(FakeBackend);
+
+    impl ReplayBackend for FallbackBackend {
+        fn add_user(&mut self, user: &str) {
+            self.0.add_user(user);
+        }
+        fn remove_user(&mut self, user: &str) {
+            self.0.remove_user(user);
+        }
+    }
+
+    impl BatchReplayBackend for FallbackBackend {}
+
+    #[test]
+    fn replay_batched_commits_batch_at_a_time() {
+        let mut backend = FakeBackend::default();
+        let batches = vec![
+            vec![
+                TraceOp::Add { user: "a".into() },
+                TraceOp::Add { user: "b".into() },
+            ],
+            vec![TraceOp::Remove { user: "a".into() }],
+            vec![TraceOp::Add { user: "c".into() }],
+        ];
+        let report = replay_batched(&batches, &mut backend, Some(2));
+        assert_eq!(backend.batches, 3);
+        assert_eq!(report.batch_latencies.len(), 3);
+        assert_eq!(report.decrypt_samples.len(), 1); // after batch 2 only
+        assert_eq!(backend.members.len(), 2);
+    }
+
+    #[test]
+    fn default_apply_batch_falls_back_to_sequential() {
+        let mut backend = FallbackBackend(FakeBackend::default());
+        let batches = vec![vec![
+            TraceOp::Add { user: "a".into() },
+            TraceOp::Remove { user: "a".into() },
+        ]];
+        let report = replay_batched(&batches, &mut backend, None);
+        assert_eq!(report.batch_latencies.len(), 1);
+        assert!(backend.0.members.is_empty());
     }
 
     #[test]
