@@ -29,6 +29,12 @@ use std::collections::HashMap;
 /// Item name for the sealed group key object inside a group folder.
 pub const SEALED_ITEM: &str = "_sealed_gk";
 
+/// Item name for the encrypted epoch-key history object inside a group
+/// folder (see [`ibbe_sgx_core::KeyHistory`]): republished whenever the
+/// group key rotates, skipped by clients resolving their partition, fetched
+/// by data-plane sessions to unwrap objects sealed at retired epochs.
+pub const EPOCHS_ITEM: &str = "_epochs";
+
 /// Cloud item name of partition `i`.
 pub fn partition_item(i: usize) -> String {
     format!("p{i:06}")
@@ -229,6 +235,10 @@ impl Admin {
             .collect();
         if publish_sealed {
             items.push((SEALED_ITEM.to_string(), meta.sealed_gk.to_bytes()));
+            // a rotation retires a key into the history; publishing it in
+            // the SAME round-trip keeps partition epoch and history in one
+            // atomic version bump (no torn reads across the rotation)
+            items.push((EPOCHS_ITEM.to_string(), meta.key_history.to_bytes()));
         }
         if items.len() == 1 {
             let (item, data) = items.pop().expect("len checked");
@@ -246,13 +256,17 @@ impl Admin {
                 LogOp::Batch {
                     adds: outcome.added.clone(),
                     removes: outcome.removed.clone(),
+                    epoch: outcome.epoch,
                 },
             );
         }
         Ok(outcome)
     }
 
-    /// Re-keys the group without membership change and pushes everything.
+    /// Re-keys the group without membership change and pushes everything —
+    /// in a **single atomic `put_many`** like a revoking batch, so clients
+    /// can never observe the new partitions with the old epoch history (a
+    /// rotation published item by item would open a torn-read window).
     ///
     /// # Errors
     /// [`AcsError::UnknownGroup`] or engine failures.
@@ -262,7 +276,17 @@ impl Admin {
             .get_mut(group)
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         self.engine.rekey_group(meta)?;
-        self.push_all(meta);
+        let items: Vec<(String, Vec<u8>)> = meta
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (partition_item(i), p.to_bytes()))
+            .chain([
+                (SEALED_ITEM.to_string(), meta.sealed_gk.to_bytes()),
+                (EPOCHS_ITEM.to_string(), meta.key_history.to_bytes()),
+            ])
+            .collect();
+        self.store.put_many(group, items);
         self.record(group, LogOp::Rekey);
         Ok(())
     }
@@ -297,6 +321,8 @@ impl Admin {
         }
         self.store
             .put(&meta.name, SEALED_ITEM, meta.sealed_gk.to_bytes());
+        self.store
+            .put(&meta.name, EPOCHS_ITEM, meta.key_history.to_bytes());
     }
 }
 

@@ -134,6 +134,27 @@ impl Client {
     pub fn cached_partition_item(&self) -> Option<&str> {
         self.cached.as_ref().map(|(i, _)| i.as_str())
     }
+
+    /// The cached partition metadata from the last successful sync (the
+    /// data plane reads the current key epoch from here).
+    pub fn cached_partition(&self) -> Option<&PartitionMetadata> {
+        self.cached.as_ref().map(|(_, p)| p)
+    }
+
+    /// Key epoch of the last successfully synced state, if any.
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.cached.as_ref().map(|(_, p)| p.epoch)
+    }
+
+    /// The store handle this client talks to.
+    pub fn store(&self) -> &CloudStore {
+        &self.store
+    }
+
+    /// The group this client watches.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
 }
 
 impl core::fmt::Debug for Client {

@@ -52,7 +52,7 @@ pub mod oplog;
 pub mod provisioning;
 pub mod sharded;
 
-pub use admin::{bootstrap_admin, partition_item, Admin, GroupBatch, SEALED_ITEM};
+pub use admin::{bootstrap_admin, partition_item, Admin, GroupBatch, EPOCHS_ITEM, SEALED_ITEM};
 pub use client::{find_partition_of, Client};
 pub use error::AcsError;
 pub use he_system::{decode_he_metadata, encode_he_metadata, HeAdmin, HE_ITEM};

@@ -41,6 +41,10 @@ pub enum LogOp {
         adds: Vec<String>,
         /// Net-removed identities.
         removes: Vec<String>,
+        /// Key epoch of the group after the batch: auditors can count key
+        /// rotations (and cross-check the data plane's migration deadlines)
+        /// straight from the log.
+        epoch: u64,
     },
 }
 
@@ -68,10 +72,15 @@ impl LogOp {
                 out.extend_from_slice(user.as_bytes());
             }
             LogOp::Rekey => out.push(3),
-            LogOp::Batch { adds, removes } => {
+            LogOp::Batch {
+                adds,
+                removes,
+                epoch,
+            } => {
                 out.push(4);
                 encode_list(&mut out, adds);
                 encode_list(&mut out, removes);
+                out.extend_from_slice(&epoch.to_be_bytes());
             }
         }
         out
@@ -268,7 +277,7 @@ impl OpLog {
                 LogOp::Add { user } => members.push(user.clone()),
                 LogOp::Remove { user } => members.retain(|u| u != user),
                 LogOp::Rekey => {}
-                LogOp::Batch { adds, removes } => {
+                LogOp::Batch { adds, removes, .. } => {
                     // net sets are disjoint, so order does not matter
                     members.extend(adds.iter().cloned());
                     members.retain(|u| !removes.contains(u));
@@ -341,6 +350,7 @@ mod tests {
             LogOp::Batch {
                 adds: vec!["u3".into(), "u4".into()],
                 removes: vec!["u0".into(), "u2".into()],
+                epoch: 2,
             },
         );
         assert_eq!(log.verify(&keys), Ok(()));

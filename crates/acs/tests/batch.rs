@@ -31,7 +31,8 @@ fn seeded_admin(seed: u64, partition: usize, store: CloudStore) -> Admin {
 /// The PR's acceptance criterion: a batch of k removes over a group with
 /// |P| surviving partitions performs exactly |P| partition re-keys and
 /// exactly one `put_many` store round-trip, where the sequential path pays
-/// k × |P| re-keys (plus the k hosts' own refreshes) and k × (|P| + 1) PUTs.
+/// k × |P| re-keys (plus the k hosts' own refreshes) and k × (|P| + 2) PUTs
+/// (every partition, the sealed gk, and the epoch history, per operation).
 #[test]
 fn k_removes_cost_one_rekey_sweep_and_one_round_trip() {
     let k = 3;
@@ -71,8 +72,8 @@ fn k_removes_cost_one_rekey_sweep_and_one_round_trip() {
     assert_eq!(m.puts - base_batch.puts, 0, "no stray single PUTs");
     assert_eq!(
         m.batched_items - base_batch.batched_items,
-        5,
-        "4 partitions + the sealed gk in the one round-trip"
+        6,
+        "4 partitions + the sealed gk + the epoch history in the round-trip"
     );
 
     // sequential path: one full push per operation
@@ -86,8 +87,8 @@ fn k_removes_cost_one_rekey_sweep_and_one_round_trip() {
     assert_eq!(seq_rekeys, k * 4, "sequential pays k × |P| re-keys");
     assert_eq!(
         m.puts - base_seq.puts,
-        (k * (4 + 1)) as u64,
-        "sequential pays k × (|P| + 1) PUT round-trips"
+        (k * (4 + 2)) as u64,
+        "sequential pays k × (|P| + 2) PUT round-trips (partitions + sealed gk + epoch history)"
     );
     assert_eq!(m.puts_batched - base_seq.puts_batched, 0);
 
@@ -288,6 +289,36 @@ fn sharded_admin_routes_groups_and_applies_batches_in_parallel() {
 }
 
 #[test]
+fn rekey_group_publishes_rotation_atomically() {
+    let store = CloudStore::new();
+    let admin = seeded_admin(33, 2, store.clone());
+    admin.create_group("g", names(4)).unwrap(); // 2 partitions
+    let usk = admin.engine().extract_user_key("user-1").unwrap();
+    let mut client = Client::new(
+        "user-1",
+        usk,
+        admin.engine().public_key().clone(),
+        store.clone(),
+        "g",
+    );
+    let gk1 = client.sync().unwrap();
+    assert_eq!(client.current_epoch(), Some(1));
+
+    let base = store.metrics();
+    admin.rekey_group("g").unwrap();
+    let m = store.metrics();
+    // one atomic put_many carrying partitions + sealed gk + epoch history —
+    // a rotation must never be observable half-published
+    assert_eq!(m.puts_batched - base.puts_batched, 1);
+    assert_eq!(m.batched_items - base.batched_items, 4);
+    assert_eq!(m.puts - base.puts, 0);
+
+    let gk2 = client.sync().unwrap();
+    assert_ne!(gk1, gk2, "re-key rotates the group key");
+    assert_eq!(client.current_epoch(), Some(2), "re-key advances the epoch");
+}
+
+#[test]
 fn admin_journals_one_coalesced_entry_per_batch() {
     let mut r = rng(5);
     let signer = AdminSigner::new("ops-admin", &mut r);
@@ -317,12 +348,17 @@ fn admin_journals_one_coalesced_entry_per_batch() {
     let log = admin.oplog().expect("signer configured");
     assert_eq!(log.len(), 2, "Create + one coalesced Batch entry");
     match &log.entries()[1].op {
-        LogOp::Batch { adds, removes } => {
+        LogOp::Batch {
+            adds,
+            removes,
+            epoch,
+        } => {
             assert_eq!(adds, &vec!["new-0".to_string()]);
             assert_eq!(
                 removes.iter().cloned().collect::<BTreeSet<_>>(),
                 BTreeSet::from(["user-0".to_string(), "user-2".to_string()])
             );
+            assert_eq!(*epoch, 2, "the revoking batch advanced epoch 1 → 2");
         }
         other => panic!("expected a Batch entry, got {other:?}"),
     }

@@ -28,4 +28,4 @@ pub mod store;
 
 pub use latency::LatencyModel;
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use store::{CloudStore, PollResult};
+pub use store::{CloudStore, PollResult, VersionConflict};

@@ -10,6 +10,8 @@ pub struct Metrics {
     puts: AtomicU64,
     puts_batched: AtomicU64,
     batched_items: AtomicU64,
+    cas_puts: AtomicU64,
+    cas_conflicts: AtomicU64,
     gets: AtomicU64,
     deletes: AtomicU64,
     polls: AtomicU64,
@@ -30,6 +32,11 @@ pub struct MetricsSnapshot {
     pub puts_batched: u64,
     /// Total items carried by batched PUT round-trips.
     pub batched_items: u64,
+    /// Successful conditional (compare-and-swap) PUT requests.
+    pub cas_puts: u64,
+    /// Conditional PUTs rejected with a version conflict (counted instead
+    /// of, not in addition to, [`MetricsSnapshot::cas_puts`]).
+    pub cas_conflicts: u64,
     /// Number of GET requests.
     pub gets: u64,
     /// Number of DELETE requests.
@@ -59,6 +66,15 @@ impl Metrics {
         self.bytes_up.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_cas_put(&self, bytes: usize) {
+        self.cas_puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_up.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cas_conflict(&self) {
+        self.cas_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_get(&self, bytes: usize) {
         self.gets.fetch_add(1, Ordering::Relaxed);
         self.bytes_down.fetch_add(bytes as u64, Ordering::Relaxed);
@@ -82,6 +98,8 @@ impl Metrics {
             puts: self.puts.load(Ordering::Relaxed),
             puts_batched: self.puts_batched.load(Ordering::Relaxed),
             batched_items: self.batched_items.load(Ordering::Relaxed),
+            cas_puts: self.cas_puts.load(Ordering::Relaxed),
+            cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             polls: self.polls.load(Ordering::Relaxed),

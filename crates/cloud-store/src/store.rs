@@ -45,6 +45,22 @@ pub struct PollResult {
     pub timed_out: bool,
 }
 
+/// Rejection of a conditional PUT: the stored item's version did not match
+/// the caller's expectation (another writer got there first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionConflict {
+    /// The item's actual current version (`0` if the item does not exist).
+    pub current: u64,
+}
+
+impl core::fmt::Display for VersionConflict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "version conflict (current version {})", self.current)
+    }
+}
+
+impl std::error::Error for VersionConflict {}
+
 /// A handle to the simulated cloud store; cheap to clone and share across
 /// admin/client threads (it models independent HTTP connections).
 #[derive(Clone)]
@@ -93,6 +109,52 @@ impl CloudStore {
         drop(st);
         self.inner.changed.notify_all();
         version
+    }
+
+    /// Conditional PUT (compare-and-swap): stores `data` under `folder/item`
+    /// only if the item's current version equals `expected` (`0` meaning
+    /// "the item must not exist yet"). This is the primitive that makes
+    /// concurrent writers safe: each writer round-trips the version it last
+    /// saw and loses cleanly instead of clobbering a newer object.
+    ///
+    /// A successful write counts as a `cas_puts` request; a rejection counts
+    /// as a `cas_conflicts` instead and charges no upload bytes (the body is
+    /// dropped at the precondition check, like an HTTP 412), so attempt
+    /// totals are the sum of the two counters.
+    ///
+    /// # Errors
+    /// [`VersionConflict`] carrying the item's actual version.
+    pub fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: impl Into<Bytes>,
+        expected: u64,
+    ) -> Result<u64, VersionConflict> {
+        self.simulate_latency();
+        let data = data.into();
+        let mut st = self.inner.state.lock();
+        let current = st
+            .folders
+            .get(folder)
+            .and_then(|items| items.get(item))
+            .map(|e| e.version)
+            .unwrap_or(0);
+        if current != expected {
+            drop(st);
+            self.inner.metrics.record_cas_conflict();
+            return Err(VersionConflict { current });
+        }
+        self.inner.metrics.record_cas_put(data.len());
+        st.version += 1;
+        let version = st.version;
+        st.folders
+            .entry(folder.to_string())
+            .or_default()
+            .insert(item.to_string(), Entry { data, version });
+        drop(st);
+        self.inner.changed.notify_all();
+        Ok(version)
     }
 
     /// Atomic multi-PUT: stores every `(item, data)` pair under `folder` in
@@ -408,6 +470,93 @@ mod tests {
         let m = s.metrics();
         assert_eq!(m.polls, 1);
         assert_eq!(m.poll_wakeups, 0);
+    }
+
+    #[test]
+    fn cas_put_succeeds_on_expected_version() {
+        let s = CloudStore::new();
+        // creation: expected 0 = "must not exist"
+        let v1 = s.put_if_version("g", "obj", &b"one"[..], 0).unwrap();
+        let (data, got) = s.get("g", "obj").unwrap();
+        assert_eq!(&data[..], b"one");
+        assert_eq!(got, v1);
+        // update conditioned on the version just observed
+        let v2 = s.put_if_version("g", "obj", &b"two"[..], v1).unwrap();
+        assert!(v2 > v1);
+        assert_eq!(&s.get("g", "obj").unwrap().0[..], b"two");
+        let m = s.metrics();
+        assert_eq!(m.cas_puts, 2);
+        assert_eq!(m.cas_conflicts, 0);
+        assert_eq!(m.puts, 0, "CAS PUTs are counted separately");
+        assert_eq!(m.bytes_up, 6);
+    }
+
+    #[test]
+    fn cas_put_conflicts_report_current_version_and_leave_data_untouched() {
+        let s = CloudStore::new();
+        let v1 = s.put("g", "obj", &b"base"[..]);
+
+        // stale expectation loses: another writer already moved the version
+        let err = s
+            .put_if_version("g", "obj", &b"stale"[..], v1 - 1)
+            .unwrap_err();
+        assert_eq!(err, VersionConflict { current: v1 });
+        assert_eq!(&s.get("g", "obj").unwrap().0[..], b"base");
+
+        // create-if-absent loses against an existing item ...
+        let err = s.put_if_version("g", "obj", &b"new"[..], 0).unwrap_err();
+        assert_eq!(err.current, v1);
+        // ... and an update expectation loses against a missing item
+        let err = s.put_if_version("g", "ghost", &b"x"[..], 7).unwrap_err();
+        assert_eq!(err, VersionConflict { current: 0 });
+
+        let m = s.metrics();
+        assert_eq!(m.cas_puts, 0);
+        assert_eq!(m.cas_conflicts, 3);
+        assert_eq!(m.bytes_up, 4, "rejected bodies charge no upload bytes");
+
+        // losing CAS → re-read → retry with the fresh version wins
+        let (_, current) = s.get("g", "obj").unwrap();
+        assert!(s
+            .put_if_version("g", "obj", &b"merged"[..], current)
+            .is_ok());
+        assert_eq!(&s.get("g", "obj").unwrap().0[..], b"merged");
+    }
+
+    #[test]
+    fn cas_put_wakes_long_pollers() {
+        let s = CloudStore::new();
+        let s2 = s.clone();
+        let handle = std::thread::spawn(move || s2.long_poll("g", 0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        s.put_if_version("g", "obj", &b"x"[..], 0).unwrap();
+        let r = handle.join().unwrap();
+        assert!(!r.timed_out);
+        assert_eq!(r.changed, vec!["obj".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_cas_writers_exactly_one_wins() {
+        let s = CloudStore::new();
+        let v0 = s.put("g", "obj", &b"seed"[..]);
+        let contenders: Vec<_> = (0..4)
+            .map(|i| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    s.put_if_version("g", "obj", format!("writer-{i}"), v0)
+                        .is_ok()
+                })
+            })
+            .collect();
+        let wins = contenders
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|won| *won)
+            .count();
+        assert_eq!(wins, 1, "exactly one conditional writer may succeed");
+        let m = s.metrics();
+        assert_eq!(m.cas_puts, 1);
+        assert_eq!(m.cas_conflicts, 3);
     }
 
     #[test]

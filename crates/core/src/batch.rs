@@ -196,6 +196,10 @@ pub struct BatchOutcome {
     /// True if the group key was rotated (the batch contained at least one
     /// revocation of a pre-batch member).
     pub gk_rotated: bool,
+    /// Key epoch of the group after the batch — advanced by exactly one
+    /// from the pre-batch epoch iff `gk_rotated` (op-log entries and bench
+    /// counters report epoch movement from this).
+    pub epoch: u64,
     /// Partitions re-keyed — when `gk_rotated`, exactly one re-key per
     /// surviving pre-existing partition; zero for pure-add batches.
     pub partitions_rekeyed: usize,
@@ -211,8 +215,12 @@ pub struct BatchOutcome {
 }
 
 impl BatchOutcome {
-    /// Outcome of a batch that coalesced to nothing.
-    pub(crate) fn noop() -> Self {
-        Self::default()
+    /// Outcome of a batch that coalesced to nothing (the group stays at its
+    /// current key epoch).
+    pub(crate) fn noop_at(epoch: u64) -> Self {
+        Self {
+            epoch,
+            ..Self::default()
+        }
     }
 }

@@ -1,10 +1,11 @@
 //! Client-side (user) operations — **no SGX required** (paper §IV, footnote:
 //! only membership operations rely on the TEE).
 
-use crate::engine::unwrap_gk;
+use crate::engine::{unlock_history, unwrap_gk};
 use crate::error::CoreError;
-use crate::metadata::{GroupKey, GroupMetadata};
+use crate::metadata::{GroupKey, GroupMetadata, KeyHistory};
 use ibbe::{decrypt, PublicKey, UserSecretKey};
+use std::collections::BTreeMap;
 
 /// Derives the group key `gk` from published group metadata: finds the
 /// caller's partition, runs IBBE decryption (`O(|p|²)`, bounded by the
@@ -46,4 +47,99 @@ pub fn client_decrypt_from_partition(
 ) -> Result<GroupKey, CoreError> {
     let bk = decrypt(pk, usk, identity, &partition.members, &partition.ciphertext)?;
     unwrap_gk(&bk, &partition.wrapped_gk, group_name)
+}
+
+/// A client's epoch-indexed view of the group keys: the current `gk` plus
+/// every retired epoch's key recovered from the published [`KeyHistory`].
+///
+/// This is the data plane's unit of key material — an envelope-encrypted
+/// object names the epoch its DEK is wrapped under, and the reader looks
+/// that epoch up here. A revoked member's last ring freezes at the epoch of
+/// their revocation: they can never populate newer epochs (deriving the new
+/// `gk` fails), which is exactly the lazy-re-encryption lockout argument.
+#[derive(Clone, Debug)]
+pub struct KeyRing {
+    current_epoch: u64,
+    keys: BTreeMap<u64, GroupKey>,
+}
+
+impl KeyRing {
+    /// A ring holding only the current key (no history available — e.g. a
+    /// group that has never rotated).
+    pub fn from_current(gk: GroupKey, epoch: u64) -> Self {
+        Self {
+            current_epoch: epoch,
+            keys: BTreeMap::from([(epoch, gk)]),
+        }
+    }
+
+    /// Assembles a ring from the separately fetched pieces the cloud serves:
+    /// the current `gk` (derived from the caller's partition object at
+    /// `epoch`) and the encrypted history object, if one was fetched.
+    ///
+    /// # Errors
+    /// [`CoreError::CorruptMetadata`] if the history does not authenticate
+    /// under the current key (tampering, or a torn read across a rotation).
+    pub fn assemble(
+        gk: GroupKey,
+        epoch: u64,
+        history: Option<&KeyHistory>,
+        group_name: &str,
+    ) -> Result<Self, CoreError> {
+        let mut ring = Self::from_current(gk, epoch);
+        if let Some(h) = history {
+            for (e, key) in unlock_history(h, &gk, group_name)? {
+                ring.keys.insert(e, key);
+            }
+        }
+        Ok(ring)
+    }
+
+    /// The newest epoch and its key.
+    pub fn current(&self) -> (u64, &GroupKey) {
+        (
+            self.current_epoch,
+            self.keys
+                .get(&self.current_epoch)
+                .expect("ring always holds its current epoch"),
+        )
+    }
+
+    /// The current epoch number.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// The key serving `epoch`, if this ring reaches back that far.
+    pub fn key_for(&self, epoch: u64) -> Option<&GroupKey> {
+        self.keys.get(&epoch)
+    }
+
+    /// Number of epochs the ring can unwrap.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the ring holds no keys (never constructible via the public
+    /// API; present for container-API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Derives the full [`KeyRing`] from published group metadata: the current
+/// `gk` via [`client_decrypt_group_key`], then every retired epoch's key by
+/// unlocking the metadata's [`KeyHistory`] with it.
+///
+/// # Errors
+/// Same contract as [`client_decrypt_group_key`], plus
+/// [`CoreError::CorruptMetadata`] if the history fails to authenticate.
+pub fn client_decrypt_key_ring(
+    pk: &PublicKey,
+    usk: &UserSecretKey,
+    identity: &str,
+    meta: &GroupMetadata,
+) -> Result<KeyRing, CoreError> {
+    let gk = client_decrypt_group_key(pk, usk, identity, meta)?;
+    KeyRing::assemble(gk, meta.epoch, Some(&meta.key_history), &meta.name)
 }

@@ -16,15 +16,16 @@
 
 use crate::batch::{BatchOutcome, BatchPlan, MembershipBatch, Placement};
 use crate::error::CoreError;
-use crate::metadata::{GroupKey, GroupMetadata, PartitionMetadata, WrappedGroupKey};
+use crate::metadata::{GroupKey, GroupMetadata, KeyHistory, PartitionMetadata, WrappedGroupKey};
 use ibbe::{
     add_user_with_msk, encrypt_with_msk, extract, remove_user_with_msk, setup, BroadcastKey,
     MasterSecretKey, PublicKey, UserSecretKey,
 };
 use sgx_sim::{ChannelKeyPair, Enclave, EnclaveBuilder, EnclaveContext, Measurement};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use symcrypto::gcm::{AesGcm, NONCE_LEN};
-use symcrypto::sha256::sha256;
+use symcrypto::sha256::{sha256, Sha256};
 
 /// A validated partition size (the paper's fixed `|p|`, 1000–4000 in the
 /// evaluation).
@@ -83,6 +84,9 @@ pub struct GroupEngine {
     /// The IBBE public key; public by definition (clients need it too).
     pk: PublicKey,
     partition_size: PartitionSize,
+    /// Newest key epoch this engine has issued across all of its groups
+    /// (monotonically increasing; per-group epochs live in the metadata).
+    epoch_clock: AtomicU64,
 }
 
 /// Identity string of the admin enclave code; its hash is the measurement
@@ -128,7 +132,24 @@ impl GroupEngine {
             enclave,
             pk: pk_out.expect("setup ran"),
             partition_size,
+            epoch_clock: AtomicU64::new(0),
         })
+    }
+
+    /// Newest key epoch this engine has issued across all of its groups:
+    /// every group creation starts its group at epoch 1 and every `gk`
+    /// rotation (revoking batch or explicit re-key) advances the owning
+    /// group's epoch by one; this clock tracks the maximum. The per-group
+    /// epoch is [`GroupMetadata::epoch`], replicated into every published
+    /// [`PartitionMetadata`] for the data plane.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch_clock.load(Ordering::Relaxed)
+    }
+
+    /// Folds a group's (possibly externally restored) epoch into the
+    /// engine's monotone epoch clock.
+    fn observe_epoch(&self, epoch: u64) {
+        self.epoch_clock.fetch_max(epoch, Ordering::Relaxed);
     }
 
     /// The system public key (needed by clients for decryption).
@@ -250,29 +271,28 @@ impl GroupEngine {
         let m = fill.get();
         let pk = self.pk.clone();
         let name_owned = name.to_string();
-        self.enclave.ecall(move |st, ctx| {
-            // line 2: gk ← RandomKey()
+        let meta = self.enclave.ecall(move |st, ctx| {
+            // line 2: gk ← RandomKey(), serving key epoch 1
             let gk = random_gk(ctx);
+            let epoch = 1u64;
             // lines 3–5: per-partition encrypt + wrap
-            let mut partitions = Vec::with_capacity(members.len().div_ceil(m));
-            for chunk in members.chunks(m) {
-                partitions.push(make_partition(
-                    &st.msk,
-                    &pk,
-                    chunk.to_vec(),
-                    &gk,
-                    &name_owned,
-                    ctx,
-                )?);
-            }
-            // line 6: seal gk for persistence
+            let partitions =
+                build_partitions(&st.msk, &pk, &members, &gk, epoch, m, &name_owned, ctx)?;
+            // line 6: seal gk for persistence; the epoch-key history starts
+            // empty (no retired keys yet) but is published from day one so
+            // the data plane has a uniform unlock path
             let sealed_gk = seal_gk(ctx, &gk, &name_owned);
-            Ok(GroupMetadata {
+            let key_history = seal_history(ctx, &[], &gk, &name_owned);
+            Ok::<_, CoreError>(GroupMetadata {
                 name: name_owned,
                 partitions,
                 sealed_gk,
+                epoch,
+                key_history,
             })
-        })
+        })?;
+        self.observe_epoch(meta.epoch);
+        Ok(meta)
     }
 
     /// **Algorithm 2 — Add User to Group**, as a one-element batch. If some
@@ -358,7 +378,7 @@ impl GroupEngine {
     ) -> Result<BatchOutcome, CoreError> {
         let plan = batch.plan(meta)?;
         if plan.is_noop() {
-            return Ok(BatchOutcome::noop());
+            return Ok(BatchOutcome::noop_at(meta.epoch));
         }
         if plan.rotates_gk() {
             self.apply_batch_rotating(meta, plan)
@@ -383,6 +403,7 @@ impl GroupEngine {
         let pk = self.pk.clone();
         let name = meta.name.clone();
         let sealed = meta.sealed_gk.clone();
+        let epoch = meta.epoch;
 
         // Pure first-fit assignment over current occupancy (partitions only
         // fill up under adds, so a monotone cursor suffices): final
@@ -406,6 +427,7 @@ impl GroupEngine {
                         &pk,
                         chunk.to_vec(),
                         &gk,
+                        epoch,
                         &name,
                         ctx,
                     )?);
@@ -434,6 +456,7 @@ impl GroupEngine {
             added: placements.iter().map(|p| p.identity.clone()).collect(),
             removed: Vec::new(),
             gk_rotated: false,
+            epoch,
             partitions_rekeyed: 0,
             partitions_created: created,
             partitions_dropped: 0,
@@ -447,10 +470,15 @@ impl GroupEngine {
     /// additions, performs the **one re-key per surviving partition** under
     /// a fresh `gk`, and packs the overflow into new partitions.
     ///
+    /// The rotation **advances the key epoch by one** and retires the old
+    /// `gk` into the encrypted [`KeyHistory`] (re-encrypted under the new
+    /// `gk`), so current members can still unwrap data objects sealed at
+    /// older epochs while the data plane lazily migrates them.
+    ///
     /// The post-strip shape is pre-computed outside the enclave (it only
     /// depends on public member lists), so the in-enclave fallible work (new
-    /// partition encryption) runs before the first mutation and a failure
-    /// leaves the metadata untouched.
+    /// partition encryption, old-key unseal, history update) runs before the
+    /// first mutation and a failure leaves the metadata untouched.
     fn apply_batch_rotating(
         &self,
         meta: &mut GroupMetadata,
@@ -459,6 +487,10 @@ impl GroupEngine {
         let m = self.partition_size.get();
         let pk = self.pk.clone();
         let name = meta.name.clone();
+        let sealed_old = meta.sealed_gk.clone();
+        let old_history = meta.key_history.clone();
+        let old_epoch = meta.epoch;
+        let new_epoch = old_epoch + 1;
         let BatchPlan {
             net_added,
             net_removed,
@@ -483,71 +515,83 @@ impl GroupEngine {
         let base = survivor_sizes.len();
         let (assignments, overflow) = plan_first_fit(net_added, survivor_sizes.into_iter(), m);
 
+        type RotationResult = (sgx_sim::SealedBlob, KeyHistory, usize, usize);
         let partitions = &mut meta.partitions;
-        let (sealed, rekeyed, created) = self.enclave.ecall(
-            |st, ctx| -> Result<(sgx_sim::SealedBlob, usize, usize), CoreError> {
-                // Phase 1 — fallible, touches nothing: fresh gk and the
-                // overflow partitions wrapping it.
-                let gk = random_gk(ctx);
-                let mut new_parts = Vec::new();
-                for chunk in overflow.chunks(m) {
-                    new_parts.push(make_partition(
-                        &st.msk,
-                        &pk,
-                        chunk.to_vec(),
-                        &gk,
-                        &name,
-                        ctx,
-                    )?);
-                }
-                // Phase 2 — infallible. Strip revoked members with
-                // constant-time C3 updates, dropping emptied partitions.
-                for mut p in std::mem::take(partitions) {
-                    if p.members.iter().any(|u| removed_set.contains(u.as_str())) {
-                        let goners: Vec<String> = p
-                            .members
-                            .iter()
-                            .filter(|u| removed_set.contains(u.as_str()))
-                            .cloned()
-                            .collect();
-                        p.members.retain(|u| !removed_set.contains(u.as_str()));
-                        if p.members.is_empty() {
-                            continue; // no receivers left, nothing to maintain
-                        }
-                        for u in &goners {
-                            let (_, ct) =
-                                remove_user_with_msk(&st.msk, &pk, &p.ciphertext, u, ctx.rng());
-                            p.ciphertext = ct;
-                        }
+        let (sealed, history, rekeyed, created) =
+            self.enclave
+                .ecall(|st, ctx| -> Result<RotationResult, CoreError> {
+                    // Phase 1 — fallible, touches nothing: fresh gk, the retired
+                    // key appended to the (re-encrypted) epoch history, and the
+                    // overflow partitions wrapping the new key.
+                    let old_gk = unseal_gk(ctx, &sealed_old, &name)?;
+                    let mut retired = unlock_history(&old_history, &old_gk, &name)?;
+                    retired.push((old_epoch, old_gk));
+                    let gk = random_gk(ctx);
+                    let history = seal_history(ctx, &retired, &gk, &name);
+                    let mut new_parts = Vec::new();
+                    for chunk in overflow.chunks(m) {
+                        new_parts.push(make_partition(
+                            &st.msk,
+                            &pk,
+                            chunk.to_vec(),
+                            &gk,
+                            new_epoch,
+                            &name,
+                            ctx,
+                        )?);
                     }
-                    partitions.push(p);
-                }
-                // Place net additions (O(1) ciphertext update each).
-                for (idx, user) in &assignments {
-                    let target = &mut partitions[*idx];
-                    target.ciphertext = add_user_with_msk(&st.msk, &target.ciphertext, user);
-                    target.members.push(user.clone());
-                }
-                // The batch invariant: one re-key per surviving partition.
-                let mut rekeyed = 0usize;
-                for p in partitions.iter_mut() {
-                    let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
-                    p.ciphertext = ct;
-                    p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
-                    rekeyed += 1;
-                }
-                let created = new_parts.len();
-                partitions.extend(new_parts);
-                Ok((seal_gk(ctx, &gk, &name), rekeyed, created))
-            },
-        )?;
+                    // Phase 2 — infallible. Strip revoked members with
+                    // constant-time C3 updates, dropping emptied partitions.
+                    for mut p in std::mem::take(partitions) {
+                        if p.members.iter().any(|u| removed_set.contains(u.as_str())) {
+                            let goners: Vec<String> = p
+                                .members
+                                .iter()
+                                .filter(|u| removed_set.contains(u.as_str()))
+                                .cloned()
+                                .collect();
+                            p.members.retain(|u| !removed_set.contains(u.as_str()));
+                            if p.members.is_empty() {
+                                continue; // no receivers left, nothing to maintain
+                            }
+                            for u in &goners {
+                                let (_, ct) =
+                                    remove_user_with_msk(&st.msk, &pk, &p.ciphertext, u, ctx.rng());
+                                p.ciphertext = ct;
+                            }
+                        }
+                        partitions.push(p);
+                    }
+                    // Place net additions (O(1) ciphertext update each).
+                    for (idx, user) in &assignments {
+                        let target = &mut partitions[*idx];
+                        target.ciphertext = add_user_with_msk(&st.msk, &target.ciphertext, user);
+                        target.members.push(user.clone());
+                    }
+                    // The batch invariant: one re-key per surviving partition.
+                    let mut rekeyed = 0usize;
+                    for p in partitions.iter_mut() {
+                        let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
+                        p.ciphertext = ct;
+                        p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
+                        p.epoch = new_epoch;
+                        rekeyed += 1;
+                    }
+                    let created = new_parts.len();
+                    partitions.extend(new_parts);
+                    Ok((seal_gk(ctx, &gk, &name), history, rekeyed, created))
+                })?;
         meta.sealed_gk = sealed;
+        meta.key_history = history;
+        meta.epoch = new_epoch;
+        self.observe_epoch(new_epoch);
 
         let placements = to_placements(assignments, overflow, base, m);
         Ok(BatchOutcome {
             added: placements.iter().map(|p| p.identity.clone()).collect(),
             removed: net_removed,
             gk_rotated: true,
+            epoch: new_epoch,
             partitions_rekeyed: rekeyed,
             partitions_created: created,
             partitions_dropped: dropped,
@@ -558,50 +602,96 @@ impl GroupEngine {
         })
     }
 
-    /// Re-partitioning (§V-A): recreates the group from its current member
-    /// list via Algorithm 1, merging sparse partitions.
+    /// Re-partitioning (§V-A): rebuilds the partition layout from the
+    /// current member list (Algorithm 1's chunking), merging sparse
+    /// partitions — but **preserving the current `gk`, key epoch and epoch
+    /// history**. A structural reshuffle is not a revocation: every member
+    /// keeps access, so rotating the key (and invalidating every data
+    /// object's epoch) would be pure waste. Fresh broadcast keys are drawn
+    /// per rebuilt partition as always.
     ///
     /// # Errors
-    /// [`CoreError::EmptyGroup`] if the group has no members left.
+    /// [`CoreError::EmptyGroup`] if the group has no members left;
+    /// [`CoreError::Sgx`] on unseal failure.
     pub fn repartition(&self, meta: &GroupMetadata) -> Result<GroupMetadata, CoreError> {
-        let members: Vec<String> = meta.members().map(String::from).collect();
-        self.create_group(&meta.name, members)
+        self.repartition_with_fill(meta, self.partition_size)
     }
 
     /// Re-partitioning with an explicit target fill size (adaptive
-    /// extension; see [`GroupEngine::create_group_with_fill`]).
+    /// extension; see [`GroupEngine::create_group_with_fill`]). Preserves
+    /// `gk`, epoch and history like [`GroupEngine::repartition`].
     ///
     /// # Errors
-    /// Same contract as [`GroupEngine::create_group_with_fill`].
+    /// Same contract as [`GroupEngine::repartition`], plus
+    /// [`CoreError::InvalidPartitionSize`] if `fill` exceeds the public
+    /// key's capacity.
     pub fn repartition_with_fill(
         &self,
         meta: &GroupMetadata,
         fill: PartitionSize,
     ) -> Result<GroupMetadata, CoreError> {
         let members: Vec<String> = meta.members().map(String::from).collect();
-        self.create_group_with_fill(&meta.name, members, fill)
+        if members.is_empty() {
+            return Err(CoreError::EmptyGroup);
+        }
+        if fill.get() > self.partition_size.get() {
+            return Err(CoreError::InvalidPartitionSize(fill.get()));
+        }
+        let m = fill.get();
+        let pk = self.pk.clone();
+        let name = meta.name.clone();
+        let sealed = meta.sealed_gk.clone();
+        let epoch = meta.epoch;
+        let partitions = self.enclave.ecall(move |st, ctx| {
+            let gk = unseal_gk(ctx, &sealed, &name)?;
+            build_partitions(&st.msk, &pk, &members, &gk, epoch, m, &name, ctx)
+        })?;
+        Ok(GroupMetadata {
+            name: meta.name.clone(),
+            partitions,
+            sealed_gk: meta.sealed_gk.clone(),
+            epoch,
+            key_history: meta.key_history.clone(),
+        })
     }
 
     /// Re-keys the whole group without membership change (paper §A-G):
-    /// fresh `gk`, constant-time re-key per partition.
+    /// fresh `gk`, constant-time re-key per partition. Advances the key
+    /// epoch and retires the old `gk` into the history, exactly like a
+    /// revoking batch.
     ///
     /// # Errors
     /// [`CoreError::Sgx`] on unseal failure.
     pub fn rekey_group(&self, meta: &mut GroupMetadata) -> Result<(), CoreError> {
         let pk = self.pk.clone();
         let name = meta.name.clone();
-        let mut partitions = std::mem::take(&mut meta.partitions);
-        let (sealed, partitions) = self.enclave.ecall(move |_, ctx| {
+        let sealed_old = meta.sealed_gk.clone();
+        let old_history = meta.key_history.clone();
+        let old_epoch = meta.epoch;
+        let new_epoch = old_epoch + 1;
+        // cloned (not taken) so an unseal failure leaves `meta` untouched
+        let mut partitions = meta.partitions.clone();
+        let result = self.enclave.ecall(move |_, ctx| {
+            // fallible prologue: recover the retiring key and its history
+            let old_gk = unseal_gk(ctx, &sealed_old, &name)?;
+            let mut retired = unlock_history(&old_history, &old_gk, &name)?;
+            retired.push((old_epoch, old_gk));
             let gk = random_gk(ctx);
+            let history = seal_history(ctx, &retired, &gk, &name);
             for p in partitions.iter_mut() {
                 let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
                 p.ciphertext = ct;
                 p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);
+                p.epoch = new_epoch;
             }
-            (seal_gk(ctx, &gk, &name), partitions)
+            Ok::<_, CoreError>((seal_gk(ctx, &gk, &name), history, partitions))
         });
-        meta.partitions = partitions;
+        let (sealed, history, rotated) = result?;
+        meta.partitions = rotated;
         meta.sealed_gk = sealed;
+        meta.key_history = history;
+        meta.epoch = new_epoch;
+        self.observe_epoch(new_epoch);
         Ok(())
     }
 }
@@ -707,6 +797,58 @@ pub(crate) fn unwrap_gk(
     Ok(GroupKey(bytes))
 }
 
+/// Key protecting the epoch history: derived from the *current* `gk` with
+/// domain separation so history ciphertexts can never be confused with
+/// other `gk`-keyed material.
+fn history_key(gk: &GroupKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(&gk.0);
+    h.update(b"ibbe-sgx-epoch-history-v1");
+    h.finalize()
+}
+
+/// Encrypts the retired-epoch list under (a key derived from) `gk`.
+/// Plaintext: `(epoch: u64 BE ‖ gk: 32 bytes)*`, AAD: the group name.
+fn seal_history(
+    ctx: &mut EnclaveContext<'_>,
+    retired: &[(u64, GroupKey)],
+    gk: &GroupKey,
+    group_name: &str,
+) -> KeyHistory {
+    let mut plain = Vec::with_capacity(retired.len() * 40);
+    for (epoch, key) in retired {
+        plain.extend_from_slice(&epoch.to_be_bytes());
+        plain.extend_from_slice(&key.0);
+    }
+    let mut nonce = [0u8; NONCE_LEN];
+    ctx.rng().generate(&mut nonce);
+    let ciphertext = AesGcm::new(&history_key(gk)).seal(&nonce, group_name.as_bytes(), &plain);
+    KeyHistory { nonce, ciphertext }
+}
+
+/// Decrypts and parses an epoch history with the current `gk` (used inside
+/// the enclave on rotation and by clients through
+/// [`crate::client::KeyRing`]).
+pub(crate) fn unlock_history(
+    history: &KeyHistory,
+    gk: &GroupKey,
+    group_name: &str,
+) -> Result<Vec<(u64, GroupKey)>, CoreError> {
+    let plain = AesGcm::new(&history_key(gk))
+        .open(&history.nonce, group_name.as_bytes(), &history.ciphertext)
+        .map_err(|_| CoreError::CorruptMetadata("key history failed to authenticate"))?;
+    if plain.len() % 40 != 0 {
+        return Err(CoreError::CorruptMetadata("key history has wrong length"));
+    }
+    let mut retired = Vec::with_capacity(plain.len() / 40);
+    for rec in plain.chunks_exact(40) {
+        let epoch = u64::from_be_bytes(rec[..8].try_into().expect("chunk is 40 bytes"));
+        let key: [u8; 32] = rec[8..].try_into().expect("chunk is 40 bytes");
+        retired.push((epoch, GroupKey(key)));
+    }
+    Ok(retired)
+}
+
 fn seal_gk(ctx: &mut EnclaveContext<'_>, gk: &GroupKey, group_name: &str) -> sgx_sim::SealedBlob {
     ctx.seal(&gk.0, group_name.as_bytes())
 }
@@ -723,17 +865,48 @@ fn unseal_gk(
     Ok(GroupKey(bytes))
 }
 
+/// Algorithm 1's partition loop, shared by group creation and
+/// re-partitioning: chunks `members` into partitions of at most `m`
+/// wrapping `gk` at `epoch`.
+#[allow(clippy::too_many_arguments)]
+fn build_partitions(
+    msk: &MasterSecretKey,
+    pk: &PublicKey,
+    members: &[String],
+    gk: &GroupKey,
+    epoch: u64,
+    m: usize,
+    group_name: &str,
+    ctx: &mut EnclaveContext<'_>,
+) -> Result<Vec<PartitionMetadata>, CoreError> {
+    let mut partitions = Vec::with_capacity(members.len().div_ceil(m));
+    for chunk in members.chunks(m) {
+        partitions.push(make_partition(
+            msk,
+            pk,
+            chunk.to_vec(),
+            gk,
+            epoch,
+            group_name,
+            ctx,
+        )?);
+    }
+    Ok(partitions)
+}
+
 fn make_partition(
     msk: &MasterSecretKey,
     pk: &PublicKey,
     members: Vec<String>,
     gk: &GroupKey,
+    epoch: u64,
     group_name: &str,
     ctx: &mut EnclaveContext<'_>,
 ) -> Result<PartitionMetadata, CoreError> {
     let (bk, ciphertext) = encrypt_with_msk(msk, pk, &members, ctx.rng())?;
     let wrapped_gk = wrap_gk(&bk, gk, group_name, ctx);
     Ok(PartitionMetadata {
+        epoch,
         members,
         ciphertext,
         wrapped_gk,

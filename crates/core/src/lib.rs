@@ -53,7 +53,9 @@ pub mod metadata;
 
 pub use adaptive::AdaptivePolicy;
 pub use batch::{BatchOp, BatchOutcome, BatchPlan, MembershipBatch, Placement};
-pub use client::{client_decrypt_from_partition, client_decrypt_group_key};
+pub use client::{
+    client_decrypt_from_partition, client_decrypt_group_key, client_decrypt_key_ring, KeyRing,
+};
 pub use engine::{AddOutcome, GroupEngine, PartitionSize, RemoveOutcome, ENCLAVE_CODE_IDENTITY};
 pub use error::CoreError;
-pub use metadata::{GroupKey, GroupMetadata, PartitionMetadata, WrappedGroupKey};
+pub use metadata::{GroupKey, GroupMetadata, KeyHistory, PartitionMetadata, WrappedGroupKey};

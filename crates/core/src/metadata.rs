@@ -27,6 +27,63 @@ impl core::fmt::Debug for GroupKey {
     }
 }
 
+/// The encrypted epoch-key history: every retired group key, indexed by the
+/// epoch it served, AES-256-GCM-encrypted under (a key derived from) the
+/// **current** `gk`.
+///
+/// This is what makes **lazy re-encryption** of the data plane possible:
+/// an object sealed at epoch `e` stays wrapped under `gk_e` until its next
+/// write (or until the sweeper migrates it), and any *current* member —
+/// who by definition can derive the current `gk` — unlocks the history and
+/// recovers `gk_e` to read it. A revoked member holds only retired keys, so
+/// the history published after their revocation is opaque to them; the old
+/// keys they do retain stop mattering exactly when the sweeper has migrated
+/// the last object off those epochs.
+///
+/// Plaintext layout: a sequence of `(epoch: u64 BE ‖ gk: 32 bytes)` records;
+/// the ciphertext is stored on the cloud verbatim (it leaks nothing but the
+/// epoch count).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyHistory {
+    pub(crate) nonce: [u8; NONCE_LEN],
+    pub(crate) ciphertext: Vec<u8>,
+}
+
+impl KeyHistory {
+    /// Serialized size in bytes (nonce + ciphertext + tag).
+    pub fn size_bytes(&self) -> usize {
+        NONCE_LEN + self.ciphertext.len()
+    }
+
+    /// Number of retired epochs recorded (derivable from the ciphertext
+    /// length: GCM is length-preserving plus a 16-byte tag).
+    pub fn epoch_count(&self) -> usize {
+        (self.ciphertext.len().saturating_sub(16)) / 40
+    }
+
+    /// Serializes to `nonce ‖ ciphertext`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses a serialized history (authenticity is checked at unlock time
+    /// by GCM).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < NONCE_LEN {
+            return None;
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&bytes[..NONCE_LEN]);
+        Some(Self {
+            nonce,
+            ciphertext: bytes[NONCE_LEN..].to_vec(),
+        })
+    }
+}
+
 /// `y_k`: the group key wrapped under a partition broadcast key.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WrappedGroupKey {
@@ -63,9 +120,15 @@ impl WrappedGroupKey {
     }
 }
 
-/// Metadata for one partition: `⟨members, c_k, y_k⟩`.
+/// Metadata for one partition: `⟨epoch, members, c_k, y_k⟩`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PartitionMetadata {
+    /// Key epoch of the `gk` wrapped in `y_k`. Every partition of a group
+    /// always wraps the *current* group key, so this equals the group's
+    /// epoch — it is replicated here because clients only ever fetch their
+    /// own partition object and the data plane needs the current epoch to
+    /// seal writes and spot stale objects.
+    pub epoch: u64,
     /// Identities in this partition (public in the paper's model, §II).
     pub members: Vec<String>,
     /// The IBBE broadcast ciphertext `c_k` for this partition.
@@ -83,9 +146,12 @@ impl PartitionMetadata {
     }
 
     /// Serializes the partition for cloud storage:
-    /// `member_count:u32 ‖ (len:u16 ‖ identity)* ‖ c_k ‖ y_len:u16 ‖ y_k`.
+    /// `epoch:u64 ‖ member_count:u32 ‖ (len:u16 ‖ identity)* ‖ c_k ‖
+    /// y_len:u16 ‖ y_k`. The epoch leads so watchers can read it without
+    /// scanning the member list.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + 16 * self.members.len());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
         out.extend_from_slice(&(self.members.len() as u32).to_be_bytes());
         for m in &self.members {
             out.extend_from_slice(&(m.len() as u16).to_be_bytes());
@@ -107,6 +173,7 @@ impl PartitionMetadata {
             *cur += n;
             Some(s)
         };
+        let epoch = u64::from_be_bytes(take(&mut cur, 8)?.try_into().ok()?);
         let count = u32::from_be_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
         let mut members = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
@@ -121,6 +188,7 @@ impl PartitionMetadata {
             return None;
         }
         Some(Self {
+            epoch,
             members,
             ciphertext,
             wrapped_gk,
@@ -138,6 +206,14 @@ pub struct GroupMetadata {
     /// The group key sealed to the admin-enclave identity — opaque and
     /// useless to admins, the cloud, and users.
     pub sealed_gk: SealedBlob,
+    /// Current key epoch: starts at 1 on creation and advances by one on
+    /// every `gk` rotation (any revoking batch or explicit re-key).
+    /// Re-partitioning preserves the key and therefore the epoch.
+    pub epoch: u64,
+    /// Every retired epoch's `gk`, encrypted under the current one (see
+    /// [`KeyHistory`]); published next to the partitions so readers can
+    /// unwrap data objects not yet re-encrypted to the current epoch.
+    pub key_history: KeyHistory,
 }
 
 impl GroupMetadata {
@@ -216,6 +292,7 @@ mod tests {
             Ciphertext::from_bytes(&bytes).unwrap()
         };
         PartitionMetadata {
+            epoch: 1,
             members: (0..n).map(|i| format!("p{tag}-u{i}")).collect(),
             ciphertext: ct,
             wrapped_gk: WrappedGroupKey {
@@ -230,6 +307,11 @@ mod tests {
             name: "g".into(),
             partitions: parts,
             sealed_gk: fake_sealed(),
+            epoch: 1,
+            key_history: KeyHistory {
+                nonce: [0; NONCE_LEN],
+                ciphertext: vec![0; 16],
+            },
         }
     }
 
@@ -260,14 +342,36 @@ mod tests {
 
     #[test]
     fn partition_serialization_roundtrip() {
-        let p = fake_partition(3, 9);
+        let mut p = fake_partition(3, 9);
+        p.epoch = 7;
         let bytes = p.to_bytes();
         assert_eq!(PartitionMetadata::from_bytes(&bytes).unwrap(), p);
+        // the epoch leads the wire format
+        assert_eq!(u64::from_be_bytes(bytes[..8].try_into().unwrap()), 7);
         // truncation and trailing garbage are rejected
         assert!(PartitionMetadata::from_bytes(&bytes[..bytes.len() - 1]).is_none());
         let mut longer = bytes.clone();
         longer.push(0);
         assert!(PartitionMetadata::from_bytes(&longer).is_none());
+    }
+
+    #[test]
+    fn key_history_serialization_roundtrip_and_epoch_count() {
+        let h = KeyHistory {
+            nonce: [3; NONCE_LEN],
+            ciphertext: vec![9; 2 * 40 + 16], // two records + GCM tag
+        };
+        assert_eq!(h.epoch_count(), 2);
+        assert_eq!(h.size_bytes(), NONCE_LEN + 96);
+        let bytes = h.to_bytes();
+        assert_eq!(KeyHistory::from_bytes(&bytes).unwrap(), h);
+        assert!(KeyHistory::from_bytes(&bytes[..NONCE_LEN - 1]).is_none());
+        // an empty history (no retired epochs) still carries its tag
+        let empty = KeyHistory {
+            nonce: [0; NONCE_LEN],
+            ciphertext: vec![0; 16],
+        };
+        assert_eq!(empty.epoch_count(), 0);
     }
 
     #[test]

@@ -214,7 +214,14 @@ fn empty_batch_is_a_noop() {
     let mut meta = e.create_group("g", names(3)).unwrap();
     let before = meta.clone();
     let out = e.apply_batch(&mut meta, &MembershipBatch::new()).unwrap();
-    assert_eq!(out, ibbe_sgx_core::BatchOutcome::default());
+    assert_eq!(
+        out,
+        ibbe_sgx_core::BatchOutcome {
+            epoch: meta.epoch,
+            ..Default::default()
+        },
+        "a no-op outcome reports the group's current epoch and nothing else"
+    );
     assert_eq!(meta, before);
 }
 

@@ -3,7 +3,8 @@
 //! revocation security properties of §II.
 
 use ibbe_sgx_core::{
-    client_decrypt_from_partition, client_decrypt_group_key, CoreError, GroupEngine, PartitionSize,
+    client_decrypt_from_partition, client_decrypt_group_key, client_decrypt_key_ring, CoreError,
+    GroupEngine, MembershipBatch, PartitionSize,
 };
 use rand::SeedableRng;
 
@@ -275,6 +276,100 @@ fn invalid_partition_size_rejected() {
         CoreError::InvalidPartitionSize(0)
     );
     assert_eq!(PartitionSize::new(5).unwrap().get(), 5);
+}
+
+#[test]
+fn key_epoch_advances_only_on_rotation() {
+    let e = engine(3, 19);
+    let mut meta = e.create_group("g", names(5)).unwrap();
+    assert_eq!(meta.epoch, 1, "groups are born at epoch 1");
+    assert_eq!(e.current_epoch(), 1);
+    assert!(meta.partitions.iter().all(|p| p.epoch == 1));
+
+    // pure adds do not rotate → same epoch, even across a new partition
+    let mut adds = MembershipBatch::new();
+    adds.add("late-0").add("late-1");
+    let out = e.apply_batch(&mut meta, &adds).unwrap();
+    assert!(!out.gk_rotated);
+    assert_eq!(out.epoch, 1);
+    assert_eq!(meta.epoch, 1);
+    assert!(meta.partitions.iter().all(|p| p.epoch == 1));
+
+    // a revoking batch advances the epoch by one, everywhere
+    let mut revoke = MembershipBatch::new();
+    revoke.remove("user-0").remove("user-3");
+    let out = e.apply_batch(&mut meta, &revoke).unwrap();
+    assert!(out.gk_rotated);
+    assert_eq!(out.epoch, 2);
+    assert_eq!(meta.epoch, 2);
+    assert!(meta.partitions.iter().all(|p| p.epoch == 2));
+    assert_eq!(e.current_epoch(), 2);
+
+    // an explicit re-key is a rotation too
+    e.rekey_group(&mut meta).unwrap();
+    assert_eq!(meta.epoch, 3);
+    assert!(meta.partitions.iter().all(|p| p.epoch == 3));
+
+    // re-partitioning preserves the key, the epoch and the history
+    let history_before = meta.key_history.clone();
+    let meta2 = e.repartition(&meta).unwrap();
+    assert_eq!(meta2.epoch, 3);
+    assert_eq!(meta2.sealed_gk, meta.sealed_gk);
+    assert_eq!(meta2.key_history, history_before);
+    assert_eq!(e.current_epoch(), 3, "repartition issues no new epoch");
+}
+
+#[test]
+fn repartition_preserves_gk_and_old_ring_entries() {
+    let e = engine(2, 20);
+    let mut meta = e.create_group("g", names(6)).unwrap();
+    e.remove_user(&mut meta, "user-1").unwrap(); // epoch 1 → 2
+    let usk = e.extract_user_key("user-0").unwrap();
+    let gk_before = client_decrypt_group_key(e.public_key(), &usk, "user-0", &meta).unwrap();
+
+    let meta2 = e.repartition(&meta).unwrap();
+    let gk_after = client_decrypt_group_key(e.public_key(), &usk, "user-0", &meta2).unwrap();
+    assert_eq!(
+        gk_before, gk_after,
+        "a structural reshuffle must not rotate the data-plane key"
+    );
+}
+
+#[test]
+fn key_ring_recovers_every_retired_epoch() {
+    let e = engine(3, 21);
+    let mut meta = e.create_group("g", names(6)).unwrap();
+    let usk = e.extract_user_key("user-0").unwrap();
+    let gk_e1 = client_decrypt_group_key(e.public_key(), &usk, "user-0", &meta).unwrap();
+    e.remove_user(&mut meta, "user-1").unwrap(); // → epoch 2
+    let gk_e2 = client_decrypt_group_key(e.public_key(), &usk, "user-0", &meta).unwrap();
+    e.remove_user(&mut meta, "user-2").unwrap(); // → epoch 3
+
+    let ring = client_decrypt_key_ring(e.public_key(), &usk, "user-0", &meta).unwrap();
+    assert_eq!(ring.current_epoch(), 3);
+    assert_eq!(ring.len(), 3);
+    assert_eq!(ring.key_for(1), Some(&gk_e1));
+    assert_eq!(ring.key_for(2), Some(&gk_e2));
+    assert_eq!(ring.current().1, ring.key_for(3).unwrap());
+    assert!(ring.key_for(4).is_none());
+    assert!(!ring.is_empty());
+}
+
+#[test]
+fn revoked_member_cannot_unlock_post_revocation_history() {
+    // The victim's ring freezes at the epoch of their revocation: the new
+    // history is encrypted under the new gk, which they cannot derive.
+    let e = engine(3, 22);
+    let mut meta = e.create_group("g", names(4)).unwrap();
+    let usk_victim = e.extract_user_key("user-3").unwrap();
+    let ring_before = client_decrypt_key_ring(e.public_key(), &usk_victim, "user-3", &meta);
+    assert_eq!(ring_before.unwrap().current_epoch(), 1);
+
+    e.remove_user(&mut meta, "user-3").unwrap();
+    assert!(
+        client_decrypt_key_ring(e.public_key(), &usk_victim, "user-3", &meta).is_err(),
+        "revoked member must not assemble a ring from fresh metadata"
+    );
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! Revocation coordination: where the control plane's key rotation meets
+//! the data plane's re-encryption cost, under a configurable policy.
+
+use crate::error::DataError;
+use crate::sweeper::{SweepReport, Sweeper};
+use acs::Admin;
+use ibbe_sgx_core::{BatchOutcome, MembershipBatch};
+
+/// When stored objects are moved to a freshly rotated epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReencryptionPolicy {
+    /// Revocation touches **zero** stored objects (O(1) in the store size):
+    /// each object migrates on its next write, and a background sweeper
+    /// bounds the stale window by a deadline. The revoked member may retain
+    /// read access to *pre-revocation* data until migration — never to
+    /// anything written after.
+    Lazy,
+    /// Revocation synchronously re-encrypts every stored object (O(n)):
+    /// the revoked member loses all access the moment the revocation
+    /// returns, at the price of a revocation latency proportional to the
+    /// group's data footprint.
+    Eager,
+}
+
+/// Outcome of a coordinated revocation.
+#[derive(Clone, Debug)]
+pub struct RevocationOutcome {
+    /// The control-plane batch outcome (membership deltas, epoch).
+    pub batch: BatchOutcome,
+    /// The synchronous sweep's report — `Some` only under
+    /// [`ReencryptionPolicy::Eager`] when the batch actually rotated.
+    pub sweep: Option<SweepReport>,
+}
+
+/// Applies membership batches through an [`Admin`] and enacts the
+/// re-encryption policy against a [`Sweeper`].
+pub struct RevocationCoordinator<'a> {
+    admin: &'a Admin,
+    policy: ReencryptionPolicy,
+}
+
+impl<'a> RevocationCoordinator<'a> {
+    /// Couples an admin with a policy.
+    pub fn new(admin: &'a Admin, policy: ReencryptionPolicy) -> Self {
+        Self { admin, policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> ReencryptionPolicy {
+        self.policy
+    }
+
+    /// Applies `batch` to `group`; if it rotated the key and the policy is
+    /// eager, synchronously sweeps every stored object to the new epoch
+    /// before returning. Under the lazy policy the revocation itself
+    /// performs **zero** object re-writes — drive `sweeper` afterwards
+    /// ([`Sweeper::run_until_converged`] or [`Sweeper::watch`]) to converge
+    /// within its deadline.
+    ///
+    /// # Errors
+    /// Control-plane failures from the batch; sweep failures (eager only).
+    pub fn revoke(
+        &self,
+        group: &str,
+        batch: &MembershipBatch,
+        sweeper: &mut Sweeper,
+    ) -> Result<RevocationOutcome, DataError> {
+        let outcome = self.admin.apply_batch(group, batch)?;
+        let sweep = if outcome.gk_rotated && self.policy == ReencryptionPolicy::Eager {
+            Some(sweeper.sweep_now()?)
+        } else {
+            None
+        };
+        Ok(RevocationOutcome {
+            batch: outcome,
+            sweep,
+        })
+    }
+}
+
+impl core::fmt::Debug for RevocationCoordinator<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "RevocationCoordinator({:?})", self.policy)
+    }
+}

@@ -1,0 +1,181 @@
+//! Envelope encryption of data objects.
+//!
+//! Every object is encrypted under its own random **DEK** (AES-256-GCM);
+//! the DEK is wrapped under a **KEK derived from the group key of one
+//! specific epoch**. Rotating the group key therefore costs nothing per
+//! object — only new writes (and sweeper migrations) move objects to the
+//! new epoch, which is the whole lazy-re-encryption trade-off.
+//!
+//! Both GCM layers authenticate `object name ‖ epoch` as AAD, so an object
+//! cannot be renamed, cross-planted, or re-labelled to a different epoch by
+//! the (honest-but-curious or tampering) cloud without detection.
+
+use crate::error::DataError;
+use ibbe_sgx_core::{GroupKey, KeyRing};
+use symcrypto::gcm::{AesGcm, NONCE_LEN, TAG_LEN};
+use symcrypto::sha256::Sha256;
+
+/// Wire-format version byte of [`SealedObject`].
+pub const OBJECT_FORMAT_V1: u8 = 1;
+
+/// Size of a wrapped DEK: 32 key bytes + GCM tag.
+const WRAPPED_DEK_LEN: usize = 32 + TAG_LEN;
+
+/// Derives the epoch KEK from a group key (domain-separated so data-plane
+/// wraps can never collide with other `gk`-derived material).
+fn kek_for(gk: &GroupKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(gk.as_bytes());
+    h.update(b"ibbe-sgx-dataplane-kek-v1");
+    h.finalize()
+}
+
+/// AAD binding an object ciphertext to its name and epoch.
+fn object_aad(object: &str, epoch: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(object.len() + 8);
+    aad.extend_from_slice(object.as_bytes());
+    aad.extend_from_slice(&epoch.to_be_bytes());
+    aad
+}
+
+/// An envelope-encrypted data object as stored on the cloud.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SealedObject {
+    /// Key epoch whose KEK wraps this object's DEK.
+    pub epoch: u64,
+    dek_nonce: [u8; NONCE_LEN],
+    wrapped_dek: Vec<u8>,
+    nonce: [u8; NONCE_LEN],
+    ciphertext: Vec<u8>,
+}
+
+impl SealedObject {
+    /// Encrypts `plaintext` as `object` at the ring's **current** epoch:
+    /// fresh DEK, DEK wrapped under the current epoch's KEK.
+    pub fn seal<R: rand::RngCore + ?Sized>(
+        ring: &KeyRing,
+        object: &str,
+        plaintext: &[u8],
+        rng: &mut R,
+    ) -> Self {
+        let (epoch, gk) = ring.current();
+        let aad = object_aad(object, epoch);
+        let mut dek = [0u8; 32];
+        rng.fill_bytes(&mut dek);
+        let mut dek_nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut dek_nonce);
+        let wrapped_dek = AesGcm::new(&kek_for(gk)).seal(&dek_nonce, &aad, &dek);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        let ciphertext = AesGcm::new(&dek).seal(&nonce, &aad, plaintext);
+        Self {
+            epoch,
+            dek_nonce,
+            wrapped_dek,
+            nonce,
+            ciphertext,
+        }
+    }
+
+    /// Decrypts the object with whichever epoch key the ring holds for it.
+    ///
+    /// # Errors
+    /// * [`DataError::UnknownEpoch`] if the ring has no key for the
+    ///   object's epoch (the revoked-reader lockout path);
+    /// * [`DataError::AuthFailed`] if either GCM layer rejects (tampering,
+    ///   renamed object, forged epoch label).
+    pub fn open(&self, ring: &KeyRing, object: &str) -> Result<Vec<u8>, DataError> {
+        let gk = ring
+            .key_for(self.epoch)
+            .ok_or(DataError::UnknownEpoch(self.epoch))?;
+        let aad = object_aad(object, self.epoch);
+        let dek = AesGcm::new(&kek_for(gk))
+            .open(&self.dek_nonce, &aad, &self.wrapped_dek)
+            .map_err(|_| DataError::AuthFailed)?;
+        let dek: [u8; 32] = dek.try_into().map_err(|_| DataError::AuthFailed)?;
+        AesGcm::new(&dek)
+            .open(&self.nonce, &aad, &self.ciphertext)
+            .map_err(|_| DataError::AuthFailed)
+    }
+
+    /// Re-encrypts to the ring's current epoch: decrypts with the old epoch
+    /// key, then seals again with a **fresh DEK** (re-wrapping alone would
+    /// leave the payload under a DEK the departed epoch's readers may have
+    /// cached). This is the unit of work the sweeper performs per object.
+    ///
+    /// # Errors
+    /// Same contract as [`SealedObject::open`].
+    pub fn reencrypt<R: rand::RngCore + ?Sized>(
+        &self,
+        ring: &KeyRing,
+        object: &str,
+        rng: &mut R,
+    ) -> Result<Self, DataError> {
+        let plaintext = self.open(ring, object)?;
+        Ok(Self::seal(ring, object, &plaintext, rng))
+    }
+
+    /// Payload ciphertext length in bytes (plaintext length + tag).
+    pub fn payload_len(&self) -> usize {
+        self.ciphertext.len()
+    }
+
+    /// Serializes to
+    /// `version:u8 ‖ epoch:u64 ‖ dek_nonce ‖ wrapped_dek ‖ nonce ‖ ct`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(1 + 8 + 2 * NONCE_LEN + WRAPPED_DEK_LEN + self.ciphertext.len());
+        out.push(OBJECT_FORMAT_V1);
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.dek_nonce);
+        out.extend_from_slice(&self.wrapped_dek);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses a stored object.
+    ///
+    /// # Errors
+    /// [`DataError::WireFormat`] on bad version or truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DataError> {
+        const HEADER: usize = 1 + 8 + NONCE_LEN + WRAPPED_DEK_LEN + NONCE_LEN;
+        if bytes.len() < HEADER {
+            return Err(DataError::WireFormat("object too short"));
+        }
+        if bytes[0] != OBJECT_FORMAT_V1 {
+            return Err(DataError::WireFormat("unknown object format version"));
+        }
+        let epoch = u64::from_be_bytes(bytes[1..9].try_into().expect("sliced 8"));
+        let mut cur = 9;
+        let mut dek_nonce = [0u8; NONCE_LEN];
+        dek_nonce.copy_from_slice(&bytes[cur..cur + NONCE_LEN]);
+        cur += NONCE_LEN;
+        let wrapped_dek = bytes[cur..cur + WRAPPED_DEK_LEN].to_vec();
+        cur += WRAPPED_DEK_LEN;
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&bytes[cur..cur + NONCE_LEN]);
+        cur += NONCE_LEN;
+        // the payload tag is part of the ciphertext; an empty plaintext
+        // still carries TAG_LEN bytes
+        if bytes.len() - cur < TAG_LEN {
+            return Err(DataError::WireFormat("object payload too short"));
+        }
+        Ok(Self {
+            epoch,
+            dek_nonce,
+            wrapped_dek,
+            nonce,
+            ciphertext: bytes[cur..].to_vec(),
+        })
+    }
+
+    /// Reads just the epoch from a stored object's bytes — what the sweeper
+    /// uses to spot stale objects without unwrapping anything.
+    pub fn peek_epoch(bytes: &[u8]) -> Option<u64> {
+        if bytes.len() < 9 || bytes[0] != OBJECT_FORMAT_V1 {
+            return None;
+        }
+        Some(u64::from_be_bytes(bytes[1..9].try_into().ok()?))
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the data plane.
+
+use cloud_store::VersionConflict;
+use core::fmt;
+
+/// Errors surfaced by data-plane sessions, sweepers and coordinators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Propagated control-plane (admin/client) failure.
+    Acs(acs::AcsError),
+    /// Propagated IBBE-SGX core failure.
+    Core(ibbe_sgx_core::CoreError),
+    /// A stored object failed to deserialize.
+    WireFormat(&'static str),
+    /// The object does not exist in the group's data folder.
+    NotFound(String),
+    /// The object's DEK is wrapped under an epoch this session holds no key
+    /// for — either the reader was revoked before the epoch was issued, or
+    /// their ring is stale and a refresh failed.
+    UnknownEpoch(u64),
+    /// GCM authentication failed (tampered object, or a key that matches
+    /// the epoch label but not the actual wrap).
+    AuthFailed,
+    /// A conditional write lost the compare-and-swap race; re-read the
+    /// object (refreshing the cached version) before retrying.
+    Conflict(VersionConflict),
+    /// The session has never derived key material and a refresh failed.
+    NoKeys,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Acs(e) => write!(f, "control plane: {e}"),
+            DataError::Core(e) => write!(f, "core: {e}"),
+            DataError::WireFormat(what) => write!(f, "malformed data object: {what}"),
+            DataError::NotFound(name) => write!(f, "no such object: {name}"),
+            DataError::UnknownEpoch(e) => write!(f, "no key for epoch {e}"),
+            DataError::AuthFailed => write!(f, "object failed to authenticate"),
+            DataError::Conflict(c) => write!(f, "write lost the race: {c}"),
+            DataError::NoKeys => write!(f, "session holds no key material"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Acs(e) => Some(e),
+            DataError::Core(e) => Some(e),
+            DataError::Conflict(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<acs::AcsError> for DataError {
+    fn from(e: acs::AcsError) -> Self {
+        DataError::Acs(e)
+    }
+}
+
+impl From<ibbe_sgx_core::CoreError> for DataError {
+    fn from(e: ibbe_sgx_core::CoreError) -> Self {
+        DataError::Core(e)
+    }
+}
+
+impl From<VersionConflict> for DataError {
+    fn from(e: VersionConflict) -> Self {
+        DataError::Conflict(e)
+    }
+}

@@ -1,0 +1,64 @@
+//! # dataplane — the envelope-encrypted read/write path over IBBE-SGX
+//!
+//! The control plane (crates `core` + `acs`) derives, rotates and publishes
+//! group keys; this crate is the path those keys exist *for*: storing and
+//! fetching data objects on the untrusted cloud.
+//!
+//! * [`SealedObject`] — envelope encryption: every object gets a random
+//!   per-object DEK (AES-256-GCM), wrapped under a KEK derived from the
+//!   group key of one specific **epoch**; both layers AAD-bind the object
+//!   name and epoch.
+//! * [`ClientSession`] — a member's read/write session with an epoch-aware
+//!   key ring (current `gk` + retired keys unlocked from the published
+//!   history), invalidated by the cloud store's long-poll notifications;
+//!   writes are compare-and-swap PUTs, so concurrent writers are safe.
+//! * [`Sweeper`] — the **lazy** re-encryption policy's convergence engine:
+//!   revocation touches zero objects, each object migrates on its next
+//!   write, and the sweeper moves the cold tail within a configured
+//!   deadline.
+//! * [`RevocationCoordinator`] — applies membership batches under a
+//!   [`ReencryptionPolicy`]: `Lazy` (O(1) revocation, bounded stale window)
+//!   or `Eager` (O(n) synchronous sweep at revocation time). The
+//!   `lazy_vs_eager` bench binary measures the two against each other.
+//! * [`RwSystemBackend`] — the full stack as a replay backend for the
+//!   `workloads` read/write traces.
+//!
+//! ```
+//! use acs::Admin;
+//! use cloud_store::CloudStore;
+//! use dataplane::ClientSession;
+//! use ibbe_sgx_core::{GroupEngine, PartitionSize};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::thread_rng();
+//! let store = CloudStore::new();
+//! let engine = GroupEngine::bootstrap(PartitionSize::new(4)?, &mut rng)?;
+//! let admin = Admin::new(engine, store.clone());
+//! admin.create_group("demo", vec!["alice".into(), "bob".into()])?;
+//!
+//! let usk = admin.engine().extract_user_key("alice")?;
+//! let pk = admin.engine().public_key().clone();
+//! let mut alice = ClientSession::new("alice", usk, pk, store, "demo");
+//! alice.write("notes.txt", b"meet at dawn")?;
+//! assert_eq!(alice.read("notes.txt")?, b"meet at dawn");
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod envelope;
+pub mod error;
+pub mod metrics;
+pub mod replay;
+pub mod session;
+pub mod sweeper;
+
+pub use coordinator::{ReencryptionPolicy, RevocationCoordinator, RevocationOutcome};
+pub use envelope::{SealedObject, OBJECT_FORMAT_V1};
+pub use error::DataError;
+pub use metrics::{DataMetrics, DataMetricsSnapshot};
+pub use replay::{RwSystemBackend, SWEEPER_IDENTITY, WRITER_IDENTITY};
+pub use session::{data_folder, ClientSession};
+pub use sweeper::{SweepConfig, SweepReport, Sweeper};

@@ -1,0 +1,173 @@
+//! The data-plane system under test for read/write trace replay: one
+//! backend drives the full stack (admin, store, writer session, sweeper)
+//! through the generic `workloads` event driver.
+
+use crate::coordinator::{ReencryptionPolicy, RevocationCoordinator};
+use crate::error::DataError;
+use crate::metrics::DataMetricsSnapshot;
+use crate::session::ClientSession;
+use crate::sweeper::{SweepConfig, Sweeper};
+use acs::Admin;
+use cloud_store::CloudStore;
+use ibbe_sgx_core::{GroupEngine, MembershipBatch, PartitionSize};
+use workloads::rw::{RwOp, RwTrace};
+use workloads::{EventBackend, TraceOp};
+
+/// Reserved identity for the replay backend's writer/reader session.
+pub const WRITER_IDENTITY: &str = "__writer";
+
+/// Reserved identity for the sweeper's privileged session.
+pub const SWEEPER_IDENTITY: &str = "__sweeper";
+
+/// A complete data-plane deployment replaying [`RwOp`] events: reads and
+/// writes go through a member [`ClientSession`], churn bursts through the
+/// admin under the configured [`ReencryptionPolicy`] (eager sweeps run
+/// synchronously inside the churn event, like production would).
+pub struct RwSystemBackend {
+    admin: Admin,
+    group: String,
+    session: ClientSession,
+    sweeper: Sweeper,
+    policy: ReencryptionPolicy,
+    payload: Vec<u8>,
+    seq: u64,
+}
+
+impl RwSystemBackend {
+    /// Boots an engine/admin (deterministically from `seed`), creates the
+    /// trace's group with the service identities appended, and opens the
+    /// writer and sweeper sessions.
+    pub fn new(
+        partition_size: usize,
+        group: &str,
+        trace: &RwTrace,
+        policy: ReencryptionPolicy,
+        sweep: SweepConfig,
+        payload_len: usize,
+        seed: u64,
+    ) -> Self {
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        let engine = GroupEngine::bootstrap_seeded(
+            PartitionSize::new(partition_size).expect("partition size"),
+            seed_bytes,
+        )
+        .expect("bootstrap");
+        let store = CloudStore::new();
+        let admin = Admin::new(engine, store.clone());
+        let mut members = trace.initial_members.clone();
+        members.push(WRITER_IDENTITY.to_string());
+        members.push(SWEEPER_IDENTITY.to_string());
+        admin.create_group(group, members).expect("create group");
+
+        let pk = admin.engine().public_key().clone();
+        let session = ClientSession::with_seed(
+            WRITER_IDENTITY,
+            admin
+                .engine()
+                .extract_user_key(WRITER_IDENTITY)
+                .expect("writer usk"),
+            pk.clone(),
+            store.clone(),
+            group,
+            seed ^ 0x5e55,
+        );
+        let sweeper = Sweeper::new(
+            ClientSession::with_seed(
+                SWEEPER_IDENTITY,
+                admin
+                    .engine()
+                    .extract_user_key(SWEEPER_IDENTITY)
+                    .expect("sweeper usk"),
+                pk,
+                store,
+                group,
+                seed ^ 0x5eed,
+            ),
+            sweep,
+        );
+        Self {
+            admin,
+            group: group.to_string(),
+            session,
+            sweeper,
+            policy,
+            payload: vec![0xd5; payload_len],
+            seq: 0,
+        }
+    }
+
+    /// The underlying admin (store metrics, metadata).
+    pub fn admin(&self) -> &Admin {
+        &self.admin
+    }
+
+    /// The writer session's counters.
+    pub fn session_metrics(&self) -> DataMetricsSnapshot {
+        self.session.metrics()
+    }
+
+    /// The sweeper (drive it between events under the lazy policy).
+    pub fn sweeper_mut(&mut self) -> &mut Sweeper {
+        &mut self.sweeper
+    }
+
+    /// The sweeper's counters.
+    pub fn sweeper_metrics(&self) -> DataMetricsSnapshot {
+        self.sweeper.metrics()
+    }
+
+    fn churn(&mut self, ops: &[TraceOp]) -> Result<(), DataError> {
+        let mut batch = MembershipBatch::new();
+        for op in ops {
+            match op {
+                TraceOp::Add { user } => batch.add(user.clone()),
+                TraceOp::Remove { user } => batch.remove(user.clone()),
+            };
+        }
+        let coordinator = RevocationCoordinator::new(&self.admin, self.policy);
+        coordinator.revoke(&self.group, &batch, &mut self.sweeper)?;
+        Ok(())
+    }
+}
+
+impl EventBackend<RwOp> for RwSystemBackend {
+    fn apply(&mut self, event: &RwOp) {
+        match event {
+            RwOp::Write { object } => {
+                self.seq = self.seq.wrapping_add(1);
+                let n = self.payload.len().min(8);
+                // low-order counter bytes, so short payloads still vary
+                self.payload[..n].copy_from_slice(&self.seq.to_le_bytes()[..n]);
+                let payload = self.payload.clone();
+                match self.session.write(object, &payload) {
+                    Ok(_) => {}
+                    Err(DataError::Conflict(_)) => {
+                        // adopt the winning version and retry once
+                        self.session
+                            .fetch(object)
+                            .expect("conflicted object exists");
+                        self.session.write(object, &payload).expect("retried write");
+                    }
+                    Err(e) => panic!("write of {object}: {e}"),
+                }
+            }
+            RwOp::Read { object } => {
+                self.session.read(object).expect("read of written object");
+            }
+            RwOp::Churn { ops } => self.churn(ops).expect("churn batch"),
+        }
+    }
+}
+
+impl core::fmt::Debug for RwSystemBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "RwSystemBackend({}, {:?}, {}B payload)",
+            self.group,
+            self.policy,
+            self.payload.len()
+        )
+    }
+}

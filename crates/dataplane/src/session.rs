@@ -1,0 +1,346 @@
+//! The reader/writer session: an epoch-aware key cache over the control
+//! plane, plus the CAS-guarded object read/write path.
+
+use crate::envelope::SealedObject;
+use crate::error::DataError;
+use crate::metrics::{DataMetrics, DataMetricsSnapshot};
+use acs::{Client, EPOCHS_ITEM};
+use cloud_store::CloudStore;
+use ibbe::{PublicKey, UserSecretKey};
+use ibbe_sgx_core::{KeyHistory, KeyRing};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cloud folder holding a group's data objects (distinct from the group's
+/// metadata folder so data traffic never wakes control-plane long-pollers
+/// and vice versa).
+pub fn data_folder(group: &str) -> String {
+    format!("{group}/data")
+}
+
+/// True for the error signature of a ring rebuild that raced a rotation's
+/// publish (partition and history read on opposite sides of it).
+fn torn_read(e: &DataError) -> bool {
+    matches!(
+        e,
+        DataError::Core(ibbe_sgx_core::CoreError::CorruptMetadata(_))
+    )
+}
+
+/// A group member's data-plane session.
+///
+/// Wraps the control-plane [`Client`] (partition watch + `gk` derivation)
+/// with an **epoch-indexed key ring**: the current `gk` plus every retired
+/// epoch key unlocked from the published history. The ring is the cache the
+/// long-poll notifications invalidate — any change to the group's metadata
+/// folder (observed via a zero-timeout poll before each operation, or a
+/// blocking [`ClientSession::watch`]) triggers a rebuild.
+///
+/// A session whose member was revoked keeps its last ring (that is the
+/// attacker model of the lazy window: retired keys the victim already held)
+/// but can never extend it — deriving the rotated `gk` fails, so every
+/// object sealed at a newer epoch answers [`DataError::UnknownEpoch`].
+pub struct ClientSession {
+    /// The wrapped control-plane client also owns the store handle and the
+    /// group name; this type deliberately keeps no copies of either.
+    control: Client,
+    folder: String,
+    ring: Option<KeyRing>,
+    /// object name → store version last observed (the CAS expectation).
+    versions: HashMap<String, u64>,
+    metrics: Arc<DataMetrics>,
+    rng: StdRng,
+}
+
+impl ClientSession {
+    /// Creates a session for `identity` over `group`.
+    pub fn new(
+        identity: impl Into<String>,
+        usk: UserSecretKey,
+        pk: PublicKey,
+        store: CloudStore,
+        group: impl Into<String>,
+    ) -> Self {
+        let seed = rand::thread_rng().next_u64();
+        Self::with_seed(identity, usk, pk, store, group, seed)
+    }
+
+    /// Deterministic variant (tests and reproducible benchmarks): `seed`
+    /// drives the DEK/nonce generator.
+    pub fn with_seed(
+        identity: impl Into<String>,
+        usk: UserSecretKey,
+        pk: PublicKey,
+        store: CloudStore,
+        group: impl Into<String>,
+        seed: u64,
+    ) -> Self {
+        let group = group.into();
+        Self {
+            folder: data_folder(&group),
+            control: Client::new(identity, usk, pk, store, group),
+            ring: None,
+            versions: HashMap::new(),
+            metrics: Arc::new(DataMetrics::default()),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The identity this session acts as.
+    pub fn identity(&self) -> &str {
+        self.control.identity()
+    }
+
+    /// The group this session reads and writes.
+    pub fn group(&self) -> &str {
+        self.control.group()
+    }
+
+    /// Snapshot of this session's counters.
+    pub fn metrics(&self) -> DataMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The current key epoch per this session's ring, if one was derived.
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.ring.as_ref().map(KeyRing::current_epoch)
+    }
+
+    /// Number of epochs the session can currently unwrap.
+    pub fn ring_len(&self) -> usize {
+        self.ring.as_ref().map(KeyRing::len).unwrap_or(0)
+    }
+
+    /// Forces a full control-plane sync and ring rebuild. Returns the
+    /// current epoch.
+    ///
+    /// # Errors
+    /// Control-plane failures (e.g. [`acs::AcsError::NotAMember`] after
+    /// revocation) or a history that fails to authenticate. The previous
+    /// ring, if any, is left in place on failure.
+    pub fn refresh(&mut self) -> Result<u64, DataError> {
+        let gk = self.control.sync()?;
+        match self.rebuild_ring(gk) {
+            Err(e) if torn_read(&e) => {
+                // the partition was fetched just before a rotation's atomic
+                // publish and the history just after (or vice versa) — one
+                // re-sync observes a consistent pair; a genuinely tampered
+                // history fails again here and propagates
+                let gk = self.control.sync()?;
+                self.rebuild_ring(gk)
+            }
+            other => other,
+        }
+    }
+
+    /// Rebuilds the ring from a freshly derived `gk` plus the published
+    /// epoch history.
+    fn rebuild_ring(&mut self, gk: ibbe_sgx_core::GroupKey) -> Result<u64, DataError> {
+        let epoch = self
+            .control
+            .current_epoch()
+            .expect("sync populates the partition cache");
+        let history = match self.control.store().get(self.control.group(), EPOCHS_ITEM) {
+            Some((bytes, _)) => Some(
+                KeyHistory::from_bytes(&bytes)
+                    .ok_or(DataError::WireFormat("epoch history object"))?,
+            ),
+            None => None,
+        };
+        let ring = KeyRing::assemble(gk, epoch, history.as_ref(), self.control.group())?;
+        self.ring = Some(ring);
+        self.metrics.record_key_refresh();
+        Ok(epoch)
+    }
+
+    /// True if the control plane's observed epoch differs from the ring's —
+    /// the only condition under which a rebuild can change anything (`gk`
+    /// and the history rotate if and only if the epoch advances; structural
+    /// changes like adds or re-partitions preserve all three).
+    fn ring_is_stale(&self) -> bool {
+        match (&self.ring, self.control.current_epoch()) {
+            (Some(ring), Some(epoch)) => ring.current_epoch() != epoch,
+            _ => true,
+        }
+    }
+
+    /// Non-blocking invalidation check before an operation: a zero-timeout
+    /// long poll on the group's **metadata** folder. The ring is rebuilt
+    /// only when the observed epoch moved; a failing control sync (revoked
+    /// identity) keeps the stale ring — by design, see the type-level docs.
+    /// Also the sweeper's cheap between-pass freshness check.
+    pub(crate) fn maybe_refresh(&mut self) -> Result<(), DataError> {
+        if self.ring.is_none() {
+            self.refresh()?;
+            return Ok(());
+        }
+        match self.control.wait_for_update(Duration::ZERO) {
+            Ok(Some(gk)) if self.ring_is_stale() => match self.rebuild_ring(gk) {
+                Err(e) if torn_read(&e) => self.refresh().map(|_| ()),
+                other => other.map(|_| ()),
+            },
+            Ok(_) => Ok(()),
+            // a revoked identity keeps its stale ring by design; every
+            // other control-plane failure (wire corruption, tampering)
+            // must fail closed, not silently continue on old keys
+            Err(acs::AcsError::NotAMember(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Blocks on the group's metadata long poll until it changes (or
+    /// `timeout`), rebuilding the ring if the change moved the epoch.
+    /// Returns `true` if the ring was rebuilt — the push-style cache
+    /// invalidation path.
+    ///
+    /// # Errors
+    /// Same contract as [`ClientSession::refresh`].
+    pub fn watch(&mut self, timeout: Duration) -> Result<bool, DataError> {
+        if self.ring.is_none() {
+            self.refresh()?;
+        }
+        match self.control.wait_for_update(timeout)? {
+            Some(gk) if self.ring_is_stale() => {
+                if let Err(e) = self.rebuild_ring(gk) {
+                    if !torn_read(&e) {
+                        return Err(e);
+                    }
+                    self.refresh()?;
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Lists the group's object names.
+    pub fn list_objects(&self) -> Vec<String> {
+        self.control.store().list(&self.folder)
+    }
+
+    /// Fetches and parses one object without decrypting it, recording its
+    /// store version as the session's CAS expectation.
+    ///
+    /// # Errors
+    /// [`DataError::NotFound`] / [`DataError::WireFormat`].
+    pub fn fetch(&mut self, object: &str) -> Result<(SealedObject, u64), DataError> {
+        let (bytes, version) = self
+            .control
+            .store()
+            .get(&self.folder, object)
+            .ok_or_else(|| DataError::NotFound(object.to_string()))?;
+        let sealed = SealedObject::from_bytes(&bytes)?;
+        self.versions.insert(object.to_string(), version);
+        Ok((sealed, version))
+    }
+
+    /// Writes `plaintext` as `object`, envelope-encrypted at the current
+    /// epoch, conditioned on the version this session last observed (`0` =
+    /// create). A write after a revocation therefore re-wraps the object to
+    /// the new epoch as a side effect — the lazy path's "migrate on next
+    /// write".
+    ///
+    /// # Errors
+    /// [`DataError::Conflict`] if a concurrent writer moved the object:
+    /// call [`ClientSession::fetch`] (or [`ClientSession::read`]) to adopt
+    /// the new version, merge, and retry.
+    pub fn write(&mut self, object: &str, plaintext: &[u8]) -> Result<u64, DataError> {
+        self.maybe_refresh()?;
+        let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
+        let sealed = SealedObject::seal(ring, object, plaintext, &mut self.rng);
+        let expected = self.versions.get(object).copied().unwrap_or(0);
+        match self
+            .control
+            .store()
+            .put_if_version(&self.folder, object, sealed.to_bytes(), expected)
+        {
+            Ok(version) => {
+                self.versions.insert(object.to_string(), version);
+                self.metrics.record_write();
+                Ok(version)
+            }
+            Err(conflict) => {
+                self.metrics.record_write_conflict();
+                Err(conflict.into())
+            }
+        }
+    }
+
+    /// Reads and decrypts `object`. If the object names an epoch newer than
+    /// the ring (a rotation this session has not observed), the ring is
+    /// refreshed once before giving up.
+    ///
+    /// # Errors
+    /// [`DataError::NotFound`], [`DataError::UnknownEpoch`] (revoked or
+    /// insufficient history), [`DataError::AuthFailed`] on tampering.
+    pub fn read(&mut self, object: &str) -> Result<Vec<u8>, DataError> {
+        self.maybe_refresh()?;
+        let (sealed, _) = self.fetch(object)?;
+        if self.ring.is_none()
+            || self
+                .ring
+                .as_ref()
+                .is_some_and(|r| r.key_for(sealed.epoch).is_none())
+        {
+            // one refresh attempt; a revoked identity keeps its stale ring
+            // and will fail the epoch lookup below
+            let _ = self.refresh();
+        }
+        let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
+        let plaintext = sealed.open(ring, object)?;
+        self.metrics
+            .record_read(sealed.epoch < ring.current_epoch());
+        Ok(plaintext)
+    }
+
+    /// Re-encrypts one fetched object to the current epoch and writes it
+    /// back CAS-conditioned on `expected` — the sweeper's unit of work.
+    pub(crate) fn migrate(
+        &mut self,
+        object: &str,
+        sealed: &SealedObject,
+        expected: u64,
+    ) -> Result<(), DataError> {
+        let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
+        let fresh = sealed.reencrypt(ring, object, &mut self.rng)?;
+        match self
+            .control
+            .store()
+            .put_if_version(&self.folder, object, fresh.to_bytes(), expected)
+        {
+            Ok(version) => {
+                self.versions.insert(object.to_string(), version);
+                self.metrics.record_migration();
+                Ok(())
+            }
+            Err(conflict) => {
+                self.metrics.record_migration_conflict();
+                Err(conflict.into())
+            }
+        }
+    }
+
+    pub(crate) fn store(&self) -> &CloudStore {
+        self.control.store()
+    }
+
+    pub(crate) fn folder(&self) -> &str {
+        &self.folder
+    }
+}
+
+impl core::fmt::Debug for ClientSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ClientSession({} on {}, epoch {:?}, {} epochs held)",
+            self.identity(),
+            self.group(),
+            self.current_epoch(),
+            self.ring_len()
+        )
+    }
+}

@@ -1,0 +1,247 @@
+//! The background re-encryption sweeper: closes the lazy window.
+//!
+//! After a revocation rotates the group key, objects sealed at retired
+//! epochs remain readable to the revoked member *if* they kept their old
+//! keys. The lazy policy accepts that window in exchange for an O(1)
+//! revocation and bounds it with this sweeper: a privileged member session
+//! (the sweeper holds an ordinary USK — SGX is not involved on this side)
+//! scans the data folder, re-encrypts every stale object to the current
+//! epoch, and is expected to converge within a configured deadline. The
+//! eager policy is the degenerate case: one unbounded sweep, synchronously
+//! at revocation time.
+//!
+//! Migrations are CAS writes conditioned on the scanned version, so the
+//! sweeper never tramples a concurrent application write — and losing that
+//! race is free, because the winning write sealed at the current epoch
+//! anyway.
+
+use crate::envelope::SealedObject;
+use crate::error::DataError;
+use crate::metrics::DataMetricsSnapshot;
+use crate::session::ClientSession;
+use std::time::{Duration, Instant};
+
+/// Sweeper pacing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// How long after a rotation the lazy policy tolerates stale objects;
+    /// [`Sweeper::run_until_converged`] keeps ticking until convergence or
+    /// this much wall-clock has elapsed.
+    pub deadline: Duration,
+    /// Maximum objects migrated per [`Sweeper::tick`] (bounds the burst a
+    /// background sweeper injects into the store between application
+    /// operations).
+    pub max_per_tick: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(2),
+            max_per_tick: 8,
+        }
+    }
+}
+
+/// Outcome of one sweep pass (or an aggregated run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Objects examined.
+    pub scanned: usize,
+    /// Objects found below the current epoch.
+    pub stale: usize,
+    /// Objects successfully re-encrypted to the current epoch.
+    pub migrated: usize,
+    /// Migrations lost to concurrent writers (benign; see module docs).
+    pub conflicts: usize,
+    /// True when no stale object remained unhandled at the end.
+    pub converged: bool,
+    /// Wall clock consumed.
+    pub elapsed: Duration,
+}
+
+/// The re-encryption sweeper; owns a privileged member session.
+pub struct Sweeper {
+    session: ClientSession,
+    config: SweepConfig,
+}
+
+impl Sweeper {
+    /// Wraps a session (a group member provisioned for the sweeper role)
+    /// with pacing `config`.
+    pub fn new(session: ClientSession, config: SweepConfig) -> Self {
+        Self { session, config }
+    }
+
+    /// The sweeper's pacing parameters.
+    pub fn config(&self) -> SweepConfig {
+        self.config
+    }
+
+    /// Counters of the underlying session (`migrations`,
+    /// `migration_conflicts`, …).
+    pub fn metrics(&self) -> DataMetricsSnapshot {
+        self.session.metrics()
+    }
+
+    /// The underlying session (diagnostics; e.g. current epoch).
+    pub fn session(&self) -> &ClientSession {
+        &self.session
+    }
+
+    /// One bounded sweep pass: refresh keys if the epoch moved, scan the
+    /// data folder, migrate up to `max_per_tick` stale objects.
+    ///
+    /// # Errors
+    /// Control-plane failures from the refresh; per-object migration
+    /// failures other than CAS conflicts (which are counted, not fatal).
+    pub fn tick(&mut self) -> Result<SweepReport, DataError> {
+        let t0 = Instant::now();
+        let (scanned, work) = self.scan()?;
+        let stale = work.len();
+        let budget = self.config.max_per_tick.min(stale);
+        let mut report = self.migrate(work.into_iter().take(budget))?;
+        report.scanned = scanned;
+        report.stale = stale;
+        // conflicted objects were re-sealed by their winning writer at the
+        // current epoch; only budget-skipped ones are genuinely unhandled
+        report.converged = report.migrated + report.conflicts == stale;
+        report.elapsed = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Sweeps until no stale object remains or the configured deadline
+    /// elapses. The lazy policy's convergence driver: call it (or
+    /// [`Sweeper::watch`]) after a revocation. The folder is scanned
+    /// **once** (one GET per object); the stale work-list is then migrated
+    /// in `max_per_tick` increments, checking the deadline between
+    /// increments — CAS conditions guarantee any object a concurrent
+    /// writer moved in the meantime is skipped, not trampled.
+    ///
+    /// # Errors
+    /// Same contract as [`Sweeper::tick`].
+    pub fn run_until_converged(&mut self) -> Result<SweepReport, DataError> {
+        self.drain(Some(self.config.deadline))
+    }
+
+    /// One unbounded synchronous sweep — the **eager** policy's revocation-
+    /// time work: no deadline, runs until the work-list is drained.
+    ///
+    /// # Errors
+    /// Same contract as [`Sweeper::tick`].
+    pub fn sweep_now(&mut self) -> Result<SweepReport, DataError> {
+        self.drain(None)
+    }
+
+    /// Blocks on the group's metadata long poll (up to `timeout`); on a
+    /// change — e.g. a revocation rotating the key — runs
+    /// [`Sweeper::run_until_converged`]. Returns `None` on a quiet poll.
+    /// This is the shape a dedicated background sweeper thread loops on.
+    ///
+    /// # Errors
+    /// Same contract as [`Sweeper::run_until_converged`].
+    pub fn watch(&mut self, timeout: Duration) -> Result<Option<SweepReport>, DataError> {
+        if self.session.watch(timeout)? {
+            return self.run_until_converged().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Scan once, then migrate the whole work-list (bounded by `deadline`
+    /// if given, checked every `max_per_tick` objects).
+    fn drain(&mut self, deadline: Option<Duration>) -> Result<SweepReport, DataError> {
+        let t0 = Instant::now();
+        let (scanned, work) = self.scan()?;
+        let stale = work.len();
+        let mut report = SweepReport {
+            scanned,
+            stale,
+            ..SweepReport::default()
+        };
+        let chunk = self.config.max_per_tick.max(1);
+        let mut work = work.into_iter();
+        loop {
+            let batch: Vec<StaleObject> = work.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                report.converged = true;
+                break;
+            }
+            let pass = self.migrate(batch.into_iter())?;
+            report.migrated += pass.migrated;
+            report.conflicts += pass.conflicts;
+            if let Some(limit) = deadline {
+                if t0.elapsed() >= limit && work.len() > 0 {
+                    report.converged = false;
+                    break;
+                }
+            }
+        }
+        report.elapsed = t0.elapsed();
+        Ok(report)
+    }
+
+    /// One pass over the folder: freshness check (cheap zero-timeout poll,
+    /// full rebuild only when the epoch moved), then one GET per object,
+    /// peeking the 9-byte header to collect the stale work-list.
+    fn scan(&mut self) -> Result<(usize, Vec<StaleObject>), DataError> {
+        self.session.maybe_refresh()?;
+        let current = self.session.current_epoch().ok_or(DataError::NoKeys)?;
+        let mut scanned = 0usize;
+        let mut work = Vec::new();
+        for object in self.session.list_objects() {
+            scanned += 1;
+            let fetched = self.session.store().get(self.session.folder(), &object);
+            let Some((bytes, version)) = fetched else {
+                continue; // deleted between list and get
+            };
+            match SealedObject::peek_epoch(&bytes) {
+                Some(epoch) if epoch < current => work.push(StaleObject {
+                    name: object,
+                    bytes: bytes.to_vec(),
+                    version,
+                }),
+                Some(_) => {}
+                None => return Err(DataError::WireFormat("data object header")),
+            }
+        }
+        Ok((scanned, work))
+    }
+
+    /// Migrates the given work items; CAS conflicts are counted, not fatal.
+    /// Re-using the scanned bytes is safe: a successful CAS proves the
+    /// object's version (and therefore its bytes) did not change since the
+    /// scan.
+    fn migrate(
+        &mut self,
+        items: impl Iterator<Item = StaleObject>,
+    ) -> Result<SweepReport, DataError> {
+        let mut report = SweepReport::default();
+        for item in items {
+            let sealed = SealedObject::from_bytes(&item.bytes)?;
+            match self.session.migrate(&item.name, &sealed, item.version) {
+                Ok(()) => report.migrated += 1,
+                Err(DataError::Conflict(_)) => report.conflicts += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// One stale object captured by a scan: name, raw stored bytes, and the
+/// version the migration CAS is conditioned on.
+struct StaleObject {
+    name: String,
+    bytes: Vec<u8>,
+    version: u64,
+}
+
+impl core::fmt::Debug for Sweeper {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Sweeper({:?}, deadline {:?}, ≤{} per tick)",
+            self.session, self.config.deadline, self.config.max_per_tick
+        )
+    }
+}

@@ -10,9 +10,14 @@
 //! * [`batch`] — the batched-churn workload: bursts of operations an admin
 //!   coalesces into one batch each, comparable against their own
 //!   sequential flattening;
-//! * [`replay()`] / [`replay_batched()`] — timing-capturing replay engines
-//!   generic over any [`ReplayBackend`] / [`BatchReplayBackend`] (IBBE-SGX
-//!   and HE backends live in the bench crate).
+//! * [`rw`] — the read/write data-plane workload: skewed object traffic
+//!   interleaved with membership churn (the lazy-vs-eager re-encryption
+//!   scenario family);
+//! * [`replay_events()`] — the generic timing-capturing driver over any
+//!   event type implementing [`ReplayOp`] and backend implementing
+//!   [`EventBackend`]; [`replay()`] / [`replay_batched()`] are the
+//!   membership-shaped entry points on top of it (IBBE-SGX and HE backends
+//!   live in the bench crate, the data-plane backend in `dataplane`).
 //!
 //! ```
 //! use workloads::{generate_kernel_trace, KernelTraceConfig};
@@ -27,14 +32,17 @@
 pub mod batch;
 pub mod kernel;
 pub mod replay;
+pub mod rw;
 pub mod synthetic;
 pub mod trace;
 
 pub use batch::{generate_batched_churn, BatchedChurnConfig, BatchedChurnTrace};
 pub use kernel::{generate_kernel_trace, KernelTraceConfig};
 pub use replay::{
-    replay, replay_batched, BatchReplayBackend, BatchReplayReport, ReplayBackend, ReplayReport,
+    replay, replay_batched, replay_events, BatchReplayBackend, BatchReplayReport, EventBackend,
+    EventReplayReport, ReplayBackend, ReplayOp, ReplayReport,
 };
+pub use rw::{generate_read_write, object_name, RwOp, RwTrace, RwTraceConfig};
 pub use synthetic::{
     generate_synthetic_trace, revocation_sweep, SyntheticTrace, SyntheticTraceConfig,
 };

@@ -40,12 +40,14 @@
 //! | [`ibbe`] | `ibbe` | Delerablée IBBE scheme (public + MSK fast paths) |
 //! | [`he`] | `he` | HE-PKI / HE-IBE baselines |
 //! | [`core`] | `ibbe-sgx-core` | the paper's contribution: partitioned IBBE inside SGX |
-//! | [`cloud`] | `cloud-store` | simulated Dropbox (PUT / long polling) |
+//! | [`cloud`] | `cloud-store` | simulated Dropbox (PUT / CAS / long polling) |
 //! | [`acs`] | `acs` | end-to-end admin/client access control system |
-//! | [`workloads`] | `workloads` | membership traces and replay |
+//! | [`dataplane`] | `dataplane` | envelope-encrypted objects, key epochs, lazy re-encryption |
+//! | [`workloads`] | `workloads` | membership + read/write traces and replay |
 
 pub use acs;
 pub use cloud_store as cloud;
+pub use dataplane;
 pub use he;
 pub use ibbe;
 pub use ibbe_bigint as bigint;
