@@ -9,7 +9,7 @@
 //! Membership churn should go through the **batched pipeline**:
 //! [`Admin::begin_batch`] collects operations and [`GroupBatch::commit`]
 //! applies them as one coalesced [`MembershipBatch`] — one re-key per
-//! surviving partition per batch in the engine, one [`CloudStore::put_many`]
+//! surviving partition per batch in the engine, one [`StoreHandle::put_many`]
 //! round-trip publishing every dirty object, and (when a signer is
 //! configured) one coalesced [`LogOp::Batch`] entry in the certified op-log.
 //! The single-op [`Admin::add_user`] / [`Admin::remove_user`] entry points
@@ -18,7 +18,7 @@
 
 use crate::error::AcsError;
 use crate::oplog::{AdminSigner, LogOp, OpLog};
-use cloud_store::CloudStore;
+use cloud_store::StoreHandle;
 use ibbe_sgx_core::{
     AddOutcome, BatchOutcome, GroupEngine, GroupMetadata, MembershipBatch, PartitionSize,
     RemoveOutcome,
@@ -50,18 +50,20 @@ struct Journal {
 /// The administrator API.
 pub struct Admin {
     engine: GroupEngine,
-    store: CloudStore,
+    store: StoreHandle,
     cache: Mutex<HashMap<String, GroupMetadata>>,
     auto_repartition: bool,
     journal: Option<Journal>,
 }
 
 impl Admin {
-    /// Creates an admin around a booted engine and a cloud store handle.
-    pub fn new(engine: GroupEngine, store: CloudStore) -> Self {
+    /// Creates an admin around a booted engine and any
+    /// [`cloud_store::ObjectStore`] (a plain `CloudStore`, a
+    /// `ShardedStore`, or an existing handle).
+    pub fn new(engine: GroupEngine, store: impl Into<StoreHandle>) -> Self {
         Self {
             engine,
-            store,
+            store: store.into(),
             cache: Mutex::new(HashMap::new()),
             auto_repartition: true,
             journal: None,
@@ -106,7 +108,7 @@ impl Admin {
     }
 
     /// The cloud store handle.
-    pub fn store(&self) -> &CloudStore {
+    pub fn store(&self) -> &StoreHandle {
         &self.store
     }
 
@@ -196,7 +198,7 @@ impl Admin {
 
     /// Applies a pre-built [`MembershipBatch`] to `group` atomically:
     /// at most one engine re-key per surviving partition, one
-    /// [`CloudStore::put_many`] round-trip for all dirty cloud objects, one
+    /// [`StoreHandle::put_many`] round-trip for all dirty cloud objects, one
     /// coalesced op-log entry.
     ///
     /// When the §V-A re-partitioning heuristic is enabled and a gk-rotating
@@ -289,6 +291,35 @@ impl Admin {
         self.store.put_many(group, items);
         self.record(group, LogOp::Rekey);
         Ok(())
+    }
+
+    /// Compacts the group's epoch-key history, dropping retired keys for
+    /// epochs below `keep_from` and republishing the shrunken `_epochs`
+    /// object (one PUT; nothing else changed, so no atomic batch is
+    /// needed). Bounds the history's otherwise unbounded 40 B-per-rotation
+    /// growth.
+    ///
+    /// **Only safe when no stored object is still sealed below
+    /// `keep_from`** — i.e. after a converged full-namespace sweep; pass
+    /// the sweep report's floor epoch. Publishing is skipped entirely when
+    /// nothing is pruned, so calling this after every converged sweep is
+    /// cheap.
+    ///
+    /// Returns the number of history entries pruned.
+    ///
+    /// # Errors
+    /// [`AcsError::UnknownGroup`] or engine failures.
+    pub fn compact_history(&self, group: &str, keep_from: u64) -> Result<usize, AcsError> {
+        let mut cache = self.cache.lock();
+        let meta = cache
+            .get_mut(group)
+            .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
+        let pruned = self.engine.compact_history(meta, keep_from)?;
+        if pruned > 0 {
+            self.store
+                .put(group, EPOCHS_ITEM, meta.key_history.to_bytes());
+        }
+        Ok(pruned)
     }
 
     /// Current member count of a cached group.
@@ -394,7 +425,7 @@ impl core::fmt::Debug for Admin {
 /// Propagates engine bootstrap failures.
 pub fn bootstrap_admin<R: rand::RngCore + ?Sized>(
     partition_size: PartitionSize,
-    store: CloudStore,
+    store: impl Into<StoreHandle>,
     rng: &mut R,
 ) -> Result<Admin, AcsError> {
     Ok(Admin::new(

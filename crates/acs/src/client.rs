@@ -3,7 +3,7 @@
 //! No SGX is involved on this side.
 
 use crate::error::AcsError;
-use cloud_store::CloudStore;
+use cloud_store::{ObjectStore, StoreHandle};
 use ibbe::{PublicKey, UserSecretKey};
 use ibbe_sgx_core::{client_decrypt_from_partition, GroupKey, PartitionMetadata};
 use std::time::Duration;
@@ -13,9 +13,9 @@ pub struct Client {
     identity: String,
     usk: UserSecretKey,
     pk: PublicKey,
-    store: CloudStore,
+    store: StoreHandle,
     group: String,
-    /// Long-poll cursor (cloud global version already seen).
+    /// Long-poll cursor (in the group folder's clock domain).
     cursor: u64,
     /// Cache: which cloud item holds our partition, and its parsed content.
     cached: Option<(String, PartitionMetadata)>,
@@ -29,14 +29,14 @@ impl Client {
         identity: impl Into<String>,
         usk: UserSecretKey,
         pk: PublicKey,
-        store: CloudStore,
+        store: impl Into<StoreHandle>,
         group: impl Into<String>,
     ) -> Self {
         Self {
             identity: identity.into(),
             usk,
             pk,
-            store,
+            store: store.into(),
             group: group.into(),
             cursor: 0,
             cached: None,
@@ -63,7 +63,7 @@ impl Client {
     /// * [`AcsError::WireFormat`] on malformed cloud objects;
     /// * [`AcsError::Core`] if decryption fails.
     pub fn sync(&mut self) -> Result<GroupKey, AcsError> {
-        self.cursor = self.store.version();
+        self.cursor = self.store.folder_version(&self.group);
         // fast path: cached partition item still lists us → fetch only it
         if let Some((item, _)) = &self.cached {
             if let Some((bytes, _)) = self.store.get(&self.group, item) {
@@ -147,7 +147,7 @@ impl Client {
     }
 
     /// The store handle this client talks to.
-    pub fn store(&self) -> &CloudStore {
+    pub fn store(&self) -> &StoreHandle {
         &self.store
     }
 
@@ -168,12 +168,14 @@ impl core::fmt::Debug for Client {
 }
 
 /// Helper shared by tests/benches: locate and parse the partition item of
-/// `identity` directly (no client state).
+/// `identity` directly (no client state). Generic over any
+/// [`ObjectStore`], so it works against a bare `CloudStore`, a
+/// `ShardedStore`, or a [`StoreHandle`].
 ///
 /// # Errors
 /// [`AcsError::NotAMember`] when no partition lists the identity.
-pub fn find_partition_of(
-    store: &CloudStore,
+pub fn find_partition_of<S: ObjectStore + ?Sized>(
+    store: &S,
     group: &str,
     identity: &str,
 ) -> Result<(String, PartitionMetadata), AcsError> {

@@ -4,7 +4,7 @@
 //! §III-B/§VI), and the per-member envelope list is pushed to the cloud.
 
 use crate::error::AcsError;
-use cloud_store::CloudStore;
+use cloud_store::StoreHandle;
 use he::{GroupKey as HeGroupKey, HeGroupManager, HeGroupMetadata, HePki, PkiKeyPair};
 use parking_lot::Mutex;
 use sgx_sim::{Enclave, EnclaveBuilder};
@@ -21,17 +21,17 @@ pub struct HeAdmin {
     /// Group keys live only in here.
     enclave: Enclave<GkVault>,
     mgr: HeGroupManager<HePki>,
-    store: CloudStore,
+    store: StoreHandle,
     cache: Mutex<HashMap<String, HeGroupMetadata>>,
 }
 
 impl HeAdmin {
     /// Boots the HE admin enclave.
-    pub fn new(store: CloudStore) -> Self {
+    pub fn new(store: impl Into<StoreHandle>) -> Self {
         Self {
             enclave: EnclaveBuilder::new(b"he-admin-enclave-v1").build_with(|_| GkVault::new()),
             mgr: HeGroupManager::new(HePki),
-            store,
+            store: store.into(),
             cache: Mutex::new(HashMap::new()),
         }
     }

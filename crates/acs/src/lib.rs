@@ -10,6 +10,9 @@
 //!   op-log entry;
 //! * [`ShardedAdmin`] — groups partitioned across N independent engine
 //!   workers by group-name hash, applying multi-group churn in parallel;
+//!   every component holds a [`cloud_store::StoreHandle`], so the same
+//!   deployment runs unchanged on a single `CloudStore` or a
+//!   folder-sharded `ShardedStore`;
 //! * [`Client`] — long-polling group member deriving `gk` (no SGX);
 //! * [`provisioning`] — the Fig. 3 trust establishment (quote → IAS →
 //!   Auditor/CA certificate → encrypted user-key delivery);

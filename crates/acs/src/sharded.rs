@@ -17,7 +17,7 @@
 
 use crate::admin::{Admin, GroupBatch};
 use crate::error::AcsError;
-use cloud_store::CloudStore;
+use cloud_store::StoreHandle;
 use ibbe_sgx_core::{AddOutcome, BatchOutcome, GroupMetadata, MembershipBatch, RemoveOutcome};
 use ibbe_sgx_core::{GroupEngine, PartitionSize};
 use symcrypto::sha256::sha256;
@@ -40,10 +40,11 @@ impl ShardedAdmin {
     pub fn bootstrap<R: rand::RngCore + ?Sized>(
         shards: usize,
         partition_size: PartitionSize,
-        store: CloudStore,
+        store: impl Into<StoreHandle>,
         rng: &mut R,
     ) -> Result<Self, AcsError> {
         assert!(shards >= 1, "at least one shard is required");
+        let store = store.into();
         let shards = (0..shards)
             .map(|_| {
                 Ok(Admin::new(

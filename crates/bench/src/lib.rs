@@ -36,15 +36,19 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, t0.elapsed())
 }
 
-/// Simple command-line flags: `--full`, `--ops N`, `--no-repartition`.
-#[derive(Clone, Copy, Debug)]
+/// Simple command-line flags: `--full`, `--ops N`, `--no-repartition`,
+/// `--shards A,B,…`.
+#[derive(Clone, Debug)]
 pub struct BenchArgs {
     /// Run at paper-scale parameters.
     pub full: bool,
-    /// Override the number of trace operations (fig9/fig10).
+    /// Override the number of trace operations (fig9/fig10) or objects
+    /// (sweep_scaling).
     pub ops: Option<usize>,
     /// Disable the re-partitioning heuristic (fig10 ablation).
     pub no_repartition: bool,
+    /// Override the shard-count sweep (sweep_scaling), e.g. `--shards 2,8`.
+    pub shards: Option<Vec<usize>>,
 }
 
 impl BenchArgs {
@@ -54,6 +58,7 @@ impl BenchArgs {
             full: false,
             ops: None,
             no_repartition: false,
+            shards: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -66,8 +71,24 @@ impl BenchArgs {
                         .and_then(|v| v.parse().ok())
                         .or_else(|| panic!("--ops needs an integer"));
                 }
+                "--shards" => {
+                    let list = it.next().unwrap_or_else(|| panic!("--shards needs a list"));
+                    let parsed: Vec<usize> = list
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("bad shard count {v:?}"))
+                        })
+                        .collect();
+                    assert!(
+                        !parsed.is_empty() && parsed.iter().all(|&s| s >= 1),
+                        "--shards needs positive counts"
+                    );
+                    args.shards = Some(parsed);
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --full  --ops N  --no-repartition");
+                    eprintln!("flags: --full  --ops N  --no-repartition  --shards A,B,…");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}"),

@@ -24,8 +24,12 @@
 
 pub mod latency;
 pub mod metrics;
+pub mod object_store;
+pub mod sharded;
 pub mod store;
 
 pub use latency::LatencyModel;
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use object_store::{ObjectStore, StoreHandle};
+pub use sharded::{stable_hash64, ShardedStore, WatchCursor};
 pub use store::{CloudStore, PollResult, VersionConflict};

@@ -53,6 +53,27 @@ pub struct MetricsSnapshot {
     pub bytes_down: u64,
 }
 
+impl MetricsSnapshot {
+    /// Field-wise sum of two snapshots — how a sharded store aggregates its
+    /// per-shard counters into one cross-shard view.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            puts: self.puts + other.puts,
+            puts_batched: self.puts_batched + other.puts_batched,
+            batched_items: self.batched_items + other.batched_items,
+            cas_puts: self.cas_puts + other.cas_puts,
+            cas_conflicts: self.cas_conflicts + other.cas_conflicts,
+            gets: self.gets + other.gets,
+            deletes: self.deletes + other.deletes,
+            polls: self.polls + other.polls,
+            poll_wakeups: self.poll_wakeups + other.poll_wakeups,
+            bytes_up: self.bytes_up + other.bytes_up,
+            bytes_down: self.bytes_down + other.bytes_down,
+        }
+    }
+}
+
 impl Metrics {
     pub(crate) fn record_put(&self, bytes: usize) {
         self.puts.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,228 @@
+//! The [`ObjectStore`] trait: the storage surface every layer above the
+//! cloud talks to, and [`StoreHandle`], the cheap-to-clone dynamic handle
+//! consumers hold.
+//!
+//! Capturing the store behind a trait is what lets a deployment swap the
+//! single-clock [`CloudStore`](crate::CloudStore) for a
+//! [`ShardedStore`](crate::ShardedStore) (N independent shards, folders
+//! routed by hash) without any consumer — admin, client, data-plane session
+//! or sweeper — knowing which one it is running on.
+
+use crate::metrics::MetricsSnapshot;
+use crate::store::{PollResult, VersionConflict};
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The versioned bi-level key/value surface of a simulated cloud store.
+///
+/// Versions are scoped **per folder's clock domain**: a cursor obtained for
+/// one folder ([`ObjectStore::folder_version`] or a [`PollResult`]) is only
+/// meaningful for subsequent polls of that same folder. A single
+/// [`CloudStore`](crate::CloudStore) runs one global clock, so every folder
+/// shares it; a [`ShardedStore`](crate::ShardedStore) runs one clock per
+/// shard, and the folder-hash routing guarantees a folder's cursor is always
+/// interpreted by the same shard.
+pub trait ObjectStore: Send + Sync {
+    /// PUT: stores `data` under `folder/item`, waking that folder's
+    /// long-pollers. Returns the item's new version.
+    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64;
+
+    /// Conditional PUT (compare-and-swap): stores only if the item's current
+    /// version equals `expected` (`0` = "must not exist").
+    ///
+    /// # Errors
+    /// [`VersionConflict`] carrying the item's actual version.
+    fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, VersionConflict>;
+
+    /// Atomic multi-PUT into one folder: one round-trip, one version bump
+    /// shared by all items, one long-poller wake.
+    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64;
+
+    /// GET: fetches `folder/item` with its version.
+    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)>;
+
+    /// DELETE: removes `folder/item`. Returns whether anything was removed.
+    fn delete(&self, folder: &str, item: &str) -> bool;
+
+    /// Lists item names in a folder.
+    fn list(&self, folder: &str) -> Vec<String>;
+
+    /// Lists all folder names (merged across shards when sharded).
+    fn list_folders(&self) -> Vec<String>;
+
+    /// Current version of `folder`'s clock domain — the cursor seed for
+    /// [`ObjectStore::long_poll`] on that folder.
+    fn folder_version(&self, folder: &str) -> u64;
+
+    /// Directory-level long poll: blocks until some item in `folder` has a
+    /// version greater than `since`, or until `timeout` elapses.
+    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult;
+
+    /// Traffic counters (aggregated across shards when sharded).
+    fn metrics(&self) -> MetricsSnapshot;
+}
+
+/// A cheap-to-clone, thread-safe handle to any [`ObjectStore`]
+/// implementation; what every consumer above the storage layer holds.
+///
+/// ```
+/// use cloud_store::{CloudStore, ShardedStore, StoreHandle};
+/// let single: StoreHandle = CloudStore::new().into();
+/// let sharded: StoreHandle = ShardedStore::new(4).into();
+/// for store in [single, sharded] {
+///     store.put("g", "item", &b"data"[..]);
+///     assert_eq!(&store.get("g", "item").unwrap().0[..], b"data");
+/// }
+/// ```
+#[derive(Clone)]
+pub struct StoreHandle(Arc<dyn ObjectStore>);
+
+impl StoreHandle {
+    /// Wraps any store implementation.
+    pub fn new(store: impl ObjectStore + 'static) -> Self {
+        Self(Arc::new(store))
+    }
+
+    /// PUT (see [`ObjectStore::put`]); accepts anything convertible to
+    /// [`Bytes`] for call-site ergonomics.
+    pub fn put(&self, folder: &str, item: &str, data: impl Into<Bytes>) -> u64 {
+        self.0.put(folder, item, data.into())
+    }
+
+    /// Conditional PUT (see [`ObjectStore::put_if_version`]).
+    ///
+    /// # Errors
+    /// [`VersionConflict`] carrying the item's actual version.
+    pub fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: impl Into<Bytes>,
+        expected: u64,
+    ) -> Result<u64, VersionConflict> {
+        self.0.put_if_version(folder, item, data.into(), expected)
+    }
+
+    /// Atomic multi-PUT (see [`ObjectStore::put_many`]).
+    pub fn put_many<I, B>(&self, folder: &str, items: I) -> u64
+    where
+        I: IntoIterator<Item = (String, B)>,
+        B: Into<Bytes>,
+    {
+        self.0.put_many(
+            folder,
+            items
+                .into_iter()
+                .map(|(name, data)| (name, data.into()))
+                .collect(),
+        )
+    }
+
+    /// GET (see [`ObjectStore::get`]).
+    pub fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        self.0.get(folder, item)
+    }
+
+    /// DELETE (see [`ObjectStore::delete`]).
+    pub fn delete(&self, folder: &str, item: &str) -> bool {
+        self.0.delete(folder, item)
+    }
+
+    /// Lists item names in a folder.
+    pub fn list(&self, folder: &str) -> Vec<String> {
+        self.0.list(folder)
+    }
+
+    /// Lists all folder names.
+    pub fn list_folders(&self) -> Vec<String> {
+        self.0.list_folders()
+    }
+
+    /// Cursor seed for `folder` (see [`ObjectStore::folder_version`]).
+    pub fn folder_version(&self, folder: &str) -> u64 {
+        self.0.folder_version(folder)
+    }
+
+    /// Directory-level long poll (see [`ObjectStore::long_poll`]).
+    pub fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        self.0.long_poll(folder, since, timeout)
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.0.metrics()
+    }
+}
+
+impl ObjectStore for StoreHandle {
+    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
+        self.0.put(folder, item, data)
+    }
+
+    fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, VersionConflict> {
+        self.0.put_if_version(folder, item, data, expected)
+    }
+
+    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
+        self.0.put_many(folder, items)
+    }
+
+    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        self.0.get(folder, item)
+    }
+
+    fn delete(&self, folder: &str, item: &str) -> bool {
+        self.0.delete(folder, item)
+    }
+
+    fn list(&self, folder: &str) -> Vec<String> {
+        self.0.list(folder)
+    }
+
+    fn list_folders(&self) -> Vec<String> {
+        self.0.list_folders()
+    }
+
+    fn folder_version(&self, folder: &str) -> u64 {
+        self.0.folder_version(folder)
+    }
+
+    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        self.0.long_poll(folder, since, timeout)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.0.metrics()
+    }
+}
+
+impl core::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "StoreHandle")
+    }
+}
+
+impl From<crate::CloudStore> for StoreHandle {
+    fn from(store: crate::CloudStore) -> Self {
+        Self::new(store)
+    }
+}
+
+impl From<crate::ShardedStore> for StoreHandle {
+    fn from(store: crate::ShardedStore) -> Self {
+        Self::new(store)
+    }
+}

@@ -1,0 +1,304 @@
+//! [`ShardedStore`]: N independent [`CloudStore`] shards behind one
+//! [`ObjectStore`] surface.
+//!
+//! Folders are routed to shards by a stable hash of the folder name, so a
+//! folder's entire contents — and therefore every folder-scoped guarantee
+//! the upper layers rely on (atomic `put_many` publishes, the CAS clock
+//! domain, the long-poll wait queue) — live on exactly one shard. Each shard
+//! keeps its **own version clock, its own condvar wait queue and its own
+//! latency model**, so traffic against one folder never serializes behind,
+//! or spuriously wakes, traffic against folders on other shards.
+//!
+//! Cross-shard views are merged: [`ObjectStore::list_folders`] unions the
+//! shards, [`ObjectStore::metrics`] sums their counters, and
+//! [`ShardedStore::watch`] multiplexes every shard's change stream behind
+//! one [`WatchCursor`] (a per-shard cursor vector plus a shared wakeup
+//! signal), which is what a store-wide observer blocks on.
+
+use crate::latency::LatencyModel;
+use crate::metrics::MetricsSnapshot;
+use crate::object_store::ObjectStore;
+use crate::store::{CloudStore, PollResult, VersionConflict};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stable 64-bit FNV-1a hash used for shard routing (folders → store
+/// shards here, objects → data folders in the data plane). Deliberately
+/// not a cryptographic hash: routing only needs determinism and spread,
+/// and it must never change across versions or processes.
+pub fn stable_hash64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A monotone wakeup signal shared by every shard of one [`ShardedStore`]:
+/// any mutation on any shard bumps it, which is what lets a merged
+/// [`ShardedStore::watch`] block instead of spin.
+#[derive(Default)]
+pub(crate) struct ChangeSignal {
+    seq: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl ChangeSignal {
+    pub(crate) fn bump(&self) {
+        *self.seq.lock() += 1;
+        self.changed.notify_all();
+    }
+
+    fn current(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// Blocks until the sequence number exceeds `seen` or `deadline`
+    /// passes; returns the sequence observed on wake.
+    fn wait_past(&self, seen: u64, deadline: Instant) -> u64 {
+        let mut seq = self.seq.lock();
+        while *seq <= seen {
+            let now = Instant::now();
+            if now >= deadline || self.changed.wait_for(&mut seq, deadline - now).timed_out() {
+                break;
+            }
+        }
+        *seq
+    }
+}
+
+/// Cursor for a merged cross-shard [`ShardedStore::watch`]: one version
+/// cursor per shard (each in its shard's clock domain) plus the last
+/// observed wakeup-signal sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchCursor {
+    seq: u64,
+    per_shard: Vec<u64>,
+}
+
+/// N independent [`CloudStore`] shards with folder-hash routing; see the
+/// module docs for the isolation and merge semantics.
+#[derive(Clone)]
+pub struct ShardedStore {
+    shards: Arc<Vec<CloudStore>>,
+    signal: Arc<ChangeSignal>,
+}
+
+impl ShardedStore {
+    /// `shards` in-memory shards without artificial latency.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        Self::with_latency(shards, LatencyModel::none())
+    }
+
+    /// `shards` shards, each applying its own independent copy of
+    /// `latency` (requests to different shards overlap their delays, which
+    /// is the point of sharding).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_latency(shards: usize, latency: LatencyModel) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        let signal = Arc::new(ChangeSignal::default());
+        let shards = (0..shards)
+            .map(|_| CloudStore::with_signal(latency, Arc::clone(&signal)))
+            .collect();
+        Self {
+            shards: Arc::new(shards),
+            signal,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in index order (per-shard metrics and diagnostics).
+    pub fn shards(&self) -> &[CloudStore] {
+        &self.shards
+    }
+
+    /// Stable index of the shard owning `folder`.
+    pub fn shard_index(&self, folder: &str) -> usize {
+        (stable_hash64(folder) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard owning `folder`.
+    pub fn shard_for(&self, folder: &str) -> &CloudStore {
+        &self.shards[self.shard_index(folder)]
+    }
+
+    /// A fresh merged cursor positioned at "now" (a subsequent
+    /// [`ShardedStore::watch`] reports only changes made after this call).
+    pub fn cursor(&self) -> WatchCursor {
+        WatchCursor {
+            seq: self.signal.current(),
+            per_shard: self.shards.iter().map(CloudStore::version).collect(),
+        }
+    }
+
+    /// Merged cross-shard watch: blocks until an item on **any** shard is
+    /// written past the cursor (or `timeout` elapses), returns the changed
+    /// `(folder, item)` pairs and advances the cursor. Unlike
+    /// [`ObjectStore::long_poll`] this is store-wide — the shape a global
+    /// observer (an auditor tailing every group, a dashboard) blocks on.
+    ///
+    /// Like the folder-level long poll, only *present* items are reported:
+    /// a DELETE advances the clocks but surfaces nothing here — deleted
+    /// items are observed by absence on a subsequent `list`/`get`, exactly
+    /// as [`PollResult`] documents for the single store.
+    pub fn watch(&self, cursor: &mut WatchCursor, timeout: Duration) -> Vec<(String, String)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let seen = self.signal.current();
+            let mut changed = Vec::new();
+            for (i, shard) in self.shards.iter().enumerate() {
+                let (version, items) = shard.changes_since(cursor.per_shard[i]);
+                cursor.per_shard[i] = version;
+                changed.extend(items);
+            }
+            if !changed.is_empty() {
+                cursor.seq = seen;
+                changed.sort();
+                return changed;
+            }
+            cursor.seq = self.signal.wait_past(seen, deadline);
+            if cursor.seq <= seen {
+                return Vec::new(); // timed out quiet
+            }
+        }
+    }
+}
+
+impl ObjectStore for ShardedStore {
+    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
+        self.shard_for(folder).put(folder, item, data)
+    }
+
+    fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, VersionConflict> {
+        self.shard_for(folder)
+            .put_if_version(folder, item, data, expected)
+    }
+
+    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
+        self.shard_for(folder).put_many(folder, items)
+    }
+
+    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        self.shard_for(folder).get(folder, item)
+    }
+
+    fn delete(&self, folder: &str, item: &str) -> bool {
+        self.shard_for(folder).delete(folder, item)
+    }
+
+    fn list(&self, folder: &str) -> Vec<String> {
+        self.shard_for(folder).list(folder)
+    }
+
+    fn list_folders(&self) -> Vec<String> {
+        let mut folders: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(CloudStore::list_folders)
+            .collect();
+        folders.sort();
+        folders
+    }
+
+    fn folder_version(&self, folder: &str) -> u64 {
+        self.shard_for(folder).version()
+    }
+
+    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        self.shard_for(folder).long_poll(folder, since, timeout)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.shards
+            .iter()
+            .map(CloudStore::metrics)
+            .fold(MetricsSnapshot::default(), |acc, m| acc.merge(&m))
+    }
+}
+
+impl core::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ShardedStore({} shards)", self.shards.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spreads() {
+        assert_eq!(stable_hash64("group-1"), stable_hash64("group-1"));
+        assert_ne!(stable_hash64("group-1"), stable_hash64("group-2"));
+        // FNV-1a of the empty string is the offset basis
+        assert_eq!(stable_hash64(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn folder_ops_route_to_the_owning_shard() {
+        let s = ShardedStore::new(4);
+        s.put("g", "item", Bytes::from_static(b"x"));
+        let owner = s.shard_index("g");
+        for (i, shard) in s.shards().iter().enumerate() {
+            let present = shard.get("g", "item").is_some();
+            assert_eq!(present, i == owner, "shard {i}");
+        }
+        assert_eq!(s.list("g"), vec!["item".to_string()]);
+        assert!(s.delete("g", "item"));
+        assert!(s.list_folders().is_empty());
+    }
+
+    #[test]
+    fn watch_merges_changes_across_shards() {
+        let s = ShardedStore::new(3);
+        let mut cursor = s.cursor();
+        s.put("a", "1", Bytes::from_static(b"x"));
+        s.put("b", "2", Bytes::from_static(b"y"));
+        let mut changed = s.watch(&mut cursor, Duration::from_millis(50));
+        changed.sort();
+        assert_eq!(
+            changed,
+            vec![
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), "2".to_string())
+            ]
+        );
+        // cursor advanced: a quiet watch times out empty
+        assert!(s.watch(&mut cursor, Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn watch_wakes_on_concurrent_put_to_any_shard() {
+        let s = ShardedStore::new(4);
+        let s2 = s.clone();
+        let handle = std::thread::spawn(move || {
+            let mut c = s2.cursor();
+            s2.watch(&mut c, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        s.put("late-folder", "item", Bytes::from_static(b"z"));
+        let changed = handle.join().unwrap();
+        assert_eq!(
+            changed,
+            vec![("late-folder".to_string(), "item".to_string())]
+        );
+    }
+}

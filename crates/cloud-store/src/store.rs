@@ -5,6 +5,8 @@
 
 use crate::latency::LatencyModel;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::object_store::ObjectStore;
+use crate::sharded::ChangeSignal;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
@@ -28,6 +30,9 @@ struct State {
 struct Inner {
     state: Mutex<State>,
     changed: Condvar,
+    /// Cross-store wakeup signal shared with sibling shards (see
+    /// [`crate::ShardedStore`]); bumped after every mutation's notify.
+    signal: Option<Arc<ChangeSignal>>,
     latency: LatencyModel,
     metrics: Metrics,
 }
@@ -80,9 +85,34 @@ impl CloudStore {
             inner: Arc::new(Inner {
                 state: Mutex::new(State::default()),
                 changed: Condvar::new(),
+                signal: None,
                 latency,
                 metrics: Metrics::default(),
             }),
+        }
+    }
+
+    /// A shard of a [`crate::ShardedStore`]: like
+    /// [`CloudStore::with_latency`], but every mutation also bumps the
+    /// shared cross-shard wakeup signal.
+    pub(crate) fn with_signal(latency: LatencyModel, signal: Arc<ChangeSignal>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State::default()),
+                changed: Condvar::new(),
+                signal: Some(signal),
+                latency,
+                metrics: Metrics::default(),
+            }),
+        }
+    }
+
+    /// Wakes this store's long-pollers and, when part of a sharded store,
+    /// the merged cross-shard watchers.
+    fn notify(&self) {
+        self.inner.changed.notify_all();
+        if let Some(signal) = &self.inner.signal {
+            signal.bump();
         }
     }
 
@@ -107,7 +137,7 @@ impl CloudStore {
             .or_default()
             .insert(item.to_string(), Entry { data, version });
         drop(st);
-        self.inner.changed.notify_all();
+        self.notify();
         version
     }
 
@@ -153,7 +183,7 @@ impl CloudStore {
             .or_default()
             .insert(item.to_string(), Entry { data, version });
         drop(st);
-        self.inner.changed.notify_all();
+        self.notify();
         Ok(version)
     }
 
@@ -195,7 +225,7 @@ impl CloudStore {
             folder_items.insert(name, Entry { data, version });
         }
         drop(st);
-        self.inner.changed.notify_all();
+        self.notify();
         version
     }
 
@@ -227,7 +257,7 @@ impl CloudStore {
         }
         drop(st);
         if removed {
-            self.inner.changed.notify_all();
+            self.notify();
         }
         removed
     }
@@ -302,6 +332,72 @@ impl CloudStore {
     /// Traffic counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics.snapshot()
+    }
+
+    /// Non-blocking store-wide delta scan: every `(folder, item)` whose
+    /// version exceeds `since`, plus the current global version. The cursor
+    /// primitive behind [`crate::ShardedStore::watch`]; charges no latency
+    /// or metrics (it is bookkeeping, not a simulated request).
+    pub(crate) fn changes_since(&self, since: u64) -> (u64, Vec<(String, String)>) {
+        let st = self.inner.state.lock();
+        let mut changed = Vec::new();
+        for (folder, items) in &st.folders {
+            for (item, e) in items {
+                if e.version > since {
+                    changed.push((folder.clone(), item.clone()));
+                }
+            }
+        }
+        (st.version, changed)
+    }
+}
+
+impl ObjectStore for CloudStore {
+    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
+        CloudStore::put(self, folder, item, data)
+    }
+
+    fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, VersionConflict> {
+        CloudStore::put_if_version(self, folder, item, data, expected)
+    }
+
+    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
+        CloudStore::put_many(self, folder, items)
+    }
+
+    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        CloudStore::get(self, folder, item)
+    }
+
+    fn delete(&self, folder: &str, item: &str) -> bool {
+        CloudStore::delete(self, folder, item)
+    }
+
+    fn list(&self, folder: &str) -> Vec<String> {
+        CloudStore::list(self, folder)
+    }
+
+    fn list_folders(&self) -> Vec<String> {
+        CloudStore::list_folders(self)
+    }
+
+    fn folder_version(&self, _folder: &str) -> u64 {
+        // one global clock: every folder shares its domain
+        self.version()
+    }
+
+    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        CloudStore::long_poll(self, folder, since, timeout)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        CloudStore::metrics(self)
     }
 }
 

@@ -694,6 +694,53 @@ impl GroupEngine {
         self.observe_epoch(new_epoch);
         Ok(())
     }
+
+    /// Compacts the epoch-key history: drops every retired key whose epoch
+    /// is below `keep_from`, bounding the otherwise unbounded 40 B-per-
+    /// rotation growth of the published `_epochs` object.
+    ///
+    /// Safe exactly when no stored object is still sealed at an epoch below
+    /// `keep_from` — i.e. after a **converged** full-namespace sweep, whose
+    /// report's floor epoch is the value to pass here. A key dropped too
+    /// early would orphan the objects sealed under it, so the caller owns
+    /// that proof; this method only performs the pruning.
+    ///
+    /// Returns the number of entries pruned; `meta` is untouched (and no
+    /// re-encryption happens) when nothing is below `keep_from`.
+    ///
+    /// # Errors
+    /// [`CoreError::Sgx`] on unseal failure, [`CoreError::CorruptMetadata`]
+    /// if the history fails to authenticate.
+    pub fn compact_history(
+        &self,
+        meta: &mut GroupMetadata,
+        keep_from: u64,
+    ) -> Result<usize, CoreError> {
+        let name = meta.name.clone();
+        let sealed = meta.sealed_gk.clone();
+        let old_history = meta.key_history.clone();
+        let compacted = self.enclave.ecall(move |_, ctx| {
+            let gk = unseal_gk(ctx, &sealed, &name)?;
+            let retired = unlock_history(&old_history, &gk, &name)?;
+            let kept: Vec<(u64, GroupKey)> = retired
+                .iter()
+                .filter(|(epoch, _)| *epoch >= keep_from)
+                .copied()
+                .collect();
+            let pruned = retired.len() - kept.len();
+            if pruned == 0 {
+                return Ok::<_, CoreError>(None);
+            }
+            Ok(Some((seal_history(ctx, &kept, &gk, &name), pruned)))
+        })?;
+        match compacted {
+            Some((history, pruned)) => {
+                meta.key_history = history;
+                Ok(pruned)
+            }
+            None => Ok(0),
+        }
+    }
 }
 
 impl core::fmt::Debug for GroupEngine {

@@ -2,7 +2,7 @@
 //! the data plane's re-encryption cost, under a configurable policy.
 
 use crate::error::DataError;
-use crate::sweeper::{SweepReport, Sweeper};
+use crate::sweeper::{SweepDriver, SweepReport};
 use acs::Admin;
 use ibbe_sgx_core::{BatchOutcome, MembershipBatch};
 
@@ -33,16 +33,38 @@ pub struct RevocationOutcome {
 }
 
 /// Applies membership batches through an [`Admin`] and enacts the
-/// re-encryption policy against a [`Sweeper`].
+/// re-encryption policy against any [`SweepDriver`] (a single
+/// [`crate::Sweeper`] or a [`crate::SweepPool`]).
 pub struct RevocationCoordinator<'a> {
     admin: &'a Admin,
     policy: ReencryptionPolicy,
+    compact_history: bool,
 }
 
 impl<'a> RevocationCoordinator<'a> {
     /// Couples an admin with a policy.
     pub fn new(admin: &'a Admin, policy: ReencryptionPolicy) -> Self {
-        Self { admin, policy }
+        Self {
+            admin,
+            policy,
+            compact_history: false,
+        }
+    }
+
+    /// Enables epoch-history compaction after converged sweeps: whenever a
+    /// sweep driven (or observed) by this coordinator converges, retired
+    /// keys below the sweep's floor epoch are pruned from the published
+    /// `_epochs` object.
+    ///
+    /// Only enable this when the sweeper covers the group's **full**
+    /// namespace (a single unassigned [`crate::Sweeper`] or a
+    /// [`crate::SweepPool`] spanning every data shard): a partial worker's
+    /// converged report only vouches for its own shard, and pruning from it
+    /// would orphan objects elsewhere.
+    #[must_use]
+    pub fn with_history_compaction(mut self) -> Self {
+        self.compact_history = true;
+        self
     }
 
     /// The active policy.
@@ -54,20 +76,23 @@ impl<'a> RevocationCoordinator<'a> {
     /// eager, synchronously sweeps every stored object to the new epoch
     /// before returning. Under the lazy policy the revocation itself
     /// performs **zero** object re-writes — drive `sweeper` afterwards
-    /// ([`Sweeper::run_until_converged`] or [`Sweeper::watch`]) to converge
-    /// within its deadline.
+    /// ([`SweepDriver::run_until_converged`] or [`SweepDriver::watch`]) to
+    /// converge within its deadline, then hand the report to
+    /// [`RevocationCoordinator::compact_after`] to bound the epoch history.
     ///
     /// # Errors
     /// Control-plane failures from the batch; sweep failures (eager only).
-    pub fn revoke(
+    pub fn revoke<S: SweepDriver>(
         &self,
         group: &str,
         batch: &MembershipBatch,
-        sweeper: &mut Sweeper,
+        sweeper: &mut S,
     ) -> Result<RevocationOutcome, DataError> {
         let outcome = self.admin.apply_batch(group, batch)?;
         let sweep = if outcome.gk_rotated && self.policy == ReencryptionPolicy::Eager {
-            Some(sweeper.sweep_now()?)
+            let report = sweeper.sweep_now()?;
+            self.compact_after(group, &report)?;
+            Some(report)
         } else {
             None
         };
@@ -75,6 +100,23 @@ impl<'a> RevocationCoordinator<'a> {
             batch: outcome,
             sweep,
         })
+    }
+
+    /// Prunes the group's epoch-key history below a converged sweep's floor
+    /// epoch (no-op unless compaction is enabled, the report converged, and
+    /// it scanned something). The lazy policy's companion call after
+    /// driving the sweeper by hand.
+    ///
+    /// # Errors
+    /// Control-plane failures from the compaction publish.
+    pub fn compact_after(&self, group: &str, report: &SweepReport) -> Result<usize, DataError> {
+        if !self.compact_history || !report.converged {
+            return Ok(0);
+        }
+        let Some(floor) = report.min_live_epoch else {
+            return Ok(0);
+        };
+        Ok(self.admin.compact_history(group, floor)?)
     }
 }
 

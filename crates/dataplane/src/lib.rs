@@ -15,7 +15,10 @@
 //! * [`Sweeper`] — the **lazy** re-encryption policy's convergence engine:
 //!   revocation touches zero objects, each object migrates on its next
 //!   write, and the sweeper moves the cold tail within a configured
-//!   deadline.
+//!   deadline. [`SweepPool`] splits that work one worker per data shard
+//!   (see [`data_shard_folder`]) and drives the shards concurrently, so
+//!   convergence time drops roughly by the shard factor on a
+//!   `ShardedStore`.
 //! * [`RevocationCoordinator`] — applies membership batches under a
 //!   [`ReencryptionPolicy`]: `Lazy` (O(1) revocation, bounded stale window)
 //!   or `Eager` (O(n) synchronous sweep at revocation time). The
@@ -51,6 +54,7 @@ pub mod coordinator;
 pub mod envelope;
 pub mod error;
 pub mod metrics;
+pub mod pool;
 pub mod replay;
 pub mod session;
 pub mod sweeper;
@@ -59,6 +63,7 @@ pub use coordinator::{ReencryptionPolicy, RevocationCoordinator, RevocationOutco
 pub use envelope::{SealedObject, OBJECT_FORMAT_V1};
 pub use error::DataError;
 pub use metrics::{DataMetrics, DataMetricsSnapshot};
-pub use replay::{RwSystemBackend, SWEEPER_IDENTITY, WRITER_IDENTITY};
-pub use session::{data_folder, ClientSession};
-pub use sweeper::{SweepConfig, SweepReport, Sweeper};
+pub use pool::SweepPool;
+pub use replay::{RwSystemBackend, RwSystemConfig, SWEEPER_IDENTITY, WRITER_IDENTITY};
+pub use session::{data_folder, data_shard_folder, ClientSession};
+pub use sweeper::{SweepConfig, SweepDriver, SweepReport, Sweeper};

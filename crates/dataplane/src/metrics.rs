@@ -39,6 +39,23 @@ pub struct DataMetricsSnapshot {
     pub key_refreshes: u64,
 }
 
+impl DataMetricsSnapshot {
+    /// Field-wise sum of two snapshots — how a [`crate::SweepPool`] merges
+    /// its workers' counters into one view.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            writes: self.writes + other.writes,
+            reads: self.reads + other.reads,
+            old_epoch_reads: self.old_epoch_reads + other.old_epoch_reads,
+            migrations: self.migrations + other.migrations,
+            write_conflicts: self.write_conflicts + other.write_conflicts,
+            migration_conflicts: self.migration_conflicts + other.migration_conflicts,
+            key_refreshes: self.key_refreshes + other.key_refreshes,
+        }
+    }
+}
+
 impl DataMetrics {
     pub(crate) fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,164 @@
+//! [`SweepPool`]: one sweep worker per data shard, driven concurrently.
+//!
+//! A single [`Sweeper`] converges a stale namespace serially — n objects
+//! cost n GET + n CAS-PUT round-trips back to back. When the namespace is
+//! spread over sharded data folders ([`crate::data_shard_folder`]) on a
+//! [`cloud_store::ShardedStore`], those round-trips hit independent shards
+//! (own version clock, wait queue and latency model each), so nothing
+//! about the store serializes them. The pool exploits that: worker `w` of
+//! `n` owns the folders with `idx % n == w`, every worker runs in its own
+//! scoped thread, and the per-worker [`SweepReport`]s merge into one
+//! (counter sums, convergence AND, epoch-floor min; elapsed is the true
+//! wall clock of the parallel run). Lazy-window convergence time therefore
+//! drops roughly by the shard factor.
+//!
+//! Workers never contend: the folder assignment is a partition, so no two
+//! workers ever CAS the same object, and each worker's session holds its
+//! own key ring and CAS-version map.
+
+use crate::error::DataError;
+use crate::metrics::DataMetricsSnapshot;
+use crate::session::ClientSession;
+use crate::sweeper::{SweepConfig, SweepDriver, SweepReport, Sweeper};
+use std::time::{Duration, Instant};
+
+/// A pool of shard-assigned [`Sweeper`] workers sharing one namespace; see
+/// the module docs.
+pub struct SweepPool {
+    workers: Vec<Sweeper>,
+}
+
+impl SweepPool {
+    /// Builds one worker per session, all pacing with `config`; worker `i`
+    /// of `n` owns data-folder indices `idx % n == i`. Every session must
+    /// belong to the same group and agree on the data-shard count
+    /// (typically they are clones-by-construction of the same sweeper
+    /// identity).
+    ///
+    /// # Panics
+    /// Panics if `sessions` is empty or the sessions disagree on group or
+    /// data-shard count.
+    pub fn new(sessions: Vec<ClientSession>, config: SweepConfig) -> Self {
+        assert!(
+            !sessions.is_empty(),
+            "at least one sweep worker is required"
+        );
+        let group = sessions[0].group().to_string();
+        let shards = sessions[0].data_shards();
+        for s in &sessions {
+            assert_eq!(s.group(), group, "pool sessions must share a group");
+            assert_eq!(
+                s.data_shards(),
+                shards,
+                "pool sessions must agree on the data-shard count"
+            );
+        }
+        let of = sessions.len();
+        let workers = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(i, session)| Sweeper::with_assignment(session, config, i, of))
+            .collect();
+        Self { workers }
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The workers, in assignment order (diagnostics).
+    pub fn workers(&self) -> &[Sweeper] {
+        &self.workers
+    }
+
+    /// Arms every worker now: forces the control-plane sync and ring
+    /// rebuild (concurrently) so a subsequent sweep starts migrating
+    /// immediately. Call after a rotation to take the key-derivation cost
+    /// out of the convergence window.
+    ///
+    /// # Errors
+    /// The first worker's refresh failure (by index).
+    pub fn refresh(&mut self) -> Result<(), DataError> {
+        let results: Vec<Result<(), DataError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .map(|worker| scope.spawn(move || worker.refresh()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Merged counters across every worker's session.
+    pub fn metrics(&self) -> DataMetricsSnapshot {
+        self.workers
+            .iter()
+            .map(Sweeper::metrics)
+            .fold(DataMetricsSnapshot::default(), |acc, m| acc.merge(&m))
+    }
+
+    /// Runs `f` on every worker concurrently (scoped threads) and merges
+    /// the reports; the first worker error (by index) wins.
+    fn drive(
+        &mut self,
+        f: impl Fn(&mut Sweeper) -> Result<SweepReport, DataError> + Sync,
+    ) -> Result<SweepReport, DataError> {
+        let t0 = Instant::now();
+        let f = &f;
+        let results: Vec<Result<SweepReport, DataError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .map(|worker| scope.spawn(move || f(worker)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let mut merged = SweepReport {
+            converged: true,
+            ..SweepReport::default()
+        };
+        for result in results {
+            merged.absorb(&result?);
+        }
+        merged.elapsed = t0.elapsed();
+        Ok(merged)
+    }
+}
+
+impl SweepDriver for SweepPool {
+    fn sweep_now(&mut self) -> Result<SweepReport, DataError> {
+        self.drive(Sweeper::sweep_now)
+    }
+
+    fn run_until_converged(&mut self) -> Result<SweepReport, DataError> {
+        self.drive(Sweeper::run_until_converged)
+    }
+
+    /// Worker 0 blocks on the group's metadata long poll; on a wake, every
+    /// worker converges its shard concurrently and the merged report is
+    /// returned (elapsed covers the convergence, not the quiet poll wait).
+    fn watch(&mut self, timeout: Duration) -> Result<Option<SweepReport>, DataError> {
+        if !self.workers[0].poll(timeout)? {
+            return Ok(None);
+        }
+        self.drive(Sweeper::run_until_converged).map(Some)
+    }
+
+    fn metrics(&self) -> DataMetricsSnapshot {
+        SweepPool::metrics(self)
+    }
+}
+
+impl core::fmt::Debug for SweepPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SweepPool({} workers)", self.workers.len())
+    }
+}

@@ -1,14 +1,18 @@
 //! The data-plane system under test for read/write trace replay: one
-//! backend drives the full stack (admin, store, writer session, sweeper)
-//! through the generic `workloads` event driver.
+//! backend drives the full stack (admin, store, writer session, sweep
+//! pool) through the generic `workloads` event driver. The backend is
+//! built over any [`cloud_store::ObjectStore`], so the same trace replays
+//! unchanged on a single `CloudStore` or a folder-sharded `ShardedStore`
+//! with a matching [`SweepPool`].
 
 use crate::coordinator::{ReencryptionPolicy, RevocationCoordinator};
 use crate::error::DataError;
 use crate::metrics::DataMetricsSnapshot;
+use crate::pool::SweepPool;
 use crate::session::ClientSession;
-use crate::sweeper::{SweepConfig, Sweeper};
+use crate::sweeper::{SweepConfig, SweepDriver, SweepReport};
 use acs::Admin;
-use cloud_store::CloudStore;
+use cloud_store::{CloudStore, StoreHandle};
 use ibbe_sgx_core::{GroupEngine, MembershipBatch, PartitionSize};
 use workloads::rw::{RwOp, RwTrace};
 use workloads::{EventBackend, TraceOp};
@@ -16,8 +20,45 @@ use workloads::{EventBackend, TraceOp};
 /// Reserved identity for the replay backend's writer/reader session.
 pub const WRITER_IDENTITY: &str = "__writer";
 
-/// Reserved identity for the sweeper's privileged session.
+/// Reserved identity for the sweep workers' privileged sessions.
 pub const SWEEPER_IDENTITY: &str = "__sweeper";
+
+/// Deployment shape of a replayed data-plane system.
+#[derive(Clone, Copy, Debug)]
+pub struct RwSystemConfig {
+    /// IBBE partition size.
+    pub partition_size: usize,
+    /// Re-encryption policy enacted on churn events.
+    pub policy: ReencryptionPolicy,
+    /// Sweep pacing shared by every pool worker.
+    pub sweep: SweepConfig,
+    /// Payload size of every written object.
+    pub payload_len: usize,
+    /// Seed for the engine and the sessions' DEK/nonce generators.
+    pub seed: u64,
+    /// Data folders the namespace is spread over (see
+    /// [`crate::data_shard_folder`]).
+    pub data_shards: usize,
+    /// Sweep-pool workers (usually equal to `data_shards`).
+    pub sweep_workers: usize,
+    /// Compact the epoch-key history after converged sweeps.
+    pub compact_history: bool,
+}
+
+impl Default for RwSystemConfig {
+    fn default() -> Self {
+        Self {
+            partition_size: 4,
+            policy: ReencryptionPolicy::Lazy,
+            sweep: SweepConfig::default(),
+            payload_len: 64,
+            seed: 0xda7a,
+            data_shards: 1,
+            sweep_workers: 1,
+            compact_history: false,
+        }
+    }
+}
 
 /// A complete data-plane deployment replaying [`RwOp`] events: reads and
 /// writes go through a member [`ClientSession`], churn bursts through the
@@ -27,16 +68,16 @@ pub struct RwSystemBackend {
     admin: Admin,
     group: String,
     session: ClientSession,
-    sweeper: Sweeper,
-    policy: ReencryptionPolicy,
+    sweepers: SweepPool,
+    config: RwSystemConfig,
     payload: Vec<u8>,
     seq: u64,
 }
 
 impl RwSystemBackend {
-    /// Boots an engine/admin (deterministically from `seed`), creates the
-    /// trace's group with the service identities appended, and opens the
-    /// writer and sweeper sessions.
+    /// Boots a single-store, single-shard deployment — the classic shape
+    /// (equivalent to [`RwSystemBackend::with_store`] over a fresh
+    /// [`CloudStore`] and a one-worker pool).
     pub fn new(
         partition_size: usize,
         group: &str,
@@ -46,14 +87,40 @@ impl RwSystemBackend {
         payload_len: usize,
         seed: u64,
     ) -> Self {
+        Self::with_store(
+            CloudStore::new(),
+            group,
+            trace,
+            RwSystemConfig {
+                partition_size,
+                policy,
+                sweep,
+                payload_len,
+                seed,
+                ..RwSystemConfig::default()
+            },
+        )
+    }
+
+    /// Boots an engine/admin (deterministically from `config.seed`) over
+    /// any store, creates the trace's group with the service identities
+    /// appended, and opens the writer session plus a [`SweepPool`] of
+    /// `config.sweep_workers` workers over `config.data_shards` data
+    /// folders.
+    pub fn with_store(
+        store: impl Into<StoreHandle>,
+        group: &str,
+        trace: &RwTrace,
+        config: RwSystemConfig,
+    ) -> Self {
+        let store = store.into();
         let mut seed_bytes = [0u8; 32];
-        seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        seed_bytes[..8].copy_from_slice(&config.seed.to_le_bytes());
         let engine = GroupEngine::bootstrap_seeded(
-            PartitionSize::new(partition_size).expect("partition size"),
+            PartitionSize::new(config.partition_size).expect("partition size"),
             seed_bytes,
         )
         .expect("bootstrap");
-        let store = CloudStore::new();
         let admin = Admin::new(engine, store.clone());
         let mut members = trace.initial_members.clone();
         members.push(WRITER_IDENTITY.to_string());
@@ -61,38 +128,34 @@ impl RwSystemBackend {
         admin.create_group(group, members).expect("create group");
 
         let pk = admin.engine().public_key().clone();
-        let session = ClientSession::with_seed(
-            WRITER_IDENTITY,
-            admin
-                .engine()
-                .extract_user_key(WRITER_IDENTITY)
-                .expect("writer usk"),
-            pk.clone(),
-            store.clone(),
-            group,
-            seed ^ 0x5e55,
-        );
-        let sweeper = Sweeper::new(
+        let session = |identity: &str, seed: u64| {
             ClientSession::with_seed(
-                SWEEPER_IDENTITY,
+                identity,
                 admin
                     .engine()
-                    .extract_user_key(SWEEPER_IDENTITY)
-                    .expect("sweeper usk"),
-                pk,
-                store,
+                    .extract_user_key(identity)
+                    .expect("service usk"),
+                pk.clone(),
+                store.clone(),
                 group,
-                seed ^ 0x5eed,
-            ),
-            sweep,
+                seed,
+            )
+            .with_data_shards(config.data_shards)
+        };
+        let writer = session(WRITER_IDENTITY, config.seed ^ 0x5e55);
+        let sweepers = SweepPool::new(
+            (0..config.sweep_workers.max(1))
+                .map(|w| session(SWEEPER_IDENTITY, config.seed ^ 0x5eed ^ (w as u64) << 32))
+                .collect(),
+            config.sweep,
         );
         Self {
             admin,
             group: group.to_string(),
-            session,
-            sweeper,
-            policy,
-            payload: vec![0xd5; payload_len],
+            session: writer,
+            sweepers,
+            config,
+            payload: vec![0xd5; config.payload_len],
             seq: 0,
         }
     }
@@ -102,19 +165,42 @@ impl RwSystemBackend {
         &self.admin
     }
 
+    /// The deployment shape.
+    pub fn config(&self) -> RwSystemConfig {
+        self.config
+    }
+
+    /// The writer session (post-replay reads and diagnostics).
+    pub fn session_mut(&mut self) -> &mut ClientSession {
+        &mut self.session
+    }
+
     /// The writer session's counters.
     pub fn session_metrics(&self) -> DataMetricsSnapshot {
         self.session.metrics()
     }
 
-    /// The sweeper (drive it between events under the lazy policy).
-    pub fn sweeper_mut(&mut self) -> &mut Sweeper {
-        &mut self.sweeper
+    /// The sweep pool (drive it between events under the lazy policy).
+    pub fn sweeper_mut(&mut self) -> &mut SweepPool {
+        &mut self.sweepers
     }
 
-    /// The sweeper's counters.
+    /// The pool's merged counters.
     pub fn sweeper_metrics(&self) -> DataMetricsSnapshot {
-        self.sweeper.metrics()
+        self.sweepers.metrics()
+    }
+
+    /// Converges the lazy tail now: drives the pool to convergence, then
+    /// (when configured) compacts the epoch history and GCs the writer's
+    /// versions map.
+    ///
+    /// # Errors
+    /// Sweep or compaction failures.
+    pub fn converge(&mut self) -> Result<SweepReport, DataError> {
+        let report = self.sweepers.run_until_converged()?;
+        coordinator(&self.admin, self.config).compact_after(&self.group, &report)?;
+        self.session.gc_versions();
+        Ok(report)
     }
 
     fn churn(&mut self, ops: &[TraceOp]) -> Result<(), DataError> {
@@ -125,9 +211,19 @@ impl RwSystemBackend {
                 TraceOp::Remove { user } => batch.remove(user.clone()),
             };
         }
-        let coordinator = RevocationCoordinator::new(&self.admin, self.policy);
-        coordinator.revoke(&self.group, &batch, &mut self.sweeper)?;
+        coordinator(&self.admin, self.config).revoke(&self.group, &batch, &mut self.sweepers)?;
         Ok(())
+    }
+}
+
+/// Borrows only the admin, so the caller can hold the sweep pool mutably
+/// at the same time.
+fn coordinator(admin: &Admin, config: RwSystemConfig) -> RevocationCoordinator<'_> {
+    let coordinator = RevocationCoordinator::new(admin, config.policy);
+    if config.compact_history {
+        coordinator.with_history_compaction()
+    } else {
+        coordinator
     }
 }
 
@@ -164,10 +260,12 @@ impl core::fmt::Debug for RwSystemBackend {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "RwSystemBackend({}, {:?}, {}B payload)",
+            "RwSystemBackend({}, {:?}, {}B payload, {} data shards, {} sweep workers)",
             self.group,
-            self.policy,
-            self.payload.len()
+            self.config.policy,
+            self.payload.len(),
+            self.config.data_shards,
+            self.config.sweep_workers
         )
     }
 }

@@ -5,20 +5,40 @@ use crate::envelope::SealedObject;
 use crate::error::DataError;
 use crate::metrics::{DataMetrics, DataMetricsSnapshot};
 use acs::{Client, EPOCHS_ITEM};
-use cloud_store::CloudStore;
+use cloud_store::{stable_hash64, StoreHandle};
 use ibbe::{PublicKey, UserSecretKey};
 use ibbe_sgx_core::{KeyHistory, KeyRing};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Cloud folder holding a group's data objects (distinct from the group's
-/// metadata folder so data traffic never wakes control-plane long-pollers
-/// and vice versa).
+/// Cloud folder holding an unsharded group's data objects (distinct from
+/// the group's metadata folder so data traffic never wakes control-plane
+/// long-pollers and vice versa). Equal to [`data_shard_folder`] with one
+/// shard.
 pub fn data_folder(group: &str) -> String {
     format!("{group}/data")
+}
+
+/// Cloud folder holding data shard `shard` of `of` for `group`. With
+/// `of == 1` this is the classic single [`data_folder`]; with more, each
+/// shard is its own cloud folder — and therefore, on a
+/// [`cloud_store::ShardedStore`], its own version clock, long-poll wait
+/// queue and latency domain, which is what lets a
+/// [`crate::SweepPool`] drive every shard concurrently.
+///
+/// # Panics
+/// Panics if `shard >= of` or `of == 0`.
+pub fn data_shard_folder(group: &str, shard: usize, of: usize) -> String {
+    assert!(of >= 1, "at least one data shard is required");
+    assert!(shard < of, "shard index out of range");
+    if of == 1 {
+        data_folder(group)
+    } else {
+        format!("{group}/data-{shard:02}")
+    }
 }
 
 /// True for the error signature of a ring rebuild that raced a rotation's
@@ -47,7 +67,9 @@ pub struct ClientSession {
     /// The wrapped control-plane client also owns the store handle and the
     /// group name; this type deliberately keeps no copies of either.
     control: Client,
-    folder: String,
+    /// The group's data folders (one per data shard); every object lives in
+    /// exactly one, chosen by a stable hash of its name.
+    folders: Vec<String>,
     ring: Option<KeyRing>,
     /// object name → store version last observed (the CAS expectation).
     versions: HashMap<String, u64>,
@@ -61,7 +83,7 @@ impl ClientSession {
         identity: impl Into<String>,
         usk: UserSecretKey,
         pk: PublicKey,
-        store: CloudStore,
+        store: impl Into<StoreHandle>,
         group: impl Into<String>,
     ) -> Self {
         let seed = rand::thread_rng().next_u64();
@@ -74,19 +96,45 @@ impl ClientSession {
         identity: impl Into<String>,
         usk: UserSecretKey,
         pk: PublicKey,
-        store: CloudStore,
+        store: impl Into<StoreHandle>,
         group: impl Into<String>,
         seed: u64,
     ) -> Self {
         let group = group.into();
         Self {
-            folder: data_folder(&group),
+            folders: vec![data_folder(&group)],
             control: Client::new(identity, usk, pk, store, group),
             ring: None,
             versions: HashMap::new(),
             metrics: Arc::new(DataMetrics::default()),
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Spreads this session's data namespace over `shards` data folders
+    /// (objects routed by stable name hash). Every session and sweeper of a
+    /// group must agree on the shard count; configure it at construction,
+    /// before any I/O.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or the session has already tracked
+    /// object versions.
+    #[must_use]
+    pub fn with_data_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one data shard is required");
+        assert!(
+            self.versions.is_empty(),
+            "configure data sharding before any object I/O"
+        );
+        self.folders = (0..shards)
+            .map(|s| data_shard_folder(self.control.group(), s, shards))
+            .collect();
+        self
+    }
+
+    /// Number of data folders this session spreads objects over.
+    pub fn data_shards(&self) -> usize {
+        self.folders.len()
     }
 
     /// The identity this session acts as.
@@ -216,9 +264,16 @@ impl ClientSession {
         }
     }
 
-    /// Lists the group's object names.
+    /// Lists the group's object names across all data folders (sorted, so
+    /// the result is independent of the shard layout).
     pub fn list_objects(&self) -> Vec<String> {
-        self.control.store().list(&self.folder)
+        let mut objects: Vec<String> = self
+            .folders
+            .iter()
+            .flat_map(|f| self.control.store().list(f))
+            .collect();
+        objects.sort();
+        objects
     }
 
     /// Fetches and parses one object without decrypting it, recording its
@@ -227,14 +282,51 @@ impl ClientSession {
     /// # Errors
     /// [`DataError::NotFound`] / [`DataError::WireFormat`].
     pub fn fetch(&mut self, object: &str) -> Result<(SealedObject, u64), DataError> {
-        let (bytes, version) = self
-            .control
-            .store()
-            .get(&self.folder, object)
-            .ok_or_else(|| DataError::NotFound(object.to_string()))?;
+        let folder = self.folder_of(object).to_string();
+        let Some((bytes, version)) = self.control.store().get(&folder, object) else {
+            // deleted under us: the stale CAS expectation goes with it
+            self.versions.remove(object);
+            return Err(DataError::NotFound(object.to_string()));
+        };
         let sealed = SealedObject::from_bytes(&bytes)?;
         self.versions.insert(object.to_string(), version);
         Ok((sealed, version))
+    }
+
+    /// Deletes `object` from the store, dropping its tracked CAS version.
+    /// Returns whether the store held it.
+    pub fn delete(&mut self, object: &str) -> bool {
+        let folder = self.folder_of(object).to_string();
+        self.versions.remove(object);
+        self.control.store().delete(&folder, object)
+    }
+
+    /// Garbage-collects the CAS `versions` map: drops entries for objects
+    /// no longer present in the store, so long-lived sessions replaying
+    /// churny traces (objects written, deleted elsewhere, never touched
+    /// again) do not leak memory. Returns the number of entries dropped.
+    pub fn gc_versions(&mut self) -> usize {
+        let live: HashSet<String> = self.list_objects().into_iter().collect();
+        self.prune_versions(&live, |_| true)
+    }
+
+    /// GC restricted to objects for which `in_scope` holds, against a
+    /// caller-supplied live set (the sweeper's scan already holds one, so
+    /// it prunes for free, without re-listing).
+    pub(crate) fn prune_versions(
+        &mut self,
+        live: &HashSet<String>,
+        in_scope: impl Fn(&str) -> bool,
+    ) -> usize {
+        let before = self.versions.len();
+        self.versions
+            .retain(|name, _| live.contains(name) || !in_scope(name));
+        before - self.versions.len()
+    }
+
+    /// Number of objects the session currently tracks a CAS version for.
+    pub fn tracked_versions(&self) -> usize {
+        self.versions.len()
     }
 
     /// Writes `plaintext` as `object`, envelope-encrypted at the current
@@ -252,10 +344,11 @@ impl ClientSession {
         let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
         let sealed = SealedObject::seal(ring, object, plaintext, &mut self.rng);
         let expected = self.versions.get(object).copied().unwrap_or(0);
+        let folder = self.folder_of(object).to_string();
         match self
             .control
             .store()
-            .put_if_version(&self.folder, object, sealed.to_bytes(), expected)
+            .put_if_version(&folder, object, sealed.to_bytes(), expected)
         {
             Ok(version) => {
                 self.versions.insert(object.to_string(), version);
@@ -306,10 +399,11 @@ impl ClientSession {
     ) -> Result<(), DataError> {
         let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
         let fresh = sealed.reencrypt(ring, object, &mut self.rng)?;
+        let folder = self.folder_of(object).to_string();
         match self
             .control
             .store()
-            .put_if_version(&self.folder, object, fresh.to_bytes(), expected)
+            .put_if_version(&folder, object, fresh.to_bytes(), expected)
         {
             Ok(version) => {
                 self.versions.insert(object.to_string(), version);
@@ -323,12 +417,19 @@ impl ClientSession {
         }
     }
 
-    pub(crate) fn store(&self) -> &CloudStore {
+    pub(crate) fn store(&self) -> &StoreHandle {
         self.control.store()
     }
 
-    pub(crate) fn folder(&self) -> &str {
-        &self.folder
+    /// The data folder holding `object` (stable name-hash routing).
+    pub fn folder_of(&self, object: &str) -> &str {
+        let idx = (stable_hash64(object) % self.folders.len() as u64) as usize;
+        &self.folders[idx]
+    }
+
+    /// The data folders, in shard order.
+    pub(crate) fn data_folders(&self) -> &[String] {
+        &self.folders
     }
 }
 

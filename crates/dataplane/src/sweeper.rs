@@ -10,6 +10,13 @@
 //! eager policy is the degenerate case: one unbounded sweep, synchronously
 //! at revocation time.
 //!
+//! A sweeper can own the whole namespace (the default) or one **shard
+//! assignment** of it ([`Sweeper::with_assignment`]): worker `w` of `n`
+//! sweeps only the data folders whose index satisfies `idx % n == w`. A
+//! [`crate::SweepPool`] builds one worker per shard and drives them
+//! concurrently, which is what makes lazy-window convergence scale with the
+//! store's shard count.
+//!
 //! Migrations are CAS writes conditioned on the scanned version, so the
 //! sweeper never tramples a concurrent application write — and losing that
 //! race is free, because the winning write sealed at the current epoch
@@ -19,6 +26,8 @@ use crate::envelope::SealedObject;
 use crate::error::DataError;
 use crate::metrics::DataMetricsSnapshot;
 use crate::session::ClientSession;
+use cloud_store::stable_hash64;
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// Sweeper pacing parameters.
@@ -56,21 +65,105 @@ pub struct SweepReport {
     pub conflicts: usize,
     /// True when no stale object remained unhandled at the end.
     pub converged: bool,
+    /// The lowest epoch any scanned object still sits at after this pass
+    /// (`None` if nothing was scanned). When a **full-namespace** sweep
+    /// converges, no retired key below this epoch can ever be needed again
+    /// — the safe `keep_from` bound for
+    /// [`acs::Admin::compact_history`].
+    pub min_live_epoch: Option<u64>,
     /// Wall clock consumed.
     pub elapsed: Duration,
 }
 
-/// The re-encryption sweeper; owns a privileged member session.
+impl SweepReport {
+    /// Folds another worker's report into this one (counter sums,
+    /// convergence AND, epoch-floor min); elapsed is left to the caller,
+    /// which knows the actual wall-clock of the merged run.
+    pub(crate) fn absorb(&mut self, other: &SweepReport) {
+        self.scanned += other.scanned;
+        self.stale += other.stale;
+        self.migrated += other.migrated;
+        self.conflicts += other.conflicts;
+        self.converged = self.converged && other.converged;
+        self.min_live_epoch = merge_floor(self.min_live_epoch, other.min_live_epoch);
+    }
+}
+
+/// Min of two optional epoch floors.
+fn merge_floor(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The common driving surface of a single [`Sweeper`] and a
+/// [`crate::SweepPool`]; what [`crate::RevocationCoordinator`] and replay
+/// backends are generic over.
+pub trait SweepDriver {
+    /// One unbounded synchronous sweep (the eager policy's revocation-time
+    /// work).
+    ///
+    /// # Errors
+    /// Control-plane failures; non-CAS migration failures.
+    fn sweep_now(&mut self) -> Result<SweepReport, DataError>;
+
+    /// Sweeps until no stale object remains or the configured deadline
+    /// elapses (the lazy policy's convergence driver).
+    ///
+    /// # Errors
+    /// Same contract as [`SweepDriver::sweep_now`].
+    fn run_until_converged(&mut self) -> Result<SweepReport, DataError>;
+
+    /// Blocks on the group's metadata long poll (up to `timeout`); on a
+    /// change, converges and reports. `None` on a quiet poll.
+    ///
+    /// # Errors
+    /// Same contract as [`SweepDriver::sweep_now`].
+    fn watch(&mut self, timeout: Duration) -> Result<Option<SweepReport>, DataError>;
+
+    /// Merged counters of the underlying session(s).
+    fn metrics(&self) -> DataMetricsSnapshot;
+}
+
+/// The re-encryption sweeper; owns a privileged member session and an
+/// optional shard assignment.
 pub struct Sweeper {
     session: ClientSession,
     config: SweepConfig,
+    /// This worker's index within the assignment.
+    worker: usize,
+    /// Total workers the namespace is divided among.
+    of: usize,
 }
 
 impl Sweeper {
     /// Wraps a session (a group member provisioned for the sweeper role)
-    /// with pacing `config`.
+    /// with pacing `config`, owning the whole namespace.
     pub fn new(session: ClientSession, config: SweepConfig) -> Self {
-        Self { session, config }
+        Self::with_assignment(session, config, 0, 1)
+    }
+
+    /// A pool worker: sweeps only the data folders with index
+    /// `idx % of == worker`.
+    ///
+    /// # Panics
+    /// Panics if `of` is zero or `worker >= of`.
+    pub fn with_assignment(
+        session: ClientSession,
+        config: SweepConfig,
+        worker: usize,
+        of: usize,
+    ) -> Self {
+        assert!(of >= 1, "at least one worker is required");
+        assert!(worker < of, "worker index out of range");
+        Self {
+            session,
+            config,
+            worker,
+            of,
+        }
     }
 
     /// The sweeper's pacing parameters.
@@ -90,29 +183,45 @@ impl Sweeper {
     }
 
     /// One bounded sweep pass: refresh keys if the epoch moved, scan the
-    /// data folder, migrate up to `max_per_tick` stale objects.
+    /// assigned data folders, migrate up to `max_per_tick` stale objects.
     ///
     /// # Errors
     /// Control-plane failures from the refresh; per-object migration
     /// failures other than CAS conflicts (which are counted, not fatal).
     pub fn tick(&mut self) -> Result<SweepReport, DataError> {
         let t0 = Instant::now();
-        let (scanned, work) = self.scan()?;
-        let stale = work.len();
+        let scan = self.scan()?;
+        let stale = scan.work.len();
         let budget = self.config.max_per_tick.min(stale);
-        let mut report = self.migrate(work.into_iter().take(budget))?;
-        report.scanned = scanned;
-        report.stale = stale;
-        // conflicted objects were re-sealed by their winning writer at the
-        // current epoch; only budget-skipped ones are genuinely unhandled
-        report.converged = report.migrated + report.conflicts == stale;
-        report.elapsed = t0.elapsed();
+        let mut floor = scan.fresh_floor;
+        if budget > 0 {
+            // migrated items end at the current epoch; conflicted ones are
+            // re-checked below
+            floor = merge_floor(floor, Some(scan.current));
+        }
+        for skipped in &scan.work[budget..] {
+            floor = merge_floor(floor, Some(skipped.epoch));
+        }
+        let pass = self.migrate(scan.work.into_iter().take(budget), scan.current)?;
+        let report = SweepReport {
+            scanned: scan.scanned,
+            stale,
+            migrated: pass.migrated,
+            conflicts: pass.conflicts,
+            // conflicted objects usually were re-sealed by their winning
+            // writer at the current epoch (verified against their actual
+            // headers); only budget-skipped and verified-still-stale ones
+            // are genuinely unhandled
+            converged: pass.migrated + pass.conflicts == stale && pass.still_stale == 0,
+            min_live_epoch: merge_floor(floor, pass.conflict_floor),
+            elapsed: t0.elapsed(),
+        };
         Ok(report)
     }
 
     /// Sweeps until no stale object remains or the configured deadline
     /// elapses. The lazy policy's convergence driver: call it (or
-    /// [`Sweeper::watch`]) after a revocation. The folder is scanned
+    /// [`Sweeper::watch`]) after a revocation. The folders are scanned
     /// **once** (one GET per object); the stale work-list is then migrated
     /// in `max_per_tick` increments, checking the deadline between
     /// increments — CAS conditions guarantee any object a concurrent
@@ -147,31 +256,60 @@ impl Sweeper {
         Ok(None)
     }
 
+    /// Blocks on the metadata long poll without sweeping; `true` when the
+    /// ring was rebuilt. The pool's wake primitive: one worker polls, every
+    /// worker then converges in parallel.
+    pub(crate) fn poll(&mut self, timeout: Duration) -> Result<bool, DataError> {
+        self.session.watch(timeout)
+    }
+
+    /// Forces a control-plane sync and ring rebuild now, so the next sweep
+    /// pass starts migrating immediately instead of paying the key
+    /// derivation first. Arm a sweeper (or a whole [`crate::SweepPool`])
+    /// with this right after a rotation.
+    ///
+    /// # Errors
+    /// Same contract as [`ClientSession::refresh`].
+    pub fn refresh(&mut self) -> Result<(), DataError> {
+        self.session.refresh().map(|_| ())
+    }
+
     /// Scan once, then migrate the whole work-list (bounded by `deadline`
     /// if given, checked every `max_per_tick` objects).
     fn drain(&mut self, deadline: Option<Duration>) -> Result<SweepReport, DataError> {
         let t0 = Instant::now();
-        let (scanned, work) = self.scan()?;
-        let stale = work.len();
+        let scan = self.scan()?;
+        let stale = scan.work.len();
         let mut report = SweepReport {
-            scanned,
+            scanned: scan.scanned,
             stale,
+            min_live_epoch: scan.fresh_floor,
             ..SweepReport::default()
         };
+        if stale > 0 {
+            report.min_live_epoch = merge_floor(report.min_live_epoch, Some(scan.current));
+        }
         let chunk = self.config.max_per_tick.max(1);
-        let mut work = work.into_iter();
+        let mut still_stale = 0usize;
+        let mut work = scan.work.into_iter();
         loop {
             let batch: Vec<StaleObject> = work.by_ref().take(chunk).collect();
             if batch.is_empty() {
-                report.converged = true;
+                report.converged = still_stale == 0;
                 break;
             }
-            let pass = self.migrate(batch.into_iter())?;
+            let pass = self.migrate(batch.into_iter(), scan.current)?;
             report.migrated += pass.migrated;
             report.conflicts += pass.conflicts;
+            still_stale += pass.still_stale;
+            report.min_live_epoch = merge_floor(report.min_live_epoch, pass.conflict_floor);
             if let Some(limit) = deadline {
                 if t0.elapsed() >= limit && work.len() > 0 {
                     report.converged = false;
+                    for unhandled in work.by_ref() {
+                        report.min_live_epoch =
+                            merge_floor(report.min_live_epoch, Some(unhandled.epoch));
+                    }
                     break;
                 }
             }
@@ -180,68 +318,165 @@ impl Sweeper {
         Ok(report)
     }
 
-    /// One pass over the folder: freshness check (cheap zero-timeout poll,
-    /// full rebuild only when the epoch moved), then one GET per object,
-    /// peeking the 9-byte header to collect the stale work-list.
-    fn scan(&mut self) -> Result<(usize, Vec<StaleObject>), DataError> {
+    /// One pass over the assigned folders: freshness check (cheap
+    /// zero-timeout poll, full rebuild only when the epoch moved), then one
+    /// GET per object, peeking the 9-byte header to collect the stale
+    /// work-list. Doubles as the versions-map GC: tracked versions of
+    /// in-scope objects that vanished from the store are pruned against the
+    /// live set the scan just built.
+    fn scan(&mut self) -> Result<Scan, DataError> {
         self.session.maybe_refresh()?;
         let current = self.session.current_epoch().ok_or(DataError::NoKeys)?;
         let mut scanned = 0usize;
         let mut work = Vec::new();
-        for object in self.session.list_objects() {
-            scanned += 1;
-            let fetched = self.session.store().get(self.session.folder(), &object);
-            let Some((bytes, version)) = fetched else {
-                continue; // deleted between list and get
-            };
-            match SealedObject::peek_epoch(&bytes) {
-                Some(epoch) if epoch < current => work.push(StaleObject {
-                    name: object,
-                    bytes: bytes.to_vec(),
-                    version,
-                }),
-                Some(_) => {}
-                None => return Err(DataError::WireFormat("data object header")),
+        let mut fresh_floor = None;
+        let mut live = HashSet::new();
+        for folder in self.assigned_folders() {
+            for object in self.session.store().list(&folder) {
+                scanned += 1;
+                let fetched = self.session.store().get(&folder, &object);
+                let Some((bytes, version)) = fetched else {
+                    continue; // deleted between list and get
+                };
+                match SealedObject::peek_epoch(&bytes) {
+                    Some(epoch) if epoch < current => {
+                        live.insert(object.clone());
+                        work.push(StaleObject {
+                            name: object,
+                            bytes: bytes.to_vec(),
+                            version,
+                            epoch,
+                        });
+                    }
+                    Some(epoch) => {
+                        fresh_floor = merge_floor(fresh_floor, Some(epoch));
+                        live.insert(object);
+                    }
+                    None => return Err(DataError::WireFormat("data object header")),
+                }
             }
         }
-        Ok((scanned, work))
+        let (shards, worker, of) = (self.session.data_shards() as u64, self.worker, self.of);
+        self.session.prune_versions(&live, |name| {
+            (stable_hash64(name) % shards) as usize % of == worker
+        });
+        Ok(Scan {
+            scanned,
+            work,
+            fresh_floor,
+            current,
+        })
     }
 
-    /// Migrates the given work items; CAS conflicts are counted, not fatal.
-    /// Re-using the scanned bytes is safe: a successful CAS proves the
-    /// object's version (and therefore its bytes) did not change since the
-    /// scan.
+    /// The data folders this worker owns, in shard order.
+    fn assigned_folders(&self) -> Vec<String> {
+        self.session
+            .data_folders()
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx % self.of == self.worker)
+            .map(|(_, f)| f.clone())
+            .collect()
+    }
+
+    /// Migrates the given work items; CAS conflicts are counted, not
+    /// fatal. Re-using the scanned bytes is safe: a successful CAS proves
+    /// the object's version (and therefore its bytes) did not change since
+    /// the scan.
+    ///
+    /// A conflict normally means the winning writer already re-sealed the
+    /// object at the current epoch — but a writer whose ring raced the
+    /// rotation's publish can win with a *stale*-epoch seal, so each
+    /// conflicted object's actual header is re-fetched and its real epoch
+    /// folded into the pass's floor. Claiming the current epoch blindly
+    /// would let a converged report authorize a history compaction that
+    /// orphans that object forever.
     fn migrate(
         &mut self,
         items: impl Iterator<Item = StaleObject>,
-    ) -> Result<SweepReport, DataError> {
-        let mut report = SweepReport::default();
+        current: u64,
+    ) -> Result<MigratePass, DataError> {
+        let mut pass = MigratePass::default();
         for item in items {
             let sealed = SealedObject::from_bytes(&item.bytes)?;
             match self.session.migrate(&item.name, &sealed, item.version) {
-                Ok(()) => report.migrated += 1,
-                Err(DataError::Conflict(_)) => report.conflicts += 1,
+                Ok(()) => pass.migrated += 1,
+                Err(DataError::Conflict(_)) => {
+                    pass.conflicts += 1;
+                    let folder = self.session.folder_of(&item.name).to_string();
+                    if let Some((bytes, _)) = self.session.store().get(&folder, &item.name) {
+                        let epoch = SealedObject::peek_epoch(&bytes)
+                            .ok_or(DataError::WireFormat("data object header"))?;
+                        pass.conflict_floor = merge_floor(pass.conflict_floor, Some(epoch));
+                        if epoch < current {
+                            pass.still_stale += 1;
+                        }
+                    }
+                    // a vanished object was deleted by the winner: handled
+                }
                 Err(e) => return Err(e),
             }
         }
-        Ok(report)
+        Ok(pass)
     }
 }
 
-/// One stale object captured by a scan: name, raw stored bytes, and the
-/// version the migration CAS is conditioned on.
+impl SweepDriver for Sweeper {
+    fn sweep_now(&mut self) -> Result<SweepReport, DataError> {
+        Sweeper::sweep_now(self)
+    }
+
+    fn run_until_converged(&mut self) -> Result<SweepReport, DataError> {
+        Sweeper::run_until_converged(self)
+    }
+
+    fn watch(&mut self, timeout: Duration) -> Result<Option<SweepReport>, DataError> {
+        Sweeper::watch(self, timeout)
+    }
+
+    fn metrics(&self) -> DataMetricsSnapshot {
+        Sweeper::metrics(self)
+    }
+}
+
+/// Result of one migration pass over a chunk of stale objects.
+#[derive(Default)]
+struct MigratePass {
+    migrated: usize,
+    conflicts: usize,
+    /// Lowest epoch observed on conflicted objects' re-fetched headers.
+    conflict_floor: Option<u64>,
+    /// Conflicted objects whose winning write is itself below the current
+    /// epoch (a writer that raced the rotation's publish): the sweep has
+    /// NOT converged and another pass must pick them up.
+    still_stale: usize,
+}
+
+/// Result of one scan pass.
+struct Scan {
+    scanned: usize,
+    work: Vec<StaleObject>,
+    /// Lowest epoch among the up-to-date objects seen.
+    fresh_floor: Option<u64>,
+    /// The ring's current epoch at scan time.
+    current: u64,
+}
+
+/// One stale object captured by a scan: name, raw stored bytes, the
+/// version the migration CAS is conditioned on, and the epoch it sits at.
 struct StaleObject {
     name: String,
     bytes: Vec<u8>,
     version: u64,
+    epoch: u64,
 }
 
 impl core::fmt::Debug for Sweeper {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "Sweeper({:?}, deadline {:?}, ≤{} per tick)",
-            self.session, self.config.deadline, self.config.max_per_tick
+            "Sweeper({:?}, worker {}/{}, deadline {:?}, ≤{} per tick)",
+            self.session, self.worker, self.of, self.config.deadline, self.config.max_per_tick
         )
     }
 }

@@ -2,7 +2,7 @@
 //! event driver — membership traces and data-plane traces now drive one
 //! code path (`workloads::replay_events`).
 
-use dataplane::{ReencryptionPolicy, RwSystemBackend, SweepConfig};
+use dataplane::{ReencryptionPolicy, RwSystemBackend, SweepConfig, SweepDriver};
 use std::time::Duration;
 use workloads::{generate_read_write, replay_events, RwOp, RwTraceConfig};
 
