@@ -1,0 +1,101 @@
+//! Multi-group fixture helpers for tests and benchmarks.
+//!
+//! Fleet-scale scenarios (many groups, one engine, one store) keep
+//! re-building the same scaffolding: a deterministically seeded
+//! [`GroupEngine`], one [`Admin`], G groups each holding its own members
+//! plus a set of shared service identities (writers, sweepers), and user
+//! keys for whoever needs a session. [`FleetFixture`] packages that so the
+//! `dataplane` scheduler tests and the `fleet_sweep` bench spell their
+//! deployment in one call instead of thirty lines.
+//!
+//! The fixture stays control-plane only on purpose — data-plane sessions
+//! live a crate above; build them from [`FleetFixture::usk`] and
+//! [`FleetFixture::public_key`].
+
+use crate::admin::Admin;
+use crate::error::AcsError;
+use cloud_store::StoreHandle;
+use ibbe::{PublicKey, UserSecretKey};
+use ibbe_sgx_core::{GroupEngine, PartitionSize};
+
+/// One admin over many groups, with the service identities every group
+/// shares — the standard multi-tenant test/bench scaffold.
+pub struct FleetFixture {
+    admin: Admin,
+    groups: Vec<String>,
+    service_identities: Vec<String>,
+}
+
+impl FleetFixture {
+    /// Boots a seeded engine over `store` and creates one group per
+    /// `(name, members)` spec, appending `service_identities` (e.g. a
+    /// writer and a sweeper) to every group's roster.
+    ///
+    /// # Errors
+    /// Engine bootstrap or group-creation failures (e.g. a duplicate
+    /// group name).
+    pub fn new(
+        store: impl Into<StoreHandle>,
+        partition_size: PartitionSize,
+        specs: &[(String, Vec<String>)],
+        service_identities: &[String],
+        seed: u64,
+    ) -> Result<Self, AcsError> {
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        let engine = GroupEngine::bootstrap_seeded(partition_size, seed_bytes)?;
+        let admin = Admin::new(engine, store);
+        let mut groups = Vec::with_capacity(specs.len());
+        for (name, members) in specs {
+            let mut roster = members.clone();
+            roster.extend(service_identities.iter().cloned());
+            admin.create_group(name, roster)?;
+            groups.push(name.clone());
+        }
+        Ok(Self {
+            admin,
+            groups,
+            service_identities: service_identities.to_vec(),
+        })
+    }
+
+    /// The admin governing every group.
+    pub fn admin(&self) -> &Admin {
+        &self.admin
+    }
+
+    /// Group names, in creation order.
+    pub fn groups(&self) -> &[String] {
+        &self.groups
+    }
+
+    /// The service identities appended to every group.
+    pub fn service_identities(&self) -> &[String] {
+        &self.service_identities
+    }
+
+    /// The engine's public key (session construction).
+    pub fn public_key(&self) -> PublicKey {
+        self.admin.engine().public_key().clone()
+    }
+
+    /// Extracts `identity`'s user secret key (session construction; an
+    /// identity shared across groups needs only one key).
+    ///
+    /// # Errors
+    /// Enclave key-extraction failures.
+    pub fn usk(&self, identity: &str) -> Result<UserSecretKey, AcsError> {
+        Ok(self.admin.engine().extract_user_key(identity)?)
+    }
+}
+
+impl core::fmt::Debug for FleetFixture {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "FleetFixture({} groups, {} service identities)",
+            self.groups.len(),
+            self.service_identities.len()
+        )
+    }
+}

@@ -50,6 +50,7 @@
 pub mod admin;
 pub mod client;
 pub mod error;
+pub mod fixtures;
 pub mod he_system;
 pub mod oplog;
 pub mod provisioning;
@@ -58,6 +59,7 @@ pub mod sharded;
 pub use admin::{bootstrap_admin, partition_item, Admin, GroupBatch, EPOCHS_ITEM, SEALED_ITEM};
 pub use client::{find_partition_of, Client};
 pub use error::AcsError;
+pub use fixtures::FleetFixture;
 pub use he_system::{decode_he_metadata, encode_he_metadata, HeAdmin, HE_ITEM};
 pub use oplog::{AdminSigner, LogEntry, LogError, LogOp, OpLog};
 pub use provisioning::{establish_trust, provision_user, KeyRequest, TrustContext};

@@ -1,0 +1,452 @@
+//! Fleet sweep: G groups' lazy-window convergence on a shared W-worker
+//! scheduler vs G dedicated pools vs a serial baseline.
+//!
+//! The multi-tenant trace deals every tenant a revocation wave (skewed
+//! sizes, skewed churn), leaving each group's whole namespace stale. Three
+//! identically seeded deployments then converge the fleet:
+//!
+//! * **serial** — the same per-group pools as the dedicated mode, run one
+//!   group after another (serial *across* groups): the no-fleet floor.
+//! * **dedicated** — one `SweepPool` per group (one worker per data
+//!   shard), all pools concurrently: today's per-group answer, costing
+//!   G × shards threads.
+//! * **shared** — one `SweepScheduler` with W workers serving all G
+//!   groups in staleness-priority order: the fleet answer, costing W
+//!   threads.
+//!
+//! The store has no synthetic latency, so the work is compute-bound
+//! (re-encryption): the scheduler's claim is converge-all wall-clock
+//! parity (within 1.5x of dedicated) at a fraction of the threads, plus
+//! staleness ordering — the most-behind group finishes its backlog before
+//! the freshest one. Both are asserted; `--check` additionally gates
+//! against the serial baseline (the per-PR CI smoke).
+//!
+//! Flags: `--groups G`, `--workers W`, `--ops N` (base objects),
+//! `--full`, `--json PATH`, `--check`.
+
+use acs::FleetFixture;
+use cloud_store::CloudStore;
+use dataplane::fixtures::{fleet_session, fleet_sweep_sessions};
+use dataplane::{
+    ClientSession, FleetConfig, FleetReport, SweepConfig, SweepDriver, SweepPool, SweepScheduler,
+    SweepTask,
+};
+use ibbe_sgx_bench::json::{write_results, Json};
+use ibbe_sgx_bench::{fmt_duration, print_table, time, BenchArgs};
+use ibbe_sgx_core::{MembershipBatch, PartitionSize};
+use std::time::Duration;
+use workloads::{generate_fleet, FleetTrace, FleetTraceConfig};
+
+const WRITER: &str = "writer";
+const SWEEPER: &str = "sweeper";
+
+/// One identically seeded deployment: admin over all tenant groups, every
+/// tenant's objects written, the revocation wave applied.
+struct Stack {
+    fixture: FleetFixture,
+}
+
+fn build_stack(trace: &FleetTrace, shards: usize, payload: usize, seed: u64) -> Stack {
+    let specs: Vec<(String, Vec<String>)> = trace
+        .tenants
+        .iter()
+        .map(|t| (t.group.clone(), t.members.clone()))
+        .collect();
+    let fixture = FleetFixture::new(
+        CloudStore::new(),
+        PartitionSize::new(4).unwrap(),
+        &specs,
+        &[WRITER.to_string(), SWEEPER.to_string()],
+        seed,
+    )
+    .expect("fleet fixture");
+    let body = vec![0xd5u8; payload];
+    for (i, tenant) in trace.tenants.iter().enumerate() {
+        let mut writer = fleet_session(&fixture, WRITER, &tenant.group, shards, seed ^ i as u64);
+        for o in 0..tenant.objects {
+            writer.write(&format!("obj-{o:06}"), &body).unwrap();
+        }
+    }
+    // the wave: every tenant's skewed share of revocations, each one an
+    // O(1) lazy rotation (zero object writes — that is the point)
+    for tenant in &trace.tenants {
+        for victim in 0..tenant.revocations {
+            let mut batch = MembershipBatch::new();
+            batch.remove(tenant.members[victim].clone());
+            let outcome = fixture.admin().apply_batch(&tenant.group, &batch).unwrap();
+            assert!(outcome.gk_rotated);
+        }
+    }
+    Stack { fixture }
+}
+
+fn sweep_sessions(stack: &Stack, group: &str, shards: usize, seed: u64) -> Vec<ClientSession> {
+    fleet_sweep_sessions(&stack.fixture, SWEEPER, group, shards, seed)
+}
+
+struct ModeResult {
+    wall: Duration,
+    threads: usize,
+    migrated: usize,
+    per_group: Vec<Duration>,
+    worst_overshoot: Duration,
+}
+
+/// The no-fleet floor: the same per-group pools as the dedicated mode,
+/// but converged one group after another in staleness order — serial
+/// *across* groups, so the only thing the other modes add is cross-group
+/// parallelism (every mode pays the same per-session ring derivations).
+fn run_serial(trace: &FleetTrace, stack: &Stack, shards: usize, sweep: SweepConfig) -> ModeResult {
+    let mut pools: Vec<SweepPool> = trace
+        .tenants
+        .iter()
+        .map(|t| SweepPool::new(sweep_sessions(stack, &t.group, shards, 0x5e1a), sweep))
+        .collect();
+    let mut per_group = vec![Duration::ZERO; trace.tenants.len()];
+    let mut migrated = 0;
+    let ((), wall) = time(|| {
+        for &idx in &trace.arm_order {
+            let (report, dt) = time(|| pools[idx].run_until_converged().unwrap());
+            assert!(report.converged, "serial sweep of tenant {idx} converged");
+            assert_eq!(report.migrated, trace.tenants[idx].objects);
+            migrated += report.migrated;
+            per_group[idx] = dt;
+        }
+    });
+    let worst = per_group
+        .iter()
+        .map(|d| d.saturating_sub(sweep.deadline))
+        .max()
+        .unwrap_or(Duration::ZERO);
+    ModeResult {
+        wall,
+        threads: shards,
+        migrated,
+        per_group,
+        worst_overshoot: worst,
+    }
+}
+
+/// Today's per-group answer: one pool per group (a worker per shard), all
+/// pools running concurrently — G × shards sweep threads.
+fn run_dedicated(
+    trace: &FleetTrace,
+    stack: &Stack,
+    shards: usize,
+    sweep: SweepConfig,
+) -> ModeResult {
+    let mut pools: Vec<SweepPool> = trace
+        .tenants
+        .iter()
+        .map(|t| SweepPool::new(sweep_sessions(stack, &t.group, shards, 0xdedc), sweep))
+        .collect();
+    let objects: Vec<usize> = trace.tenants.iter().map(|t| t.objects).collect();
+    let mut per_group = vec![Duration::ZERO; trace.tenants.len()];
+    let mut migrated = 0usize;
+    let (reports, wall) = time(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pools
+                .iter_mut()
+                .enumerate()
+                .map(|(idx, pool)| scope.spawn(move || (idx, pool.run_until_converged().unwrap())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dedicated pool panicked"))
+                .collect::<Vec<_>>()
+        })
+    });
+    for (idx, report) in reports {
+        assert!(report.converged, "dedicated pool of tenant {idx} converged");
+        assert_eq!(report.migrated, objects[idx]);
+        migrated += report.migrated;
+        per_group[idx] = report.elapsed;
+    }
+    let worst = per_group
+        .iter()
+        .map(|d| d.saturating_sub(sweep.deadline))
+        .max()
+        .unwrap_or(Duration::ZERO);
+    ModeResult {
+        wall,
+        threads: trace.tenants.len() * shards,
+        migrated,
+        per_group,
+        worst_overshoot: worst,
+    }
+}
+
+/// The fleet answer: one scheduler, W workers, staleness-priority leases.
+fn run_shared(
+    trace: &FleetTrace,
+    stack: &Stack,
+    shards: usize,
+    sweep: SweepConfig,
+    fleet: FleetConfig,
+) -> (ModeResult, FleetReport, SweepScheduler) {
+    let mut scheduler = SweepScheduler::new(fleet);
+    for tenant in &trace.tenants {
+        scheduler.register(SweepTask::new(
+            sweep_sessions(stack, &tenant.group, shards, 0x5a7ed),
+            sweep,
+        ));
+    }
+    for &idx in &trace.arm_order {
+        scheduler.arm(idx);
+    }
+    let (report, wall) = time(|| scheduler.converge_all().unwrap());
+    assert!(report.total.converged, "the fleet converged");
+    let mut per_group = vec![Duration::ZERO; trace.tenants.len()];
+    let mut migrated = 0usize;
+    for (idx, tenant) in trace.tenants.iter().enumerate() {
+        let g = report
+            .group(&tenant.group)
+            .expect("every armed tenant completes");
+        assert!(g.report.converged, "tenant {idx} converged");
+        assert_eq!(
+            g.report.migrated, tenant.objects,
+            "tenant {idx} migrated all"
+        );
+        migrated += g.report.migrated;
+        per_group[idx] = g.report.elapsed;
+    }
+    // per-group metrics attribution agrees with the reports
+    let metrics = scheduler.metrics();
+    for tenant in &trace.tenants {
+        assert_eq!(
+            metrics.group(&tenant.group).unwrap().migrations,
+            tenant.objects as u64,
+            "metrics attribute {}'s migrations to it",
+            tenant.group
+        );
+    }
+    let worst = report.worst_overshoot();
+    (
+        ModeResult {
+            wall,
+            threads: fleet.workers,
+            migrated,
+            per_group,
+            worst_overshoot: worst,
+        },
+        report,
+        scheduler,
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (groups, base_objects, payload, shards, workers, max_revocations) = if args.full {
+        (32, 160, 4096, 4, 8, 5)
+    } else {
+        (12, 40, 256, 2, 4, 3)
+    };
+    let groups = args.groups.unwrap_or(groups).max(1);
+    let workers = args.workers.unwrap_or(workers).max(1);
+    let base_objects = args.ops.unwrap_or(base_objects).max(1);
+    let sweep = SweepConfig {
+        deadline: Duration::from_secs(60),
+        max_per_tick: 8,
+    };
+    let fleet = FleetConfig {
+        workers,
+        lease: sweep.max_per_tick,
+        deadline: sweep.deadline,
+        max_passes: 32,
+    };
+
+    let trace = generate_fleet(&FleetTraceConfig {
+        groups,
+        base_objects,
+        members_per_group: max_revocations + 3,
+        max_revocations,
+        seed: 0xf1ee7,
+    });
+    println!(
+        "fleet sweep: {} groups ({} objects, {} rotations total, {payload}B payloads, \
+         {shards} data shards/group), shared fleet of {workers} workers vs {} dedicated \
+         pool threads vs serial",
+        groups,
+        trace.total_objects(),
+        trace.total_revocations(),
+        groups * shards,
+    );
+
+    let serial = run_serial(
+        &trace,
+        &build_stack(&trace, shards, payload, 7),
+        shards,
+        sweep,
+    );
+    let dedicated = run_dedicated(
+        &trace,
+        &build_stack(&trace, shards, payload, 7),
+        shards,
+        sweep,
+    );
+    let (shared, fleet_report, _scheduler) = run_shared(
+        &trace,
+        &build_stack(&trace, shards, payload, 7),
+        shards,
+        sweep,
+        fleet,
+    );
+
+    // staleness-priority ordering: the most-behind group finished its
+    // backlog before the freshest group did
+    let order = fleet_report.completion_order();
+    let most_behind = &trace.tenants[trace.arm_order[0]].group;
+    let freshest = &trace.tenants[*trace.arm_order.last().unwrap()].group;
+    let pos = |g: &str| order.iter().position(|o| *o == g).expect("completed");
+    assert!(
+        pos(most_behind) < pos(freshest),
+        "staleness priority: {most_behind} (stalest) must finish before {freshest} \
+         (freshest); completion order {order:?}"
+    );
+
+    let ratio = |a: Duration, b: Duration| a.as_secs_f64() / b.as_secs_f64().max(1e-9);
+    let rows: Vec<Vec<String>> = [
+        ("serial", &serial),
+        ("dedicated", &dedicated),
+        ("shared", &shared),
+    ]
+    .iter()
+    .map(|(mode, r)| {
+        vec![
+            mode.to_string(),
+            format!("{}", r.threads),
+            format!("{}", r.migrated),
+            fmt_duration(r.wall),
+            format!("{:.2}x", ratio(r.wall, dedicated.wall)),
+            fmt_duration(r.worst_overshoot),
+        ]
+    })
+    .collect();
+    print_table(
+        "fleet convergence: shared W-worker scheduler vs dedicated pools vs serial",
+        &[
+            "mode",
+            "sweep threads",
+            "migrated",
+            "converge all",
+            "vs dedicated",
+            "worst overshoot",
+        ],
+        &rows,
+    );
+
+    let mut group_rows = Vec::new();
+    for (rank, &idx) in trace.arm_order.iter().enumerate() {
+        let tenant = &trace.tenants[idx];
+        let g = fleet_report.group(&tenant.group).unwrap();
+        group_rows.push(vec![
+            tenant.group.clone(),
+            format!("{}", tenant.objects),
+            format!("{}", tenant.revocations),
+            format!("{rank}"),
+            format!("{}", pos(&tenant.group)),
+            format!("{}", g.leases),
+            fmt_duration(serial.per_group[idx]),
+            fmt_duration(dedicated.per_group[idx]),
+            fmt_duration(shared.per_group[idx]),
+        ]);
+    }
+    print_table(
+        "per group (staleness rank 0 = most behind; completion index per the shared run)",
+        &[
+            "group",
+            "objects",
+            "rotations",
+            "stale rank",
+            "completed#",
+            "leases",
+            "serial",
+            "dedicated",
+            "shared",
+        ],
+        &group_rows,
+    );
+
+    println!(
+        "\nthe shared fleet serves {} groups with {} workers ({} threads saved vs \
+         dedicated pools) at {:.2}x dedicated wall-clock; leases follow staleness \
+         priority, so the deepest backlog drains first while idle groups cost \
+         nothing between waves.",
+        groups,
+        workers,
+        dedicated.threads.saturating_sub(shared.threads),
+        ratio(shared.wall, dedicated.wall),
+    );
+
+    assert!(
+        ratio(shared.wall, dedicated.wall) <= 1.5,
+        "acceptance: shared fleet must stay within 1.5x of dedicated pools \
+         (shared {:?} vs dedicated {:?})",
+        shared.wall,
+        dedicated.wall
+    );
+
+    if let Some(path) = &args.json {
+        let mode_row = |mode: &str, r: &ModeResult| {
+            Json::obj([
+                ("table", Json::from("fleet")),
+                ("mode", Json::from(mode)),
+                ("threads", Json::from(r.threads)),
+                ("migrated", Json::from(r.migrated)),
+                ("wall_ms", Json::ms(r.wall)),
+                ("vs_dedicated", Json::from(ratio(r.wall, dedicated.wall))),
+                ("worst_overshoot_ms", Json::ms(r.worst_overshoot)),
+            ])
+        };
+        let mut rows = vec![
+            mode_row("serial", &serial),
+            mode_row("dedicated", &dedicated),
+            mode_row("shared", &shared),
+        ];
+        for (rank, &idx) in trace.arm_order.iter().enumerate() {
+            let tenant = &trace.tenants[idx];
+            let g = fleet_report.group(&tenant.group).unwrap();
+            rows.push(Json::obj([
+                ("table", Json::from("groups")),
+                ("group", Json::from(tenant.group.as_str())),
+                ("objects", Json::from(tenant.objects)),
+                ("rotations", Json::from(tenant.revocations)),
+                ("stale_rank", Json::from(rank)),
+                ("completion_index", Json::from(pos(&tenant.group))),
+                ("leases", Json::from(g.leases)),
+                ("serial_ms", Json::ms(serial.per_group[idx])),
+                ("dedicated_ms", Json::ms(dedicated.per_group[idx])),
+                ("shared_ms", Json::ms(shared.per_group[idx])),
+            ]));
+        }
+        write_results(
+            path,
+            "fleet_sweep",
+            [
+                ("full", Json::from(args.full)),
+                ("groups", Json::from(groups)),
+                ("workers", Json::from(workers)),
+                ("data_shards", Json::from(shards)),
+                ("base_objects", Json::from(base_objects)),
+                ("total_objects", Json::from(trace.total_objects())),
+                ("total_rotations", Json::from(trace.total_revocations())),
+                ("payload", Json::from(payload)),
+                ("lease", Json::from(fleet.lease)),
+            ],
+            rows,
+        );
+    }
+
+    if args.check {
+        // coarse per-PR sanity: sharing a bounded fleet must not regress
+        // below the serial floor (small headroom for 1-core CI jitter)
+        assert!(
+            ratio(shared.wall, serial.wall) <= 1.25,
+            "--check: shared fleet slower than the serial baseline \
+             (shared {:?} vs serial {:?})",
+            shared.wall,
+            serial.wall
+        );
+        println!("--check passed: shared fleet within bounds of serial and dedicated");
+    }
+}

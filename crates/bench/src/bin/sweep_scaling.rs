@@ -16,12 +16,15 @@
 //! threads), at each shard count.
 //!
 //! Flags: `--shards A,B,…` (default `1,2,4,8`), `--ops N` (object-count
-//! override for part 1), `--full` (paper-scale objects/payloads).
+//! override for part 1), `--full` (paper-scale objects/payloads),
+//! `--json PATH` (machine-readable series), `--check` (the highest shard
+//! count must converge no slower than the lowest — the per-PR CI gate).
 
 use cloud_store::{stable_hash64, LatencyModel, ShardedStore};
 use dataplane::{
     ClientSession, ReencryptionPolicy, RevocationCoordinator, SweepConfig, SweepDriver, SweepPool,
 };
+use ibbe_sgx_bench::json::{write_results, Json};
 use ibbe_sgx_bench::{fmt_duration, print_table, time, BenchArgs};
 use ibbe_sgx_core::{GroupEngine, MembershipBatch, PartitionSize};
 use std::time::Duration;
@@ -81,8 +84,15 @@ fn deploy(shards: usize, objects: usize, payload: usize, latency: LatencyModel) 
     Deployment { admin, store, pool }
 }
 
-fn converge_rows(shard_counts: &[usize], objects: usize, payload: usize, latency: LatencyModel) {
+fn converge_rows(
+    shard_counts: &[usize],
+    objects: usize,
+    payload: usize,
+    latency: LatencyModel,
+) -> (Vec<Json>, Vec<(usize, Duration)>) {
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut walls = Vec::new();
     let mut baseline = None;
     for &shards in shard_counts {
         let mut d = deploy(shards, objects, payload, latency);
@@ -114,6 +124,15 @@ fn converge_rows(shard_counts: &[usize], objects: usize, payload: usize, latency
             format!("{speedup:.1}x"),
             format!("{pruned}"),
         ]);
+        json_rows.push(Json::obj([
+            ("table", Json::from("converge")),
+            ("shards", Json::from(shards)),
+            ("migrated", Json::from(report.migrated)),
+            ("converge_ms", Json::ms(wall)),
+            ("speedup", Json::from(speedup)),
+            ("epochs_pruned", Json::from(pruned)),
+        ]));
+        walls.push((shards, wall));
         let _ = d.store;
     }
     print_table(
@@ -121,9 +140,15 @@ fn converge_rows(shard_counts: &[usize], objects: usize, payload: usize, latency
         &["shards", "migrated", "converge", "speedup", "epochs pruned"],
         &rows,
     );
+    (json_rows, walls)
 }
 
-fn throughput_rows(shard_counts: &[usize], objects: usize, events: usize, latency: LatencyModel) {
+fn throughput_rows(
+    shard_counts: &[usize],
+    objects: usize,
+    events: usize,
+    latency: LatencyModel,
+) -> Vec<Json> {
     let trace = generate_read_write(&RwTraceConfig {
         objects,
         events,
@@ -134,6 +159,7 @@ fn throughput_rows(shard_counts: &[usize], objects: usize, events: usize, latenc
         seed: 0x5ca1e,
     });
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for &shards in shard_counts {
         let d = deploy(shards, 0, 0, latency);
         // the skewed trace partitioned over concurrent sessions by the
@@ -178,6 +204,13 @@ fn throughput_rows(shard_counts: &[usize], objects: usize, events: usize, latenc
             fmt_duration(wall),
             format!("{throughput:.0}/s"),
         ]);
+        json_rows.push(Json::obj([
+            ("table", Json::from("throughput")),
+            ("shards", Json::from(shards)),
+            ("events", Json::from(events)),
+            ("wall_ms", Json::ms(wall)),
+            ("events_per_sec", Json::from(throughput)),
+        ]));
     }
     print_table(
         &format!(
@@ -186,6 +219,7 @@ fn throughput_rows(shard_counts: &[usize], objects: usize, events: usize, latenc
         &["shards", "events", "wall", "throughput"],
         &rows,
     );
+    json_rows
 }
 
 fn main() {
@@ -215,8 +249,13 @@ fn main() {
          {:?} base latency per request, shard counts {shard_counts:?}",
         latency
     );
-    converge_rows(&shard_counts, objects, payload, latency);
-    throughput_rows(&shard_counts, objects.min(64), events, latency);
+    let (mut json_rows, walls) = converge_rows(&shard_counts, objects, payload, latency);
+    json_rows.extend(throughput_rows(
+        &shard_counts,
+        objects.min(64),
+        events,
+        latency,
+    ));
     println!(
         "\nconvergence scales with the shard count because each SweepPool worker's \
          GET/CAS round-trips hit its own shard (independent clock, wait queue and \
@@ -224,4 +263,41 @@ fn main() {
          so it stays flat — sharding buys sweep parallelism and isolation, not \
          single-client speed."
     );
+
+    if let Some(path) = &args.json {
+        write_results(
+            path,
+            "sweep_scaling",
+            [
+                ("full", Json::from(args.full)),
+                ("objects", Json::from(objects)),
+                ("payload", Json::from(payload)),
+                ("events", Json::from(events)),
+                (
+                    "shards",
+                    Json::Arr(shard_counts.iter().map(|&s| Json::from(s)).collect()),
+                ),
+            ],
+            json_rows,
+        );
+    }
+
+    if args.check {
+        // coarse per-PR sanity: the widest deployment must converge no
+        // slower than the narrowest (with per-request latency it is in
+        // fact ~linearly faster, so the margin is wide)
+        let (lo_shards, lo) = *walls.iter().min_by_key(|(s, _)| *s).expect("non-empty");
+        let (hi_shards, hi) = *walls.iter().max_by_key(|(s, _)| *s).expect("non-empty");
+        if lo_shards < hi_shards {
+            assert!(
+                hi.as_secs_f64() <= lo.as_secs_f64() * 1.1,
+                "--check: {hi_shards}-shard convergence ({hi:?}) slower than the \
+                 {lo_shards}-shard baseline ({lo:?})"
+            );
+            println!(
+                "--check passed: {hi_shards}-shard convergence is not slower than \
+                 {lo_shards}-shard"
+            );
+        }
+    }
 }

@@ -14,7 +14,13 @@
 //!
 //! Every binary accepts `--full` to run at paper-scale parameters (slow) and
 //! prints the series it measured in a row/column format mirroring the paper.
+//! The data-plane binaries (`lazy_vs_eager`, `sweep_scaling`, `fleet_sweep`)
+//! additionally accept `--json PATH` to archive the measured series
+//! machine-readably (see [`json`]) and `--check` to enforce their coarse
+//! perf sanity gates — the combination the per-PR CI bench smoke runs.
 //! `benches/micro.rs` holds Criterion microbenchmarks of the primitives.
+
+pub mod json;
 
 use acs::{Admin, HeAdmin};
 use cloud_store::CloudStore;
@@ -37,18 +43,29 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 }
 
 /// Simple command-line flags: `--full`, `--ops N`, `--no-repartition`,
-/// `--shards A,B,…`.
+/// `--shards A,B,…`, `--groups N`, `--workers N`, `--json PATH`,
+/// `--check`.
 #[derive(Clone, Debug)]
 pub struct BenchArgs {
     /// Run at paper-scale parameters.
     pub full: bool,
     /// Override the number of trace operations (fig9/fig10) or objects
-    /// (sweep_scaling).
+    /// (sweep_scaling, fleet_sweep base objects).
     pub ops: Option<usize>,
     /// Disable the re-partitioning heuristic (fig10 ablation).
     pub no_repartition: bool,
     /// Override the shard-count sweep (sweep_scaling), e.g. `--shards 2,8`.
     pub shards: Option<Vec<usize>>,
+    /// Override the tenant-group count (fleet_sweep).
+    pub groups: Option<usize>,
+    /// Override the shared fleet's worker count (fleet_sweep).
+    pub workers: Option<usize>,
+    /// Also write the measured series as machine-readable JSON (see
+    /// [`crate::json`]) to this path.
+    pub json: Option<String>,
+    /// Enforce the bench's coarse perf sanity checks (exit non-zero on
+    /// regression) — what the per-PR CI smoke runs.
+    pub check: bool,
 }
 
 impl BenchArgs {
@@ -59,17 +76,27 @@ impl BenchArgs {
             ops: None,
             no_repartition: false,
             shards: None,
+            groups: None,
+            workers: None,
+            json: None,
+            check: false,
         };
         let mut it = std::env::args().skip(1);
+        let int_flag = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs an integer"))
+        };
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => args.full = true,
                 "--no-repartition" => args.no_repartition = true,
-                "--ops" => {
-                    args.ops = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .or_else(|| panic!("--ops needs an integer"));
+                "--check" => args.check = true,
+                "--ops" => args.ops = Some(int_flag(&mut it, "--ops")),
+                "--groups" => args.groups = Some(int_flag(&mut it, "--groups")),
+                "--workers" => args.workers = Some(int_flag(&mut it, "--workers")),
+                "--json" => {
+                    args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
                 "--shards" => {
                     let list = it.next().unwrap_or_else(|| panic!("--shards needs a list"));
@@ -88,7 +115,10 @@ impl BenchArgs {
                     args.shards = Some(parsed);
                 }
                 "--help" | "-h" => {
-                    eprintln!("flags: --full  --ops N  --no-repartition  --shards A,B,…");
+                    eprintln!(
+                        "flags: --full  --ops N  --no-repartition  --shards A,B,…  \
+                         --groups N  --workers N  --json PATH  --check"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}"),

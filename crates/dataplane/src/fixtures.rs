@@ -1,0 +1,51 @@
+//! Data-plane session builders over [`acs::FleetFixture`] — the
+//! test/bench counterpart of the control-plane fixture.
+//!
+//! `acs`'s fixture stops at user keys (it cannot know about sessions a
+//! crate above it); these helpers finish the job so multi-group suites and
+//! the `fleet_sweep` bench build their writers, readers and per-shard
+//! sweeper sessions in one call each instead of re-spelling the
+//! usk/pk/store/shards glue.
+
+use crate::session::ClientSession;
+use acs::FleetFixture;
+
+/// A deterministic session for `identity` on one of the fixture's groups,
+/// spread over `shards` data folders.
+///
+/// # Panics
+/// Panics if the fixture cannot extract `identity`'s key.
+pub fn fleet_session(
+    fixture: &FleetFixture,
+    identity: &str,
+    group: &str,
+    shards: usize,
+    seed: u64,
+) -> ClientSession {
+    ClientSession::with_seed(
+        identity,
+        fixture.usk(identity).expect("fixture extracts the usk"),
+        fixture.public_key(),
+        fixture.admin().store().clone(),
+        group,
+        seed,
+    )
+    .with_data_shards(shards)
+}
+
+/// One sweeper session per data folder (the shape [`crate::SweepTask`]
+/// and [`crate::SweepPool`] take), deterministically seeded per worker.
+///
+/// # Panics
+/// Panics if the fixture cannot extract `identity`'s key.
+pub fn fleet_sweep_sessions(
+    fixture: &FleetFixture,
+    identity: &str,
+    group: &str,
+    shards: usize,
+    seed: u64,
+) -> Vec<ClientSession> {
+    (0..shards)
+        .map(|w| fleet_session(fixture, identity, group, shards, seed ^ ((w as u64) << 32)))
+        .collect()
+}

@@ -19,6 +19,12 @@
 //!   (see [`data_shard_folder`]) and drives the shards concurrently, so
 //!   convergence time drops roughly by the shard factor on a
 //!   `ShardedStore`.
+//! * [`SweepScheduler`] — fleet-scale lazy revocation: a fixed pool of W
+//!   workers serves G registered groups' [`SweepTask`]s, leasing
+//!   per-folder [`SweepPass`] steps in staleness-priority order (the group
+//!   furthest behind its lazy-window deadline runs first) and re-arming
+//!   idle groups from long-poll notifications. The `fleet_sweep` bench
+//!   binary compares it against G dedicated pools.
 //! * [`RevocationCoordinator`] — applies membership batches under a
 //!   [`ReencryptionPolicy`]: `Lazy` (O(1) revocation, bounded stale window)
 //!   or `Eager` (O(n) synchronous sweep at revocation time). The
@@ -53,17 +59,22 @@
 pub mod coordinator;
 pub mod envelope;
 pub mod error;
+pub mod fixtures;
 pub mod metrics;
 pub mod pool;
 pub mod replay;
+pub mod scheduler;
 pub mod session;
 pub mod sweeper;
 
 pub use coordinator::{ReencryptionPolicy, RevocationCoordinator, RevocationOutcome};
 pub use envelope::{SealedObject, OBJECT_FORMAT_V1};
 pub use error::DataError;
-pub use metrics::{DataMetrics, DataMetricsSnapshot};
+pub use metrics::{DataMetrics, DataMetricsSnapshot, FleetMetrics};
 pub use pool::SweepPool;
 pub use replay::{RwSystemBackend, RwSystemConfig, SWEEPER_IDENTITY, WRITER_IDENTITY};
+pub use scheduler::{
+    FleetConfig, FleetReport, GroupSweepReport, LeaseRecord, SweepScheduler, SweepTask, TaskId,
+};
 pub use session::{data_folder, data_shard_folder, ClientSession};
-pub use sweeper::{SweepConfig, SweepDriver, SweepReport, Sweeper};
+pub use sweeper::{SweepConfig, SweepDriver, SweepPass, SweepReport, Sweeper};

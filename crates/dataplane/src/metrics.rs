@@ -56,6 +56,30 @@ impl DataMetricsSnapshot {
     }
 }
 
+/// Fleet-level counters with per-group attribution: the aggregate across
+/// every group a [`crate::SweepScheduler`] serves, plus each group's own
+/// slice — so fleet benches and tests can assert who did what without
+/// parsing logs.
+#[derive(Debug, Clone, Default)]
+pub struct FleetMetrics {
+    /// Field-wise sum over every group's sweep sessions.
+    pub total: DataMetricsSnapshot,
+    /// Per-group breakdown, keyed by group label in task-registration
+    /// order. Each entry sums only that group's unit sessions, so it
+    /// covers exactly the work the scheduler drove for that group.
+    pub by_group: Vec<(String, DataMetricsSnapshot)>,
+}
+
+impl FleetMetrics {
+    /// The snapshot attributed to `group`, if registered.
+    pub fn group(&self, group: &str) -> Option<&DataMetricsSnapshot> {
+        self.by_group
+            .iter()
+            .find(|(g, _)| g == group)
+            .map(|(_, m)| m)
+    }
+}
+
 impl DataMetrics {
     pub(crate) fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,740 @@
+//! [`SweepScheduler`]: many groups' lazy-window convergence on one shared,
+//! bounded worker fleet.
+//!
+//! A [`crate::SweepPool`] converges **one** group with one worker per data
+//! shard. A provider hosting G groups cannot afford G dedicated pools —
+//! that is G × shards threads for work that is bursty and mostly idle. The
+//! scheduler inverts the shape: a fixed fleet of `W` workers
+//! ([`FleetConfig::workers`]) serves every registered group's
+//! [`SweepTask`], so "W workers, G groups" is an explicit configuration
+//! instead of an emergent thread count.
+//!
+//! * **Work units.** Each task contributes one unit per data folder; a
+//!   unit's lease runs one [`crate::SweepPass`] step — scan the folder once
+//!   (first lease of a pass), then migrate up to [`FleetConfig::lease`]
+//!   stale objects — exactly the primitive [`crate::Sweeper`] composes for
+//!   the single-group path.
+//! * **Staleness priority.** Arming a task stamps it with a monotone
+//!   sequence number; ready units are leased oldest stamp first (the group
+//!   furthest behind its lazy-window deadline runs first), FIFO within a
+//!   stamp. A task keeps its stamp until its whole backlog converges, so a
+//!   fresher rotation can never leapfrog an older one.
+//! * **Re-arming.** [`SweepScheduler::watch`] blocks on the groups'
+//!   metadata folders with at most `W` poll threads (cheap folder-version
+//!   cursors, no object traffic), probes changed groups for an epoch move,
+//!   and arms exactly those — idle groups cost nothing.
+//!
+//! [`SweepScheduler::converge_all`] then drives the fleet to quiescence on
+//! `W` scoped threads and reports per-group attribution: a labelled
+//! [`GroupSweepReport`] per converged backlog (completion order, lease
+//! counts, deadline overshoot) plus the grant-by-grant [`LeaseRecord`] log
+//! the fairness tests assert against.
+
+use crate::error::DataError;
+use crate::metrics::{DataMetricsSnapshot, FleetMetrics};
+use crate::session::ClientSession;
+use crate::sweeper::{SweepConfig, SweepPass, SweepReport, Sweeper};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shape of the shared sweep fleet.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Worker threads shared by every registered group (`W`). The
+    /// scheduler never runs more than this many concurrent leases, no
+    /// matter how many groups are registered.
+    pub workers: usize,
+    /// Objects migrated per lease: the increment in which a unit's pass is
+    /// stepped before the worker goes back to the queue, bounding how long
+    /// a large group can hold a worker away from a staler one.
+    pub lease: usize,
+    /// Per-group lazy-window target: a group converging later than
+    /// `deadline` after its arming shows up as
+    /// [`GroupSweepReport::overshoot`]. The deadline prioritizes work, it
+    /// never abandons it.
+    pub deadline: Duration,
+    /// Safety cap on re-scans of one folder within a single backlog (a
+    /// writer with a frozen pre-rotation ring can keep re-sealing objects
+    /// at a retired epoch, forcing re-passes). When hit, the unit retires
+    /// unconverged and the group's report says so.
+    pub max_passes: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            lease: 8,
+            deadline: Duration::from_secs(2),
+            max_passes: 32,
+        }
+    }
+}
+
+/// One group's registration with the fleet: a per-data-folder set of
+/// sweeper sessions, labelled by the group they serve.
+pub struct SweepTask {
+    units: Vec<Sweeper>,
+}
+
+impl SweepTask {
+    /// Builds a task from one privileged session per data folder (session
+    /// `i` of `n` sweeps folder `i`), all pacing with `config`. The
+    /// sessions must share a group and agree on the data-shard count —
+    /// typically they are clones-by-construction of the same sweeper
+    /// identity, exactly like a [`crate::SweepPool`]'s.
+    ///
+    /// # Panics
+    /// Panics if `sessions` is empty, disagrees on group or shard count,
+    /// or its length differs from the sessions' data-shard count.
+    pub fn new(sessions: Vec<ClientSession>, config: SweepConfig) -> Self {
+        assert!(
+            !sessions.is_empty(),
+            "at least one unit session is required"
+        );
+        let group = sessions[0].group().to_string();
+        let shards = sessions[0].data_shards();
+        assert_eq!(
+            sessions.len(),
+            shards,
+            "one session per data folder is required"
+        );
+        for s in &sessions {
+            assert_eq!(s.group(), group, "task sessions must share a group");
+            assert_eq!(
+                s.data_shards(),
+                shards,
+                "task sessions must agree on the data-shard count"
+            );
+        }
+        let units = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(i, session)| Sweeper::with_assignment(session, config, i, shards))
+            .collect();
+        Self { units }
+    }
+
+    /// The group this task sweeps.
+    pub fn group(&self) -> &str {
+        self.units[0].session().group()
+    }
+}
+
+/// Identifier of a registered task (dense, assigned by registration
+/// order).
+pub type TaskId = usize;
+
+/// One lease grant, as the dispatcher saw it — the raw material of the
+/// fairness assertions.
+#[derive(Clone, Debug)]
+pub struct LeaseRecord {
+    /// Group the leased unit belongs to.
+    pub group: String,
+    /// The group's staleness stamp at grant time (lower = armed earlier =
+    /// more behind).
+    pub stamp: u64,
+    /// The lowest stamp still waiting in the ready queue *after* this
+    /// grant — `None` when the queue drained. Priority says
+    /// `stamp <= remaining_min_stamp` on every record: no lease ever went
+    /// to a fresher group while a staler one had a unit ready.
+    pub remaining_min_stamp: Option<u64>,
+    /// Stale objects consumed from the unit's work-list by this lease
+    /// (zero for a scan-only lease of a clean folder, or for a lease that
+    /// aborted on an error).
+    pub consumed: usize,
+}
+
+/// One group's converged backlog, attributed by label — what
+/// "who did what" looks like without parsing logs.
+#[derive(Clone, Debug)]
+pub struct GroupSweepReport {
+    /// The group swept.
+    pub group: String,
+    /// Staleness stamp the backlog was served under.
+    pub stamp: u64,
+    /// Merged sweep counters over every unit and pass of this backlog
+    /// (`converged` is the final per-unit state, not an AND over
+    /// intermediate passes; `elapsed` is this group's convergence wall
+    /// clock measured from the fleet run's start).
+    pub report: SweepReport,
+    /// Leases this backlog consumed.
+    pub leases: u64,
+    /// How far past `armed_at + deadline` the backlog converged
+    /// (zero when the deadline was met).
+    pub overshoot: Duration,
+}
+
+/// Outcome of one [`SweepScheduler::converge_all`] fleet run.
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// Per-group reports **in completion order**: `groups[0]` finished its
+    /// backlog first. Staleness priority makes the most-behind group
+    /// finish before the freshest one whenever the fleet is meaningfully
+    /// oversubscribed.
+    pub groups: Vec<GroupSweepReport>,
+    /// Fleet-level aggregate: counters summed, `converged` AND-ed,
+    /// `elapsed` the true wall clock of the run. `min_live_epoch` is
+    /// `None` — epoch floors are per-group quantities (each group runs its
+    /// own epoch counter); take them from [`FleetReport::groups`].
+    pub total: SweepReport,
+    /// Every lease grant, in grant order.
+    pub leases: Vec<LeaseRecord>,
+    /// Worker threads the run used.
+    pub workers: usize,
+}
+
+impl FleetReport {
+    /// Completion order as group names.
+    pub fn completion_order(&self) -> Vec<&str> {
+        self.groups.iter().map(|g| g.group.as_str()).collect()
+    }
+
+    /// The report for `group`, if it completed a backlog in this run.
+    pub fn group(&self, group: &str) -> Option<&GroupSweepReport> {
+        self.groups.iter().find(|g| g.group == group)
+    }
+
+    /// The worst per-group deadline overshoot of the run.
+    pub fn worst_overshoot(&self) -> Duration {
+        self.groups
+            .iter()
+            .map(|g| g.overshoot)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// A registered task plus its scheduling state.
+struct TaskEntry {
+    group: String,
+    /// `None` while a unit is checked out into a fleet run.
+    units: Vec<Option<Sweeper>>,
+    /// Arm stamp of the oldest unserved rotation; `None` when idle.
+    stamp: Option<u64>,
+    /// When that oldest rotation was observed (deadline accounting).
+    armed_at: Option<Instant>,
+    /// Metadata-folder version cursor for the cheap watch pass.
+    cursor: u64,
+}
+
+/// The multi-group sweep scheduler; see the module docs.
+pub struct SweepScheduler {
+    config: FleetConfig,
+    tasks: Vec<TaskEntry>,
+    /// Monotone arm-stamp source.
+    clock: u64,
+}
+
+impl SweepScheduler {
+    /// An empty scheduler with the given fleet shape.
+    ///
+    /// # Panics
+    /// Panics if `config.workers` or `config.lease` is zero.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.workers >= 1, "at least one fleet worker is required");
+        assert!(config.lease >= 1, "the lease increment must be positive");
+        Self {
+            config,
+            tasks: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// The fleet shape.
+    pub fn config(&self) -> FleetConfig {
+        self.config
+    }
+
+    /// Registers a group's task and returns its id. The group's current
+    /// metadata version becomes the watch baseline: rotations published
+    /// *before* registration are not auto-detected — [`SweepScheduler::arm`]
+    /// such a group explicitly.
+    pub fn register(&mut self, task: SweepTask) -> TaskId {
+        let group = task.group().to_string();
+        let cursor = task.units[0].session().store().folder_version(&group);
+        self.tasks.push(TaskEntry {
+            group,
+            units: task.units.into_iter().map(Some).collect(),
+            stamp: None,
+            armed_at: None,
+            cursor,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Number of registered tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Registered group names, in registration (task-id) order.
+    pub fn groups(&self) -> Vec<&str> {
+        self.tasks.iter().map(|t| t.group.as_str()).collect()
+    }
+
+    /// Whether `task` currently has an unserved backlog.
+    pub fn is_armed(&self, task: TaskId) -> bool {
+        self.tasks[task].stamp.is_some()
+    }
+
+    /// Marks `task` stale now: its units join the next fleet run. A task
+    /// armed while already pending keeps its original (older) stamp and
+    /// deadline — staleness is measured from the oldest unserved rotation.
+    pub fn arm(&mut self, task: TaskId) {
+        let entry = &mut self.tasks[task];
+        if entry.stamp.is_none() {
+            entry.stamp = Some(self.clock);
+            entry.armed_at = Some(Instant::now());
+            self.clock += 1;
+        }
+    }
+
+    /// Arms every registered task (a fleet-wide rotation wave).
+    pub fn arm_all(&mut self) {
+        for task in 0..self.tasks.len() {
+            self.arm(task);
+        }
+    }
+
+    /// Watches every registered group's metadata folder for up to
+    /// `timeout` and arms the tasks whose key epoch moved, returning how
+    /// many were (newly) armed. Detection is two-staged so idle groups
+    /// cost nothing: a folder-version compare first (no object traffic at
+    /// all), then a zero-timeout control-plane probe only for folders that
+    /// actually changed (structural changes like pure adds update the
+    /// cursor without arming). The blocking wait uses at most
+    /// [`FleetConfig::workers`] poll threads regardless of the group
+    /// count.
+    ///
+    /// # Errors
+    /// Control-plane failures from a changed group's probe.
+    pub fn watch(&mut self, timeout: Duration) -> Result<usize, DataError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let armed = self.check_and_arm()?;
+            if armed > 0 {
+                return Ok(armed);
+            }
+            let now = Instant::now();
+            if now >= deadline || self.tasks.is_empty() {
+                return Ok(0);
+            }
+            self.wait_any(deadline);
+        }
+    }
+
+    /// One cheap detection pass: folder-version compares plus epoch probes
+    /// for the folders that moved. Arms and counts the stale tasks.
+    fn check_and_arm(&mut self) -> Result<usize, DataError> {
+        let mut armed = 0;
+        for task in 0..self.tasks.len() {
+            let entry = &mut self.tasks[task];
+            let was_idle = entry.stamp.is_none();
+            let watcher = entry.units[0]
+                .as_mut()
+                .expect("units are parked between fleet runs");
+            let version = watcher.session().store().folder_version(&entry.group);
+            if version == entry.cursor {
+                continue;
+            }
+            // the probe also re-arms the watcher's key ring for free; a
+            // rotation observed by an already-armed task merges into the
+            // existing backlog under its (older) stamp. The cursor commits
+            // only after the probe succeeds — a transient probe failure
+            // must leave the change detectable by the retry.
+            let epoch_moved = watcher.poll(Duration::ZERO)?;
+            self.tasks[task].cursor = version;
+            if epoch_moved && was_idle {
+                self.arm(task);
+                armed += 1;
+            }
+        }
+        Ok(armed)
+    }
+
+    /// Blocks until any registered group's metadata folder moves past its
+    /// cursor or `deadline` passes, using at most `workers` threads. Every
+    /// thread polls its share of the folders in short slices — a change on
+    /// a thread's own folder wakes it instantly, a change elsewhere is
+    /// noticed at the next slice boundary (the scoped join waits for every
+    /// thread, so nobody may sleep through a sibling's hit) — bounding
+    /// detection latency by `slice × ceil(groups / workers)`.
+    fn wait_any(&self, deadline: Instant) {
+        const SLICE: Duration = Duration::from_millis(20);
+        let watches: Vec<(cloud_store::StoreHandle, &str, u64)> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let unit = t.units[0].as_ref().expect("units are parked");
+                (unit.session().store().clone(), t.group.as_str(), t.cursor)
+            })
+            .collect();
+        let threads = self.config.workers.min(watches.len()).max(1);
+        let hit = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let mine: Vec<&(cloud_store::StoreHandle, &str, u64)> =
+                    watches.iter().skip(t).step_by(threads).collect();
+                let hit = &hit;
+                scope.spawn(move || {
+                    while !hit.load(Ordering::Relaxed) {
+                        for (store, folder, cursor) in &mine {
+                            let budget = deadline.saturating_duration_since(Instant::now());
+                            if budget.is_zero() {
+                                return;
+                            }
+                            let poll = store.long_poll(folder, *cursor, SLICE.min(budget));
+                            if !poll.timed_out {
+                                hit.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                            if hit.load(Ordering::Relaxed) {
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Fleet-wide counters plus the per-group breakdown (each group's
+    /// entry sums its own unit sessions, so the attribution covers exactly
+    /// the work this scheduler drove).
+    pub fn metrics(&self) -> FleetMetrics {
+        let by_group: Vec<(String, DataMetricsSnapshot)> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let merged = t
+                    .units
+                    .iter()
+                    .map(|u| {
+                        u.as_ref()
+                            .expect("units are parked between fleet runs")
+                            .metrics()
+                    })
+                    .fold(DataMetricsSnapshot::default(), |acc, m| acc.merge(&m));
+                (t.group.clone(), merged)
+            })
+            .collect();
+        let total = by_group
+            .iter()
+            .fold(DataMetricsSnapshot::default(), |acc, (_, m)| acc.merge(m));
+        FleetMetrics { total, by_group }
+    }
+
+    /// Drives every armed task's backlog to convergence on `W` shared
+    /// worker threads and returns the attributed fleet report. Armed tasks
+    /// are disarmed on completion (even an unconverged completion — see
+    /// [`FleetConfig::max_passes`] — so a stuck group surfaces in its
+    /// report instead of wedging the fleet); idle tasks are untouched. An
+    /// empty armed set returns an empty report immediately.
+    ///
+    /// # Errors
+    /// The first worker error aborts the run (remaining leases are
+    /// dropped, sweepers are returned to their tasks, armings are kept so
+    /// the run can be retried).
+    pub fn converge_all(&mut self) -> Result<FleetReport, DataError> {
+        let t0 = Instant::now();
+        let lease = self.config.lease;
+        let max_passes = self.config.max_passes.max(1);
+
+        // check armed tasks' units out into the dispatch state
+        let mut parked: Vec<Option<ActiveUnit>> = Vec::new();
+        let mut runs: Vec<TaskRun> = Vec::new();
+        let mut ready: BinaryHeap<Ready> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (task, entry) in self.tasks.iter_mut().enumerate() {
+            let Some(stamp) = entry.stamp else { continue };
+            let run = runs.len();
+            for (folder, slot) in entry.units.iter_mut().enumerate() {
+                let sweeper = slot.take().expect("unit already checked out");
+                ready.push(Ready {
+                    stamp,
+                    seq,
+                    slot: parked.len(),
+                });
+                seq += 1;
+                parked.push(Some(ActiveUnit {
+                    task,
+                    run,
+                    folder,
+                    sweeper,
+                    pass: None,
+                    passes: 0,
+                }));
+            }
+            runs.push(TaskRun {
+                task,
+                group: entry.group.clone(),
+                stamp,
+                armed_at: entry.armed_at.expect("armed tasks carry a timestamp"),
+                outstanding: entry.units.len(),
+                all_converged: true,
+                report: SweepReport::default(),
+                leases: 0,
+                completed_at: None,
+            });
+        }
+        if runs.is_empty() {
+            // an idle fleet is a quiescent one: same semantics as the
+            // non-empty path, whose AND over zero groups is true
+            return Ok(FleetReport {
+                workers: self.config.workers,
+                total: SweepReport {
+                    converged: true,
+                    ..SweepReport::default()
+                },
+                ..FleetReport::default()
+            });
+        }
+
+        let state = Mutex::new(Dispatch {
+            ready,
+            parked,
+            runs,
+            seq,
+            in_flight: 0,
+            completions: Vec::new(),
+            log: Vec::new(),
+            error: None,
+        });
+        let ready_for_work = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers {
+                scope.spawn(|| worker_loop(&state, &ready_for_work, lease, max_passes));
+            }
+        });
+
+        let dispatch = state.into_inner().expect("no worker holds the lock");
+        // return every sweeper to its task slot
+        for unit in dispatch.parked.into_iter().flatten() {
+            self.tasks[unit.task].units[unit.folder] = Some(unit.sweeper);
+        }
+        if let Some(e) = dispatch.error {
+            return Err(e);
+        }
+
+        let mut report = FleetReport {
+            total: SweepReport {
+                converged: true,
+                ..SweepReport::default()
+            },
+            leases: dispatch.log,
+            workers: self.config.workers,
+            ..FleetReport::default()
+        };
+        for run_idx in dispatch.completions {
+            let run = &dispatch.runs[run_idx];
+            let completed_at = run.completed_at.expect("completions are timestamped");
+            let mut group_report = run.report;
+            group_report.converged = run.all_converged;
+            group_report.elapsed = completed_at.duration_since(t0);
+            report.total.absorb(&group_report);
+            report.groups.push(GroupSweepReport {
+                group: run.group.clone(),
+                stamp: run.stamp,
+                report: group_report,
+                leases: run.leases,
+                overshoot: completed_at
+                    .duration_since(run.armed_at)
+                    .saturating_sub(self.config.deadline),
+            });
+            // a served backlog disarms its task
+            let entry = &mut self.tasks[run.task];
+            entry.stamp = None;
+            entry.armed_at = None;
+        }
+        report.total.min_live_epoch = None;
+        report.total.elapsed = t0.elapsed();
+        Ok(report)
+    }
+}
+
+impl core::fmt::Debug for SweepScheduler {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "SweepScheduler({} workers, {} groups, {} armed)",
+            self.config.workers,
+            self.tasks.len(),
+            self.tasks.iter().filter(|t| t.stamp.is_some()).count()
+        )
+    }
+}
+
+/// A unit checked out into a fleet run.
+struct ActiveUnit {
+    task: TaskId,
+    run: usize,
+    folder: usize,
+    sweeper: Sweeper,
+    pass: Option<SweepPass>,
+    passes: usize,
+}
+
+/// Per-armed-task bookkeeping during a fleet run.
+struct TaskRun {
+    task: TaskId,
+    group: String,
+    stamp: u64,
+    armed_at: Instant,
+    /// Units not yet retired (converged or pass-capped).
+    outstanding: usize,
+    all_converged: bool,
+    report: SweepReport,
+    leases: u64,
+    completed_at: Option<Instant>,
+}
+
+/// A ready unit in the staleness-priority queue: oldest stamp first, FIFO
+/// within a stamp.
+#[derive(PartialEq, Eq)]
+struct Ready {
+    stamp: u64,
+    seq: u64,
+    slot: usize,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest (stamp, seq)
+        // is popped first
+        (other.stamp, other.seq).cmp(&(self.stamp, self.seq))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shared dispatch state of one fleet run.
+struct Dispatch {
+    ready: BinaryHeap<Ready>,
+    parked: Vec<Option<ActiveUnit>>,
+    runs: Vec<TaskRun>,
+    seq: u64,
+    in_flight: usize,
+    /// Run indices in completion order.
+    completions: Vec<usize>,
+    log: Vec<LeaseRecord>,
+    error: Option<DataError>,
+}
+
+/// One fleet worker: lease the stalest ready unit, run one pass step
+/// outside the lock, fold the outcome back in, repeat until the run
+/// quiesces (or errors).
+fn worker_loop(state: &Mutex<Dispatch>, cvar: &Condvar, lease: usize, max_passes: usize) {
+    let mut guard = state.lock().expect("dispatch lock poisoned");
+    loop {
+        while guard.ready.is_empty() && guard.in_flight > 0 && guard.error.is_none() {
+            guard = cvar.wait(guard).expect("dispatch lock poisoned");
+        }
+        if guard.error.is_some() || guard.ready.is_empty() {
+            cvar.notify_all();
+            return;
+        }
+        let granted = guard.ready.pop().expect("checked non-empty");
+        let remaining_min_stamp = guard.ready.peek().map(|r| r.stamp);
+        let mut unit = guard.parked[granted.slot]
+            .take()
+            .expect("a ready unit is parked");
+        guard.in_flight += 1;
+        // the grant is logged at grant time, so the log really is in grant
+        // order even with concurrent workers; `consumed` is backfilled
+        // after the step
+        let log_idx = guard.log.len();
+        let record = LeaseRecord {
+            group: guard.runs[unit.run].group.clone(),
+            stamp: granted.stamp,
+            remaining_min_stamp,
+            consumed: 0,
+        };
+        guard.log.push(record);
+        guard.runs[unit.run].leases += 1;
+        drop(guard);
+
+        // the lease itself: scan on the first step of a pass, then one
+        // bounded migration increment — all outside the lock
+        let outcome: Result<usize, DataError> = (|| {
+            if unit.pass.is_none() {
+                unit.pass = Some(unit.sweeper.begin_pass()?);
+                unit.passes += 1;
+            }
+            let pass = unit.pass.as_mut().expect("pass just ensured");
+            if pass.is_drained() {
+                return Ok(0);
+            }
+            pass.step(&mut unit.sweeper, lease)
+        })();
+
+        guard = state.lock().expect("dispatch lock poisoned");
+        guard.in_flight -= 1;
+        match outcome {
+            Err(e) => {
+                unit.pass = None;
+                guard.parked[granted.slot] = Some(unit);
+                if guard.error.is_none() {
+                    guard.error = Some(e);
+                }
+            }
+            Ok(consumed) => {
+                let run = unit.run;
+                guard.log[log_idx].consumed = consumed;
+                let drained = unit
+                    .pass
+                    .as_ref()
+                    .expect("pass survives a successful lease")
+                    .is_drained();
+                if drained {
+                    let pass_report = unit
+                        .pass
+                        .take()
+                        .expect("pass present when drained")
+                        .finish();
+                    let folder_converged = pass_report.converged;
+                    guard.runs[run].report.absorb_counters(&pass_report);
+                    if folder_converged || unit.passes >= max_passes {
+                        // unit retires
+                        guard.runs[run].all_converged &= folder_converged;
+                        guard.runs[run].outstanding -= 1;
+                        if guard.runs[run].outstanding == 0 {
+                            guard.runs[run].completed_at = Some(Instant::now());
+                            guard.completions.push(run);
+                        }
+                        guard.parked[granted.slot] = Some(unit);
+                    } else {
+                        // conflicted-still-stale leftovers: re-scan on the
+                        // next lease, same stamp (the backlog is not served
+                        // until the folder really converges)
+                        guard.parked[granted.slot] = Some(unit);
+                        let seq = guard.seq;
+                        guard.seq += 1;
+                        guard.ready.push(Ready {
+                            stamp: granted.stamp,
+                            seq,
+                            slot: granted.slot,
+                        });
+                    }
+                } else {
+                    guard.parked[granted.slot] = Some(unit);
+                    let seq = guard.seq;
+                    guard.seq += 1;
+                    guard.ready.push(Ready {
+                        stamp: granted.stamp,
+                        seq,
+                        slot: granted.slot,
+                    });
+                }
+            }
+        }
+        cvar.notify_all();
+    }
+}

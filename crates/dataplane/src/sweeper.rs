@@ -17,6 +17,15 @@
 //! concurrently, which is what makes lazy-window convergence scale with the
 //! store's shard count.
 //!
+//! Internally every driving surface decomposes into the same work-unit
+//! primitive: [`Sweeper::begin_pass`] scans the assigned folders once and
+//! returns a resumable [`SweepPass`], which migrates the stale work-list in
+//! bounded [`SweepPass::step`] increments. [`Sweeper::tick`],
+//! [`Sweeper::run_until_converged`] and [`Sweeper::sweep_now`] are thin
+//! compositions of one pass; the multi-group [`crate::SweepScheduler`]
+//! leases the very same steps across many groups' passes from a shared
+//! worker fleet.
+//!
 //! Migrations are CAS writes conditioned on the scanned version, so the
 //! sweeper never tramples a concurrent application write — and losing that
 //! race is free, because the winning write sealed at the current epoch
@@ -80,11 +89,19 @@ impl SweepReport {
     /// convergence AND, epoch-floor min); elapsed is left to the caller,
     /// which knows the actual wall-clock of the merged run.
     pub(crate) fn absorb(&mut self, other: &SweepReport) {
+        self.absorb_counters(other);
+        self.converged = self.converged && other.converged;
+    }
+
+    /// Counter sums and epoch-floor min only, leaving `converged` alone —
+    /// for accumulators whose convergence is not an AND over the parts
+    /// (a multi-pass folder's final pass is the verdict, see
+    /// [`crate::SweepScheduler`]).
+    pub(crate) fn absorb_counters(&mut self, other: &SweepReport) {
         self.scanned += other.scanned;
         self.stale += other.stale;
         self.migrated += other.migrated;
         self.conflicts += other.conflicts;
-        self.converged = self.converged && other.converged;
         self.min_live_epoch = merge_floor(self.min_live_epoch, other.min_live_epoch);
     }
 }
@@ -190,33 +207,44 @@ impl Sweeper {
     /// failures other than CAS conflicts (which are counted, not fatal).
     pub fn tick(&mut self) -> Result<SweepReport, DataError> {
         let t0 = Instant::now();
+        let mut pass = self.begin_pass()?;
+        if self.config.max_per_tick > 0 {
+            pass.step(self, self.config.max_per_tick)?;
+        }
+        let mut report = pass.finish();
+        report.elapsed = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Scans the assigned folders **once** and returns a resumable
+    /// migration pass over the stale work-list — the work-unit primitive
+    /// every driver composes ([`Sweeper::tick`], [`Sweeper::sweep_now`],
+    /// [`Sweeper::run_until_converged`], and the fleet-wide
+    /// [`crate::SweepScheduler`], which leases [`SweepPass::step`]
+    /// increments of many groups' passes to a shared worker pool).
+    ///
+    /// # Errors
+    /// Control-plane failures from the freshness check; storage wire-format
+    /// corruption found by the scan.
+    pub fn begin_pass(&mut self) -> Result<SweepPass, DataError> {
         let scan = self.scan()?;
         let stale = scan.work.len();
-        let budget = self.config.max_per_tick.min(stale);
         let mut floor = scan.fresh_floor;
-        if budget > 0 {
+        if stale > 0 {
             // migrated items end at the current epoch; conflicted ones are
-            // re-checked below
+            // re-verified against their actual headers in migrate()
             floor = merge_floor(floor, Some(scan.current));
         }
-        for skipped in &scan.work[budget..] {
-            floor = merge_floor(floor, Some(skipped.epoch));
-        }
-        let pass = self.migrate(scan.work.into_iter().take(budget), scan.current)?;
-        let report = SweepReport {
+        Ok(SweepPass {
+            work: scan.work.into(),
+            current: scan.current,
             scanned: scan.scanned,
             stale,
-            migrated: pass.migrated,
-            conflicts: pass.conflicts,
-            // conflicted objects usually were re-sealed by their winning
-            // writer at the current epoch (verified against their actual
-            // headers); only budget-skipped and verified-still-stale ones
-            // are genuinely unhandled
-            converged: pass.migrated + pass.conflicts == stale && pass.still_stale == 0,
-            min_live_epoch: merge_floor(floor, pass.conflict_floor),
-            elapsed: t0.elapsed(),
-        };
-        Ok(report)
+            migrated: 0,
+            conflicts: 0,
+            still_stale: 0,
+            floor,
+        })
     }
 
     /// Sweeps until no stale object remains or the configured deadline
@@ -278,42 +306,17 @@ impl Sweeper {
     /// if given, checked every `max_per_tick` objects).
     fn drain(&mut self, deadline: Option<Duration>) -> Result<SweepReport, DataError> {
         let t0 = Instant::now();
-        let scan = self.scan()?;
-        let stale = scan.work.len();
-        let mut report = SweepReport {
-            scanned: scan.scanned,
-            stale,
-            min_live_epoch: scan.fresh_floor,
-            ..SweepReport::default()
-        };
-        if stale > 0 {
-            report.min_live_epoch = merge_floor(report.min_live_epoch, Some(scan.current));
-        }
+        let mut pass = self.begin_pass()?;
         let chunk = self.config.max_per_tick.max(1);
-        let mut still_stale = 0usize;
-        let mut work = scan.work.into_iter();
-        loop {
-            let batch: Vec<StaleObject> = work.by_ref().take(chunk).collect();
-            if batch.is_empty() {
-                report.converged = still_stale == 0;
-                break;
-            }
-            let pass = self.migrate(batch.into_iter(), scan.current)?;
-            report.migrated += pass.migrated;
-            report.conflicts += pass.conflicts;
-            still_stale += pass.still_stale;
-            report.min_live_epoch = merge_floor(report.min_live_epoch, pass.conflict_floor);
+        while !pass.is_drained() {
+            pass.step(self, chunk)?;
             if let Some(limit) = deadline {
-                if t0.elapsed() >= limit && work.len() > 0 {
-                    report.converged = false;
-                    for unhandled in work.by_ref() {
-                        report.min_live_epoch =
-                            merge_floor(report.min_live_epoch, Some(unhandled.epoch));
-                    }
+                if t0.elapsed() >= limit && !pass.is_drained() {
                     break;
                 }
             }
         }
+        let mut report = pass.finish();
         report.elapsed = t0.elapsed();
         Ok(report)
     }
@@ -379,10 +382,10 @@ impl Sweeper {
             .collect()
     }
 
-    /// Migrates the given work items; CAS conflicts are counted, not
-    /// fatal. Re-using the scanned bytes is safe: a successful CAS proves
-    /// the object's version (and therefore its bytes) did not change since
-    /// the scan.
+    /// Migrates one work item, folding the outcome into `pass`; CAS
+    /// conflicts are counted, not fatal. Re-using the scanned bytes is
+    /// safe: a successful CAS proves the object's version (and therefore
+    /// its bytes) did not change since the scan.
     ///
     /// A conflict normally means the winning writer already re-sealed the
     /// object at the current epoch — but a writer whose ring raced the
@@ -391,33 +394,31 @@ impl Sweeper {
     /// folded into the pass's floor. Claiming the current epoch blindly
     /// would let a converged report authorize a history compaction that
     /// orphans that object forever.
-    fn migrate(
+    fn migrate_one(
         &mut self,
-        items: impl Iterator<Item = StaleObject>,
+        item: &StaleObject,
         current: u64,
-    ) -> Result<MigratePass, DataError> {
-        let mut pass = MigratePass::default();
-        for item in items {
-            let sealed = SealedObject::from_bytes(&item.bytes)?;
-            match self.session.migrate(&item.name, &sealed, item.version) {
-                Ok(()) => pass.migrated += 1,
-                Err(DataError::Conflict(_)) => {
-                    pass.conflicts += 1;
-                    let folder = self.session.folder_of(&item.name).to_string();
-                    if let Some((bytes, _)) = self.session.store().get(&folder, &item.name) {
-                        let epoch = SealedObject::peek_epoch(&bytes)
-                            .ok_or(DataError::WireFormat("data object header"))?;
-                        pass.conflict_floor = merge_floor(pass.conflict_floor, Some(epoch));
-                        if epoch < current {
-                            pass.still_stale += 1;
-                        }
+        pass: &mut MigratePass,
+    ) -> Result<(), DataError> {
+        let sealed = SealedObject::from_bytes(&item.bytes)?;
+        match self.session.migrate(&item.name, &sealed, item.version) {
+            Ok(()) => pass.migrated += 1,
+            Err(DataError::Conflict(_)) => {
+                pass.conflicts += 1;
+                let folder = self.session.folder_of(&item.name).to_string();
+                if let Some((bytes, _)) = self.session.store().get(&folder, &item.name) {
+                    let epoch = SealedObject::peek_epoch(&bytes)
+                        .ok_or(DataError::WireFormat("data object header"))?;
+                    pass.conflict_floor = merge_floor(pass.conflict_floor, Some(epoch));
+                    if epoch < current {
+                        pass.still_stale += 1;
                     }
-                    // a vanished object was deleted by the winner: handled
                 }
-                Err(e) => return Err(e),
+                // a vanished object was deleted by the winner: handled
             }
+            Err(e) => return Err(e),
         }
-        Ok(pass)
+        Ok(())
     }
 }
 
@@ -436,6 +437,105 @@ impl SweepDriver for Sweeper {
 
     fn metrics(&self) -> DataMetricsSnapshot {
         Sweeper::metrics(self)
+    }
+}
+
+/// A resumable migration pass over one scan's stale work-list: the
+/// schedulable work unit of the sweep machinery.
+///
+/// Produced by [`Sweeper::begin_pass`] (which pays the scan — one GET per
+/// in-scope object — exactly once); consumed by bounded
+/// [`SweepPass::step`] calls until drained, then folded into a
+/// [`SweepReport`] by [`SweepPass::finish`]. Single-group drivers step a
+/// pass to completion back-to-back; the fleet [`crate::SweepScheduler`]
+/// interleaves steps of many groups' passes across a shared worker pool,
+/// which is why the pass owns its work-list instead of borrowing the
+/// sweeper.
+#[derive(Debug)]
+pub struct SweepPass {
+    work: std::collections::VecDeque<StaleObject>,
+    /// The ring's current epoch at scan time.
+    current: u64,
+    scanned: usize,
+    stale: usize,
+    migrated: usize,
+    conflicts: usize,
+    still_stale: usize,
+    floor: Option<u64>,
+}
+
+impl SweepPass {
+    /// Stale objects not yet handed to [`SweepPass::step`].
+    pub fn remaining(&self) -> usize {
+        self.work.len()
+    }
+
+    /// True when the whole work-list has been migrated (or conflicted
+    /// away); [`SweepPass::finish`] will then report convergence unless a
+    /// conflicted object turned out to still be stale.
+    pub fn is_drained(&self) -> bool {
+        self.work.is_empty()
+    }
+
+    /// Migrates up to `budget` (at least 1) stale objects through
+    /// `sweeper`'s session; CAS conflicts are counted, not fatal. Returns
+    /// the number of work items consumed.
+    ///
+    /// # Errors
+    /// Non-CAS migration failures. The failed item goes back to the front
+    /// of the work-list, so the pass can be re-stepped (retrying it) or
+    /// [`SweepPass::finish`]ed (counting it — and everything behind it —
+    /// as unhandled: unconverged, epochs kept in the floor).
+    pub fn step(&mut self, sweeper: &mut Sweeper, budget: usize) -> Result<usize, DataError> {
+        let mut outcome = MigratePass::default();
+        let mut consumed = 0;
+        let mut failure = None;
+        for _ in 0..budget.max(1) {
+            let Some(item) = self.work.pop_front() else {
+                break;
+            };
+            if let Err(e) = sweeper.migrate_one(&item, self.current, &mut outcome) {
+                self.work.push_front(item);
+                failure = Some(e);
+                break;
+            }
+            consumed += 1;
+        }
+        // items handled before a failure are real work — fold them in
+        self.migrated += outcome.migrated;
+        self.conflicts += outcome.conflicts;
+        self.still_stale += outcome.still_stale;
+        self.floor = merge_floor(self.floor, outcome.conflict_floor);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(consumed),
+        }
+    }
+
+    /// Closes the pass into a [`SweepReport`]: any work items never
+    /// stepped count against convergence and fold their epochs into the
+    /// floor (exactly like a deadline-cut [`Sweeper::run_until_converged`]
+    /// does). `elapsed` is left zero — only the driver knows the true wall
+    /// clock around its steps.
+    pub fn finish(self) -> SweepReport {
+        let unhandled = self.work.len();
+        let mut floor = self.floor;
+        for skipped in &self.work {
+            floor = merge_floor(floor, Some(skipped.epoch));
+        }
+        SweepReport {
+            scanned: self.scanned,
+            stale: self.stale,
+            migrated: self.migrated,
+            conflicts: self.conflicts,
+            // conflicted objects usually were re-sealed by their winning
+            // writer at the current epoch (verified against their actual
+            // headers); only never-stepped and verified-still-stale ones
+            // are genuinely unhandled
+            converged: unhandled == 0 && self.still_stale == 0,
+            min_live_epoch: floor,
+            elapsed: Duration::ZERO,
+        }
     }
 }
 
@@ -464,6 +564,7 @@ struct Scan {
 
 /// One stale object captured by a scan: name, raw stored bytes, the
 /// version the migration CAS is conditioned on, and the epoch it sits at.
+#[derive(Debug)]
 struct StaleObject {
     name: String,
     bytes: Vec<u8>,

@@ -1,0 +1,292 @@
+//! Integration tests of the multi-group sweep scheduler: staleness-
+//! priority leasing on a bounded shared fleet, watch-driven re-arming
+//! (idle groups cost nothing), equivalence with dedicated per-group
+//! pools, per-group metrics attribution, and epoch-history compaction
+//! driven from a fleet report.
+
+use acs::FleetFixture;
+use cloud_store::CloudStore;
+use dataplane::fixtures::{fleet_session, fleet_sweep_sessions};
+use dataplane::{
+    FleetConfig, ReencryptionPolicy, RevocationCoordinator, SweepConfig, SweepDriver, SweepPool,
+    SweepScheduler, SweepTask,
+};
+use ibbe_sgx_core::{MembershipBatch, PartitionSize};
+use std::time::Duration;
+
+const WRITER: &str = "writer";
+const SWEEPER: &str = "sweeper";
+
+struct Fleet {
+    fixture: FleetFixture,
+    shards: usize,
+}
+
+/// Boots one admin over `sizes.len()` groups (`g0`, `g1`, …), each holding
+/// `sizes[i]` objects written by a shared writer identity.
+fn fleet(sizes: &[usize], shards: usize, seed: u64) -> Fleet {
+    let specs: Vec<(String, Vec<String>)> = (0..sizes.len())
+        .map(|i| {
+            (
+                format!("g{i}"),
+                (0..4).map(|m| format!("g{i}-u{m}")).collect(),
+            )
+        })
+        .collect();
+    let fixture = FleetFixture::new(
+        CloudStore::new(),
+        PartitionSize::new(4).unwrap(),
+        &specs,
+        &[WRITER.to_string(), SWEEPER.to_string()],
+        seed,
+    )
+    .unwrap();
+    for (i, &objects) in sizes.iter().enumerate() {
+        let mut writer = fleet_session(&fixture, WRITER, &format!("g{i}"), shards, seed ^ 0xa0);
+        for o in 0..objects {
+            writer
+                .write(
+                    &format!("obj-{o:04}"),
+                    format!("g{i} payload {o}").as_bytes(),
+                )
+                .unwrap();
+        }
+    }
+    Fleet { fixture, shards }
+}
+
+fn task(f: &Fleet, group: &str, seed: u64) -> SweepTask {
+    SweepTask::new(
+        fleet_sweep_sessions(&f.fixture, SWEEPER, group, f.shards, seed),
+        SweepConfig::default(),
+    )
+}
+
+fn revoke(f: &Fleet, group: &str, victim: &str) {
+    let mut batch = MembershipBatch::new();
+    batch.remove(victim);
+    let outcome = f.fixture.admin().apply_batch(group, &batch).unwrap();
+    assert!(outcome.gk_rotated);
+}
+
+/// The headline: W workers converge G > W groups; leases always go to the
+/// stalest ready group (verified from the grant log, race-free), every
+/// group converges and the most-behind group finishes before the freshest.
+#[test]
+fn shared_fleet_respects_staleness_priority() {
+    let sizes = [6, 6, 6, 6, 6, 6];
+    let f = fleet(&sizes, 2, 11);
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 2,
+        lease: 2,
+        deadline: Duration::from_secs(60),
+        max_passes: 32,
+    });
+    for i in 0..sizes.len() {
+        scheduler.register(task(&f, &format!("g{i}"), 0x50 + i as u64));
+    }
+    // the wave lands in reverse registration order: g5 is most behind
+    let arm_order = [5usize, 4, 3, 2, 1, 0];
+    for &i in &arm_order {
+        revoke(&f, &format!("g{i}"), &format!("g{i}-u0"));
+        scheduler.arm(i);
+    }
+
+    let report = scheduler.converge_all().unwrap();
+    assert!(report.total.converged);
+    assert_eq!(report.total.migrated, sizes.iter().sum::<usize>());
+    assert_eq!(report.groups.len(), sizes.len());
+    for (i, &objects) in sizes.iter().enumerate() {
+        let g = report.group(&format!("g{i}")).unwrap();
+        assert!(g.report.converged, "g{i} converged");
+        assert_eq!(g.report.migrated, objects);
+        assert_eq!(g.report.scanned, objects);
+        assert_eq!(g.overshoot, Duration::ZERO);
+    }
+
+    // no priority inversion: every grant went to the stalest ready group
+    assert!(!report.leases.is_empty());
+    for lease in &report.leases {
+        assert!(
+            lease.stamp <= lease.remaining_min_stamp.unwrap_or(u64::MAX),
+            "lease for {} (stamp {}) granted while a staler group was ready",
+            lease.group,
+            lease.stamp
+        );
+    }
+
+    // the most-behind group finishes its backlog before the freshest
+    let order = report.completion_order();
+    let pos = |g: &str| order.iter().position(|o| *o == g).unwrap();
+    assert!(
+        pos("g5") < pos("g0"),
+        "stalest g5 must complete before freshest g0: {order:?}"
+    );
+
+    // a served backlog disarms; an idle fleet run is empty
+    assert!((0..sizes.len()).all(|i| !scheduler.is_armed(i)));
+    let idle = scheduler.converge_all().unwrap();
+    assert!(idle.groups.is_empty() && idle.leases.is_empty());
+
+    // everything reads back at the new epoch for a surviving member
+    for (i, &objects) in sizes.iter().enumerate() {
+        let mut reader = fleet_session(&f.fixture, WRITER, &format!("g{i}"), 2, 0xbeef);
+        for o in 0..objects {
+            reader.read(&format!("obj-{o:04}")).unwrap();
+        }
+    }
+}
+
+/// Watch-driven re-arming: only groups whose key epoch moved get armed;
+/// structural changes and idle groups never wake the sweep machinery, so
+/// idle groups cost no migrations and no scans.
+#[test]
+fn watch_arms_exactly_the_rotated_groups() {
+    let f = fleet(&[3, 3, 3], 1, 22);
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 2,
+        ..FleetConfig::default()
+    });
+    for i in 0..3 {
+        scheduler.register(task(&f, &format!("g{i}"), 0x90 + i as u64));
+    }
+
+    // nothing changed: the watch times out quietly
+    assert_eq!(scheduler.watch(Duration::from_millis(30)).unwrap(), 0);
+
+    // a pure add bumps g0's metadata but not its epoch: still no arming
+    let mut adds = MembershipBatch::new();
+    adds.add("g0-new-member");
+    let outcome = f.fixture.admin().apply_batch("g0", &adds).unwrap();
+    assert!(!outcome.gk_rotated);
+    assert_eq!(scheduler.watch(Duration::from_millis(30)).unwrap(), 0);
+
+    // a rotation in g1 arms exactly g1
+    revoke(&f, "g1", "g1-u0");
+    assert_eq!(scheduler.watch(Duration::from_secs(5)).unwrap(), 1);
+    assert!(!scheduler.is_armed(0) && scheduler.is_armed(1) && !scheduler.is_armed(2));
+
+    let report = scheduler.converge_all().unwrap();
+    assert_eq!(report.completion_order(), vec!["g1"]);
+    assert_eq!(report.group("g1").unwrap().report.migrated, 3);
+
+    // idle groups cost nothing: no migrations, no scans attributed to them
+    let metrics = scheduler.metrics();
+    for idle in ["g0", "g2"] {
+        let m = metrics.group(idle).unwrap();
+        assert_eq!(m.migrations, 0, "{idle} never migrated");
+        assert_eq!(m.reads, 0, "{idle} never read an object");
+    }
+    assert_eq!(metrics.group("g1").unwrap().migrations, 3);
+    assert_eq!(metrics.total.migrations, 3);
+}
+
+/// A shared fleet does exactly the work G dedicated pools do: identical
+/// per-group migration totals on identically seeded deployments, and the
+/// per-group metrics breakdown sums to the fleet aggregate.
+#[test]
+fn shared_fleet_matches_dedicated_pools() {
+    let sizes = [9, 4, 1, 6];
+    let shards = 2;
+
+    // dedicated pools, one per group, on their own stack
+    let ded = fleet(&sizes, shards, 33);
+    let mut dedicated_migrated = Vec::new();
+    for (i, &objects) in sizes.iter().enumerate() {
+        let group = format!("g{i}");
+        revoke(&ded, &group, &format!("g{i}-u0"));
+        let mut pool = SweepPool::new(
+            fleet_sweep_sessions(&ded.fixture, SWEEPER, &group, shards, 0xd0),
+            SweepConfig::default(),
+        );
+        let report = pool.run_until_converged().unwrap();
+        assert!(report.converged);
+        assert_eq!(report.migrated, objects);
+        dedicated_migrated.push(report.migrated);
+    }
+
+    // the shared fleet on an identically seeded stack
+    let f = fleet(&sizes, shards, 33);
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 3,
+        lease: 4,
+        ..FleetConfig::default()
+    });
+    for i in 0..sizes.len() {
+        scheduler.register(task(&f, &format!("g{i}"), 0x70 + i as u64));
+        revoke(&f, &format!("g{i}"), &format!("g{i}-u0"));
+    }
+    scheduler.arm_all();
+    let report = scheduler.converge_all().unwrap();
+    for (i, &expected) in dedicated_migrated.iter().enumerate() {
+        assert_eq!(
+            report.group(&format!("g{i}")).unwrap().report.migrated,
+            expected,
+            "g{i}: shared fleet must migrate exactly what a dedicated pool does"
+        );
+    }
+
+    let metrics = scheduler.metrics();
+    let summed = metrics
+        .by_group
+        .iter()
+        .fold(0u64, |acc, (_, m)| acc + m.migrations);
+    assert_eq!(summed, metrics.total.migrations);
+    assert_eq!(summed, sizes.iter().sum::<usize>() as u64);
+}
+
+/// Rotations landing while a task is already armed merge into the same
+/// backlog (oldest stamp), converge in one wave, and the group's fleet
+/// report is a valid floor for epoch-history compaction.
+#[test]
+fn merged_backlogs_converge_and_compact_history() {
+    let f = fleet(&[5], 2, 44);
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 2,
+        ..FleetConfig::default()
+    });
+    scheduler.register(task(&f, "g0", 0x60));
+
+    revoke(&f, "g0", "g0-u0");
+    scheduler.arm(0);
+    revoke(&f, "g0", "g0-u1"); // second rotation joins the armed backlog
+    assert_eq!(
+        f.fixture
+            .admin()
+            .metadata("g0")
+            .unwrap()
+            .key_history
+            .epoch_count(),
+        2
+    );
+
+    let report = scheduler.converge_all().unwrap();
+    let g = report.group("g0").unwrap();
+    assert!(g.report.converged);
+    assert_eq!(
+        g.report.migrated, 5,
+        "one migration per object, not per epoch"
+    );
+    assert_eq!(g.report.min_live_epoch, Some(3));
+
+    // the labelled fleet report drives the same compaction a dedicated
+    // pool's report would
+    let coordinator = RevocationCoordinator::new(f.fixture.admin(), ReencryptionPolicy::Lazy)
+        .with_history_compaction();
+    assert_eq!(coordinator.compact_after("g0", &g.report).unwrap(), 2);
+    assert_eq!(
+        f.fixture
+            .admin()
+            .metadata("g0")
+            .unwrap()
+            .key_history
+            .epoch_count(),
+        0
+    );
+
+    // survivors still read everything post-compaction
+    let mut reader = fleet_session(&f.fixture, WRITER, "g0", 2, 0xcafe);
+    for o in 0..5 {
+        reader.read(&format!("obj-{o:04}")).unwrap();
+    }
+}

@@ -1,0 +1,184 @@
+//! Property test of fleet-sweep fairness: for any fleet shape (group
+//! count, skewed object counts, worker count, lease size, shard count) and
+//! any interleaving (arm order) of one-revocation waves across the groups,
+//! a shared W-worker scheduler must
+//!
+//! 1. converge every group within its deadline (zero overshoot — no group
+//!    starves, even the freshest);
+//! 2. never grant a lease to a fresher group while a staler one had a unit
+//!    ready (the staleness-priority invariant, checked grant by grant);
+//! 3. bound any group's wait: the number of leases granted before a
+//!    group's first is at most the total lease budget of strictly staler
+//!    groups (work units + stale objects) — the "bounded gap" that makes
+//!    starvation structurally impossible;
+//! 4. migrate exactly what G dedicated pools migrate on an identically
+//!    seeded deployment, group by group.
+//!
+//! Case count: a light default (each case boots two full fleet stacks),
+//! scaled up by `PROPTEST_CASES` like the other data-plane suites.
+
+use acs::FleetFixture;
+use cloud_store::CloudStore;
+use dataplane::fixtures::{fleet_session, fleet_sweep_sessions};
+use dataplane::{
+    ClientSession, FleetConfig, SweepConfig, SweepDriver, SweepPool, SweepScheduler, SweepTask,
+};
+use ibbe_sgx_core::{MembershipBatch, PartitionSize};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const WRITER: &str = "writer";
+const SWEEPER: &str = "sweeper";
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|c| (c / 8).max(4))
+        .unwrap_or(5)
+}
+
+struct Stack {
+    fixture: FleetFixture,
+}
+
+fn build_stack(sizes: &[usize], shards: usize, seed: u64) -> Stack {
+    let specs: Vec<(String, Vec<String>)> = (0..sizes.len())
+        .map(|i| {
+            (
+                format!("g{i}"),
+                (0..3).map(|m| format!("g{i}-u{m}")).collect(),
+            )
+        })
+        .collect();
+    let fixture = FleetFixture::new(
+        CloudStore::new(),
+        PartitionSize::new(2).unwrap(),
+        &specs,
+        &[WRITER.to_string(), SWEEPER.to_string()],
+        seed,
+    )
+    .unwrap();
+    for (i, &objects) in sizes.iter().enumerate() {
+        let mut writer = fleet_session(&fixture, WRITER, &format!("g{i}"), shards, seed ^ 0xa0);
+        for o in 0..objects {
+            writer
+                .write(&format!("obj-{o:03}"), format!("g{i}/{o}").as_bytes())
+                .unwrap();
+        }
+    }
+    // the wave: one revocation per group
+    for i in 0..sizes.len() {
+        let mut batch = MembershipBatch::new();
+        batch.remove(format!("g{i}-u0"));
+        let outcome = fixture
+            .admin()
+            .apply_batch(&format!("g{i}"), &batch)
+            .unwrap();
+        assert!(outcome.gk_rotated);
+    }
+    Stack { fixture }
+}
+
+fn sweep_sessions(stack: &Stack, group: &str, shards: usize, seed: u64) -> Vec<ClientSession> {
+    fleet_sweep_sessions(&stack.fixture, SWEEPER, group, shards, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn any_interleaving_converges_fairly_and_matches_dedicated_pools(
+        seed: u64,
+        groups in 2usize..=4,
+        workers in 1usize..=3,
+        shards in 1usize..=2,
+        lease in 1usize..=4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf1ee7);
+        let sizes: Vec<usize> = (0..groups).map(|_| rng.gen_range(0..=6)).collect();
+        // a random arm order: staleness uncorrelated with registration
+        let mut arm_order: Vec<usize> = (0..groups).collect();
+        for i in (1..groups).rev() {
+            let j = rng.gen_range(0..=i);
+            arm_order.swap(i, j);
+        }
+
+        // dedicated pools, group by group, on their own stack
+        let ded = build_stack(&sizes, shards, seed);
+        let mut dedicated_migrated = vec![0usize; groups];
+        for i in 0..groups {
+            let mut pool = SweepPool::new(
+                sweep_sessions(&ded, &format!("g{i}"), shards, 0xd0),
+                SweepConfig::default(),
+            );
+            let report = pool.run_until_converged().unwrap();
+            prop_assert!(report.converged);
+            prop_assert_eq!(report.migrated, sizes[i]);
+            dedicated_migrated[i] = report.migrated;
+        }
+
+        // the shared fleet on an identically seeded stack
+        let stack = build_stack(&sizes, shards, seed);
+        let mut scheduler = SweepScheduler::new(FleetConfig {
+            workers,
+            lease,
+            deadline: Duration::from_secs(120),
+            max_passes: 32,
+        });
+        for i in 0..groups {
+            scheduler.register(SweepTask::new(
+                sweep_sessions(&stack, &format!("g{i}"), shards, 0x5a),
+                SweepConfig::default(),
+            ));
+        }
+        let mut stamp_of = vec![0u64; groups];
+        for (stamp, &i) in arm_order.iter().enumerate() {
+            scheduler.arm(i);
+            stamp_of[i] = stamp as u64;
+        }
+        let report = scheduler.converge_all().unwrap();
+
+        // 1. every group converges, within deadline, nobody starves
+        prop_assert!(report.total.converged);
+        prop_assert_eq!(report.groups.len(), groups);
+        for (i, &expected) in dedicated_migrated.iter().enumerate() {
+            let g = report.group(&format!("g{i}")).unwrap();
+            prop_assert!(g.report.converged, "g{} converged", i);
+            prop_assert_eq!(g.overshoot, Duration::ZERO);
+            // 4. same work as the dedicated pool, group by group
+            prop_assert_eq!(g.report.migrated, expected);
+        }
+
+        // 2. staleness priority: no grant while a staler unit was ready
+        for grant in &report.leases {
+            prop_assert!(
+                grant.stamp <= grant.remaining_min_stamp.unwrap_or(u64::MAX),
+                "lease for {} (stamp {}) granted over a staler ready unit",
+                &grant.group, grant.stamp
+            );
+        }
+
+        // 3. bounded gap: leases granted before group g's first lease are
+        // bounded by the total lease budget of strictly staler groups
+        for i in 0..groups {
+            let name = format!("g{i}");
+            let first = report
+                .leases
+                .iter()
+                .position(|l| l.group == name)
+                .expect("every armed group gets at least one lease");
+            let staler_budget: usize = (0..groups)
+                .filter(|&h| stamp_of[h] < stamp_of[i])
+                .map(|h| shards + sizes[h])
+                .sum();
+            prop_assert!(
+                first <= staler_budget,
+                "g{}'s first lease waited for {} grants, budget of staler groups is {}",
+                i, first, staler_budget
+            );
+        }
+    }
+}

@@ -94,10 +94,7 @@ pub fn generate_batched_churn(cfg: &BatchedChurnConfig) -> BatchedChurnTrace {
         // op kind sequence within the burst, Fisher–Yates shuffled
         let mut kinds = vec![false; cfg.batch_size - removes_per_batch];
         kinds.extend(std::iter::repeat_n(true, removes_per_batch));
-        for i in (1..kinds.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            kinds.swap(i, j);
-        }
+        crate::trace::shuffle(&mut kinds, &mut rng);
         let mut ops = Vec::with_capacity(cfg.batch_size);
         for is_remove in kinds {
             if is_remove {

@@ -1,0 +1,199 @@
+//! Multi-tenant fleet workload: G groups with skewed sizes and churn
+//! rates — the scenario the shared [`SweepScheduler`] exists for.
+//!
+//! A provider hosts many groups at once; their data footprints and
+//! membership churn are never uniform. The generator draws both from the
+//! same square-law skew the read/write trace uses (see [`crate::rw`]): a
+//! few big, busy tenants and a long tail of small, quiet ones. Each
+//! tenant's spec carries its member roster, stored-object count and the
+//! number of revocations the rotation wave deals it; `arm_order` fixes the
+//! order those waves are observed in, which is exactly the staleness order
+//! a scheduler must honor.
+//!
+//! [`SweepScheduler`]: ../../dataplane/struct.SweepScheduler.html
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters for one fleet workload.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetTraceConfig {
+    /// Number of tenant groups.
+    pub groups: usize,
+    /// Stored-object count of the largest tenant; tenant `i` holds
+    /// `base_objects × ((groups − i) / groups)²` objects (min 1), so sizes
+    /// fall off square-law from the head of the fleet.
+    pub base_objects: usize,
+    /// Ordinary members per group (service identities ride on top).
+    pub members_per_group: usize,
+    /// Revocations dealt to the churn-heaviest tenant by one rotation
+    /// wave; per-tenant counts fall off square-law over a seed-shuffled
+    /// tenant order, with a floor of 1 (every tenant rotates at least
+    /// once, so every group has a backlog to converge).
+    pub max_revocations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetTraceConfig {
+    fn default() -> Self {
+        Self {
+            groups: 12,
+            base_objects: 40,
+            members_per_group: 6,
+            max_revocations: 3,
+            seed: 0xf1ee7,
+        }
+    }
+}
+
+/// One tenant group of the fleet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Group name (`tenant-00`, `tenant-01`, …).
+    pub group: String,
+    /// Stored objects this tenant holds when the rotation wave lands.
+    pub objects: usize,
+    /// Ordinary members to create the group with (revocation victims are
+    /// drawn from the front).
+    pub members: Vec<String>,
+    /// Members revoked by the wave (one key rotation each), `>= 1`.
+    pub revocations: usize,
+}
+
+/// Output of the fleet generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetTrace {
+    /// Provenance (generator + parameters).
+    pub name: String,
+    /// Tenant specs, indexed by tenant number.
+    pub tenants: Vec<TenantSpec>,
+    /// Tenant indices in the order their rotation waves are observed —
+    /// `arm_order[0]` becomes the most-behind (stalest) group, the last
+    /// entry the freshest. A seed-derived permutation, so staleness is
+    /// uncorrelated with size.
+    pub arm_order: Vec<usize>,
+}
+
+impl FleetTrace {
+    /// Objects stored across the whole fleet.
+    pub fn total_objects(&self) -> usize {
+        self.tenants.iter().map(|t| t.objects).sum()
+    }
+
+    /// Rotations dealt across the whole fleet.
+    pub fn total_revocations(&self) -> usize {
+        self.tenants.iter().map(|t| t.revocations).sum()
+    }
+}
+
+/// Generates a fleet workload; see the module docs for the skew shape.
+///
+/// # Panics
+/// Panics if `groups` is zero, or `members_per_group` does not exceed
+/// `max_revocations` (a group must survive its wave).
+pub fn generate_fleet(cfg: &FleetTraceConfig) -> FleetTrace {
+    assert!(cfg.groups > 0, "the fleet must hold at least one group");
+    assert!(
+        cfg.members_per_group > cfg.max_revocations,
+        "groups must survive their revocation wave"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // churn is skewed over a shuffled tenant order so the churn-heaviest
+    // tenant is not automatically the biggest one
+    let churn_rank = permutation(cfg.groups, &mut rng);
+    let tenants: Vec<TenantSpec> = (0..cfg.groups)
+        .map(|i| {
+            let size_frac = (cfg.groups - i) as f64 / cfg.groups as f64;
+            let objects = ((cfg.base_objects as f64) * size_frac * size_frac).round() as usize;
+            let churn_frac = (cfg.groups - churn_rank[i]) as f64 / cfg.groups as f64;
+            let revocations =
+                ((cfg.max_revocations as f64) * churn_frac * churn_frac).round() as usize;
+            TenantSpec {
+                group: format!("tenant-{i:02}"),
+                objects: objects.max(1),
+                members: (0..cfg.members_per_group)
+                    .map(|m| format!("t{i:02}-member-{m:03}"))
+                    .collect(),
+                revocations: revocations.clamp(1, cfg.max_revocations),
+            }
+        })
+        .collect();
+
+    FleetTrace {
+        name: format!(
+            "fleet(groups={}, base objects={}, members={}, max revocations={}, seed={:#x})",
+            cfg.groups, cfg.base_objects, cfg.members_per_group, cfg.max_revocations, cfg.seed
+        ),
+        tenants,
+        arm_order: permutation(cfg.groups, &mut rng),
+    }
+}
+
+/// A uniform random permutation of `0..n`.
+fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    crate::trace::shuffle(&mut order, rng);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sizes_fall_off_square_law_and_every_tenant_rotates() {
+        let t = generate_fleet(&FleetTraceConfig::default());
+        assert_eq!(t.tenants.len(), 12);
+        for pair in t.tenants.windows(2) {
+            assert!(pair[0].objects >= pair[1].objects, "sizes must be sorted");
+        }
+        assert_eq!(t.tenants[0].objects, 40);
+        assert!(t.tenants.last().unwrap().objects >= 1);
+        for tenant in &t.tenants {
+            assert!(tenant.revocations >= 1);
+            assert!(tenant.revocations <= 3);
+            assert!(tenant.revocations < tenant.members.len());
+        }
+        // churn skew is decoupled from size: not simply sorted by tenant
+        let revs: Vec<usize> = t.tenants.iter().map(|t| t.revocations).collect();
+        let mut sorted = revs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_ne!(revs, sorted, "churn rank should be shuffled against size");
+    }
+
+    #[test]
+    fn arm_order_is_a_permutation() {
+        let t = generate_fleet(&FleetTraceConfig {
+            groups: 9,
+            ..FleetTraceConfig::default()
+        });
+        let seen: HashSet<usize> = t.arm_order.iter().copied().collect();
+        assert_eq!(t.arm_order.len(), 9);
+        assert_eq!(seen.len(), 9);
+        assert!(t.arm_order.iter().all(|&i| i < 9));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = FleetTraceConfig::default();
+        assert_eq!(generate_fleet(&cfg), generate_fleet(&cfg));
+        let other = generate_fleet(&FleetTraceConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
+        assert_ne!(generate_fleet(&cfg), other);
+    }
+
+    #[test]
+    #[should_panic(expected = "survive")]
+    fn unsurvivable_wave_panics() {
+        generate_fleet(&FleetTraceConfig {
+            members_per_group: 3,
+            max_revocations: 3,
+            ..FleetTraceConfig::default()
+        });
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`rw`] — the read/write data-plane workload: skewed object traffic
 //!   interleaved with membership churn (the lazy-vs-eager re-encryption
 //!   scenario family);
+//! * [`fleet`] — the multi-tenant workload: G groups with square-law
+//!   skewed sizes and churn rates plus a staleness (arm) order — what the
+//!   shared sweep scheduler and the `fleet_sweep` bench consume;
 //! * [`replay_events()`] — the generic timing-capturing driver over any
 //!   event type implementing [`ReplayOp`] and backend implementing
 //!   [`EventBackend`]; [`replay()`] / [`replay_batched()`] are the
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fleet;
 pub mod kernel;
 pub mod replay;
 pub mod rw;
@@ -37,6 +41,7 @@ pub mod synthetic;
 pub mod trace;
 
 pub use batch::{generate_batched_churn, BatchedChurnConfig, BatchedChurnTrace};
+pub use fleet::{generate_fleet, FleetTrace, FleetTraceConfig, TenantSpec};
 pub use kernel::{generate_kernel_trace, KernelTraceConfig};
 pub use replay::{
     replay, replay_batched, replay_events, BatchReplayBackend, BatchReplayReport, EventBackend,

@@ -66,10 +66,7 @@ pub fn generate_synthetic_trace(cfg: &SyntheticTraceConfig) -> SyntheticTrace {
     // op kind sequence: `removes` true flags among `ops`, Fisher–Yates shuffled
     let mut kinds = vec![false; adds];
     kinds.extend(std::iter::repeat_n(true, removes));
-    for i in (1..kinds.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        kinds.swap(i, j);
-    }
+    crate::trace::shuffle(&mut kinds, &mut rng);
 
     let mut present = initial_members.clone();
     let mut ops = Vec::with_capacity(cfg.ops);

@@ -74,6 +74,16 @@ impl Trace {
     }
 }
 
+/// In-place Fisher–Yates shuffle — the one permutation primitive every
+/// workload generator draws its op orderings from, so determinism or bias
+/// tweaks land in exactly one place.
+pub(crate) fn shuffle<T>(items: &mut [T], rng: &mut impl rand::Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
