@@ -115,12 +115,14 @@ impl Admin {
     /// Creates a group and pushes all partition metadata to the cloud.
     ///
     /// # Errors
-    /// Propagates engine failures ([`AcsError::Core`]).
+    /// Propagates engine failures ([`AcsError::Core`]) and store faults
+    /// ([`AcsError::Store`]; the group is then not cached — re-create it
+    /// once the store recovers).
     pub fn create_group(&self, name: &str, members: Vec<String>) -> Result<(), AcsError> {
         // clone the member list only when a journal will actually record it
         let log_members = self.journal.as_ref().map(|_| members.clone());
         let meta = self.engine.create_group(name, members)?;
-        self.push_all(&meta);
+        self.push_all(&meta)?;
         let mut cache = self.cache.lock();
         cache.insert(name.to_string(), meta);
         if let Some(members) = log_members {
@@ -134,7 +136,8 @@ impl Admin {
     /// Adds a user (Algorithm 2) and pushes the single touched partition.
     ///
     /// # Errors
-    /// [`AcsError::UnknownGroup`] or engine failures.
+    /// [`AcsError::UnknownGroup`], engine failures, or a store fault
+    /// while publishing (retry republishes the already-cached state).
     pub fn add_user(&self, group: &str, identity: &str) -> Result<AddOutcome, AcsError> {
         let mut cache = self.cache.lock();
         let meta = cache
@@ -143,7 +146,7 @@ impl Admin {
         let outcome = self.engine.add_user(meta, identity)?;
         let p = &meta.partitions[outcome.partition];
         self.store
-            .put(group, &partition_item(outcome.partition), p.to_bytes());
+            .try_put(group, &partition_item(outcome.partition), p.to_bytes())?;
         // `y` unchanged on the fast path, so nothing else to push; the new
         // sealed gk only changes when gk rotates.
         self.record(
@@ -160,7 +163,8 @@ impl Admin {
     /// re-partitioning heuristic when enabled.
     ///
     /// # Errors
-    /// [`AcsError::UnknownGroup`] or engine failures.
+    /// [`AcsError::UnknownGroup`], engine failures, or a store fault
+    /// while publishing (retry republishes the already-cached state).
     pub fn remove_user(&self, group: &str, identity: &str) -> Result<RemoveOutcome, AcsError> {
         let mut cache = self.cache.lock();
         let meta = cache
@@ -171,10 +175,10 @@ impl Admin {
         if self.auto_repartition && meta.needs_repartitioning(self.engine.partition_size().get()) {
             *meta = self.engine.repartition(meta)?;
         }
-        self.push_all(meta);
+        self.push_all(meta)?;
         // drop stale trailing items if the partition count shrank
         for i in meta.partition_count()..before {
-            self.store.delete(group, &partition_item(i));
+            self.store.try_delete(group, &partition_item(i))?;
         }
         self.record(
             group,
@@ -207,7 +211,10 @@ impl Admin {
     ///
     /// # Errors
     /// [`AcsError::UnknownGroup`] or engine failures; on engine validation
-    /// failure neither the cache nor the cloud is modified.
+    /// failure neither the cache nor the cloud is modified. A store fault
+    /// ([`AcsError::Store`]) surfaces *after* the engine/cache advanced:
+    /// the publish is then partial, and retrying the publish (e.g. via
+    /// [`Admin::rekey_group`]) reconciles the cloud with the cache.
     pub fn apply_batch(
         &self,
         group: &str,
@@ -244,13 +251,13 @@ impl Admin {
         }
         if items.len() == 1 {
             let (item, data) = items.pop().expect("len checked");
-            self.store.put(group, &item, data);
+            self.store.try_put(group, &item, data)?;
         } else if !items.is_empty() {
-            self.store.put_many(group, items);
+            self.store.try_put_many(group, items)?;
         }
         // drop stale trailing items if the partition count shrank
         for i in meta.partition_count()..before {
-            self.store.delete(group, &partition_item(i));
+            self.store.try_delete(group, &partition_item(i))?;
         }
         if !outcome.added.is_empty() || !outcome.removed.is_empty() || outcome.gk_rotated {
             self.record(
@@ -288,7 +295,7 @@ impl Admin {
                 (EPOCHS_ITEM.to_string(), meta.key_history.to_bytes()),
             ])
             .collect();
-        self.store.put_many(group, items);
+        self.store.try_put_many(group, items)?;
         self.record(group, LogOp::Rekey);
         Ok(())
     }
@@ -317,7 +324,7 @@ impl Admin {
         let pruned = self.engine.compact_history(meta, keep_from)?;
         if pruned > 0 {
             self.store
-                .put(group, EPOCHS_ITEM, meta.key_history.to_bytes());
+                .try_put(group, EPOCHS_ITEM, meta.key_history.to_bytes())?;
         }
         Ok(pruned)
     }
@@ -346,14 +353,16 @@ impl Admin {
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))
     }
 
-    fn push_all(&self, meta: &GroupMetadata) {
+    fn push_all(&self, meta: &GroupMetadata) -> Result<(), AcsError> {
         for (i, p) in meta.partitions.iter().enumerate() {
-            self.store.put(&meta.name, &partition_item(i), p.to_bytes());
+            self.store
+                .try_put(&meta.name, &partition_item(i), p.to_bytes())?;
         }
         self.store
-            .put(&meta.name, SEALED_ITEM, meta.sealed_gk.to_bytes());
+            .try_put(&meta.name, SEALED_ITEM, meta.sealed_gk.to_bytes())?;
         self.store
-            .put(&meta.name, EPOCHS_ITEM, meta.key_history.to_bytes());
+            .try_put(&meta.name, EPOCHS_ITEM, meta.key_history.to_bytes())?;
+        Ok(())
     }
 }
 

@@ -61,12 +61,14 @@ impl Client {
     /// * [`AcsError::NotAMember`] if no partition lists this identity
     ///   (including after revocation);
     /// * [`AcsError::WireFormat`] on malformed cloud objects;
-    /// * [`AcsError::Core`] if decryption fails.
+    /// * [`AcsError::Core`] if decryption fails;
+    /// * [`AcsError::Store`] on a transient cloud fault (the cached state
+    ///   is untouched — retry when the store recovers).
     pub fn sync(&mut self) -> Result<GroupKey, AcsError> {
-        self.cursor = self.store.folder_version(&self.group);
+        self.cursor = self.store.try_folder_version(&self.group)?;
         // fast path: cached partition item still lists us → fetch only it
         if let Some((item, _)) = &self.cached {
-            if let Some((bytes, _)) = self.store.get(&self.group, item) {
+            if let Some((bytes, _)) = self.store.try_get(&self.group, item)? {
                 if let Some(p) = PartitionMetadata::from_bytes(&bytes) {
                     if p.members.iter().any(|m| m == &self.identity) {
                         let item = item.clone();
@@ -76,11 +78,11 @@ impl Client {
             }
         }
         // slow path: scan the folder for our partition
-        for item in self.store.list(&self.group) {
+        for item in self.store.try_list(&self.group)? {
             if item.starts_with('_') {
                 continue; // sealed gk object — useless to clients
             }
-            let Some((bytes, _)) = self.store.get(&self.group, &item) else {
+            let Some((bytes, _)) = self.store.try_get(&self.group, &item)? else {
                 continue;
             };
             let p = PartitionMetadata::from_bytes(&bytes)
@@ -108,7 +110,12 @@ impl Client {
     /// # Errors
     /// Same contract as [`Client::sync`].
     pub fn wait_for_update(&mut self, timeout: Duration) -> Result<Option<GroupKey>, AcsError> {
-        let poll = self.store.long_poll(&self.group, self.cursor, timeout);
+        // A torn poll comes back Ok with `version == self.cursor` and no
+        // changes, so the cursor assignment below can never skip past an
+        // unobserved notification.
+        let poll = self
+            .store
+            .try_long_poll(&self.group, self.cursor, timeout)?;
         self.cursor = poll.version;
         if poll.timed_out {
             return Ok(None);

@@ -15,6 +15,8 @@ pub enum AcsError {
     WireFormat(&'static str),
     /// The client's identity is not a member of the watched group.
     NotAMember(String),
+    /// A cloud request was refused or lost (outage, timeout, lost CAS).
+    Store(cloud_store::StoreError),
 }
 
 impl fmt::Display for AcsError {
@@ -25,6 +27,7 @@ impl fmt::Display for AcsError {
             AcsError::UnknownGroup(g) => write!(f, "unknown group: {g}"),
             AcsError::WireFormat(what) => write!(f, "malformed cloud object: {what}"),
             AcsError::NotAMember(id) => write!(f, "not a member: {id}"),
+            AcsError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -34,6 +37,7 @@ impl std::error::Error for AcsError {
         match self {
             AcsError::Core(e) => Some(e),
             AcsError::Sgx(e) => Some(e),
+            AcsError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -48,5 +52,19 @@ impl From<ibbe_sgx_core::CoreError> for AcsError {
 impl From<sgx_sim::SgxError> for AcsError {
     fn from(e: sgx_sim::SgxError) -> Self {
         AcsError::Sgx(e)
+    }
+}
+
+impl From<cloud_store::StoreError> for AcsError {
+    fn from(e: cloud_store::StoreError) -> Self {
+        AcsError::Store(e)
+    }
+}
+
+impl AcsError {
+    /// True when the failure is a transient store fault (outage/timeout):
+    /// a bounded retry can clear it without any state repair.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AcsError::Store(e) if e.is_transient())
     }
 }

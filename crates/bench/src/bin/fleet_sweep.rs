@@ -21,12 +21,19 @@
 //! the freshest one. Both are asserted; `--check` additionally gates
 //! against the serial baseline (the per-PR CI smoke).
 //!
+//! `--faults SEED` adds a fourth, gated run: the same shared fleet, but
+//! every sweeper request routed through a seed-driven [`FaultyStore`]
+//! (canned outage/timeout/torn-poll/CAS-storm schedule) with one worker
+//! panic armed mid-run. The crash-safety claim is zero lost work: the
+//! faulted fleet must converge with exactly the fault-free migrated
+//! totals — `--check` makes this the CI gate.
+//!
 //! Flags: `--groups G`, `--workers W`, `--ops N` (base objects),
-//! `--full`, `--json PATH`, `--check`.
+//! `--full`, `--faults SEED`, `--json PATH`, `--check`.
 
 use acs::FleetFixture;
-use cloud_store::CloudStore;
-use dataplane::fixtures::{fleet_session, fleet_sweep_sessions};
+use cloud_store::{CloudStore, FaultConfig, FaultInjector, FaultStats, FaultyStore, StoreHandle};
+use dataplane::fixtures::{fleet_session, fleet_sweep_sessions, fleet_sweep_sessions_on};
 use dataplane::{
     ClientSession, FleetConfig, FleetReport, SweepConfig, SweepDriver, SweepPool, SweepScheduler,
     SweepTask,
@@ -34,6 +41,7 @@ use dataplane::{
 use ibbe_sgx_bench::json::{write_results, Json};
 use ibbe_sgx_bench::{fmt_duration, print_table, time, BenchArgs};
 use ibbe_sgx_core::{MembershipBatch, PartitionSize};
+use std::sync::Arc;
 use std::time::Duration;
 use workloads::{generate_fleet, FleetTrace, FleetTraceConfig};
 
@@ -234,6 +242,81 @@ fn run_shared(
     )
 }
 
+/// The crash-safety run: the same shared fleet as [`run_shared`], with
+/// every sweeper request rolled through a seeded fault schedule and one
+/// worker panic armed mid-run. Asserts the fleet converges to exactly the
+/// fault-free totals — faults cost leases and wall-clock, never work.
+fn run_faulted(
+    trace: &FleetTrace,
+    stack: &Stack,
+    shards: usize,
+    sweep: SweepConfig,
+    fleet: FleetConfig,
+    seed: u64,
+) -> (ModeResult, FleetReport, FaultStats) {
+    let injector = Arc::new(FaultInjector::new(FaultConfig::canned(seed, 4)));
+    let faulty: StoreHandle =
+        FaultyStore::with_injector(stack.fixture.admin().store().clone(), Arc::clone(&injector))
+            .into();
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        // the schedule keeps firing for the whole run: allow far more
+        // lost leases per unit than the production default
+        max_retries: 256,
+        ..fleet
+    });
+    for tenant in &trace.tenants {
+        scheduler.register(SweepTask::new(
+            fleet_sweep_sessions_on(
+                &stack.fixture,
+                faulty.clone(),
+                SWEEPER,
+                &tenant.group,
+                shards,
+                0x5a7ed,
+            ),
+            sweep,
+        ));
+    }
+    for &idx in &trace.arm_order {
+        scheduler.arm(idx);
+    }
+    // on top of the probabilistic schedule, one worker dies mid-run
+    injector.arm_panic(64);
+    let (report, wall) = time(|| scheduler.converge_all().unwrap());
+    assert!(report.total.converged, "the faulted fleet converged");
+    let mut per_group = vec![Duration::ZERO; trace.tenants.len()];
+    let mut migrated = 0usize;
+    for (idx, tenant) in trace.tenants.iter().enumerate() {
+        let g = report
+            .group(&tenant.group)
+            .expect("every armed tenant completes");
+        assert!(g.report.converged, "faulted tenant {idx} converged");
+        assert_eq!(
+            g.report.migrated, tenant.objects,
+            "faults must cost leases, never work: tenant {idx} migrated total"
+        );
+        migrated += g.report.migrated;
+        per_group[idx] = g.report.elapsed;
+    }
+    let stats = injector.stats();
+    assert_eq!(stats.panics, 1, "the armed worker panic fired");
+    assert!(
+        report.retries >= 1,
+        "the panicked lease was re-queued on the record"
+    );
+    (
+        ModeResult {
+            wall,
+            threads: fleet.workers,
+            migrated,
+            per_group,
+            worst_overshoot: report.worst_overshoot(),
+        },
+        report,
+        stats,
+    )
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let (groups, base_objects, payload, shards, workers, max_revocations) = if args.full {
@@ -253,6 +336,7 @@ fn main() {
         lease: sweep.max_per_tick,
         deadline: sweep.deadline,
         max_passes: 32,
+        max_retries: 8,
     };
 
     let trace = generate_fleet(&FleetTraceConfig {
@@ -291,6 +375,16 @@ fn main() {
         sweep,
         fleet,
     );
+    let faulted = args.faults.map(|fault_seed| {
+        run_faulted(
+            &trace,
+            &build_stack(&trace, shards, payload, 7),
+            shards,
+            sweep,
+            fleet,
+            fault_seed,
+        )
+    });
 
     // staleness-priority ordering: the most-behind group finished its
     // backlog before the freshest group did
@@ -305,23 +399,27 @@ fn main() {
     );
 
     let ratio = |a: Duration, b: Duration| a.as_secs_f64() / b.as_secs_f64().max(1e-9);
-    let rows: Vec<Vec<String>> = [
+    let mut modes: Vec<(&str, &ModeResult)> = vec![
         ("serial", &serial),
         ("dedicated", &dedicated),
         ("shared", &shared),
-    ]
-    .iter()
-    .map(|(mode, r)| {
-        vec![
-            mode.to_string(),
-            format!("{}", r.threads),
-            format!("{}", r.migrated),
-            fmt_duration(r.wall),
-            format!("{:.2}x", ratio(r.wall, dedicated.wall)),
-            fmt_duration(r.worst_overshoot),
-        ]
-    })
-    .collect();
+    ];
+    if let Some((faulted_mode, _, _)) = &faulted {
+        modes.push(("shared+faults", faulted_mode));
+    }
+    let rows: Vec<Vec<String>> = modes
+        .iter()
+        .map(|(mode, r)| {
+            vec![
+                mode.to_string(),
+                format!("{}", r.threads),
+                format!("{}", r.migrated),
+                fmt_duration(r.wall),
+                format!("{:.2}x", ratio(r.wall, dedicated.wall)),
+                fmt_duration(r.worst_overshoot),
+            ]
+        })
+        .collect();
     print_table(
         "fleet convergence: shared W-worker scheduler vs dedicated pools vs serial",
         &[
@@ -386,6 +484,32 @@ fn main() {
         dedicated.wall
     );
 
+    if let Some((faulted_mode, faulted_report, stats)) = &faulted {
+        println!(
+            "\nfaulted run (seed {}): {} requests — {} refused (outages), {} timed out, \
+             {} torn polls, {} spurious CAS conflicts, {} worker panic(s); {} leases lost \
+             and re-queued; converged with identical migrated totals ({} == {}) at {:.2}x \
+             the clean shared wall-clock.",
+            args.faults.unwrap(),
+            stats.requests,
+            stats.unavailable,
+            stats.timeouts,
+            stats.torn_polls,
+            stats.cas_conflicts,
+            stats.panics,
+            faulted_report.retries,
+            faulted_mode.migrated,
+            shared.migrated,
+            ratio(faulted_mode.wall, shared.wall),
+        );
+        // the run_faulted asserts are the gate; here only the cross-mode
+        // equality remains to check
+        assert_eq!(
+            faulted_mode.migrated, shared.migrated,
+            "faulted and clean shared runs migrated identical totals"
+        );
+    }
+
     if let Some(path) = &args.json {
         let mode_row = |mode: &str, r: &ModeResult| {
             Json::obj([
@@ -403,6 +527,20 @@ fn main() {
             mode_row("dedicated", &dedicated),
             mode_row("shared", &shared),
         ];
+        if let Some((faulted_mode, faulted_report, stats)) = &faulted {
+            rows.push(mode_row("shared+faults", faulted_mode));
+            rows.push(Json::obj([
+                ("table", Json::from("faults")),
+                ("seed", Json::from(args.faults.unwrap())),
+                ("requests", Json::from(stats.requests)),
+                ("unavailable", Json::from(stats.unavailable)),
+                ("timeouts", Json::from(stats.timeouts)),
+                ("torn_polls", Json::from(stats.torn_polls)),
+                ("cas_conflicts", Json::from(stats.cas_conflicts)),
+                ("panics", Json::from(stats.panics)),
+                ("lease_retries", Json::from(faulted_report.retries)),
+            ]));
+        }
         for (rank, &idx) in trace.arm_order.iter().enumerate() {
             let tenant = &trace.tenants[idx];
             let g = fleet_report.group(&tenant.group).unwrap();
@@ -447,6 +585,13 @@ fn main() {
             shared.wall,
             serial.wall
         );
-        println!("--check passed: shared fleet within bounds of serial and dedicated");
+        if faulted.is_some() {
+            println!(
+                "--check passed: shared fleet within bounds of serial and dedicated; \
+                 faulted fleet converged with zero lost work"
+            );
+        } else {
+            println!("--check passed: shared fleet within bounds of serial and dedicated");
+        }
     }
 }

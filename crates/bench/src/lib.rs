@@ -43,8 +43,8 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 }
 
 /// Simple command-line flags: `--full`, `--ops N`, `--no-repartition`,
-/// `--shards A,B,…`, `--groups N`, `--workers N`, `--json PATH`,
-/// `--check`.
+/// `--shards A,B,…`, `--groups N`, `--workers N`, `--faults SEED`,
+/// `--json PATH`, `--check`.
 #[derive(Clone, Debug)]
 pub struct BenchArgs {
     /// Run at paper-scale parameters.
@@ -60,6 +60,10 @@ pub struct BenchArgs {
     pub groups: Option<usize>,
     /// Override the shared fleet's worker count (fleet_sweep).
     pub workers: Option<usize>,
+    /// Run the shared fleet over a seed-driven faulty store (fleet_sweep):
+    /// the canned outage/timeout/torn-poll/CAS-storm schedule for this
+    /// seed, plus one armed worker panic mid-run.
+    pub faults: Option<u64>,
     /// Also write the measured series as machine-readable JSON (see
     /// [`crate::json`]) to this path.
     pub json: Option<String>,
@@ -78,6 +82,7 @@ impl BenchArgs {
             shards: None,
             groups: None,
             workers: None,
+            faults: None,
             json: None,
             check: false,
         };
@@ -95,6 +100,13 @@ impl BenchArgs {
                 "--ops" => args.ops = Some(int_flag(&mut it, "--ops")),
                 "--groups" => args.groups = Some(int_flag(&mut it, "--groups")),
                 "--workers" => args.workers = Some(int_flag(&mut it, "--workers")),
+                "--faults" => {
+                    args.faults = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--faults needs an integer seed")),
+                    );
+                }
                 "--json" => {
                     args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
@@ -117,7 +129,7 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --full  --ops N  --no-repartition  --shards A,B,…  \
-                         --groups N  --workers N  --json PATH  --check"
+                         --groups N  --workers N  --faults SEED  --json PATH  --check"
                     );
                     std::process::exit(0);
                 }

@@ -1,0 +1,669 @@
+//! Deterministic fault injection behind the [`ObjectStore`] trait.
+//!
+//! [`FaultyStore`] wraps any store and injects — on a seed-driven,
+//! reproducible schedule — the partial failures a real cloud exhibits:
+//! per-shard **outages** (every request against the affected clock domain
+//! is refused for a wall-clock window), individual request **timeouts**,
+//! **torn long-polls** (the poll returns early with no changes and the
+//! *unchanged* cursor, so no notification is ever lost), and spurious
+//! **CAS-conflict storms** (a conditional PUT is rejected with the item's
+//! true current version without being executed).
+//!
+//! Faults are injected **before** delegating to the inner store, so a
+//! failed request has no partial effect and is always safe to retry —
+//! which is what makes fault-injected runs comparable, migration count by
+//! migration count, to fault-free ones.
+//!
+//! Fallible consumers call the `try_*` surface of [`ObjectStore`] and see
+//! [`StoreError`]; legacy infallible calls ride out the fault (bounded by
+//! the outage window) so existing code cannot observe a torn write.
+//!
+//! ```
+//! use cloud_store::{CloudStore, FaultConfig, FaultyStore, ObjectStore, StoreError};
+//! let store = FaultyStore::new(CloudStore::new(), FaultConfig::default());
+//! store.injector().force_outage(0, std::time::Duration::from_secs(60));
+//! let err = store.try_get("g", "item").unwrap_err();
+//! assert!(matches!(err, StoreError::Unavailable { .. }));
+//! store.injector().heal();
+//! assert!(store.try_get("g", "item").unwrap().is_none());
+//! ```
+
+use crate::metrics::MetricsSnapshot;
+use crate::object_store::ObjectStore;
+use crate::sharded::stable_hash64;
+use crate::store::{PollResult, VersionConflict};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long an infallible caller sleeps between retries while riding out
+/// an injected fault.
+const RIDE_OUT_PAUSE: Duration = Duration::from_millis(1);
+
+/// A store request refused or lost by the (simulated) cloud.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The request's clock domain (shard) is inside an outage window.
+    Unavailable {
+        /// Index of the affected domain (equals the shard index when the
+        /// injector's domain count matches the store's shard count).
+        domain: usize,
+    },
+    /// The individual request was dropped (no effect on the store).
+    Timeout,
+    /// A conditional PUT lost the race; carries the item's true current
+    /// version. Folded in so `try_put_if_version` has one error type.
+    Conflict(VersionConflict),
+}
+
+impl StoreError {
+    /// True for errors that a retry (possibly after a backoff) can clear:
+    /// outages end and timeouts are per-request. Conflicts are *not*
+    /// transient — the caller must re-read before retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Unavailable { .. } | Self::Timeout)
+    }
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Unavailable { domain } => write!(f, "store domain {domain} unavailable"),
+            Self::Timeout => write!(f, "store request timed out"),
+            Self::Conflict(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<VersionConflict> for StoreError {
+    fn from(conflict: VersionConflict) -> Self {
+        Self::Conflict(conflict)
+    }
+}
+
+/// Knobs of a [`FaultInjector`] schedule. All probabilities are per
+/// request, rolled from one seeded generator, so a `(seed, workload)`
+/// pair replays the identical fault schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Seed of the schedule's random generator.
+    pub seed: u64,
+    /// Number of outage domains. Set equal to the wrapped store's shard
+    /// count to model per-shard outages (`stable_hash64(folder) % domains`
+    /// is then exactly the shard routing).
+    pub domains: usize,
+    /// Per-request probability of dropping the request ([`StoreError::Timeout`]).
+    pub timeout_prob: f64,
+    /// Per-request probability of starting an outage on the request's domain.
+    pub outage_prob: f64,
+    /// Wall-clock length of an injected outage window.
+    pub outage: Duration,
+    /// Per-poll probability of tearing a long poll (early return, no
+    /// changes, cursor unchanged).
+    pub torn_poll_prob: f64,
+    /// Per-CAS probability of a spurious conflict (the PUT is not
+    /// executed; the reported version is the item's true current one).
+    pub cas_storm_prob: f64,
+}
+
+impl Default for FaultConfig {
+    /// A quiet schedule: no faults until probabilities are raised or an
+    /// outage is forced.
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            domains: 1,
+            timeout_prob: 0.0,
+            outage_prob: 0.0,
+            outage: Duration::from_millis(25),
+            torn_poll_prob: 0.0,
+            cas_storm_prob: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The canned moderate-chaos schedule used by the bench gate
+    /// (`fleet_sweep --faults <seed>`) and the property suite: short
+    /// per-domain outages, occasional timeouts, torn polls and spurious
+    /// CAS conflicts, all driven by `seed`.
+    pub fn canned(seed: u64, domains: usize) -> Self {
+        Self {
+            seed,
+            domains: domains.max(1),
+            timeout_prob: 0.05,
+            outage_prob: 0.01,
+            outage: Duration::from_millis(25),
+            torn_poll_prob: 0.2,
+            cas_storm_prob: 0.05,
+            // bounded windows keep infallible ride-outs short
+        }
+    }
+}
+
+/// Counters of what a [`FaultInjector`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests that passed through the injector (including refused ones).
+    pub requests: u64,
+    /// Requests refused because their domain was inside an outage window.
+    pub unavailable: u64,
+    /// Outage windows started (probabilistic and forced).
+    pub outages: u64,
+    /// Requests dropped as timeouts.
+    pub timeouts: u64,
+    /// Long polls torn (early empty return, cursor preserved).
+    pub torn_polls: u64,
+    /// Spurious CAS conflicts reported.
+    pub cas_conflicts: u64,
+    /// Armed panics fired.
+    pub panics: u64,
+}
+
+struct InjectorState {
+    rng: StdRng,
+    /// Per-domain outage windows: `Some(until)` while the domain is down.
+    outages: Vec<Option<Instant>>,
+    stats: FaultStats,
+    /// One-shot panic trigger: fires on the request that decrements it
+    /// past zero (see [`FaultInjector::arm_panic`]).
+    panic_after: Option<u64>,
+    enabled: bool,
+}
+
+/// The shared schedule driver behind one or more [`FaultyStore`] wrappers
+/// (and, optionally, a [`ShardedStore`](crate::ShardedStore)'s merged
+/// watch, which skips domains reported down by [`FaultInjector::is_down`]).
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// A new injector for `config`, enabled from the start.
+    pub fn new(config: FaultConfig) -> Self {
+        let domains = config.domains.max(1);
+        Self {
+            config,
+            state: Mutex::new(InjectorState {
+                rng: StdRng::seed_from_u64(config.seed),
+                outages: vec![None; domains],
+                stats: FaultStats::default(),
+                panic_after: None,
+                enabled: true,
+            }),
+        }
+    }
+
+    /// The schedule this injector rolls from.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Outage domain owning `folder` — identical to
+    /// [`ShardedStore::shard_index`](crate::ShardedStore::shard_index)
+    /// when the domain count matches the shard count.
+    pub fn domain_of(&self, folder: &str) -> usize {
+        (stable_hash64(folder) % self.config.domains.max(1) as u64) as usize
+    }
+
+    /// Rolls the schedule for one request against `folder`: counts the
+    /// request, fires an armed panic, refuses requests inside an outage
+    /// window, and may start an outage or drop the request.
+    ///
+    /// # Errors
+    /// [`StoreError::Unavailable`] or [`StoreError::Timeout`] when the
+    /// schedule says so.
+    ///
+    /// # Panics
+    /// When a panic armed via [`FaultInjector::arm_panic`] comes due —
+    /// the injected "worker crashed mid-request" fault.
+    pub fn check(&self, folder: &str) -> Result<(), StoreError> {
+        let domain = self.domain_of(folder);
+        let mut s = self.state.lock();
+        s.stats.requests += 1;
+        if let Some(left) = s.panic_after {
+            if left == 0 {
+                s.panic_after = None;
+                s.stats.panics += 1;
+                drop(s);
+                panic!("injected fault: worker panic on request against {folder}");
+            }
+            s.panic_after = Some(left - 1);
+        }
+        if !s.enabled {
+            return Ok(());
+        }
+        let now = Instant::now();
+        match s.outages[domain] {
+            Some(until) if now < until => {
+                s.stats.unavailable += 1;
+                return Err(StoreError::Unavailable { domain });
+            }
+            Some(_) => s.outages[domain] = None, // window expired: recovered
+            None => {}
+        }
+        if self.config.outage_prob > 0.0 && s.rng.gen_bool(self.config.outage_prob) {
+            s.outages[domain] = Some(now + self.config.outage);
+            s.stats.outages += 1;
+            s.stats.unavailable += 1;
+            return Err(StoreError::Unavailable { domain });
+        }
+        if self.config.timeout_prob > 0.0 && s.rng.gen_bool(self.config.timeout_prob) {
+            s.stats.timeouts += 1;
+            return Err(StoreError::Timeout);
+        }
+        Ok(())
+    }
+
+    /// Rolls whether to tear the current long poll.
+    pub fn torn_poll(&self) -> bool {
+        let mut s = self.state.lock();
+        if !s.enabled || self.config.torn_poll_prob == 0.0 {
+            return false;
+        }
+        let torn = s.rng.gen_bool(self.config.torn_poll_prob);
+        if torn {
+            s.stats.torn_polls += 1;
+        }
+        torn
+    }
+
+    /// Rolls whether to reject the current CAS spuriously.
+    pub fn cas_storm(&self) -> bool {
+        let mut s = self.state.lock();
+        if !s.enabled || self.config.cas_storm_prob == 0.0 {
+            return false;
+        }
+        let storm = s.rng.gen_bool(self.config.cas_storm_prob);
+        if storm {
+            s.stats.cas_conflicts += 1;
+        }
+        storm
+    }
+
+    /// True while `domain` is inside an outage window. Roll-free: safe for
+    /// observers (a sharded watch) to poll without advancing the schedule.
+    pub fn is_down(&self, domain: usize) -> bool {
+        let mut s = self.state.lock();
+        let Some(slot) = s.outages.get(domain).copied() else {
+            return false;
+        };
+        match slot {
+            Some(until) if Instant::now() < until => true,
+            Some(_) => {
+                s.outages[domain] = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Starts (or extends) an outage on `domain` for `duration` — the
+    /// deterministic handle tests use instead of probability rolls.
+    pub fn force_outage(&self, domain: usize, duration: Duration) {
+        let mut s = self.state.lock();
+        if domain < s.outages.len() {
+            s.outages[domain] = Some(Instant::now() + duration);
+            s.stats.outages += 1;
+        }
+    }
+
+    /// Arms a one-shot panic: the request `after_requests` requests from
+    /// now panics inside the injector — the "worker crashed mid-pass"
+    /// fault the scheduler must contain.
+    pub fn arm_panic(&self, after_requests: u64) {
+        self.state.lock().panic_after = Some(after_requests);
+    }
+
+    /// Enables or disables probabilistic injection (forced outages and
+    /// armed panics still fire while disabled).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.state.lock().enabled = enabled;
+    }
+
+    /// Stops all injection: disables probability rolls, ends every outage
+    /// window and disarms a pending panic. Counters are preserved.
+    pub fn heal(&self) {
+        let mut s = self.state.lock();
+        s.enabled = false;
+        s.panic_after = None;
+        for slot in s.outages.iter_mut() {
+            *slot = None;
+        }
+    }
+
+    /// What the injector has injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+}
+
+impl core::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FaultInjector({} domains)", self.config.domains)
+    }
+}
+
+/// An [`ObjectStore`] wrapper injecting the faults its [`FaultInjector`]
+/// schedules; see the module docs for the failure model.
+#[derive(Clone)]
+pub struct FaultyStore<S> {
+    inner: S,
+    faults: Arc<FaultInjector>,
+}
+
+impl<S: ObjectStore> FaultyStore<S> {
+    /// Wraps `inner` with a fresh injector for `config`.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        Self::with_injector(inner, Arc::new(FaultInjector::new(config)))
+    }
+
+    /// Wraps `inner` with a shared injector (one schedule driving several
+    /// wrappers, or a wrapper plus a sharded watch).
+    pub fn with_injector(inner: S, faults: Arc<FaultInjector>) -> Self {
+        Self { inner, faults }
+    }
+
+    /// The schedule driver (force outages, arm panics, read stats).
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Blocks an infallible caller until the schedule lets the request
+    /// through. Outage windows are wall-clock bounded and per-request
+    /// faults re-roll each attempt, so this terminates (quickly, under
+    /// any sane schedule).
+    fn ride_out(&self, folder: &str) {
+        while self.faults.check(folder).is_err() {
+            std::thread::sleep(RIDE_OUT_PAUSE);
+        }
+    }
+
+    /// The true current version of `folder/item` (0 if absent) — what a
+    /// spurious conflict must report for the caller's re-read-and-retry
+    /// path to behave exactly as it would after losing a real race.
+    fn true_conflict(&self, folder: &str, item: &str) -> VersionConflict {
+        let current = self.inner.get(folder, item).map(|(_, v)| v).unwrap_or(0);
+        VersionConflict { current }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
+    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
+        self.ride_out(folder);
+        self.inner.put(folder, item, data)
+    }
+
+    fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, VersionConflict> {
+        self.ride_out(folder);
+        if self.faults.cas_storm() {
+            return Err(self.true_conflict(folder, item));
+        }
+        self.inner.put_if_version(folder, item, data, expected)
+    }
+
+    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
+        self.ride_out(folder);
+        self.inner.put_many(folder, items)
+    }
+
+    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        self.ride_out(folder);
+        self.inner.get(folder, item)
+    }
+
+    fn delete(&self, folder: &str, item: &str) -> bool {
+        self.ride_out(folder);
+        self.inner.delete(folder, item)
+    }
+
+    fn list(&self, folder: &str) -> Vec<String> {
+        self.ride_out(folder);
+        self.inner.list(folder)
+    }
+
+    fn list_folders(&self) -> Vec<String> {
+        self.ride_out("");
+        self.inner.list_folders()
+    }
+
+    fn folder_version(&self, folder: &str) -> u64 {
+        self.ride_out(folder);
+        self.inner.folder_version(folder)
+    }
+
+    /// An outage or tear surfaces as an early timeout with `version:
+    /// since` — the caller's cursor stands still, so a change masked by
+    /// the fault is picked up by the next (post-recovery) poll.
+    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        let deadline = Instant::now() + timeout;
+        let torn = PollResult {
+            version: since,
+            changed: Vec::new(),
+            timed_out: true,
+        };
+        loop {
+            match self.faults.check(folder) {
+                Ok(()) => break,
+                Err(_) => {
+                    if Instant::now() >= deadline {
+                        return torn;
+                    }
+                    std::thread::sleep(RIDE_OUT_PAUSE);
+                }
+            }
+        }
+        if self.faults.torn_poll() {
+            return torn;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        self.inner.long_poll(folder, since, remaining)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
+        self.faults.check(folder)?;
+        Ok(self.inner.put(folder, item, data))
+    }
+
+    fn try_put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, StoreError> {
+        self.faults.check(folder)?;
+        if self.faults.cas_storm() {
+            return Err(StoreError::Conflict(self.true_conflict(folder, item)));
+        }
+        self.inner
+            .put_if_version(folder, item, data, expected)
+            .map_err(StoreError::Conflict)
+    }
+
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
+        self.faults.check(folder)?;
+        Ok(self.inner.put_many(folder, items))
+    }
+
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        self.faults.check(folder)?;
+        Ok(self.inner.get(folder, item))
+    }
+
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        self.faults.check(folder)?;
+        Ok(self.inner.delete(folder, item))
+    }
+
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        self.faults.check(folder)?;
+        Ok(self.inner.list(folder))
+    }
+
+    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
+        self.faults.check(folder)?;
+        Ok(self.inner.folder_version(folder))
+    }
+
+    /// A torn poll is not an error — it is the fault-free "nothing
+    /// changed" shape with the cursor preserved. Only outages/timeouts
+    /// surface as [`StoreError`].
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
+        self.faults.check(folder)?;
+        if self.faults.torn_poll() {
+            return Ok(PollResult {
+                version: since,
+                changed: Vec::new(),
+                timed_out: true,
+            });
+        }
+        Ok(self.inner.long_poll(folder, since, timeout))
+    }
+}
+
+impl<S> core::fmt::Debug for FaultyStore<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FaultyStore({:?})", self.faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CloudStore;
+
+    #[test]
+    fn quiet_schedule_is_transparent() {
+        let store = FaultyStore::new(CloudStore::new(), FaultConfig::default());
+        let v = store.try_put("g", "a", Bytes::from_static(b"x")).unwrap();
+        assert_eq!(store.try_get("g", "a").unwrap().unwrap().1, v);
+        assert_eq!(store.try_list("g").unwrap(), vec!["a".to_string()]);
+        assert_eq!(store.injector().stats().timeouts, 0);
+    }
+
+    #[test]
+    fn forced_outage_refuses_then_recovers() {
+        let store = FaultyStore::new(CloudStore::new(), FaultConfig::default());
+        let domain = store.injector().domain_of("g");
+        store
+            .injector()
+            .force_outage(domain, Duration::from_secs(60));
+        assert!(store.injector().is_down(domain));
+        assert_eq!(
+            store.try_get("g", "a").unwrap_err(),
+            StoreError::Unavailable { domain }
+        );
+        // the infallible poll rides the outage out as an early timeout
+        let poll = store.long_poll("g", 7, Duration::from_millis(5));
+        assert_eq!(poll.version, 7);
+        assert!(poll.timed_out && poll.changed.is_empty());
+        store.injector().heal();
+        assert!(!store.injector().is_down(domain));
+        assert!(store.try_get("g", "a").unwrap().is_none());
+    }
+
+    #[test]
+    fn cas_storm_reports_the_true_version() {
+        let store = FaultyStore::new(
+            CloudStore::new(),
+            FaultConfig {
+                cas_storm_prob: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let v = store.put("g", "a", Bytes::from_static(b"x"));
+        let err = store
+            .try_put_if_version("g", "a", Bytes::from_static(b"y"), v)
+            .unwrap_err();
+        assert_eq!(err, StoreError::Conflict(VersionConflict { current: v }));
+        // the CAS was not executed: the payload is unchanged
+        assert_eq!(&store.get("g", "a").unwrap().0[..], b"x");
+        assert!(store.injector().stats().cas_conflicts >= 1);
+    }
+
+    #[test]
+    fn torn_poll_preserves_the_cursor() {
+        let store = FaultyStore::new(
+            CloudStore::new(),
+            FaultConfig {
+                torn_poll_prob: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        store.put("g", "a", Bytes::from_static(b"x"));
+        let since = 0;
+        let poll = store
+            .try_long_poll("g", since, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(poll.version, since);
+        assert!(poll.timed_out && poll.changed.is_empty());
+        // post-heal, the preserved cursor still surfaces the change
+        store.injector().heal();
+        let poll = store.long_poll("g", since, Duration::from_secs(5));
+        assert_eq!(poll.changed, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn armed_panic_fires_once() {
+        let store = FaultyStore::new(CloudStore::new(), FaultConfig::default());
+        store.injector().arm_panic(1);
+        assert!(store.try_get("g", "a").is_ok()); // request 0: countdown
+        let injector = Arc::clone(store.injector());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.try_get("g", "a").ok();
+        }));
+        assert!(caught.is_err());
+        assert_eq!(injector.stats().panics, 1);
+        // one-shot: the next request sails through
+        assert!(store.try_get("g", "a").is_ok());
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_schedules() {
+        // wall-clock-free schedule (no outage windows), so the outcome
+        // sequence is a pure function of (seed, request sequence)
+        let run = |seed: u64| {
+            let config = FaultConfig {
+                seed,
+                timeout_prob: 0.2,
+                ..FaultConfig::default()
+            };
+            let store = FaultyStore::new(CloudStore::new(), config);
+            let mut outcomes = Vec::new();
+            for i in 0..200 {
+                let folder = format!("g{}", i % 5);
+                outcomes.push(store.try_put(&folder, "a", Bytes::new()).is_ok());
+            }
+            (outcomes, store.injector().stats().timeouts)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+}

@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod object_store;
 pub mod sharded;
 pub mod store;
 
+pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyStore, StoreError};
 pub use latency::LatencyModel;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use object_store::{ObjectStore, StoreHandle};

@@ -8,6 +8,7 @@
 //! routed by hash) without any consumer — admin, client, data-plane session
 //! or sweeper — knowing which one it is running on.
 
+use crate::fault::StoreError;
 use crate::metrics::MetricsSnapshot;
 use crate::store::{PollResult, VersionConflict};
 use bytes::Bytes;
@@ -67,6 +68,98 @@ pub trait ObjectStore: Send + Sync {
 
     /// Traffic counters (aggregated across shards when sharded).
     fn metrics(&self) -> MetricsSnapshot;
+
+    // --- fallible surface ------------------------------------------------
+    //
+    // The `try_*` methods mirror the operations above but surface the
+    // failures a real cloud exhibits as [`StoreError`]. The reliable
+    // in-memory stores never fail, so the defaults simply delegate; a
+    // [`FaultyStore`](crate::FaultyStore) overrides them to inject its
+    // schedule. Fault-aware consumers (sessions, sweepers, the admin's
+    // publish paths) call these and handle the error; the infallible
+    // methods remain for call sites that predate the fault model.
+
+    /// Fallible PUT (see [`ObjectStore::put`]).
+    ///
+    /// # Errors
+    /// [`StoreError::Unavailable`] / [`StoreError::Timeout`] on injected
+    /// or real transport failures.
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
+        Ok(self.put(folder, item, data))
+    }
+
+    /// Fallible conditional PUT (see [`ObjectStore::put_if_version`]);
+    /// folds the CAS rejection into [`StoreError::Conflict`].
+    ///
+    /// # Errors
+    /// [`StoreError::Conflict`] when the CAS loses,
+    /// [`StoreError::Unavailable`] / [`StoreError::Timeout`] on transport
+    /// failures.
+    fn try_put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, StoreError> {
+        self.put_if_version(folder, item, data, expected)
+            .map_err(StoreError::Conflict)
+    }
+
+    /// Fallible atomic multi-PUT (see [`ObjectStore::put_many`]).
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
+        Ok(self.put_many(folder, items))
+    }
+
+    /// Fallible GET (see [`ObjectStore::get`]).
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        Ok(self.get(folder, item))
+    }
+
+    /// Fallible DELETE (see [`ObjectStore::delete`]).
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        Ok(self.delete(folder, item))
+    }
+
+    /// Fallible list (see [`ObjectStore::list`]).
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        Ok(self.list(folder))
+    }
+
+    /// Fallible folder-clock read (see [`ObjectStore::folder_version`]).
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
+        Ok(self.folder_version(folder))
+    }
+
+    /// Fallible long poll (see [`ObjectStore::long_poll`]). A torn poll
+    /// is *not* an error: it returns `Ok` with `version == since` and no
+    /// changes, so the caller's cursor never skips a notification.
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
+        Ok(self.long_poll(folder, since, timeout))
+    }
 }
 
 /// A cheap-to-clone, thread-safe handle to any [`ObjectStore`]
@@ -159,6 +252,102 @@ impl StoreHandle {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.0.metrics()
     }
+
+    // The try_* forwards below go through `self.0.try_*` explicitly: the
+    // trait defaults would re-enter StoreHandle's own infallible methods
+    // and silently bypass a wrapped store's fault injection.
+
+    /// Fallible PUT (see [`ObjectStore::try_put`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures.
+    pub fn try_put(
+        &self,
+        folder: &str,
+        item: &str,
+        data: impl Into<Bytes>,
+    ) -> Result<u64, StoreError> {
+        self.0.try_put(folder, item, data.into())
+    }
+
+    /// Fallible conditional PUT (see [`ObjectStore::try_put_if_version`]).
+    ///
+    /// # Errors
+    /// [`StoreError::Conflict`] on a lost CAS, [`StoreError`] on
+    /// transport failures.
+    pub fn try_put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: impl Into<Bytes>,
+        expected: u64,
+    ) -> Result<u64, StoreError> {
+        self.0
+            .try_put_if_version(folder, item, data.into(), expected)
+    }
+
+    /// Fallible atomic multi-PUT (see [`ObjectStore::try_put_many`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures.
+    pub fn try_put_many<I, B>(&self, folder: &str, items: I) -> Result<u64, StoreError>
+    where
+        I: IntoIterator<Item = (String, B)>,
+        B: Into<Bytes>,
+    {
+        self.0.try_put_many(
+            folder,
+            items
+                .into_iter()
+                .map(|(name, data)| (name, data.into()))
+                .collect(),
+        )
+    }
+
+    /// Fallible GET (see [`ObjectStore::try_get`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures.
+    pub fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        self.0.try_get(folder, item)
+    }
+
+    /// Fallible DELETE (see [`ObjectStore::try_delete`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures.
+    pub fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        self.0.try_delete(folder, item)
+    }
+
+    /// Fallible list (see [`ObjectStore::try_list`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures.
+    pub fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        self.0.try_list(folder)
+    }
+
+    /// Fallible folder-clock read (see [`ObjectStore::try_folder_version`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures.
+    pub fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
+        self.0.try_folder_version(folder)
+    }
+
+    /// Fallible long poll (see [`ObjectStore::try_long_poll`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures (a torn poll is `Ok`).
+    pub fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
+        self.0.try_long_poll(folder, since, timeout)
+    }
 }
 
 impl ObjectStore for StoreHandle {
@@ -207,6 +396,49 @@ impl ObjectStore for StoreHandle {
     fn metrics(&self) -> MetricsSnapshot {
         self.0.metrics()
     }
+
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
+        self.0.try_put(folder, item, data)
+    }
+
+    fn try_put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, StoreError> {
+        self.0.try_put_if_version(folder, item, data, expected)
+    }
+
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
+        self.0.try_put_many(folder, items)
+    }
+
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        self.0.try_get(folder, item)
+    }
+
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        self.0.try_delete(folder, item)
+    }
+
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        self.0.try_list(folder)
+    }
+
+    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
+        self.0.try_folder_version(folder)
+    }
+
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
+        self.0.try_long_poll(folder, since, timeout)
+    }
 }
 
 impl core::fmt::Debug for StoreHandle {
@@ -223,6 +455,12 @@ impl From<crate::CloudStore> for StoreHandle {
 
 impl From<crate::ShardedStore> for StoreHandle {
     fn from(store: crate::ShardedStore) -> Self {
+        Self::new(store)
+    }
+}
+
+impl<S: ObjectStore + 'static> From<crate::FaultyStore<S>> for StoreHandle {
+    fn from(store: crate::FaultyStore<S>) -> Self {
         Self::new(store)
     }
 }

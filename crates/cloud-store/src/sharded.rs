@@ -15,6 +15,7 @@
 //! one [`WatchCursor`] (a per-shard cursor vector plus a shared wakeup
 //! signal), which is what a store-wide observer blocks on.
 
+use crate::fault::FaultInjector;
 use crate::latency::LatencyModel;
 use crate::metrics::MetricsSnapshot;
 use crate::object_store::ObjectStore;
@@ -85,6 +86,9 @@ pub struct WatchCursor {
 pub struct ShardedStore {
     shards: Arc<Vec<CloudStore>>,
     signal: Arc<ChangeSignal>,
+    /// When present, [`ShardedStore::watch`] consults the injector and
+    /// skips shards inside an outage window instead of scanning them.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ShardedStore {
@@ -111,7 +115,23 @@ impl ShardedStore {
         Self {
             shards: Arc::new(shards),
             signal,
+            faults: None,
         }
+    }
+
+    /// Attaches a [`FaultInjector`] whose outage domains map 1:1 onto
+    /// this store's shards (domain *i* down ⇒ shard *i* unreachable):
+    /// [`ShardedStore::watch`] then **skips** a dead shard's change scan
+    /// while leaving its cursor untouched, so everything written on that
+    /// shard during the outage is reported the moment it recovers.
+    ///
+    /// This only affects the merged watch. To fault individual folder
+    /// requests, additionally wrap the store in a
+    /// [`FaultyStore`](crate::FaultyStore) sharing the same injector.
+    #[must_use]
+    pub fn with_injector(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Number of shards.
@@ -153,12 +173,28 @@ impl ShardedStore {
     /// a DELETE advances the clocks but surfaces nothing here — deleted
     /// items are observed by absence on a subsequent `list`/`get`, exactly
     /// as [`PollResult`] documents for the single store.
+    ///
+    /// With an attached [`FaultInjector`] (see
+    /// [`ShardedStore::with_injector`]), shards inside an outage window
+    /// are skipped without touching their cursor entry: the watch keeps
+    /// reporting the live shards, and the dead shard's backlog surfaces
+    /// in full once its window ends.
     pub fn watch(&self, cursor: &mut WatchCursor, timeout: Duration) -> Vec<(String, String)> {
+        // Re-scan cadence while a shard is down: its backlog writes
+        // bumped the signal *before* the outage was observed, so only
+        // polling — not the signal — can notice the recovery.
+        const OUTAGE_RESCAN: Duration = Duration::from_millis(5);
         let deadline = Instant::now() + timeout;
         loop {
             let seen = self.signal.current();
             let mut changed = Vec::new();
+            let mut skipped_down_shard = false;
             for (i, shard) in self.shards.iter().enumerate() {
+                if self.faults.as_deref().is_some_and(|f| f.is_down(i)) {
+                    // cursor entry untouched: resumes where it left off
+                    skipped_down_shard = true;
+                    continue;
+                }
                 let (version, items) = shard.changes_since(cursor.per_shard[i]);
                 cursor.per_shard[i] = version;
                 changed.extend(items);
@@ -168,8 +204,13 @@ impl ShardedStore {
                 changed.sort();
                 return changed;
             }
-            cursor.seq = self.signal.wait_past(seen, deadline);
-            if cursor.seq <= seen {
+            let wait_until = if skipped_down_shard {
+                deadline.min(Instant::now() + OUTAGE_RESCAN)
+            } else {
+                deadline
+            };
+            cursor.seq = self.signal.wait_past(seen, wait_until);
+            if cursor.seq <= seen && Instant::now() >= deadline {
                 return Vec::new(); // timed out quiet
             }
         }
@@ -283,6 +324,32 @@ mod tests {
         );
         // cursor advanced: a quiet watch times out empty
         assert!(s.watch(&mut cursor, Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn watch_skips_a_dead_shard_and_resumes_its_cursor() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let injector = Arc::new(FaultInjector::new(FaultConfig {
+            domains: 3,
+            ..FaultConfig::default()
+        }));
+        let s = ShardedStore::new(3).with_injector(Arc::clone(&injector));
+        let mut cursor = s.cursor();
+        let down = s.shard_index("a");
+        let other = ["b", "c", "d", "e", "f"]
+            .into_iter()
+            .find(|f| s.shard_index(f) != down)
+            .expect("a folder on a different shard");
+        injector.force_outage(down, Duration::from_secs(60));
+        s.put("a", "1", Bytes::from_static(b"x")); // lands on the dead shard
+        s.put(other, "2", Bytes::from_static(b"y"));
+        // the live shard's change is reported; the dead shard is skipped
+        let changed = s.watch(&mut cursor, Duration::from_millis(200));
+        assert_eq!(changed, vec![(other.to_string(), "2".to_string())]);
+        // recovery: the skipped cursor replays the dead shard's backlog
+        injector.heal();
+        let changed = s.watch(&mut cursor, Duration::from_millis(500));
+        assert_eq!(changed, vec![("a".to_string(), "1".to_string())]);
     }
 
     #[test]

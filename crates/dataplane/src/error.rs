@@ -1,6 +1,6 @@
 //! Error type for the data plane.
 
-use cloud_store::VersionConflict;
+use cloud_store::{StoreError, VersionConflict};
 use core::fmt;
 
 /// Errors surfaced by data-plane sessions, sweepers and coordinators.
@@ -26,6 +26,12 @@ pub enum DataError {
     Conflict(VersionConflict),
     /// The session has never derived key material and a refresh failed.
     NoKeys,
+    /// A cloud request was refused or lost (outage or timeout); transient
+    /// — retry with backoff (see [`crate::RetryPolicy`]).
+    Store(StoreError),
+    /// A sweep worker thread panicked; its work unit was (or must be)
+    /// re-queued. Carries the panic payload rendered as text.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for DataError {
@@ -39,6 +45,8 @@ impl fmt::Display for DataError {
             DataError::AuthFailed => write!(f, "object failed to authenticate"),
             DataError::Conflict(c) => write!(f, "write lost the race: {c}"),
             DataError::NoKeys => write!(f, "session holds no key material"),
+            DataError::Store(e) => write!(f, "store: {e}"),
+            DataError::WorkerPanic(note) => write!(f, "sweep worker panicked: {note}"),
         }
     }
 }
@@ -49,6 +57,7 @@ impl std::error::Error for DataError {
             DataError::Acs(e) => Some(e),
             DataError::Core(e) => Some(e),
             DataError::Conflict(c) => Some(c),
+            DataError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -69,5 +78,44 @@ impl From<ibbe_sgx_core::CoreError> for DataError {
 impl From<VersionConflict> for DataError {
     fn from(e: VersionConflict) -> Self {
         DataError::Conflict(e)
+    }
+}
+
+impl From<StoreError> for DataError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            // a lost CAS keeps its dedicated re-read-and-retry contract
+            StoreError::Conflict(c) => DataError::Conflict(c),
+            other => DataError::Store(other),
+        }
+    }
+}
+
+/// Renders a caught panic payload (`std::thread::Result::Err` /
+/// `catch_unwind` error) as the human-readable note carried by
+/// [`DataError::WorkerPanic`] and the per-unit failure records.
+pub(crate) fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+impl DataError {
+    /// True when a bounded retry (after the store recovers) can clear the
+    /// failure without any state repair: injected/real outages and
+    /// timeouts, wherever in the stack they surfaced, and worker panics
+    /// (whose unit is re-queued). CAS conflicts are *not* transient —
+    /// the caller must re-read the object first.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DataError::Store(e) => e.is_transient(),
+            DataError::Acs(e) => e.is_transient(),
+            DataError::WorkerPanic(_) => true,
+            _ => false,
+        }
     }
 }

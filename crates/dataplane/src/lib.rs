@@ -72,9 +72,9 @@ pub use envelope::{SealedObject, OBJECT_FORMAT_V1};
 pub use error::DataError;
 pub use metrics::{DataMetrics, DataMetricsSnapshot, FleetMetrics};
 pub use pool::SweepPool;
-pub use replay::{RwSystemBackend, RwSystemConfig, SWEEPER_IDENTITY, WRITER_IDENTITY};
+pub use replay::{ReplayError, RwSystemBackend, RwSystemConfig, SWEEPER_IDENTITY, WRITER_IDENTITY};
 pub use scheduler::{
     FleetConfig, FleetReport, GroupSweepReport, LeaseRecord, SweepScheduler, SweepTask, TaskId,
 };
-pub use session::{data_folder, data_shard_folder, ClientSession};
+pub use session::{data_folder, data_shard_folder, ClientSession, RetryPolicy};
 pub use sweeper::{SweepConfig, SweepDriver, SweepPass, SweepReport, Sweeper};

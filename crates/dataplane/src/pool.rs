@@ -16,7 +16,7 @@
 //! workers ever CAS the same object, and each worker's session holds its
 //! own key ring and CAS-version map.
 
-use crate::error::DataError;
+use crate::error::{panic_note, DataError};
 use crate::metrics::DataMetricsSnapshot;
 use crate::session::ClientSession;
 use crate::sweeper::{SweepConfig, SweepDriver, SweepReport, Sweeper};
@@ -24,8 +24,17 @@ use std::time::{Duration, Instant};
 
 /// A pool of shard-assigned [`Sweeper`] workers sharing one namespace; see
 /// the module docs.
+///
+/// The pool contains worker failure instead of propagating it: a worker
+/// that panics or hits a transient store fault costs its round — the
+/// merged report comes back `converged: false` with a note in
+/// [`SweepPool::last_failures`] — but never aborts the process or the
+/// run. The failed worker's shard assignment is unchanged, so the next
+/// round rescans and finishes its still-stale objects.
 pub struct SweepPool {
     workers: Vec<Sweeper>,
+    /// Per-worker failure notes from the most recent round.
+    failures: Vec<String>,
 }
 
 impl SweepPool {
@@ -59,7 +68,10 @@ impl SweepPool {
             .enumerate()
             .map(|(i, session)| Sweeper::with_assignment(session, config, i, of))
             .collect();
-        Self { workers }
+        Self {
+            workers,
+            failures: Vec::new(),
+        }
     }
 
     /// Number of workers.
@@ -78,20 +90,31 @@ impl SweepPool {
     /// out of the convergence window.
     ///
     /// # Errors
-    /// The first worker's refresh failure (by index).
+    /// The first worker's refresh failure (by index); a panicking worker
+    /// surfaces as [`DataError::WorkerPanic`] instead of aborting.
     pub fn refresh(&mut self) -> Result<(), DataError> {
-        let results: Vec<Result<(), DataError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .map(|worker| scope.spawn(move || worker.refresh()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
+        let results: Vec<std::thread::Result<Result<(), DataError>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|worker| scope.spawn(move || worker.refresh()))
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        for result in results {
+            match result {
+                Ok(r) => r?,
+                Err(payload) => return Err(DataError::WorkerPanic(panic_note(&*payload))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Failure notes (`worker index: cause`) from the most recent
+    /// [`SweepDriver`] round; empty after a clean round.
+    pub fn last_failures(&self) -> &[String] {
+        &self.failures
     }
 
     /// Merged counters across every worker's session.
@@ -103,30 +126,45 @@ impl SweepPool {
     }
 
     /// Runs `f` on every worker concurrently (scoped threads) and merges
-    /// the reports; the first worker error (by index) wins.
+    /// the reports. A worker that panics or fails transiently marks the
+    /// round unconverged (with a note in [`SweepPool::last_failures`])
+    /// instead of failing the round — its still-stale objects are found
+    /// again by the next round's scan. The first *fatal* worker error (by
+    /// index) still wins.
     fn drive(
         &mut self,
         f: impl Fn(&mut Sweeper) -> Result<SweepReport, DataError> + Sync,
     ) -> Result<SweepReport, DataError> {
         let t0 = Instant::now();
         let f = &f;
-        let results: Vec<Result<SweepReport, DataError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .map(|worker| scope.spawn(move || f(worker)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        });
+        let results: Vec<std::thread::Result<Result<SweepReport, DataError>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|worker| scope.spawn(move || f(worker)))
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        self.failures.clear();
         let mut merged = SweepReport {
             converged: true,
             ..SweepReport::default()
         };
-        for result in results {
-            merged.absorb(&result?);
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(Ok(report)) => merged.absorb(&report),
+                Ok(Err(e)) if e.is_transient() => {
+                    merged.converged = false;
+                    self.failures.push(format!("worker {i}: {e}"));
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    merged.converged = false;
+                    self.failures
+                        .push(format!("worker {i}: panicked: {}", panic_note(&*payload)));
+                }
+            }
         }
         merged.elapsed = t0.elapsed();
         Ok(merged)

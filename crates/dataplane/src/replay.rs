@@ -23,6 +23,52 @@ pub const WRITER_IDENTITY: &str = "__writer";
 /// Reserved identity for the sweep workers' privileged sessions.
 pub const SWEEPER_IDENTITY: &str = "__sweeper";
 
+/// CAS-conflict retries per replayed write before the event fails (each
+/// retry re-fetches the winner first, so the bound is only ever hit under
+/// a pathological conflict storm).
+const CONFLICT_RETRIES: usize = 4;
+
+/// A replayed event that failed, with the event context attached. The
+/// generic `workloads` driver applies events infallibly, so the backend
+/// records the first of these and skips the rest of the trace
+/// (fail-stop) instead of panicking the replay thread — see
+/// [`RwSystemBackend::failure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// The event kind that failed: `"write"`, `"read"` or `"churn"`.
+    pub op: &'static str,
+    /// The object name, or a churn-batch summary.
+    pub target: String,
+    /// The underlying data-plane failure.
+    pub source: DataError,
+}
+
+impl ReplayError {
+    fn new(op: &'static str, target: impl Into<String>, source: DataError) -> Self {
+        Self {
+            op,
+            target: target.into(),
+            source,
+        }
+    }
+}
+
+impl core::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "replayed {} of {}: {}",
+            self.op, self.target, self.source
+        )
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Deployment shape of a replayed data-plane system.
 #[derive(Clone, Copy, Debug)]
 pub struct RwSystemConfig {
@@ -72,6 +118,7 @@ pub struct RwSystemBackend {
     config: RwSystemConfig,
     payload: Vec<u8>,
     seq: u64,
+    failure: Option<ReplayError>,
 }
 
 impl RwSystemBackend {
@@ -157,6 +204,7 @@ impl RwSystemBackend {
             config,
             payload: vec![0xd5; config.payload_len],
             seq: 0,
+            failure: None,
         }
     }
 
@@ -214,6 +262,59 @@ impl RwSystemBackend {
         coordinator(&self.admin, self.config).revoke(&self.group, &batch, &mut self.sweepers)?;
         Ok(())
     }
+
+    /// The first event failure of the replay, if any. The infallible
+    /// [`EventBackend::apply`] records it and skips every later event, so
+    /// a finished replay with `failure() == None` really did apply the
+    /// whole trace.
+    pub fn failure(&self) -> Option<&ReplayError> {
+        self.failure.as_ref()
+    }
+
+    /// Takes the recorded failure, re-arming the backend for more events.
+    pub fn take_failure(&mut self) -> Option<ReplayError> {
+        self.failure.take()
+    }
+
+    /// Applies one event, surfacing failures as typed [`ReplayError`]s
+    /// instead of panicking. A lost CAS race on a write adopts the
+    /// winning version and retries (bounded).
+    ///
+    /// # Errors
+    /// The failed session or churn call, wrapped with the event context.
+    pub fn try_apply(&mut self, event: &RwOp) -> Result<(), ReplayError> {
+        match event {
+            RwOp::Write { object } => {
+                self.seq = self.seq.wrapping_add(1);
+                let n = self.payload.len().min(8);
+                // low-order counter bytes, so short payloads still vary
+                self.payload[..n].copy_from_slice(&self.seq.to_le_bytes()[..n]);
+                let payload = self.payload.clone();
+                let mut conflicts = 0;
+                loop {
+                    match self.session.write(object, &payload) {
+                        Ok(_) => return Ok(()),
+                        Err(DataError::Conflict(_)) if conflicts < CONFLICT_RETRIES => {
+                            conflicts += 1;
+                            // adopt the winning version, then retry
+                            self.session.fetch(object).map_err(|e| {
+                                ReplayError::new("conflicted re-fetch", object.clone(), e)
+                            })?;
+                        }
+                        Err(e) => return Err(ReplayError::new("write", object.clone(), e)),
+                    }
+                }
+            }
+            RwOp::Read { object } => self
+                .session
+                .read(object)
+                .map(drop)
+                .map_err(|e| ReplayError::new("read", object.clone(), e)),
+            RwOp::Churn { ops } => self
+                .churn(ops)
+                .map_err(|e| ReplayError::new("churn", format!("batch of {}", ops.len()), e)),
+        }
+    }
 }
 
 /// Borrows only the admin, so the caller can hold the sweep pool mutably
@@ -228,30 +329,16 @@ fn coordinator(admin: &Admin, config: RwSystemConfig) -> RevocationCoordinator<'
 }
 
 impl EventBackend<RwOp> for RwSystemBackend {
+    /// Fail-stop, never panicking: the first [`ReplayError`] is recorded
+    /// (see [`RwSystemBackend::failure`]) and every later event is
+    /// skipped, so post-replay assertions can distinguish "trace
+    /// diverged" from "backend crashed mid-trace".
     fn apply(&mut self, event: &RwOp) {
-        match event {
-            RwOp::Write { object } => {
-                self.seq = self.seq.wrapping_add(1);
-                let n = self.payload.len().min(8);
-                // low-order counter bytes, so short payloads still vary
-                self.payload[..n].copy_from_slice(&self.seq.to_le_bytes()[..n]);
-                let payload = self.payload.clone();
-                match self.session.write(object, &payload) {
-                    Ok(_) => {}
-                    Err(DataError::Conflict(_)) => {
-                        // adopt the winning version and retry once
-                        self.session
-                            .fetch(object)
-                            .expect("conflicted object exists");
-                        self.session.write(object, &payload).expect("retried write");
-                    }
-                    Err(e) => panic!("write of {object}: {e}"),
-                }
-            }
-            RwOp::Read { object } => {
-                self.session.read(object).expect("read of written object");
-            }
-            RwOp::Churn { ops } => self.churn(ops).expect("churn batch"),
+        if self.failure.is_some() {
+            return;
+        }
+        if let Err(e) = self.try_apply(event) {
+            self.failure = Some(e);
         }
     }
 }

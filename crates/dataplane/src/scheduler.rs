@@ -30,13 +30,14 @@
 //! counts, deadline overshoot) plus the grant-by-grant [`LeaseRecord`] log
 //! the fairness tests assert against.
 
-use crate::error::DataError;
+use crate::error::{panic_note, DataError};
 use crate::metrics::{DataMetricsSnapshot, FleetMetrics};
 use crate::session::ClientSession;
 use crate::sweeper::{SweepConfig, SweepPass, SweepReport, Sweeper};
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Shape of the shared sweep fleet.
@@ -60,6 +61,11 @@ pub struct FleetConfig {
     /// at a retired epoch, forcing re-passes). When hit, the unit retires
     /// unconverged and the group's report says so.
     pub max_passes: usize,
+    /// Safety cap on re-queues of one unit after leases lost to worker
+    /// panics or transient store faults. When hit, the unit retires
+    /// unconverged (with its failures in the lease log) instead of cycling
+    /// through a store that never recovers.
+    pub max_retries: usize,
 }
 
 impl Default for FleetConfig {
@@ -69,6 +75,7 @@ impl Default for FleetConfig {
             lease: 8,
             deadline: Duration::from_secs(2),
             max_passes: 32,
+            max_retries: 8,
         }
     }
 }
@@ -145,6 +152,10 @@ pub struct LeaseRecord {
     /// (zero for a scan-only lease of a clean folder, or for a lease that
     /// aborted on an error).
     pub consumed: usize,
+    /// Why this lease failed, when it did: the worker panicked or hit a
+    /// transient store fault, and the unit was re-queued (or retired at
+    /// the [`FleetConfig::max_retries`] cap) under the same stamp.
+    pub failure: Option<String>,
 }
 
 /// One group's converged backlog, attributed by label — what
@@ -162,6 +173,9 @@ pub struct GroupSweepReport {
     pub report: SweepReport,
     /// Leases this backlog consumed.
     pub leases: u64,
+    /// Leases lost to worker panics or transient store faults and
+    /// re-queued (see [`LeaseRecord::failure`] for the cause of each).
+    pub retries: u64,
     /// How far past `armed_at + deadline` the backlog converged
     /// (zero when the deadline was met).
     pub overshoot: Duration,
@@ -182,6 +196,9 @@ pub struct FleetReport {
     pub total: SweepReport,
     /// Every lease grant, in grant order.
     pub leases: Vec<LeaseRecord>,
+    /// Total leases lost to worker panics or transient store faults and
+    /// re-queued, across every group.
+    pub retries: u64,
     /// Worker threads the run used.
     pub workers: usize,
 }
@@ -254,7 +271,13 @@ impl SweepScheduler {
     /// such a group explicitly.
     pub fn register(&mut self, task: SweepTask) -> TaskId {
         let group = task.group().to_string();
-        let cursor = task.units[0].session().store().folder_version(&group);
+        // a store fault here must not block registration: baseline 0 at
+        // worst makes the first watch pass probe the group spuriously
+        let cursor = task.units[0]
+            .session()
+            .store()
+            .try_folder_version(&group)
+            .unwrap_or(0);
         self.tasks.push(TaskEntry {
             group,
             units: task.units.into_iter().map(Some).collect(),
@@ -336,7 +359,11 @@ impl SweepScheduler {
             let watcher = entry.units[0]
                 .as_mut()
                 .expect("units are parked between fleet runs");
-            let version = watcher.session().store().folder_version(&entry.group);
+            // a faulted version probe skips the group for this pass only:
+            // the cursor is untouched, so the change stays detectable
+            let Ok(version) = watcher.session().store().try_folder_version(&entry.group) else {
+                continue;
+            };
             if version == entry.cursor {
                 continue;
             }
@@ -435,13 +462,17 @@ impl SweepScheduler {
     /// empty armed set returns an empty report immediately.
     ///
     /// # Errors
-    /// The first worker error aborts the run (remaining leases are
-    /// dropped, sweepers are returned to their tasks, armings are kept so
-    /// the run can be retried).
+    /// The first *fatal* worker error aborts the run (remaining leases
+    /// are dropped, sweepers are returned to their tasks, armings are
+    /// kept so the run can be retried). Transient store faults and worker
+    /// panics are not fatal: the lost lease's unit is re-queued under the
+    /// same stamp — see [`FleetConfig::max_retries`] and
+    /// [`LeaseRecord::failure`].
     pub fn converge_all(&mut self) -> Result<FleetReport, DataError> {
         let t0 = Instant::now();
         let lease = self.config.lease;
         let max_passes = self.config.max_passes.max(1);
+        let max_retries = self.config.max_retries;
 
         // check armed tasks' units out into the dispatch state
         let mut parked: Vec<Option<ActiveUnit>> = Vec::new();
@@ -466,6 +497,7 @@ impl SweepScheduler {
                     sweeper,
                     pass: None,
                     passes: 0,
+                    retries: 0,
                 }));
             }
             runs.push(TaskRun {
@@ -477,6 +509,7 @@ impl SweepScheduler {
                 all_converged: true,
                 report: SweepReport::default(),
                 leases: 0,
+                retries: 0,
                 completed_at: None,
             });
         }
@@ -507,11 +540,16 @@ impl SweepScheduler {
 
         std::thread::scope(|scope| {
             for _ in 0..self.config.workers {
-                scope.spawn(|| worker_loop(&state, &ready_for_work, lease, max_passes));
+                scope
+                    .spawn(|| worker_loop(&state, &ready_for_work, lease, max_passes, max_retries));
             }
         });
 
-        let dispatch = state.into_inner().expect("no worker holds the lock");
+        // a worker that panicked outside the contained lease step poisons
+        // the lock; the dispatch state itself is still consistent (workers
+        // only mutate it under short, panic-free critical sections), so
+        // recover it rather than abandoning every sweeper inside
+        let dispatch = state.into_inner().unwrap_or_else(PoisonError::into_inner);
         // return every sweeper to its task slot
         for unit in dispatch.parked.into_iter().flatten() {
             self.tasks[unit.task].units[unit.folder] = Some(unit.sweeper);
@@ -536,11 +574,13 @@ impl SweepScheduler {
             group_report.converged = run.all_converged;
             group_report.elapsed = completed_at.duration_since(t0);
             report.total.absorb(&group_report);
+            report.retries += run.retries;
             report.groups.push(GroupSweepReport {
                 group: run.group.clone(),
                 stamp: run.stamp,
                 report: group_report,
                 leases: run.leases,
+                retries: run.retries,
                 overshoot: completed_at
                     .duration_since(run.armed_at)
                     .saturating_sub(self.config.deadline),
@@ -576,6 +616,9 @@ struct ActiveUnit {
     sweeper: Sweeper,
     pass: Option<SweepPass>,
     passes: usize,
+    /// Leases this unit lost to panics or transient faults (capped by
+    /// [`FleetConfig::max_retries`]).
+    retries: usize,
 }
 
 /// Per-armed-task bookkeeping during a fleet run.
@@ -589,6 +632,7 @@ struct TaskRun {
     all_converged: bool,
     report: SweepReport,
     leases: u64,
+    retries: u64,
     completed_at: Option<Instant>,
 }
 
@@ -628,14 +672,38 @@ struct Dispatch {
     error: Option<DataError>,
 }
 
+/// Recovers the dispatch guard from a poisoned lock. A sibling worker's
+/// panic between critical sections (the contained lease step re-raises
+/// nothing; this covers panics in the dispatch bookkeeping itself) must
+/// not wedge the other `W - 1` workers: the state under the lock is
+/// mutated only in short, complete transactions, so the data is sound
+/// even when the poison flag is set.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
 /// One fleet worker: lease the stalest ready unit, run one pass step
 /// outside the lock, fold the outcome back in, repeat until the run
 /// quiesces (or errors).
-fn worker_loop(state: &Mutex<Dispatch>, cvar: &Condvar, lease: usize, max_passes: usize) {
-    let mut guard = state.lock().expect("dispatch lock poisoned");
+///
+/// A step that panics or fails transiently does not abort the run: the
+/// unit's partial counters are salvaged, its in-progress pass is dropped
+/// (the next lease re-scans, rediscovering any half-migrated leftovers),
+/// and it is re-queued under the same staleness stamp — up to
+/// `max_retries` lost leases, after which it retires unconverged.
+fn worker_loop(
+    state: &Mutex<Dispatch>,
+    cvar: &Condvar,
+    lease: usize,
+    max_passes: usize,
+    max_retries: usize,
+) {
+    let mut guard = recover(state.lock());
     loop {
         while guard.ready.is_empty() && guard.in_flight > 0 && guard.error.is_none() {
-            guard = cvar.wait(guard).expect("dispatch lock poisoned");
+            guard = recover(cvar.wait(guard));
         }
         if guard.error.is_some() || guard.ready.is_empty() {
             cvar.notify_all();
@@ -656,30 +724,74 @@ fn worker_loop(state: &Mutex<Dispatch>, cvar: &Condvar, lease: usize, max_passes
             stamp: granted.stamp,
             remaining_min_stamp,
             consumed: 0,
+            failure: None,
         };
         guard.log.push(record);
         guard.runs[unit.run].leases += 1;
         drop(guard);
 
         // the lease itself: scan on the first step of a pass, then one
-        // bounded migration increment — all outside the lock
-        let outcome: Result<usize, DataError> = (|| {
-            if unit.pass.is_none() {
-                unit.pass = Some(unit.sweeper.begin_pass()?);
-                unit.passes += 1;
-            }
-            let pass = unit.pass.as_mut().expect("pass just ensured");
-            if pass.is_drained() {
-                return Ok(0);
-            }
-            pass.step(&mut unit.sweeper, lease)
-        })();
+        // bounded migration increment — all outside the lock, and inside
+        // a panic guard so an unwinding worker costs one lease, not the
+        // whole fleet
+        let outcome: Result<usize, DataError> =
+            match catch_unwind(AssertUnwindSafe(|| -> Result<usize, DataError> {
+                if unit.pass.is_none() {
+                    unit.pass = Some(unit.sweeper.begin_pass()?);
+                    unit.passes += 1;
+                }
+                let pass = unit.pass.as_mut().expect("pass just ensured");
+                if pass.is_drained() {
+                    return Ok(0);
+                }
+                pass.step(&mut unit.sweeper, lease)
+            })) {
+                Ok(result) => result,
+                Err(payload) => Err(DataError::WorkerPanic(panic_note(&*payload))),
+            };
 
-        guard = state.lock().expect("dispatch lock poisoned");
+        guard = recover(state.lock());
         guard.in_flight -= 1;
         match outcome {
+            Err(e) if e.is_transient() => {
+                // the lease is lost, the unit is not: salvage whatever the
+                // partial pass already migrated (per-item folding in
+                // `SweepPass::step` keeps those counters coherent), then
+                // force a re-scan so anything dropped mid-migration is
+                // rediscovered — it is still stale, so the scan finds it
+                let run = unit.run;
+                if let Some(partial) = unit.pass.take() {
+                    guard.runs[run].report.absorb_counters(&partial.finish());
+                }
+                guard.log[log_idx].failure = Some(e.to_string());
+                guard.runs[run].retries += 1;
+                unit.retries += 1;
+                if unit.retries > max_retries {
+                    // a store that never recovers must not wedge the run:
+                    // retire the unit unconverged, like a pass-capped one
+                    guard.runs[run].all_converged = false;
+                    guard.runs[run].outstanding -= 1;
+                    if guard.runs[run].outstanding == 0 {
+                        guard.runs[run].completed_at = Some(Instant::now());
+                        guard.completions.push(run);
+                    }
+                    guard.parked[granted.slot] = Some(unit);
+                } else {
+                    // re-queue under the same stamp: the backlog's age is a
+                    // property of the rotation, not of how many leases died
+                    guard.parked[granted.slot] = Some(unit);
+                    let seq = guard.seq;
+                    guard.seq += 1;
+                    guard.ready.push(Ready {
+                        stamp: granted.stamp,
+                        seq,
+                        slot: granted.slot,
+                    });
+                }
+            }
             Err(e) => {
                 unit.pass = None;
+                guard.log[log_idx].failure = Some(e.to_string());
                 guard.parked[granted.slot] = Some(unit);
                 if guard.error.is_none() {
                     guard.error = Some(e);

@@ -50,6 +50,64 @@ fn torn_read(e: &DataError) -> bool {
     )
 }
 
+/// Bounded retry-with-backoff for transient store faults (outages,
+/// timeouts — [`DataError::is_transient`]): the generalization of the
+/// session's original one-shot torn-read guard. Non-transient failures —
+/// CAS conflicts, revocation, tampering — are never retried; they need
+/// state repair or must fail closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`0` is treated as `1`).
+    pub attempts: u32,
+    /// Sleep before the first retry, doubling on each further one.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with 2/4/8 ms backoffs: rides out request-level
+    /// faults, gives up inside a real outage window (whose clearing is
+    /// the *caller's* schedule — a re-queued lease, the next sweep round).
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Runs `op`, retrying transient failures within the budget.
+    ///
+    /// # Errors
+    /// The first non-transient error, or the last transient one once the
+    /// attempt budget is spent.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, DataError>) -> Result<T, DataError> {
+        let attempts = self.attempts.max(1);
+        let mut backoff = self.backoff;
+        for attempt in 1..=attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("the final attempt either returned or erred")
+    }
+}
+
 /// A group member's data-plane session.
 ///
 /// Wraps the control-plane [`Client`] (partition watch + `gk` derivation)
@@ -75,6 +133,8 @@ pub struct ClientSession {
     versions: HashMap<String, u64>,
     metrics: Arc<DataMetrics>,
     rng: StdRng,
+    /// Transient-store-fault retry budget applied to every cloud round-trip.
+    retry: RetryPolicy,
 }
 
 impl ClientSession {
@@ -108,7 +168,21 @@ impl ClientSession {
             versions: HashMap::new(),
             metrics: Arc::new(DataMetrics::default()),
             rng: StdRng::seed_from_u64(seed),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Overrides the transient-fault [`RetryPolicy`] (default: 4 attempts
+    /// with doubling backoff; [`RetryPolicy::none`] surfaces every fault).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The session's transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Spreads this session's data namespace over `shards` data folders
@@ -170,14 +244,15 @@ impl ClientSession {
     /// revocation) or a history that fails to authenticate. The previous
     /// ring, if any, is left in place on failure.
     pub fn refresh(&mut self) -> Result<u64, DataError> {
-        let gk = self.control.sync()?;
+        let retry = self.retry;
+        let gk = retry.run(|| self.control.sync().map_err(DataError::from))?;
         match self.rebuild_ring(gk) {
             Err(e) if torn_read(&e) => {
                 // the partition was fetched just before a rotation's atomic
                 // publish and the history just after (or vice versa) — one
                 // re-sync observes a consistent pair; a genuinely tampered
                 // history fails again here and propagates
-                let gk = self.control.sync()?;
+                let gk = retry.run(|| self.control.sync().map_err(DataError::from))?;
                 self.rebuild_ring(gk)
             }
             other => other,
@@ -191,7 +266,14 @@ impl ClientSession {
             .control
             .current_epoch()
             .expect("sync populates the partition cache");
-        let history = match self.control.store().get(self.control.group(), EPOCHS_ITEM) {
+        let retry = self.retry;
+        let fetched = retry.run(|| {
+            Ok(self
+                .control
+                .store()
+                .try_get(self.control.group(), EPOCHS_ITEM)?)
+        })?;
+        let history = match fetched {
             Some((bytes, _)) => Some(
                 KeyHistory::from_bytes(&bytes)
                     .ok_or(DataError::WireFormat("epoch history object"))?,
@@ -225,7 +307,12 @@ impl ClientSession {
             self.refresh()?;
             return Ok(());
         }
-        match self.control.wait_for_update(Duration::ZERO) {
+        let retry = self.retry;
+        match retry.run(|| {
+            self.control
+                .wait_for_update(Duration::ZERO)
+                .map_err(DataError::from)
+        }) {
             Ok(Some(gk)) if self.ring_is_stale() => match self.rebuild_ring(gk) {
                 Err(e) if torn_read(&e) => self.refresh().map(|_| ()),
                 other => other.map(|_| ()),
@@ -234,8 +321,8 @@ impl ClientSession {
             // a revoked identity keeps its stale ring by design; every
             // other control-plane failure (wire corruption, tampering)
             // must fail closed, not silently continue on old keys
-            Err(acs::AcsError::NotAMember(_)) => Ok(()),
-            Err(e) => Err(e.into()),
+            Err(DataError::Acs(acs::AcsError::NotAMember(_))) => Ok(()),
+            Err(e) => Err(e),
         }
     }
 
@@ -250,7 +337,12 @@ impl ClientSession {
         if self.ring.is_none() {
             self.refresh()?;
         }
-        match self.control.wait_for_update(timeout)? {
+        let retry = self.retry;
+        match retry.run(|| {
+            self.control
+                .wait_for_update(timeout)
+                .map_err(DataError::from)
+        })? {
             Some(gk) if self.ring_is_stale() => {
                 if let Err(e) = self.rebuild_ring(gk) {
                     if !torn_read(&e) {
@@ -283,7 +375,9 @@ impl ClientSession {
     /// [`DataError::NotFound`] / [`DataError::WireFormat`].
     pub fn fetch(&mut self, object: &str) -> Result<(SealedObject, u64), DataError> {
         let folder = self.folder_of(object).to_string();
-        let Some((bytes, version)) = self.control.store().get(&folder, object) else {
+        let retry = self.retry;
+        let fetched = retry.run(|| Ok(self.control.store().try_get(&folder, object)?))?;
+        let Some((bytes, version)) = fetched else {
             // deleted under us: the stale CAS expectation goes with it
             self.versions.remove(object);
             return Err(DataError::NotFound(object.to_string()));
@@ -345,20 +439,24 @@ impl ClientSession {
         let sealed = SealedObject::seal(ring, object, plaintext, &mut self.rng);
         let expected = self.versions.get(object).copied().unwrap_or(0);
         let folder = self.folder_of(object).to_string();
-        match self
-            .control
-            .store()
-            .put_if_version(&folder, object, sealed.to_bytes(), expected)
-        {
+        let bytes = sealed.to_bytes();
+        let retry = self.retry;
+        match retry.run(|| {
+            self.control
+                .store()
+                .try_put_if_version(&folder, object, bytes.clone(), expected)
+                .map_err(DataError::from)
+        }) {
             Ok(version) => {
                 self.versions.insert(object.to_string(), version);
                 self.metrics.record_write();
                 Ok(version)
             }
-            Err(conflict) => {
+            Err(DataError::Conflict(conflict)) => {
                 self.metrics.record_write_conflict();
-                Err(conflict.into())
+                Err(DataError::Conflict(conflict))
             }
+            Err(e) => Err(e),
         }
     }
 
@@ -400,20 +498,24 @@ impl ClientSession {
         let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
         let fresh = sealed.reencrypt(ring, object, &mut self.rng)?;
         let folder = self.folder_of(object).to_string();
-        match self
-            .control
-            .store()
-            .put_if_version(&folder, object, fresh.to_bytes(), expected)
-        {
+        let bytes = fresh.to_bytes();
+        let retry = self.retry;
+        match retry.run(|| {
+            self.control
+                .store()
+                .try_put_if_version(&folder, object, bytes.clone(), expected)
+                .map_err(DataError::from)
+        }) {
             Ok(version) => {
                 self.versions.insert(object.to_string(), version);
                 self.metrics.record_migration();
                 Ok(())
             }
-            Err(conflict) => {
+            Err(DataError::Conflict(conflict)) => {
                 self.metrics.record_migration_conflict();
-                Err(conflict.into())
+                Err(DataError::Conflict(conflict))
             }
+            Err(e) => Err(e),
         }
     }
 

@@ -224,8 +224,10 @@ impl Sweeper {
     /// increments of many groups' passes to a shared worker pool).
     ///
     /// # Errors
-    /// Control-plane failures from the freshness check; storage wire-format
-    /// corruption found by the scan.
+    /// Control-plane failures from the freshness check; transient store
+    /// faults (the scan GETs surface them instead of blocking on a dead
+    /// store — the pool and fleet scheduler contain and retry them);
+    /// storage wire-format corruption found by the scan.
     pub fn begin_pass(&mut self) -> Result<SweepPass, DataError> {
         let scan = self.scan()?;
         let stale = scan.work.len();
@@ -330,14 +332,19 @@ impl Sweeper {
     fn scan(&mut self) -> Result<Scan, DataError> {
         self.session.maybe_refresh()?;
         let current = self.session.current_epoch().ok_or(DataError::NoKeys)?;
+        // ride through outage windows with backoff before giving the lease
+        // up as lost — a scan makes one request per object, so unretried
+        // faults would fail whole leases far too eagerly
+        let retry = self.session.retry_policy();
         let mut scanned = 0usize;
         let mut work = Vec::new();
         let mut fresh_floor = None;
         let mut live = HashSet::new();
         for folder in self.assigned_folders() {
-            for object in self.session.store().list(&folder) {
+            for object in retry.run(|| Ok(self.session.store().try_list(&folder)?))? {
                 scanned += 1;
-                let fetched = self.session.store().get(&folder, &object);
+                let fetched =
+                    retry.run(|| Ok(self.session.store().try_get(&folder, &object)?))?;
                 let Some((bytes, version)) = fetched else {
                     continue; // deleted between list and get
                 };
@@ -406,7 +413,10 @@ impl Sweeper {
             Err(DataError::Conflict(_)) => {
                 pass.conflicts += 1;
                 let folder = self.session.folder_of(&item.name).to_string();
-                if let Some((bytes, _)) = self.session.store().get(&folder, &item.name) {
+                let retry = self.session.retry_policy();
+                let refetched =
+                    retry.run(|| Ok(self.session.store().try_get(&folder, &item.name)?))?;
+                if let Some((bytes, _)) = refetched {
                     let epoch = SealedObject::peek_epoch(&bytes)
                         .ok_or(DataError::WireFormat("data object header"))?;
                     pass.conflict_floor = merge_floor(pass.conflict_floor, Some(epoch));
@@ -487,29 +497,28 @@ impl SweepPass {
     /// [`SweepPass::finish`]ed (counting it — and everything behind it —
     /// as unhandled: unconverged, epochs kept in the floor).
     pub fn step(&mut self, sweeper: &mut Sweeper, budget: usize) -> Result<usize, DataError> {
-        let mut outcome = MigratePass::default();
         let mut consumed = 0;
-        let mut failure = None;
         for _ in 0..budget.max(1) {
             let Some(item) = self.work.pop_front() else {
                 break;
             };
-            if let Err(e) = sweeper.migrate_one(&item, self.current, &mut outcome) {
+            // fold item by item, not once per chunk: a worker that fails —
+            // or panics — partway through a step must not lose the counters
+            // of the items it already handled (the fleet scheduler salvages
+            // this pass's counters when it re-queues the unit)
+            let mut outcome = MigratePass::default();
+            let result = sweeper.migrate_one(&item, self.current, &mut outcome);
+            self.migrated += outcome.migrated;
+            self.conflicts += outcome.conflicts;
+            self.still_stale += outcome.still_stale;
+            self.floor = merge_floor(self.floor, outcome.conflict_floor);
+            if let Err(e) = result {
                 self.work.push_front(item);
-                failure = Some(e);
-                break;
+                return Err(e);
             }
             consumed += 1;
         }
-        // items handled before a failure are real work — fold them in
-        self.migrated += outcome.migrated;
-        self.conflicts += outcome.conflicts;
-        self.still_stale += outcome.still_stale;
-        self.floor = merge_floor(self.floor, outcome.conflict_floor);
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(consumed),
-        }
+        Ok(consumed)
     }
 
     /// Closes the pass into a [`SweepReport`]: any work items never

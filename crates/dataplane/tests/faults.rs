@@ -1,0 +1,326 @@
+//! Fault-injection suite: the fleet over a misbehaving store.
+//!
+//! The sweeper sessions route every request through a seeded
+//! [`FaultyStore`] (outages, timeouts, torn polls, spurious CAS
+//! conflicts), while the admin and the verifying readers keep a clean
+//! handle. For **any** injected fault schedule the fleet must
+//!
+//! 1. complete the run (`converge_all` returns `Ok`, never aborts the
+//!    process) and converge every group;
+//! 2. migrate exactly what an identically seeded fault-free deployment
+//!    migrates, group by group — failed requests have no partial effect,
+//!    so retries and re-leases never double-migrate;
+//! 3. lose zero objects: every written object is still readable with its
+//!    exact plaintext afterwards;
+//! 4. leak nothing to revoked members: after convergence a revoked
+//!    identity can read none of the group's objects.
+//!
+//! The deterministic test at the bottom is the crash-safety acceptance
+//! case: a one-shot panic armed mid-pass kills a sweep worker's lease,
+//! and the scheduler must re-lease the unit under the same stamp and
+//! still satisfy 1–4.
+//!
+//! Case count: a light default (each case boots two full fleet stacks),
+//! scaled up by `PROPTEST_CASES` like the other data-plane suites.
+
+use acs::FleetFixture;
+use cloud_store::{CloudStore, FaultConfig, FaultInjector, FaultyStore, StoreHandle};
+use dataplane::fixtures::{fleet_session, fleet_sweep_sessions, fleet_sweep_sessions_on};
+use dataplane::{
+    ClientSession, FleetConfig, SweepConfig, SweepDriver, SweepPool, SweepScheduler, SweepTask,
+};
+use ibbe_sgx_core::{MembershipBatch, PartitionSize};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WRITER: &str = "writer";
+const SWEEPER: &str = "sweeper";
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|c| (c / 8).max(4))
+        .unwrap_or(5)
+}
+
+struct Stack {
+    fixture: FleetFixture,
+}
+
+/// Boots groups `g0..gN` of 3 members each (plus the service identities),
+/// writes `sizes[i]` objects into group `i`, then revokes `g{i}-u0` from
+/// every group — the staleness wave the sweeps must clear.
+fn build_stack(sizes: &[usize], shards: usize, seed: u64) -> Stack {
+    let specs: Vec<(String, Vec<String>)> = (0..sizes.len())
+        .map(|i| {
+            (
+                format!("g{i}"),
+                (0..3).map(|m| format!("g{i}-u{m}")).collect(),
+            )
+        })
+        .collect();
+    let fixture = FleetFixture::new(
+        CloudStore::new(),
+        PartitionSize::new(2).unwrap(),
+        &specs,
+        &[WRITER.to_string(), SWEEPER.to_string()],
+        seed,
+    )
+    .unwrap();
+    for (i, &objects) in sizes.iter().enumerate() {
+        let mut writer = fleet_session(&fixture, WRITER, &format!("g{i}"), shards, seed ^ 0xa0);
+        for o in 0..objects {
+            writer
+                .write(&format!("obj-{o:03}"), format!("g{i}/{o}").as_bytes())
+                .unwrap();
+        }
+    }
+    for i in 0..sizes.len() {
+        let mut batch = MembershipBatch::new();
+        batch.remove(format!("g{i}-u0"));
+        let outcome = fixture
+            .admin()
+            .apply_batch(&format!("g{i}"), &batch)
+            .unwrap();
+        assert!(outcome.gk_rotated);
+    }
+    Stack { fixture }
+}
+
+/// Sweeper sessions whose every store request rolls `injector`'s schedule.
+fn faulty_sweep_sessions(
+    stack: &Stack,
+    injector: &Arc<FaultInjector>,
+    group: &str,
+    shards: usize,
+    seed: u64,
+) -> Vec<ClientSession> {
+    let clean = stack.fixture.admin().store().clone();
+    let faulty: StoreHandle = FaultyStore::with_injector(clean, Arc::clone(injector)).into();
+    fleet_sweep_sessions_on(&stack.fixture, faulty, SWEEPER, group, shards, seed)
+}
+
+/// Fault-free dedicated pools: the migrated-total baseline the faulted
+/// fleet must reproduce exactly.
+fn baseline_migrated(sizes: &[usize], shards: usize, seed: u64) -> Vec<usize> {
+    let stack = build_stack(sizes, shards, seed);
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &expected)| {
+            let mut pool = SweepPool::new(
+                fleet_sweep_sessions(&stack.fixture, SWEEPER, &format!("g{i}"), shards, 0xd0),
+                SweepConfig::default(),
+            );
+            let report = pool.run_until_converged().unwrap();
+            assert!(report.converged);
+            assert_eq!(report.migrated, expected);
+            report.migrated
+        })
+        .collect()
+}
+
+/// 3 + 4: every object readable with its exact plaintext by a member,
+/// none readable by the revoked identity.
+fn assert_no_loss_no_leak(stack: &Stack, sizes: &[usize], shards: usize) {
+    for (i, &objects) in sizes.iter().enumerate() {
+        let group = format!("g{i}");
+        let mut member = fleet_session(&stack.fixture, WRITER, &group, shards, 0xbeef);
+        let mut revoked =
+            fleet_session(&stack.fixture, &format!("g{i}-u0"), &group, shards, 0xdead);
+        for o in 0..objects {
+            let name = format!("obj-{o:03}");
+            assert_eq!(
+                member.read(&name).unwrap(),
+                format!("g{i}/{o}").into_bytes(),
+                "object {name} of {group} lost or corrupted"
+            );
+            assert!(
+                revoked.read(&name).is_err(),
+                "revoked member still reads {name} of {group}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn any_fault_schedule_converges_with_zero_loss(
+        seed: u64,
+        fault_seed: u64,
+        groups in 1usize..=3,
+        workers in 1usize..=3,
+        shards in 1usize..=2,
+        timeout_pct in 0u32..=25,
+        outage_permille in 0u32..=20,
+        torn_poll_pct in 0u32..=50,
+        cas_storm_pct in 0u32..=25,
+    ) {
+        let mut sizes = vec![0usize; groups];
+        for (i, s) in sizes.iter_mut().enumerate() {
+            *s = 2 + (seed as usize >> (4 * i)) % 5;
+        }
+        let expected = baseline_migrated(&sizes, shards, seed);
+
+        let stack = build_stack(&sizes, shards, seed);
+        let injector = Arc::new(FaultInjector::new(FaultConfig {
+            seed: fault_seed,
+            domains: 4,
+            timeout_prob: f64::from(timeout_pct) / 100.0,
+            outage_prob: f64::from(outage_permille) / 1000.0,
+            outage: Duration::from_millis(10),
+            torn_poll_prob: f64::from(torn_poll_pct) / 100.0,
+            cas_storm_prob: f64::from(cas_storm_pct) / 100.0,
+        }));
+        let mut scheduler = SweepScheduler::new(FleetConfig {
+            workers,
+            lease: 3,
+            deadline: Duration::from_secs(120),
+            max_passes: 64,
+            // the schedule keeps firing for the whole run, so allow far
+            // more lost leases than the production default
+            max_retries: 64,
+        });
+        for i in 0..groups {
+            scheduler.register(SweepTask::new(
+                faulty_sweep_sessions(&stack, &injector, &format!("g{i}"), shards, 0x5a),
+                SweepConfig::default(),
+            ));
+        }
+        for i in 0..groups {
+            scheduler.arm(i);
+        }
+
+        // 1. the run completes and converges under live fault injection
+        let report = scheduler.converge_all().unwrap();
+        prop_assert!(report.total.converged);
+        prop_assert_eq!(report.groups.len(), groups);
+
+        // 2. identical migrated totals to the fault-free baseline
+        for (i, &expect) in expected.iter().enumerate() {
+            let g = report.group(&format!("g{i}")).unwrap();
+            prop_assert!(g.report.converged, "g{} converged", i);
+            prop_assert!(
+                g.report.migrated == expect,
+                "g{} migrated {} objects, fault-free baseline migrated {}",
+                i, g.report.migrated, expect
+            );
+        }
+
+        // a re-queued lease must carry its cause
+        let noted = report.leases.iter().filter(|l| l.failure.is_some()).count() as u64;
+        prop_assert_eq!(report.retries, noted);
+
+        // 3 + 4, via clean-handle sessions
+        injector.heal();
+        assert_no_loss_no_leak(&stack, &sizes, shards);
+    }
+}
+
+/// The crash-safety acceptance case: a sweep worker panics mid-pass (a
+/// one-shot fault armed inside the injector), and the fleet must contain
+/// it — the unit is re-leased under the same stamp, the run converges,
+/// migrated totals equal the fault-free baseline, and nothing is lost.
+#[test]
+fn a_mid_pass_worker_panic_requeues_the_unit_and_loses_nothing() {
+    let sizes = [5usize, 4];
+    let shards = 2;
+    let seed = 0xc4a5;
+    let expected = baseline_migrated(&sizes, shards, seed);
+
+    let stack = build_stack(&sizes, shards, seed);
+    // a quiet schedule: the only fault in the run is the armed panic
+    let injector = Arc::new(FaultInjector::new(FaultConfig {
+        seed: 7,
+        domains: 4,
+        ..FaultConfig::default()
+    }));
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 2,
+        lease: 2,
+        deadline: Duration::from_secs(120),
+        ..FleetConfig::default()
+    });
+    for i in 0..sizes.len() {
+        scheduler.register(SweepTask::new(
+            faulty_sweep_sessions(&stack, &injector, &format!("g{i}"), shards, 0x5a),
+            SweepConfig::default(),
+        ));
+        scheduler.arm(i);
+    }
+
+    // fire a few requests into the first lease's pass: the worker dies
+    // between a scan and its migrations, with the pass half-done
+    injector.arm_panic(6);
+    let report = scheduler.converge_all().unwrap();
+
+    assert_eq!(injector.stats().panics, 1, "the armed panic fired");
+    assert!(report.retries >= 1, "the lost lease was re-queued");
+    let note = report
+        .leases
+        .iter()
+        .find_map(|l| l.failure.as_ref())
+        .expect("the lost lease carries a failure note");
+    assert!(
+        note.contains("panic"),
+        "failure note names the panic: {note}"
+    );
+
+    // the fleet still converges to exactly the fault-free totals
+    assert!(report.total.converged);
+    for (i, &expect) in expected.iter().enumerate() {
+        let g = report.group(&format!("g{i}")).unwrap();
+        assert!(g.report.converged, "g{i} converged despite the panic");
+        assert_eq!(g.report.migrated, expect, "g{i} migrated total");
+    }
+    assert_no_loss_no_leak(&stack, &sizes, shards);
+}
+
+/// A store that never recovers must not wedge the run: with every request
+/// refused, the unit burns its retry budget, retires unconverged, and
+/// `converge_all` still returns (with the failure on the record) instead
+/// of spinning or aborting.
+#[test]
+fn a_dead_store_retires_the_unit_instead_of_wedging_the_run() {
+    let sizes = [3usize];
+    let shards = 1;
+    let stack = build_stack(&sizes, shards, 0x0dd);
+    let injector = Arc::new(FaultInjector::new(FaultConfig {
+        seed: 3,
+        domains: 1,
+        timeout_prob: 1.0, // every request fails, forever
+        ..FaultConfig::default()
+    }));
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 2,
+        max_retries: 3,
+        deadline: Duration::from_secs(120),
+        ..FleetConfig::default()
+    });
+    scheduler.register(SweepTask::new(
+        faulty_sweep_sessions(&stack, &injector, "g0", shards, 0x5a),
+        SweepConfig::default(),
+    ));
+    scheduler.arm(0);
+
+    let report = scheduler.converge_all().unwrap();
+    assert!(!report.total.converged, "a dead store cannot converge");
+    let g = report.group("g0").unwrap();
+    assert!(!g.report.converged);
+    assert_eq!(
+        g.retries, 4,
+        "max_retries lost leases, then the capping one"
+    );
+    assert!(report.leases.iter().any(|l| l.failure.is_some()));
+
+    // the objects are merely stale, not lost: heal and re-run
+    injector.heal();
+    scheduler.arm(0);
+    let report = scheduler.converge_all().unwrap();
+    assert!(report.total.converged, "recovery converges the backlog");
+    assert_no_loss_no_leak(&stack, &sizes, shards);
+}

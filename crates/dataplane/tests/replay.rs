@@ -34,6 +34,7 @@ fn rw_trace_replays_through_the_generic_driver_lazy() {
         42,
     );
     let report = replay_events(&trace.events, &mut backend, Some(10));
+    assert_eq!(backend.failure(), None, "replay applied the whole trace");
 
     let writes = trace
         .events
@@ -71,6 +72,7 @@ fn rw_trace_replays_through_the_generic_driver_eager() {
         43,
     );
     replay_events(&trace.events, &mut backend, None);
+    assert_eq!(backend.failure(), None, "replay applied the whole trace");
     // eager: every churn with a revocation swept in-line, so nothing can be
     // stale now
     assert!(backend.sweeper_metrics().migrations > 0);

@@ -81,6 +81,7 @@ fn shared_fleet_respects_staleness_priority() {
         lease: 2,
         deadline: Duration::from_secs(60),
         max_passes: 32,
+        max_retries: 8,
     });
     for i in 0..sizes.len() {
         scheduler.register(task(&f, &format!("g{i}"), 0x50 + i as u64));

@@ -127,6 +127,7 @@ proptest! {
             lease,
             deadline: Duration::from_secs(120),
             max_passes: 32,
+            max_retries: 8,
         });
         for i in 0..groups {
             scheduler.register(SweepTask::new(

@@ -165,6 +165,16 @@ fn sharded_and_single_store_replay_identically() {
     );
     replay_events(&trace.events, &mut single, None);
     replay_events(&trace.events, &mut sharded, None);
+    assert_eq!(
+        single.failure(),
+        None,
+        "single replay applied the whole trace"
+    );
+    assert_eq!(
+        sharded.failure(),
+        None,
+        "sharded replay applied the whole trace"
+    );
 
     let written: std::collections::BTreeSet<&str> = trace
         .events
