@@ -2,6 +2,7 @@
 //! long polling, caches its partition, and re-derives `gk` on changes.
 //! No SGX is involved on this side.
 
+use crate::admin::SEALED_ITEM;
 use crate::error::AcsError;
 use cloud_store::{ObjectStore, StoreHandle};
 use ibbe::{PublicKey, UserSecretKey};
@@ -120,19 +121,22 @@ impl Client {
         if poll.timed_out {
             return Ok(None);
         }
-        // If our cached partition item is among the changes, or we have no
-        // cache yet, re-derive.
+        // Re-derive when our cached partition item is among the changes,
+        // when the sealed gk moved (every rotation republishes it in the
+        // same atomic version bump — and a repartition may have *deleted*
+        // our cached item, which a directory poll cannot report, so the
+        // cached name alone is not a safe filter), or when we have no
+        // cache yet.
         let relevant = match &self.cached {
-            Some((item, _)) => poll.changed.iter().any(|c| c == item),
+            Some((item, _)) => poll.changed.iter().any(|c| c == item || c == SEALED_ITEM),
             None => true,
         };
         if relevant {
             self.sync().map(Some)
         } else {
             // someone else's partition changed (e.g. an add elsewhere):
-            // our bk and y are untouched only for adds; removals touch all
-            // partitions, so check whether our item changed too — it did
-            // not, hence gk is unchanged.
+            // adds touch only the placed partition and never the sealed
+            // gk, so our bk, y and gk are all unchanged.
             Ok(self.gk)
         }
     }

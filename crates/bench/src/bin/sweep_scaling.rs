@@ -259,9 +259,10 @@ fn main() {
     println!(
         "\nconvergence scales with the shard count because each SweepPool worker's \
          GET/CAS round-trips hit its own shard (independent clock, wait queue and \
-         latency); client throughput is bounded by each session's serial round-trips, \
-         so it stays flat — sharding buys sweep parallelism and isolation, not \
-         single-client speed."
+         latency); *serial* client throughput is bounded by each session's blocking \
+         round-trips, so the rw table above stays flat. The pipelined client lifts \
+         that bound — see the `rw_scaling` bench for per-session throughput that \
+         grows with the shard count."
     );
 
     if let Some(path) = &args.json {

@@ -21,6 +21,7 @@
 //! `benches/micro.rs` holds Criterion microbenchmarks of the primitives.
 
 pub mod json;
+pub mod stats;
 
 use acs::{Admin, HeAdmin};
 use cloud_store::CloudStore;

@@ -32,6 +32,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::object_store::ObjectStore;
 use crate::sharded::stable_hash64;
 use crate::store::{PollResult, VersionConflict};
+use crate::submit::{completed_ticket, Request, RequestOp, StoreTicket};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -545,6 +546,24 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
             });
         }
         Ok(self.inner.long_poll(folder, since, timeout))
+    }
+
+    /// Rolls the schedule at **submission time**, on the caller's thread
+    /// and in submission order — so a seeded schedule fires identically
+    /// whether requests arrive through the blocking surface or the
+    /// completion surface. An injected fault returns an
+    /// already-completed failed ticket before the request reaches the
+    /// inner store (no partial effect; resubmitting is always safe).
+    fn submit(&self, request: Request) -> StoreTicket {
+        if let Err(e) = self.faults.check(&request.folder) {
+            return completed_ticket(Err(e));
+        }
+        if matches!(request.op, RequestOp::PutIfVersion { .. }) && self.faults.cas_storm() {
+            return completed_ticket(Err(StoreError::Conflict(
+                self.true_conflict(&request.folder, &request.item),
+            )));
+        }
+        self.inner.submit(request)
     }
 }
 

@@ -28,6 +28,7 @@ pub mod metrics;
 pub mod object_store;
 pub mod sharded;
 pub mod store;
+pub mod submit;
 
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyStore, StoreError};
 pub use latency::LatencyModel;
@@ -35,3 +36,4 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use object_store::{ObjectStore, StoreHandle};
 pub use sharded::{stable_hash64, ShardedStore, WatchCursor};
 pub use store::{CloudStore, PollResult, VersionConflict};
+pub use submit::{Request, RequestOp, Response, StoreTicket, SUBMIT_LANES};

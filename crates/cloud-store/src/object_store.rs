@@ -11,6 +11,7 @@
 use crate::fault::StoreError;
 use crate::metrics::MetricsSnapshot;
 use crate::store::{PollResult, VersionConflict};
+use crate::submit::{completed_ticket, execute_request, Request, StoreTicket};
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
@@ -159,6 +160,19 @@ pub trait ObjectStore: Send + Sync {
         timeout: Duration,
     ) -> Result<PollResult, StoreError> {
         Ok(self.long_poll(folder, since, timeout))
+    }
+
+    // --- completion-based surface ----------------------------------------
+
+    /// Submits a single-object request for asynchronous completion; the
+    /// returned [`StoreTicket`] is polled, waited on, or wired to a
+    /// waker. The default executes the request inline on the caller's
+    /// thread (correct but unpipelined); [`CloudStore`](crate::CloudStore)
+    /// overrides it to queue onto its worker lanes, and
+    /// [`ShardedStore`](crate::ShardedStore) routes to the owning shard's
+    /// lanes. Errors travel through the ticket, never a panic.
+    fn submit(&self, request: Request) -> StoreTicket {
+        completed_ticket(execute_request(self, request))
     }
 }
 
@@ -348,6 +362,15 @@ impl StoreHandle {
     ) -> Result<PollResult, StoreError> {
         self.0.try_long_poll(folder, since, timeout)
     }
+
+    /// Submits a request for asynchronous completion (see
+    /// [`ObjectStore::submit`]). Forwarded through `self.0.submit` for
+    /// the same reason as the `try_*` methods: the trait default would
+    /// execute inline and bypass the wrapped store's lanes and fault
+    /// injection.
+    pub fn submit(&self, request: Request) -> StoreTicket {
+        self.0.submit(request)
+    }
 }
 
 impl ObjectStore for StoreHandle {
@@ -438,6 +461,10 @@ impl ObjectStore for StoreHandle {
         timeout: Duration,
     ) -> Result<PollResult, StoreError> {
         self.0.try_long_poll(folder, since, timeout)
+    }
+
+    fn submit(&self, request: Request) -> StoreTicket {
+        self.0.submit(request)
     }
 }
 

@@ -20,6 +20,7 @@ use crate::latency::LatencyModel;
 use crate::metrics::MetricsSnapshot;
 use crate::object_store::ObjectStore;
 use crate::store::{CloudStore, PollResult, VersionConflict};
+use crate::submit::{Request, StoreTicket};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -272,6 +273,13 @@ impl ObjectStore for ShardedStore {
             .iter()
             .map(CloudStore::metrics)
             .fold(MetricsSnapshot::default(), |acc, m| acc.merge(&m))
+    }
+
+    /// Routes the submission to the owning shard's worker lanes: N
+    /// shards give N independent sets of in-flight lanes, which is what
+    /// makes submitted throughput scale with the shard count.
+    fn submit(&self, request: Request) -> StoreTicket {
+        self.shard_for(&request.folder).submit(request)
     }
 }
 

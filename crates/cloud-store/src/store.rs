@@ -7,10 +7,11 @@ use crate::latency::LatencyModel;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::object_store::ObjectStore;
 use crate::sharded::ChangeSignal;
+use crate::submit::{execute_request, Request, StoreTicket, SUBMIT_LANES};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Debug)]
@@ -35,6 +36,11 @@ struct Inner {
     signal: Option<Arc<ChangeSignal>>,
     latency: LatencyModel,
     metrics: Metrics,
+    /// Worker lanes serving submitted requests ([`ObjectStore::submit`]),
+    /// spawned lazily on the first submission so blocking-only consumers
+    /// never pay for threads. Pool size [`SUBMIT_LANES`] models the
+    /// store node's concurrency limit.
+    lanes: OnceLock<exec::Executor>,
 }
 
 /// Result of a long poll: the folder's latest version and the items whose
@@ -88,6 +94,7 @@ impl CloudStore {
                 signal: None,
                 latency,
                 metrics: Metrics::default(),
+                lanes: OnceLock::new(),
             }),
         }
     }
@@ -103,6 +110,7 @@ impl CloudStore {
                 signal: Some(signal),
                 latency,
                 metrics: Metrics::default(),
+                lanes: OnceLock::new(),
             }),
         }
     }
@@ -398,6 +406,20 @@ impl ObjectStore for CloudStore {
 
     fn metrics(&self) -> MetricsSnapshot {
         CloudStore::metrics(self)
+    }
+
+    /// Queues the request onto this store's [`SUBMIT_LANES`] worker
+    /// lanes: up to that many submitted requests are served (and charged
+    /// their latency) concurrently, while further submissions wait in
+    /// FIFO order — the queue-depth model the pipelined client rides.
+    fn submit(&self, request: Request) -> StoreTicket {
+        let (completer, ticket) = exec::completion();
+        let store = self.clone();
+        self.inner
+            .lanes
+            .get_or_init(|| exec::Executor::new(SUBMIT_LANES))
+            .spawn(move || completer.complete(execute_request(&store, request)));
+        ticket
     }
 }
 

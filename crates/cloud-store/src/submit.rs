@@ -1,0 +1,158 @@
+//! The completion-based submission surface: [`Request`] descriptions of
+//! single-object store operations, [`Response`] payloads, and the
+//! [`StoreTicket`] completion handle [`ObjectStore::submit`] returns.
+//!
+//! `submit` is *additive*: every blocking method keeps working, and the
+//! trait's default implementation simply executes the request inline on
+//! the caller's thread (correct, but unpipelined). Stores that model a
+//! concurrency limit override it — [`CloudStore`](crate::CloudStore)
+//! queues the request onto a small worker pool of [`SUBMIT_LANES`] lanes,
+//! and [`ShardedStore`](crate::ShardedStore) routes each request to the
+//! owning shard's pool so N shards give N independent sets of in-flight
+//! lanes. [`FaultyStore`](crate::FaultyStore) rolls its schedule at
+//! submission time (on the caller's thread, in submission order), so
+//! fault determinism and the inject-before-effect guarantee carry over
+//! unchanged from the blocking surface.
+
+use crate::fault::StoreError;
+use crate::object_store::ObjectStore;
+use bytes::Bytes;
+
+/// How many requests one [`CloudStore`](crate::CloudStore) serves
+/// concurrently through [`ObjectStore::submit`] — the stand-in for a
+/// storage node's connection/queue-depth limit. Blocking callers are not
+/// subject to it (each blocking call sleeps its latency on its own
+/// thread); submitted requests share these lanes, which is what makes
+/// per-shard lanes the scaling unit the `rw_scaling` bench measures.
+pub const SUBMIT_LANES: usize = 4;
+
+/// The operation of a [`Request`].
+#[derive(Debug, Clone)]
+pub enum RequestOp {
+    /// Unconditional PUT (see [`ObjectStore::put`]).
+    Put(Bytes),
+    /// Conditional PUT / compare-and-swap (see
+    /// [`ObjectStore::put_if_version`]).
+    PutIfVersion {
+        /// The sealed payload to store.
+        data: Bytes,
+        /// The version the item must currently have (`0` = "must not
+        /// exist").
+        expected: u64,
+    },
+    /// GET (see [`ObjectStore::get`]).
+    Get,
+    /// DELETE (see [`ObjectStore::delete`]).
+    Delete,
+}
+
+/// One single-object store operation, described as data so it can be
+/// queued, routed to a shard, and executed on a worker lane.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The folder (clock domain, shard-routing key) of the object.
+    pub folder: String,
+    /// The item name within the folder.
+    pub item: String,
+    /// The operation to perform.
+    pub op: RequestOp,
+}
+
+impl Request {
+    /// An unconditional PUT request.
+    pub fn put(folder: impl Into<String>, item: impl Into<String>, data: impl Into<Bytes>) -> Self {
+        Self {
+            folder: folder.into(),
+            item: item.into(),
+            op: RequestOp::Put(data.into()),
+        }
+    }
+
+    /// A compare-and-swap PUT request.
+    pub fn put_if_version(
+        folder: impl Into<String>,
+        item: impl Into<String>,
+        data: impl Into<Bytes>,
+        expected: u64,
+    ) -> Self {
+        Self {
+            folder: folder.into(),
+            item: item.into(),
+            op: RequestOp::PutIfVersion {
+                data: data.into(),
+                expected,
+            },
+        }
+    }
+
+    /// A GET request.
+    pub fn get(folder: impl Into<String>, item: impl Into<String>) -> Self {
+        Self {
+            folder: folder.into(),
+            item: item.into(),
+            op: RequestOp::Get,
+        }
+    }
+
+    /// A DELETE request.
+    pub fn delete(folder: impl Into<String>, item: impl Into<String>) -> Self {
+        Self {
+            folder: folder.into(),
+            item: item.into(),
+            op: RequestOp::Delete,
+        }
+    }
+}
+
+/// The successful result of a completed [`Request`], one variant per
+/// [`RequestOp`] shape.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A PUT (conditional or not) landed at this version.
+    Put {
+        /// The item's new version.
+        version: u64,
+    },
+    /// A GET's payload and version, `None` if the item does not exist.
+    Get(Option<(Bytes, u64)>),
+    /// Whether the DELETE removed anything.
+    Delete(bool),
+}
+
+/// The completion handle of a submitted [`Request`]: poll, block, or
+/// attach an [`exec::Waker`] to sleep on "any of my tickets completed".
+pub type StoreTicket = exec::Ticket<Result<Response, StoreError>>;
+
+/// Executes `request` against a store's blocking fallible surface —
+/// the body of every `submit` implementation once the request reaches
+/// the thread that runs it.
+///
+/// # Errors
+/// Whatever the underlying `try_*` call surfaces ([`StoreError`]).
+pub fn execute_request<S: ObjectStore + ?Sized>(
+    store: &S,
+    request: Request,
+) -> Result<Response, StoreError> {
+    match request.op {
+        RequestOp::Put(data) => store
+            .try_put(&request.folder, &request.item, data)
+            .map(|version| Response::Put { version }),
+        RequestOp::PutIfVersion { data, expected } => store
+            .try_put_if_version(&request.folder, &request.item, data, expected)
+            .map(|version| Response::Put { version }),
+        RequestOp::Get => store
+            .try_get(&request.folder, &request.item)
+            .map(Response::Get),
+        RequestOp::Delete => store
+            .try_delete(&request.folder, &request.item)
+            .map(Response::Delete),
+    }
+}
+
+/// A ticket that is already complete — what inline default `submit`
+/// implementations and submission-time fault injection hand back.
+pub fn completed_ticket(result: Result<Response, StoreError>) -> StoreTicket {
+    let (completer, ticket) = exec::completion();
+    completer.complete(result);
+    ticket
+}

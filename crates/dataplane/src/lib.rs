@@ -61,6 +61,7 @@ pub mod envelope;
 pub mod error;
 pub mod fixtures;
 pub mod metrics;
+pub mod pipeline;
 pub mod pool;
 pub mod replay;
 pub mod scheduler;
@@ -71,6 +72,7 @@ pub use coordinator::{ReencryptionPolicy, RevocationCoordinator, RevocationOutco
 pub use envelope::{SealedObject, OBJECT_FORMAT_V1};
 pub use error::DataError;
 pub use metrics::{DataMetrics, DataMetricsSnapshot, FleetMetrics};
+pub use pipeline::{OpClass, OpSample, PipelinedSession, ReadHandle};
 pub use pool::SweepPool;
 pub use replay::{ReplayError, RwSystemBackend, RwSystemConfig, SWEEPER_IDENTITY, WRITER_IDENTITY};
 pub use scheduler::{

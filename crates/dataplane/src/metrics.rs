@@ -12,6 +12,7 @@ pub struct DataMetrics {
     write_conflicts: AtomicU64,
     migration_conflicts: AtomicU64,
     key_refreshes: AtomicU64,
+    coalesced_writes: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DataMetrics`].
@@ -37,6 +38,11 @@ pub struct DataMetricsSnapshot {
     pub migration_conflicts: u64,
     /// Times the session rebuilt its epoch key ring from the cloud.
     pub key_refreshes: u64,
+    /// Writes a [`crate::PipelinedSession`] merged into a queued write to
+    /// the same object before submission (last-write-wins) — requests the
+    /// pipeline saved versus a serial session. Always zero for serial
+    /// sessions and at `max_inflight == 1`.
+    pub coalesced_writes: u64,
 }
 
 impl DataMetricsSnapshot {
@@ -52,6 +58,7 @@ impl DataMetricsSnapshot {
             write_conflicts: self.write_conflicts + other.write_conflicts,
             migration_conflicts: self.migration_conflicts + other.migration_conflicts,
             key_refreshes: self.key_refreshes + other.key_refreshes,
+            coalesced_writes: self.coalesced_writes + other.coalesced_writes,
         }
     }
 }
@@ -108,6 +115,10 @@ impl DataMetrics {
         self.key_refreshes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_coalesced_write(&self) {
+        self.coalesced_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> DataMetricsSnapshot {
         DataMetricsSnapshot {
@@ -118,6 +129,7 @@ impl DataMetrics {
             write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
             migration_conflicts: self.migration_conflicts.load(Ordering::Relaxed),
             key_refreshes: self.key_refreshes.load(Ordering::Relaxed),
+            coalesced_writes: self.coalesced_writes.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,6 +148,7 @@ mod tests {
         m.record_write_conflict();
         m.record_migration_conflict();
         m.record_key_refresh();
+        m.record_coalesced_write();
         let s = m.snapshot();
         assert_eq!(s.writes, 1);
         assert_eq!(s.reads, 2);
@@ -144,5 +157,6 @@ mod tests {
         assert_eq!(s.write_conflicts, 1);
         assert_eq!(s.migration_conflicts, 1);
         assert_eq!(s.key_refreshes, 1);
+        assert_eq!(s.coalesced_writes, 1);
     }
 }

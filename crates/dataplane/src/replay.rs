@@ -8,6 +8,7 @@
 use crate::coordinator::{ReencryptionPolicy, RevocationCoordinator};
 use crate::error::DataError;
 use crate::metrics::DataMetricsSnapshot;
+use crate::pipeline::PipelinedSession;
 use crate::pool::SweepPool;
 use crate::session::ClientSession;
 use crate::sweeper::{SweepConfig, SweepDriver, SweepReport};
@@ -27,6 +28,12 @@ pub const SWEEPER_IDENTITY: &str = "__sweeper";
 /// retry re-fetches the winner first, so the bound is only ever hit under
 /// a pathological conflict storm).
 const CONFLICT_RETRIES: usize = 4;
+
+/// In-flight window of the writer session when
+/// [`RwSystemConfig::pipelined`] is set — deep enough to exercise
+/// coalescing and cross-object reordering without hiding ordering bugs
+/// behind a huge window.
+pub const PIPELINE_WINDOW: usize = 8;
 
 /// A replayed event that failed, with the event context attached. The
 /// generic `workloads` driver applies events infallibly, so the backend
@@ -89,6 +96,10 @@ pub struct RwSystemConfig {
     pub sweep_workers: usize,
     /// Compact the epoch-key history after converged sweeps.
     pub compact_history: bool,
+    /// Drive reads and writes through a [`PipelinedSession`] (window
+    /// [`PIPELINE_WINDOW`]) instead of the serial [`ClientSession`] —
+    /// same trace, same observable plaintexts, pipelined request flow.
+    pub pipelined: bool,
 }
 
 impl Default for RwSystemConfig {
@@ -102,6 +113,40 @@ impl Default for RwSystemConfig {
             data_shards: 1,
             sweep_workers: 1,
             compact_history: false,
+            pipelined: false,
+        }
+    }
+}
+
+/// The replay writer: either session type behind one op surface, so the
+/// event arms stay session-agnostic.
+enum WriterSession {
+    Serial(ClientSession),
+    Pipelined(PipelinedSession),
+}
+
+impl WriterSession {
+    fn metrics(&self) -> DataMetricsSnapshot {
+        match self {
+            WriterSession::Serial(session) => session.metrics(),
+            WriterSession::Pipelined(pipeline) => pipeline.metrics(),
+        }
+    }
+
+    /// The serial session under either variant (draining the pipeline
+    /// first, so the borrow never races queued work).
+    fn session_mut(&mut self) -> &mut ClientSession {
+        match self {
+            WriterSession::Serial(session) => session,
+            WriterSession::Pipelined(pipeline) => pipeline.session_mut(),
+        }
+    }
+
+    /// Completes every outstanding pipelined request (no-op for serial).
+    fn drain(&mut self) -> Result<(), DataError> {
+        match self {
+            WriterSession::Serial(_) => Ok(()),
+            WriterSession::Pipelined(pipeline) => pipeline.flush(),
         }
     }
 }
@@ -113,11 +158,12 @@ impl Default for RwSystemConfig {
 pub struct RwSystemBackend {
     admin: Admin,
     group: String,
-    session: ClientSession,
+    session: WriterSession,
     sweepers: SweepPool,
     config: RwSystemConfig,
     payload: Vec<u8>,
     seq: u64,
+    read_digest: u64,
     failure: Option<ReplayError>,
 }
 
@@ -190,6 +236,11 @@ impl RwSystemBackend {
             .with_data_shards(config.data_shards)
         };
         let writer = session(WRITER_IDENTITY, config.seed ^ 0x5e55);
+        let writer = if config.pipelined {
+            WriterSession::Pipelined(PipelinedSession::new(writer, PIPELINE_WINDOW))
+        } else {
+            WriterSession::Serial(writer)
+        };
         let sweepers = SweepPool::new(
             (0..config.sweep_workers.max(1))
                 .map(|w| session(SWEEPER_IDENTITY, config.seed ^ 0x5eed ^ (w as u64) << 32))
@@ -204,6 +255,7 @@ impl RwSystemBackend {
             config,
             payload: vec![0xd5; config.payload_len],
             seq: 0,
+            read_digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
             failure: None,
         }
     }
@@ -218,14 +270,36 @@ impl RwSystemBackend {
         self.config
     }
 
-    /// The writer session (post-replay reads and diagnostics).
+    /// The writer session (post-replay reads and diagnostics). Under a
+    /// pipelined deployment this drains the window first, so the serial
+    /// view is always consistent.
     pub fn session_mut(&mut self) -> &mut ClientSession {
-        &mut self.session
+        self.session.session_mut()
     }
 
     /// The writer session's counters.
     pub fn session_metrics(&self) -> DataMetricsSnapshot {
         self.session.metrics()
+    }
+
+    /// FNV-1a fold of `(object name, plaintext)` over every successful
+    /// replayed read, in event order. Two deployments that replayed the
+    /// same trace and observed the same bytes at every read have equal
+    /// digests — the observational-equivalence check the pipelined
+    /// property tests assert.
+    pub fn read_digest(&self) -> u64 {
+        self.read_digest
+    }
+
+    fn fold_read(&mut self, object: &str, plaintext: &[u8]) {
+        let mut h = self.read_digest;
+        for byte in object.as_bytes().iter().chain([0xffu8].iter()) {
+            h = (h ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for byte in plaintext {
+            h = (h ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.read_digest = h;
     }
 
     /// The sweep pool (drive it between events under the lazy policy).
@@ -245,13 +319,18 @@ impl RwSystemBackend {
     /// # Errors
     /// Sweep or compaction failures.
     pub fn converge(&mut self) -> Result<SweepReport, DataError> {
+        self.session.drain()?;
         let report = self.sweepers.run_until_converged()?;
         coordinator(&self.admin, self.config).compact_after(&self.group, &report)?;
-        self.session.gc_versions();
+        self.session.session_mut().gc_versions();
         Ok(report)
     }
 
     fn churn(&mut self, ops: &[TraceOp]) -> Result<(), DataError> {
+        // Complete the window before the membership change: queued writes
+        // sealed under the outgoing epoch must land (and be swept) rather
+        // than straddle the rotation.
+        self.session.drain()?;
         let mut batch = MembershipBatch::new();
         for op in ops {
             match op {
@@ -290,26 +369,38 @@ impl RwSystemBackend {
                 // low-order counter bytes, so short payloads still vary
                 self.payload[..n].copy_from_slice(&self.seq.to_le_bytes()[..n]);
                 let payload = self.payload.clone();
-                let mut conflicts = 0;
-                loop {
-                    match self.session.write(object, &payload) {
-                        Ok(_) => return Ok(()),
-                        Err(DataError::Conflict(_)) if conflicts < CONFLICT_RETRIES => {
-                            conflicts += 1;
-                            // adopt the winning version, then retry
-                            self.session.fetch(object).map_err(|e| {
-                                ReplayError::new("conflicted re-fetch", object.clone(), e)
-                            })?;
+                match &mut self.session {
+                    WriterSession::Serial(session) => {
+                        let mut conflicts = 0;
+                        loop {
+                            match session.write(object, &payload) {
+                                Ok(_) => return Ok(()),
+                                Err(DataError::Conflict(_)) if conflicts < CONFLICT_RETRIES => {
+                                    conflicts += 1;
+                                    // adopt the winning version, then retry
+                                    session.fetch(object).map_err(|e| {
+                                        ReplayError::new("conflicted re-fetch", object.clone(), e)
+                                    })?;
+                                }
+                                Err(e) => return Err(ReplayError::new("write", object.clone(), e)),
+                            }
                         }
-                        Err(e) => return Err(ReplayError::new("write", object.clone(), e)),
                     }
+                    // the pipeline retries lost CAS races internally
+                    WriterSession::Pipelined(pipeline) => pipeline
+                        .write(object, &payload)
+                        .map_err(|e| ReplayError::new("write", object.clone(), e)),
                 }
             }
-            RwOp::Read { object } => self
-                .session
-                .read(object)
-                .map(drop)
-                .map_err(|e| ReplayError::new("read", object.clone(), e)),
+            RwOp::Read { object } => {
+                let plaintext = match &mut self.session {
+                    WriterSession::Serial(session) => session.read(object),
+                    WriterSession::Pipelined(pipeline) => pipeline.read(object),
+                }
+                .map_err(|e| ReplayError::new("read", object.clone(), e))?;
+                self.fold_read(object, &plaintext);
+                Ok(())
+            }
             RwOp::Churn { ops } => self
                 .churn(ops)
                 .map_err(|e| ReplayError::new("churn", format!("batch of {}", ops.len()), e)),

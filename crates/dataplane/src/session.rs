@@ -470,6 +470,19 @@ impl ClientSession {
     pub fn read(&mut self, object: &str) -> Result<Vec<u8>, DataError> {
         self.maybe_refresh()?;
         let (sealed, _) = self.fetch(object)?;
+        self.open_sealed(object, &sealed)
+    }
+
+    /// Decrypts a fetched object with the read path's refresh-once
+    /// semantics: an epoch newer than the ring triggers one refresh
+    /// attempt (a revoked identity keeps its stale ring and fails the
+    /// epoch lookup). Shared by [`ClientSession::read`] and the pipelined
+    /// session's completion path, so both decrypt identically.
+    pub(crate) fn open_sealed(
+        &mut self,
+        object: &str,
+        sealed: &SealedObject,
+    ) -> Result<Vec<u8>, DataError> {
         if self.ring.is_none()
             || self
                 .ring
@@ -521,6 +534,45 @@ impl ClientSession {
 
     pub(crate) fn store(&self) -> &StoreHandle {
         self.control.store()
+    }
+
+    // --- pipelined-session plumbing (same crate only) ---------------------
+
+    /// Seals `plaintext` for `object` under the current ring — the
+    /// pipelined session's submission-time seal, so writes queued across
+    /// a rotation are sealed under the ring in force when they actually
+    /// go out.
+    pub(crate) fn seal_object(
+        &mut self,
+        object: &str,
+        plaintext: &[u8],
+    ) -> Result<SealedObject, DataError> {
+        let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
+        Ok(SealedObject::seal(ring, object, plaintext, &mut self.rng))
+    }
+
+    /// The CAS expectation for `object` (`0` = create), as
+    /// [`ClientSession::write`] would stamp it.
+    pub(crate) fn expected_version(&self, object: &str) -> u64 {
+        self.versions.get(object).copied().unwrap_or(0)
+    }
+
+    /// Records a store version observed on a completion (the pipelined
+    /// counterpart of the insert [`ClientSession::write`]/
+    /// [`ClientSession::fetch`] perform inline).
+    pub(crate) fn note_version(&mut self, object: &str, version: u64) {
+        self.versions.insert(object.to_string(), version);
+    }
+
+    /// Drops the CAS expectation for an object observed deleted.
+    pub(crate) fn forget_version(&mut self, object: &str) {
+        self.versions.remove(object);
+    }
+
+    /// The shared counters, for recording completions processed outside
+    /// this type.
+    pub(crate) fn metrics_ref(&self) -> &DataMetrics {
+        &self.metrics
     }
 
     /// The data folder holding `object` (stable name-hash routing).

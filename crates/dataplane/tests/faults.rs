@@ -25,9 +25,12 @@
 
 use acs::FleetFixture;
 use cloud_store::{CloudStore, FaultConfig, FaultInjector, FaultyStore, StoreHandle};
-use dataplane::fixtures::{fleet_session, fleet_sweep_sessions, fleet_sweep_sessions_on};
+use dataplane::fixtures::{
+    fleet_session, fleet_session_on, fleet_sweep_sessions, fleet_sweep_sessions_on,
+};
 use dataplane::{
-    ClientSession, FleetConfig, SweepConfig, SweepDriver, SweepPool, SweepScheduler, SweepTask,
+    ClientSession, FleetConfig, PipelinedSession, RetryPolicy, SweepConfig, SweepDriver, SweepPool,
+    SweepScheduler, SweepTask,
 };
 use ibbe_sgx_core::{MembershipBatch, PartitionSize};
 use proptest::prelude::*;
@@ -323,4 +326,122 @@ fn a_dead_store_retires_the_unit_instead_of_wedging_the_run() {
     let report = scheduler.converge_all().unwrap();
     assert!(report.total.converged, "recovery converges the backlog");
     assert_no_loss_no_leak(&stack, &sizes, shards);
+}
+
+// --- pipelined writer under faults ---------------------------------------
+
+/// One group of three members plus the service identities — the pipelined
+/// fault cases need a writable group, not the full multi-group stack.
+fn writer_fixture(seed: u64) -> FleetFixture {
+    FleetFixture::new(
+        CloudStore::new(),
+        PartitionSize::new(2).unwrap(),
+        &[(
+            "g0".to_string(),
+            (0..3).map(|m| format!("g0-u{m}")).collect(),
+        )],
+        &[WRITER.to_string(), SWEEPER.to_string()],
+        seed,
+    )
+    .unwrap()
+}
+
+/// A pipelined writer whose every store request rolls `injector`'s
+/// schedule, while the fixture's admin keeps a clean handle.
+fn pipelined_writer(
+    fixture: &FleetFixture,
+    injector: &Arc<FaultInjector>,
+    window: usize,
+    retry: RetryPolicy,
+) -> PipelinedSession {
+    let clean = fixture.admin().store().clone();
+    let faulty: StoreHandle = FaultyStore::with_injector(clean, Arc::clone(injector)).into();
+    let session = fleet_session_on(fixture, faulty, WRITER, "g0", 1, 0x9a).with_retry_policy(retry);
+    PipelinedSession::new(session, window)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Request-level faults striking mid-window (timeouts, spurious CAS
+    /// conflicts, torn polls) never lose or duplicate a completed
+    /// pipelined write: the retry budget absorbs the schedule, the
+    /// writes/coalesced accounting matches the enqueued ops exactly, and
+    /// a clean serial session reads every object's final payload.
+    #[test]
+    fn pipelined_writes_survive_request_level_faults(
+        seed: u64,
+        fault_seed: u64,
+        timeout_pct in 0u32..=8,
+        cas_storm_pct in 0u32..=12,
+        torn_poll_pct in 0u32..=50,
+    ) {
+        const OBJECTS: usize = 6;
+        const ROUNDS: usize = 3;
+        let fixture = writer_fixture(seed);
+        let injector = Arc::new(FaultInjector::new(FaultConfig {
+            seed: fault_seed,
+            domains: 1,
+            timeout_prob: f64::from(timeout_pct) / 100.0,
+            cas_storm_prob: f64::from(cas_storm_pct) / 100.0,
+            torn_poll_prob: f64::from(torn_poll_pct) / 100.0,
+            ..FaultConfig::default()
+        }));
+        let retry = RetryPolicy { attempts: 6, backoff: Duration::from_millis(1) };
+        let mut p = pipelined_writer(&fixture, &injector, 4, retry);
+        for r in 0..ROUNDS {
+            for o in 0..OBJECTS {
+                p.write(&format!("obj-{o:03}"), format!("{o}@{r}").as_bytes()).unwrap();
+            }
+        }
+        p.flush().unwrap();
+        let m = p.metrics();
+        prop_assert_eq!(m.writes + m.coalesced_writes, (OBJECTS * ROUNDS) as u64);
+        prop_assert!(injector.stats().requests > 0);
+
+        injector.heal();
+        let mut verifier = fleet_session(&fixture, WRITER, "g0", 1, 0xfee1);
+        for o in 0..OBJECTS {
+            prop_assert_eq!(
+                verifier.read(&format!("obj-{o:03}")).unwrap(),
+                format!("{o}@{}", ROUNDS - 1).into_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn a_forced_outage_mid_window_loses_no_write() {
+    let fixture = writer_fixture(0xace);
+    let injector = Arc::new(FaultInjector::new(FaultConfig::default()));
+    let retry = RetryPolicy {
+        attempts: 4,
+        backoff: Duration::from_millis(10),
+    };
+    let mut p = pipelined_writer(&fixture, &injector, 4, retry);
+
+    // a completed write before the outage — must survive untouched
+    p.write("obj-000", b"pre-outage").unwrap();
+    p.flush().unwrap();
+
+    // everything submitted during the outage fails at submission and
+    // retries on the 10/20/40ms backoff schedule, which outlasts it
+    injector.force_outage(0, Duration::from_millis(25));
+    for o in 0..4 {
+        p.write(&format!("obj-{o:03}"), format!("final-{o}").as_bytes())
+            .unwrap();
+    }
+    p.flush().unwrap();
+    injector.heal();
+
+    let m = p.metrics();
+    assert_eq!(m.writes + m.coalesced_writes, 5);
+    let mut verifier = fleet_session(&fixture, WRITER, "g0", 1, 0xfee2);
+    for o in 0..4 {
+        assert_eq!(
+            verifier.read(&format!("obj-{o:03}")).unwrap(),
+            format!("final-{o}").into_bytes(),
+            "write lost across the outage"
+        );
+    }
 }

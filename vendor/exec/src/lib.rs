@@ -1,0 +1,445 @@
+//! Offline vendored stand-in for a completion-queue executor.
+//!
+//! The real ecosystem answer here would be a futures executor (or an
+//! io_uring-style submission queue); this repo is offline, so the stub
+//! provides the three primitives the store stack actually needs, built on
+//! nothing but `std::sync`:
+//!
+//! - [`completion`] — a one-shot [`Completer`]/[`Ticket`] pair: the
+//!   producer side completes exactly once, the consumer side polls or
+//!   blocks. No futures, no polling contract — just a slot and a condvar.
+//! - [`Waker`] — a lost-wakeup-free "something changed" signal (monotone
+//!   sequence number + condvar). A consumer holding many tickets attaches
+//!   one waker to all of them and sleeps on *any completion* instead of
+//!   spinning over the set.
+//! - [`Executor`] — a fixed pool of worker threads draining a FIFO job
+//!   queue. Submitting a blocking store call as a job turns the pool size
+//!   into the store's concurrency limit: `k` workers means `k` requests
+//!   in flight per store, which is exactly the lane model the pipelined
+//!   client measures.
+//!
+//! Everything is deterministic apart from OS scheduling: jobs run in
+//! submission order per queue, tickets complete exactly once, and a
+//! dropped executor drains its queue before the workers exit (so no
+//! accepted job is silently discarded).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A lost-wakeup-free change signal: a monotone sequence number paired
+/// with a condvar. Readers snapshot [`Waker::current`], scan whatever
+/// state they watch, and sleep with [`Waker::wait_past`] — a bump between
+/// snapshot and sleep wakes the sleeper immediately, so no completion is
+/// ever missed.
+#[derive(Debug, Default)]
+pub struct Waker {
+    seq: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Waker {
+    /// A fresh waker at sequence zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current sequence number — snapshot this *before* scanning the
+    /// watched state.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        *self.seq.lock().expect("waker lock")
+    }
+
+    /// Advances the sequence and wakes every sleeper.
+    pub fn bump(&self) {
+        *self.seq.lock().expect("waker lock") += 1;
+        self.changed.notify_all();
+    }
+
+    /// Blocks until the sequence moves past `seen` or `timeout` elapses;
+    /// returns the sequence at wake-up. Returns immediately if the
+    /// sequence already moved — the caller can never sleep through a bump
+    /// it has not observed.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut seq = self.seq.lock().expect("waker lock");
+        while *seq <= seen {
+            let (guard, wait) = self.changed.wait_timeout(seq, timeout).expect("waker lock");
+            seq = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        *seq
+    }
+}
+
+/// Shared slot behind a [`Completer`]/[`Ticket`] pair.
+#[derive(Debug)]
+struct Slot<T> {
+    value: Option<T>,
+    /// The producer side was dropped without completing (its job
+    /// panicked, or the executor discarded it): the ticket will never
+    /// produce a value.
+    closed: bool,
+    /// Set once the ticket's value has been taken; a second take is a
+    /// consumer bug and panics instead of blocking forever.
+    taken: bool,
+    waker: Option<Arc<Waker>>,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    slot: Mutex<Slot<T>>,
+    ready: Condvar,
+}
+
+/// The producer half of a [`completion`] pair: completes exactly once.
+/// Dropping it without completing closes the ticket (the consumer's
+/// `wait` then panics with a diagnostic instead of hanging).
+#[derive(Debug)]
+pub struct Completer<T>(Arc<Shared<T>>);
+
+/// The consumer half of a [`completion`] pair: poll or block for the one
+/// value the [`Completer`] produces.
+#[derive(Debug)]
+pub struct Ticket<T>(Arc<Shared<T>>);
+
+/// A fresh one-shot completion pair.
+#[must_use]
+pub fn completion<T>() -> (Completer<T>, Ticket<T>) {
+    let shared = Arc::new(Shared {
+        slot: Mutex::new(Slot {
+            value: None,
+            closed: false,
+            taken: false,
+            waker: None,
+        }),
+        ready: Condvar::new(),
+    });
+    (Completer(Arc::clone(&shared)), Ticket(shared))
+}
+
+impl<T> Completer<T> {
+    /// Delivers the value and wakes the consumer (and any attached
+    /// [`Waker`]).
+    pub fn complete(self, value: T) {
+        let waker = {
+            let mut slot = self.0.slot.lock().expect("completion lock");
+            slot.value = Some(value);
+            slot.waker.clone()
+        };
+        self.0.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.bump();
+        }
+    }
+}
+
+impl<T> Drop for Completer<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut slot = self.0.slot.lock().expect("completion lock");
+            if slot.value.is_some() {
+                return; // completed normally
+            }
+            slot.closed = true;
+            slot.waker.clone()
+        };
+        self.0.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.bump();
+        }
+    }
+}
+
+impl<T> Ticket<T> {
+    /// True once the producer has completed (or been dropped) — the next
+    /// [`Ticket::poll`]/[`Ticket::wait`] will not block.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        let slot = self.0.slot.lock().expect("completion lock");
+        slot.value.is_some() || slot.closed
+    }
+
+    /// Takes the value if it has arrived; `None` while still pending.
+    ///
+    /// # Panics
+    /// If the producer was dropped without completing, or the value was
+    /// already taken (both are bugs on the other side of the pair).
+    #[must_use]
+    pub fn poll(&self) -> Option<T> {
+        let mut slot = self.0.slot.lock().expect("completion lock");
+        Self::take(&mut slot)
+    }
+
+    /// Blocks until the value arrives, then takes it.
+    ///
+    /// # Panics
+    /// Same contract as [`Ticket::poll`].
+    #[must_use]
+    pub fn wait(&self) -> T {
+        let mut slot = self.0.slot.lock().expect("completion lock");
+        loop {
+            if let Some(value) = Self::take(&mut slot) {
+                return value;
+            }
+            slot = self.0.ready.wait(slot).expect("completion lock");
+        }
+    }
+
+    /// Attaches a [`Waker`] bumped on completion. If the ticket is
+    /// already ready the waker is bumped immediately, so attaching after
+    /// the fact cannot lose the wake-up.
+    pub fn on_complete(&self, waker: Arc<Waker>) {
+        let ready = {
+            let mut slot = self.0.slot.lock().expect("completion lock");
+            let ready = slot.value.is_some() || slot.closed;
+            slot.waker = Some(Arc::clone(&waker));
+            ready
+        };
+        if ready {
+            waker.bump();
+        }
+    }
+
+    fn take(slot: &mut Slot<T>) -> Option<T> {
+        assert!(!slot.taken, "completion value taken twice");
+        match slot.value.take() {
+            Some(value) => {
+                slot.taken = true;
+                Some(value)
+            }
+            None => {
+                assert!(
+                    !slot.closed,
+                    "completer dropped without completing (its job likely panicked)"
+                );
+                None
+            }
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct JobQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct ExecutorShared {
+    queue: Mutex<JobQueue>,
+    available: Condvar,
+}
+
+/// A fixed pool of worker threads draining a FIFO job queue. Workers are
+/// detached; on drop the queue is sealed, the workers drain what was
+/// already accepted and exit — no accepted job is discarded, and dropping
+/// from inside a job (a job holding the last handle) cannot deadlock on a
+/// self-join.
+pub struct Executor {
+    shared: Arc<ExecutorShared>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Spawns `workers` (at least one) detached worker threads.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(ExecutorShared::default());
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                let job = {
+                    let mut queue = shared.queue.lock().expect("executor lock");
+                    loop {
+                        if let Some(job) = queue.jobs.pop_front() {
+                            break Some(job);
+                        }
+                        if queue.shutdown {
+                            break None;
+                        }
+                        queue = shared.available.wait(queue).expect("executor lock");
+                    }
+                };
+                match job {
+                    // a panicking job must not kill the lane: contain it
+                    // (the job's completer, if any, closes its ticket)
+                    Some(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                    None => return,
+                }
+            });
+        }
+        Self { shared, workers }
+    }
+
+    /// The pool size — the number of jobs that can run concurrently.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queues a job; a free worker picks it up in FIFO order.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut queue = self.shared.queue.lock().expect("executor lock");
+        assert!(!queue.shutdown, "spawn on a shut-down executor");
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        let mut queue = self.shared.queue.lock().expect("executor lock");
+        queue.shutdown = true;
+        drop(queue);
+        self.shared.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn completion_roundtrip() {
+        let (completer, ticket) = completion::<u32>();
+        assert!(!ticket.is_ready());
+        assert!(ticket.poll().is_none());
+        completer.complete(7);
+        assert!(ticket.is_ready());
+        assert_eq!(ticket.poll(), Some(7));
+    }
+
+    #[test]
+    fn wait_blocks_until_completed_from_another_thread() {
+        let (completer, ticket) = completion::<&str>();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            completer.complete("done");
+        });
+        assert_eq!(ticket.wait(), "done");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "completer dropped")]
+    fn dropped_completer_closes_the_ticket() {
+        let (completer, ticket) = completion::<u32>();
+        drop(completer);
+        assert!(ticket.is_ready());
+        let _ = ticket.poll();
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let (completer, ticket) = completion::<u32>();
+        completer.complete(1);
+        assert_eq!(ticket.poll(), Some(1));
+        let _ = ticket.poll();
+    }
+
+    #[test]
+    fn waker_wakes_a_sleeper_and_never_loses_a_bump() {
+        let waker = Arc::new(Waker::new());
+        let seen = waker.current();
+        // bump *before* the wait: wait_past must return immediately
+        waker.bump();
+        assert!(waker.wait_past(seen, Duration::from_secs(5)) > seen);
+
+        let seen = waker.current();
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            remote.bump();
+        });
+        assert!(waker.wait_past(seen, Duration::from_secs(5)) > seen);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn on_complete_after_completion_still_bumps() {
+        let (completer, ticket) = completion::<u32>();
+        completer.complete(1);
+        let waker = Arc::new(Waker::new());
+        let seen = waker.current();
+        ticket.on_complete(Arc::clone(&waker));
+        assert!(waker.current() > seen);
+        assert_eq!(ticket.poll(), Some(1));
+    }
+
+    #[test]
+    fn executor_overlaps_jobs_up_to_the_pool_size() {
+        let pool = Executor::new(4);
+        let start = Instant::now();
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                let (completer, ticket) = completion::<usize>();
+                pool.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    completer.complete(i);
+                });
+                ticket
+            })
+            .collect();
+        for (i, ticket) in tickets.iter().enumerate() {
+            assert_eq!(ticket.wait(), i);
+        }
+        // 4 jobs of 20ms on 4 workers: concurrent, not 80ms of serial
+        assert!(
+            start.elapsed() < Duration::from_millis(70),
+            "jobs ran serially: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn dropped_executor_drains_accepted_jobs() {
+        let pool = Executor::new(1);
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                let (completer, ticket) = completion::<usize>();
+                pool.spawn(move || completer.complete(i));
+                ticket
+            })
+            .collect();
+        drop(pool);
+        for (i, ticket) in tickets.iter().enumerate() {
+            assert_eq!(ticket.wait(), i);
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_closes_its_ticket_but_keeps_the_lane_alive() {
+        let pool = Executor::new(1);
+        let (completer, poisoned) = completion::<u32>();
+        pool.spawn(move || {
+            let _keep = completer; // dropped by unwind below
+            panic!("injected job panic");
+        });
+        let (completer, healthy) = completion::<u32>();
+        pool.spawn(move || completer.complete(9));
+        assert_eq!(healthy.wait(), 9, "worker survived the panicking job");
+        assert!(poisoned.is_ready());
+    }
+}
