@@ -220,12 +220,18 @@ impl Admin {
         group: &str,
         batch: &MembershipBatch,
     ) -> Result<BatchOutcome, AcsError> {
+        let _rid = telemetry::request_scope();
+        let span = telemetry::span("admin.apply_batch")
+            .with("group", group)
+            .enter();
         let mut cache = self.cache.lock();
         let meta = cache
             .get_mut(group)
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         let before = meta.partition_count();
         let outcome = self.engine.apply_batch(meta, batch)?;
+        span.record("epoch", outcome.epoch);
+        span.record("rekeyed", outcome.partitions_rekeyed);
         let mut dirty = outcome.dirty_partitions.clone();
         let mut publish_sealed = outcome.gk_rotated;
         if self.auto_repartition
@@ -249,15 +255,21 @@ impl Admin {
             // atomic version bump (no torn reads across the rotation)
             items.push((EPOCHS_ITEM.to_string(), meta.key_history.to_bytes()));
         }
-        if items.len() == 1 {
-            let (item, data) = items.pop().expect("len checked");
-            self.store.try_put(group, &item, data)?;
-        } else if !items.is_empty() {
-            self.store.try_put_many(group, items)?;
-        }
-        // drop stale trailing items if the partition count shrank
-        for i in meta.partition_count()..before {
-            self.store.try_delete(group, &partition_item(i))?;
+        {
+            let _publish = telemetry::span("admin.publish")
+                .with("group", group)
+                .with("items", items.len())
+                .enter();
+            if items.len() == 1 {
+                let (item, data) = items.pop().expect("len checked");
+                self.store.try_put(group, &item, data)?;
+            } else if !items.is_empty() {
+                self.store.try_put_many(group, items)?;
+            }
+            // drop stale trailing items if the partition count shrank
+            for i in meta.partition_count()..before {
+                self.store.try_delete(group, &partition_item(i))?;
+            }
         }
         if !outcome.added.is_empty() || !outcome.removed.is_empty() || outcome.gk_rotated {
             self.record(
@@ -280,11 +292,14 @@ impl Admin {
     /// # Errors
     /// [`AcsError::UnknownGroup`] or engine failures.
     pub fn rekey_group(&self, group: &str) -> Result<(), AcsError> {
+        let _rid = telemetry::request_scope();
+        let span = telemetry::span("admin.rekey").with("group", group).enter();
         let mut cache = self.cache.lock();
         let meta = cache
             .get_mut(group)
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         self.engine.rekey_group(meta)?;
+        span.record("epoch", meta.epoch);
         let items: Vec<(String, Vec<u8>)> = meta
             .partitions
             .iter()
@@ -295,7 +310,13 @@ impl Admin {
                 (EPOCHS_ITEM.to_string(), meta.key_history.to_bytes()),
             ])
             .collect();
-        self.store.try_put_many(group, items)?;
+        {
+            let _publish = telemetry::span("admin.publish")
+                .with("group", group)
+                .with("items", items.len())
+                .enter();
+            self.store.try_put_many(group, items)?;
+        }
         self.record(group, LogOp::Rekey);
         Ok(())
     }

@@ -28,11 +28,20 @@
 //! faulted fleet must converge with exactly the fault-free migrated
 //! totals — `--check` makes this the CI gate.
 //!
+//! With `--trace PATH` the whole run's telemetry (every span and event,
+//! request ids threaded causally from lease grant through store lane to
+//! fault decision) is exported as Chrome-trace JSON. A `--faults` run
+//! additionally scopes a [`telemetry::Collector`] to the faulted fleet and
+//! reconciles its spans with the store's own counters and the injector's
+//! stats — the span/counter consistency gate `--check` relies on in CI.
+//!
 //! Flags: `--groups G`, `--workers W`, `--ops N` (base objects),
-//! `--full`, `--faults SEED`, `--json PATH`, `--check`.
+//! `--full`, `--faults SEED`, `--json PATH`, `--trace PATH`, `--check`.
 
 use acs::FleetFixture;
-use cloud_store::{CloudStore, FaultConfig, FaultInjector, FaultStats, FaultyStore, StoreHandle};
+use cloud_store::{
+    CloudStore, FaultConfig, FaultInjector, FaultStats, FaultyStore, MetricsSnapshot, StoreHandle,
+};
 use dataplane::fixtures::{fleet_session, fleet_sweep_sessions, fleet_sweep_sessions_on};
 use dataplane::{
     ClientSession, FleetConfig, FleetReport, SweepConfig, SweepDriver, SweepPool, SweepScheduler,
@@ -317,6 +326,98 @@ fn run_faulted(
     )
 }
 
+/// The span/counter consistency gate: the collector scoped to the faulted
+/// run must reconcile with the store's own counters (span placement mirrors
+/// metric placement exactly) and with the injector's fault tally (one
+/// `fault.*` event per injection decision). `store.poll` spans are outside
+/// the gate — polling is a liveness mechanism, not accounted work.
+fn check_trace_consistency(
+    collector: &telemetry::Collector,
+    before: &MetricsSnapshot,
+    after: &MetricsSnapshot,
+    stats: &FaultStats,
+) {
+    let spans = collector.spans();
+    let span_count = |name: &str| spans.iter().filter(|s| s.name == name).count() as u64;
+    let gate = |label: &str, got: u64, want: u64| {
+        assert_eq!(
+            got, want,
+            "telemetry gate: {label} spans/events must match the counter delta"
+        );
+    };
+    gate(
+        "store.put",
+        span_count("store.put"),
+        after.puts - before.puts,
+    );
+    gate(
+        "store.put_many",
+        span_count("store.put_many"),
+        after.puts_batched - before.puts_batched,
+    );
+    gate(
+        "store.delete",
+        span_count("store.delete"),
+        after.deletes - before.deletes,
+    );
+    gate(
+        "store.cas",
+        span_count("store.cas"),
+        (after.cas_puts + after.cas_conflicts) - (before.cas_puts + before.cas_conflicts),
+    );
+    // the store records a get only when it hits; the span records both
+    // outcomes and flags which one happened
+    let get_hits = spans
+        .iter()
+        .filter(|s| {
+            s.name == "store.get"
+                && s.field("hit").and_then(telemetry::Value::as_bool) == Some(true)
+        })
+        .count() as u64;
+    gate("store.get[hit]", get_hits, after.gets - before.gets);
+    gate(
+        "fault.unavailable",
+        collector.event_count("fault.unavailable"),
+        stats.unavailable,
+    );
+    gate(
+        "fault.timeout",
+        collector.event_count("fault.timeout"),
+        stats.timeouts,
+    );
+    gate(
+        "fault.torn_poll",
+        collector.event_count("fault.torn_poll"),
+        stats.torn_polls,
+    );
+    gate(
+        "fault.cas_storm",
+        collector.event_count("fault.cas_storm"),
+        stats.cas_conflicts,
+    );
+    gate(
+        "fault.panic",
+        collector.event_count("fault.panic"),
+        stats.panics,
+    );
+    // causality: every store-lane execution ran under some lease's (or
+    // session's) request id — the chain a trace viewer groups by
+    let orphan_lanes = spans
+        .iter()
+        .filter(|s| s.name == "store.lane" && s.rid == 0)
+        .count();
+    assert_eq!(
+        orphan_lanes, 0,
+        "telemetry gate: every store.lane span carries a request id"
+    );
+    println!(
+        "telemetry gate: {} spans / {} events reconcile with store counters and \
+         injector stats",
+        spans.len(),
+        collector.events().len(),
+    );
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let (groups, base_objects, payload, shards, workers, max_revocations) = if args.full {
@@ -327,6 +428,8 @@ fn main() {
     let groups = args.groups.unwrap_or(groups).max(1);
     let workers = args.workers.unwrap_or(workers).max(1);
     let base_objects = args.ops.unwrap_or(base_objects).max(1);
+    // --trace: capture the whole run (all four modes) as Chrome-trace JSON
+    let trace_ctx = args.trace_writer();
     let sweep = SweepConfig {
         deadline: Duration::from_secs(60),
         max_per_tick: 8,
@@ -376,14 +479,23 @@ fn main() {
         fleet,
     );
     let faulted = args.faults.map(|fault_seed| {
-        run_faulted(
-            &trace,
-            &build_stack(&trace, shards, payload, 7),
-            shards,
-            sweep,
-            fleet,
-            fault_seed,
-        )
+        let stack = build_stack(&trace, shards, payload, 7);
+        // scope a collector to exactly the faulted fleet run (setup traffic
+        // excluded), teeing into the whole-run trace writer when present
+        let collector = Arc::new(telemetry::Collector::new());
+        let gate_guard = match &trace_ctx {
+            Some((w, _)) => telemetry::install(Arc::new(telemetry::Tee::new(vec![
+                Arc::clone(w) as Arc<dyn telemetry::Subscriber>,
+                Arc::clone(&collector) as Arc<dyn telemetry::Subscriber>,
+            ]))),
+            None => telemetry::install(Arc::clone(&collector) as Arc<dyn telemetry::Subscriber>),
+        };
+        let before = stack.fixture.admin().store().metrics();
+        let result = run_faulted(&trace, &stack, shards, sweep, fleet, fault_seed);
+        let after = stack.fixture.admin().store().metrics();
+        drop(gate_guard);
+        check_trace_consistency(&collector, &before, &after, &result.2);
+        result
     });
 
     // staleness-priority ordering: the most-behind group finished its
@@ -573,6 +685,10 @@ fn main() {
             ],
             rows,
         );
+    }
+
+    if let Some((writer, _)) = &trace_ctx {
+        args.write_trace(writer);
     }
 
     if args.check {

@@ -216,6 +216,7 @@ fn rw_trace(objects: usize, events: usize, seed: u64) -> RwTrace {
 
 fn main() {
     let args = BenchArgs::parse();
+    let trace_ctx = args.trace_writer();
     let shard_counts = args.shards.clone().unwrap_or_else(|| vec![1, 2, 4, 8]);
     let sessions = args.workers.unwrap_or(4).max(1);
     let (objects, events, latency) = if args.full {
@@ -311,6 +312,10 @@ fn main() {
             ],
             json_rows,
         );
+    }
+
+    if let Some((writer, _)) = &trace_ctx {
+        args.write_trace(writer);
     }
 
     if args.check {

@@ -224,6 +224,7 @@ fn throughput_rows(
 
 fn main() {
     let args = BenchArgs::parse();
+    let trace_ctx = args.trace_writer();
     let shard_counts = args.shards.clone().unwrap_or_else(|| vec![1, 2, 4, 8]);
     let (objects, payload, events, latency) = if args.full {
         (
@@ -281,6 +282,10 @@ fn main() {
             ],
             json_rows,
         );
+    }
+
+    if let Some((writer, _)) = &trace_ctx {
+        args.write_trace(writer);
     }
 
     if args.check {

@@ -45,7 +45,7 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 
 /// Simple command-line flags: `--full`, `--ops N`, `--no-repartition`,
 /// `--shards A,B,…`, `--groups N`, `--workers N`, `--faults SEED`,
-/// `--json PATH`, `--check`.
+/// `--json PATH`, `--trace PATH`, `--check`.
 #[derive(Clone, Debug)]
 pub struct BenchArgs {
     /// Run at paper-scale parameters.
@@ -68,6 +68,11 @@ pub struct BenchArgs {
     /// Also write the measured series as machine-readable JSON (see
     /// [`crate::json`]) to this path.
     pub json: Option<String>,
+    /// Also record the run's telemetry spans and events as a Chrome-trace
+    /// JSON file at this path (open with Perfetto / `chrome://tracing`).
+    /// Honoured by the data-plane binaries (`rw_scaling`, `sweep_scaling`,
+    /// `fleet_sweep`).
+    pub trace: Option<String>,
     /// Enforce the bench's coarse perf sanity checks (exit non-zero on
     /// regression) — what the per-PR CI smoke runs.
     pub check: bool,
@@ -85,6 +90,7 @@ impl BenchArgs {
             workers: None,
             faults: None,
             json: None,
+            trace: None,
             check: false,
         };
         let mut it = std::env::args().skip(1);
@@ -111,6 +117,9 @@ impl BenchArgs {
                 "--json" => {
                     args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
+                "--trace" => {
+                    args.trace = Some(it.next().unwrap_or_else(|| panic!("--trace needs a path")));
+                }
                 "--shards" => {
                     let list = it.next().unwrap_or_else(|| panic!("--shards needs a list"));
                     let parsed: Vec<usize> = list
@@ -130,7 +139,8 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --full  --ops N  --no-repartition  --shards A,B,…  \
-                         --groups N  --workers N  --faults SEED  --json PATH  --check"
+                         --groups N  --workers N  --faults SEED  --json PATH  \
+                         --trace PATH  --check"
                     );
                     std::process::exit(0);
                 }
@@ -138,6 +148,42 @@ impl BenchArgs {
             }
         }
         args
+    }
+
+    /// When `--trace PATH` was given, installs a [`telemetry::JsonWriter`]
+    /// as the process subscriber and returns it with its install guard
+    /// (keep the pair alive for the instrumented part of the run; finish
+    /// with [`BenchArgs::write_trace`]). `None` — the flag's absence —
+    /// leaves telemetry disabled, so the instrumented code paths cost one
+    /// relaxed atomic load each.
+    pub fn trace_writer(
+        &self,
+    ) -> Option<(
+        std::sync::Arc<telemetry::JsonWriter>,
+        telemetry::InstallGuard,
+    )> {
+        self.trace.as_ref().map(|_| {
+            let writer = std::sync::Arc::new(telemetry::JsonWriter::new());
+            let guard = telemetry::install(
+                std::sync::Arc::clone(&writer) as std::sync::Arc<dyn telemetry::Subscriber>
+            );
+            (writer, guard)
+        })
+    }
+
+    /// Writes `writer`'s collected trace to the `--trace` path.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written — a bench asked for a trace it
+    /// could not produce.
+    pub fn write_trace(&self, writer: &telemetry::JsonWriter) {
+        if let Some(path) = &self.trace {
+            writer.write_to(path).expect("write trace file");
+            println!(
+                "wrote Chrome-trace JSON to {path} (open with https://ui.perfetto.dev \
+                 or chrome://tracing)"
+            );
+        }
     }
 }
 

@@ -1,42 +1,19 @@
 //! Latency-distribution helpers shared by the bench binaries.
 //!
-//! Nearest-rank percentiles over raw [`Duration`] samples — no
+//! Nearest-rank percentiles over raw [`std::time::Duration`] samples — no
 //! interpolation, so a reported p99 is always a latency that actually
 //! occurred, which is the honest choice for the small sample counts a
-//! bench smoke run collects.
+//! bench smoke run collects. The implementation lives in
+//! [`telemetry::stats`] so the benches and the telemetry registry's
+//! per-span summaries agree on one definition; the tests here pin the
+//! re-exported behaviour from the bench side.
 
-use std::time::Duration;
-
-/// Nearest-rank percentiles of `samples`.
-///
-/// Sorts `samples` in place (ascending) and returns one [`Duration`] per
-/// entry of `percentiles`, where each entry is a percentile in `0.0..=100.0`
-/// (out-of-range values are clamped). The nearest-rank definition is used:
-/// the p-th percentile is the smallest sample such that at least `p%` of
-/// the samples are `<=` it, so `p = 0` maps to the minimum and `p = 100`
-/// to the maximum.
-///
-/// With no samples every requested percentile is [`Duration::ZERO`] — an
-/// empty op class in a bench table reports zeros rather than panicking.
-pub fn percentiles(samples: &mut [Duration], percentiles: &[f64]) -> Vec<Duration> {
-    if samples.is_empty() {
-        return vec![Duration::ZERO; percentiles.len()];
-    }
-    samples.sort_unstable();
-    percentiles
-        .iter()
-        .map(|&p| {
-            let p = p.clamp(0.0, 100.0);
-            // nearest rank: ceil(p/100 * n), 1-based; p=0 still reads rank 1
-            let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
-            samples[rank.max(1) - 1]
-        })
-        .collect()
-}
+pub use telemetry::stats::percentiles;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn ms(v: u64) -> Duration {
         Duration::from_millis(v)

@@ -233,6 +233,9 @@ impl FaultInjector {
                 s.panic_after = None;
                 s.stats.panics += 1;
                 drop(s);
+                telemetry::event("fault.panic")
+                    .with("folder", folder)
+                    .emit();
                 panic!("injected fault: worker panic on request against {folder}");
             }
             s.panic_after = Some(left - 1);
@@ -244,6 +247,11 @@ impl FaultInjector {
         match s.outages[domain] {
             Some(until) if now < until => {
                 s.stats.unavailable += 1;
+                drop(s);
+                telemetry::event("fault.unavailable")
+                    .with("domain", domain)
+                    .with("outage_started", false)
+                    .emit();
                 return Err(StoreError::Unavailable { domain });
             }
             Some(_) => s.outages[domain] = None, // window expired: recovered
@@ -253,10 +261,19 @@ impl FaultInjector {
             s.outages[domain] = Some(now + self.config.outage);
             s.stats.outages += 1;
             s.stats.unavailable += 1;
+            drop(s);
+            telemetry::event("fault.unavailable")
+                .with("domain", domain)
+                .with("outage_started", true)
+                .emit();
             return Err(StoreError::Unavailable { domain });
         }
         if self.config.timeout_prob > 0.0 && s.rng.gen_bool(self.config.timeout_prob) {
             s.stats.timeouts += 1;
+            drop(s);
+            telemetry::event("fault.timeout")
+                .with("folder", folder)
+                .emit();
             return Err(StoreError::Timeout);
         }
         Ok(())
@@ -271,6 +288,8 @@ impl FaultInjector {
         let torn = s.rng.gen_bool(self.config.torn_poll_prob);
         if torn {
             s.stats.torn_polls += 1;
+            drop(s);
+            telemetry::event("fault.torn_poll").emit();
         }
         torn
     }
@@ -284,6 +303,8 @@ impl FaultInjector {
         let storm = s.rng.gen_bool(self.config.cas_storm_prob);
         if storm {
             s.stats.cas_conflicts += 1;
+            drop(s);
+            telemetry::event("fault.cas_storm").emit();
         }
         storm
     }
@@ -555,6 +576,9 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     /// already-completed failed ticket before the request reaches the
     /// inner store (no partial effect; resubmitting is always safe).
     fn submit(&self, request: Request) -> StoreTicket {
+        // injection decisions join the submitter's causal chain even when
+        // submit is driven from a thread that never opened the scope
+        let _rid = telemetry::adopt_request_id(request.rid);
         if let Err(e) = self.faults.check(&request.folder) {
             return completed_ticket(Err(e));
         }

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for store traffic (what the paper's storage/traffic arguments
 /// are about: HE pushes megabytes per membership change, IBBE-SGX pushes a
-//  few hundred bytes per partition).
+/// few hundred bytes per partition).
 #[derive(Debug, Default)]
 pub struct Metrics {
     puts: AtomicU64,
@@ -71,6 +71,24 @@ impl MetricsSnapshot {
             bytes_up: self.bytes_up + other.bytes_up,
             bytes_down: self.bytes_down + other.bytes_down,
         }
+    }
+}
+
+impl telemetry::Counters for MetricsSnapshot {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("puts", self.puts),
+            ("puts_batched", self.puts_batched),
+            ("batched_items", self.batched_items),
+            ("cas_puts", self.cas_puts),
+            ("cas_conflicts", self.cas_conflicts),
+            ("gets", self.gets),
+            ("deletes", self.deletes),
+            ("polls", self.polls),
+            ("poll_wakeups", self.poll_wakeups),
+            ("bytes_up", self.bytes_up),
+            ("bytes_down", self.bytes_down),
+        ]
     }
 }
 

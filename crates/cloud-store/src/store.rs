@@ -134,8 +134,12 @@ impl CloudStore {
     /// PUT: stores `data` under `folder/item`, waking long-pollers.
     /// Returns the new global version.
     pub fn put(&self, folder: &str, item: &str, data: impl Into<Bytes>) -> u64 {
-        self.simulate_latency();
         let data = data.into();
+        let _span = telemetry::span("store.put")
+            .with("folder", folder)
+            .with("bytes", data.len())
+            .enter();
+        self.simulate_latency();
         self.inner.metrics.record_put(data.len());
         let mut st = self.inner.state.lock();
         st.version += 1;
@@ -169,6 +173,10 @@ impl CloudStore {
         data: impl Into<Bytes>,
         expected: u64,
     ) -> Result<u64, VersionConflict> {
+        let span = telemetry::span("store.cas")
+            .with("folder", folder)
+            .with("expected", expected)
+            .enter();
         self.simulate_latency();
         let data = data.into();
         let mut st = self.inner.state.lock();
@@ -181,8 +189,10 @@ impl CloudStore {
         if current != expected {
             drop(st);
             self.inner.metrics.record_cas_conflict();
+            span.record("conflict", true);
             return Err(VersionConflict { current });
         }
+        span.record("conflict", false);
         self.inner.metrics.record_cas_put(data.len());
         st.version += 1;
         let version = st.version;
@@ -216,6 +226,10 @@ impl CloudStore {
         if items.is_empty() {
             return self.version();
         }
+        let _span = telemetry::span("store.put_many")
+            .with("folder", folder)
+            .with("items", items.len())
+            .enter();
         if !self.inner.latency.is_zero() {
             let d = self
                 .inner
@@ -239,17 +253,26 @@ impl CloudStore {
 
     /// GET: fetches `folder/item` with its version.
     pub fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        let span = telemetry::span("store.get").with("folder", folder).enter();
         self.simulate_latency();
         let st = self.inner.state.lock();
-        let entry = st.folders.get(folder)?.get(item)?.clone();
+        let entry = st.folders.get(folder).and_then(|f| f.get(item)).cloned();
         drop(st);
+        let Some(entry) = entry else {
+            span.record("hit", false);
+            return None;
+        };
         self.inner.metrics.record_get(entry.data.len());
+        span.record("hit", true);
         Some((entry.data, entry.version))
     }
 
     /// DELETE: removes `folder/item`, waking long-pollers. Deleting the last
     /// item removes the folder.
     pub fn delete(&self, folder: &str, item: &str) -> bool {
+        let _span = telemetry::span("store.delete")
+            .with("folder", folder)
+            .enter();
         self.simulate_latency();
         self.inner.metrics.record_delete();
         let mut st = self.inner.state.lock();
@@ -295,6 +318,10 @@ impl CloudStore {
     /// until some item in `folder` has a version greater than `since`, or
     /// until `timeout` elapses.
     pub fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        let span = telemetry::span("store.poll")
+            .with("folder", folder)
+            .with("since", since)
+            .enter();
         self.inner.metrics.record_poll();
         let deadline = Instant::now() + timeout;
         let mut st = self.inner.state.lock();
@@ -312,6 +339,7 @@ impl CloudStore {
                 .unwrap_or_default();
             if !changed.is_empty() {
                 self.inner.metrics.record_poll_wakeup();
+                span.record("timed_out", false);
                 return PollResult {
                     version: st.version,
                     changed,
@@ -320,6 +348,7 @@ impl CloudStore {
             }
             let now = Instant::now();
             if now >= deadline {
+                span.record("timed_out", true);
                 return PollResult {
                     version: st.version,
                     changed: vec![],
@@ -328,6 +357,7 @@ impl CloudStore {
             }
             let wait = deadline - now;
             if self.inner.changed.wait_for(&mut st, wait).timed_out() {
+                span.record("timed_out", true);
                 return PollResult {
                     version: st.version,
                     changed: vec![],
@@ -415,10 +445,25 @@ impl ObjectStore for CloudStore {
     fn submit(&self, request: Request) -> StoreTicket {
         let (completer, ticket) = exec::completion();
         let store = self.clone();
+        let enqueued = Instant::now();
         self.inner
             .lanes
             .get_or_init(|| exec::Executor::new(SUBMIT_LANES))
-            .spawn(move || completer.complete(execute_request(&store, request)));
+            .spawn(move || {
+                // join the submitting session's causal chain, and split
+                // queue wait (lane contention) from service time (the
+                // nested store.* span inside execute_request)
+                let _rid = telemetry::adopt_request_id(request.rid);
+                let result = {
+                    let _lane = telemetry::span("store.lane")
+                        .with("queue_us", enqueued.elapsed().as_micros() as u64)
+                        .enter();
+                    execute_request(&store, request)
+                };
+                // spans close before the ticket is marked ready, so a
+                // waiter that observes completion also observes the spans
+                completer.complete(result);
+            });
         ticket
     }
 }

@@ -56,6 +56,10 @@ pub struct Request {
     pub item: String,
     /// The operation to perform.
     pub op: RequestOp,
+    /// The telemetry request id in scope when the request was built (`0`
+    /// if none). Worker lanes adopt it so spans and fault events on the
+    /// executing thread join the submitting session's causal chain.
+    pub rid: u64,
 }
 
 impl Request {
@@ -65,6 +69,7 @@ impl Request {
             folder: folder.into(),
             item: item.into(),
             op: RequestOp::Put(data.into()),
+            rid: telemetry::current_request_id(),
         }
     }
 
@@ -82,6 +87,7 @@ impl Request {
                 data: data.into(),
                 expected,
             },
+            rid: telemetry::current_request_id(),
         }
     }
 
@@ -91,6 +97,7 @@ impl Request {
             folder: folder.into(),
             item: item.into(),
             op: RequestOp::Get,
+            rid: telemetry::current_request_id(),
         }
     }
 
@@ -100,6 +107,7 @@ impl Request {
             folder: folder.into(),
             item: item.into(),
             op: RequestOp::Delete,
+            rid: telemetry::current_request_id(),
         }
     }
 }

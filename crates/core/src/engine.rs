@@ -380,6 +380,10 @@ impl GroupEngine {
         if plan.is_noop() {
             return Ok(BatchOutcome::noop_at(meta.epoch));
         }
+        let _span = telemetry::span("enclave.apply_batch")
+            .with("group", meta.name.as_str())
+            .with("rotates", plan.rotates_gk())
+            .enter();
         if plan.rotates_gk() {
             self.apply_batch_rotating(meta, plan)
         } else {
@@ -570,7 +574,12 @@ impl GroupEngine {
                     }
                     // The batch invariant: one re-key per surviving partition.
                     let mut rekeyed = 0usize;
-                    for p in partitions.iter_mut() {
+                    for (idx, p) in partitions.iter_mut().enumerate() {
+                        let _span = telemetry::span("enclave.rekey")
+                            .with("partition", idx)
+                            .with("members", p.members.len())
+                            .with("epoch", new_epoch)
+                            .enter();
                         let (bk, ct) = ibbe::rekey(&pk, &p.ciphertext, ctx.rng());
                         p.ciphertext = ct;
                         p.wrapped_gk = wrap_gk(&bk, &gk, &name, ctx);

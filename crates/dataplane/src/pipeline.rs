@@ -79,6 +79,10 @@ pub struct OpSample {
 struct QueuedWrite {
     plaintext: Vec<u8>,
     enqueued: Instant,
+    /// Telemetry request id minted at enqueue — adopted at submission (and
+    /// on every retry) so the eventual store request joins the chain of
+    /// the `write()` call that queued it.
+    rid: u64,
 }
 
 enum InflightKind {
@@ -98,6 +102,9 @@ struct InflightOp {
     enqueued: Instant,
     conflicts: u32,
     transients: u32,
+    /// Telemetry request id of the originating `write()`/`read_begin()`,
+    /// re-adopted when a retry submits a fresh store request.
+    rid: u64,
 }
 
 /// A finished read, parked until its [`ReadHandle`] is waited on.
@@ -226,6 +233,7 @@ impl PipelinedSession {
     /// Epoch-refresh failures, or a failure of some *earlier* operation
     /// whose completion was processed while making room in the window.
     pub fn write(&mut self, object: &str, plaintext: &[u8]) -> Result<(), DataError> {
+        let _rid = telemetry::request_scope();
         self.observe_epoch()?;
         if let Some(queued) = self.queued.get_mut(object) {
             // still unsubmitted: last-write-wins, one request saved
@@ -239,6 +247,7 @@ impl PipelinedSession {
             QueuedWrite {
                 plaintext: plaintext.to_vec(),
                 enqueued: Instant::now(),
+                rid: telemetry::current_request_id(),
             },
         );
         self.pump()?;
@@ -272,6 +281,7 @@ impl PipelinedSession {
     /// Epoch-refresh failures, or a failure of an earlier operation
     /// processed while draining.
     pub fn read_begin(&mut self, object: &str) -> Result<ReadHandle, DataError> {
+        let _rid = telemetry::request_scope();
         self.observe_epoch()?;
         if let Some(queued) = self.queued.get(object) {
             return Ok(ReadHandle(ReadState::Local {
@@ -389,12 +399,13 @@ impl PipelinedSession {
             }
             let object = self.queue.remove(i).expect("index checked");
             let queued = self.queued.remove(&object).expect("queue/queued agree");
-            self.submit_write(object, queued.plaintext, queued.enqueued, 0, 0)?;
+            self.submit_write(object, queued.plaintext, queued.enqueued, 0, 0, queued.rid)?;
         }
         Ok(())
     }
 
-    /// Seals under the *current* ring and submits one CAS write.
+    /// Seals under the *current* ring and submits one CAS write under the
+    /// originating `write()`'s request id.
     fn submit_write(
         &mut self,
         object: String,
@@ -402,7 +413,9 @@ impl PipelinedSession {
         enqueued: Instant,
         conflicts: u32,
         transients: u32,
+        rid: u64,
     ) -> Result<(), DataError> {
+        let _rid = telemetry::adopt_request_id(rid);
         let sealed = self.inner.seal_object(&object, &plaintext)?;
         let expected = self.inner.expected_version(&object);
         let folder = self.inner.folder_of(&object).to_string();
@@ -441,7 +454,13 @@ impl PipelinedSession {
             enqueued,
             conflicts: 0,
             transients: 0,
+            rid: telemetry::current_request_id(),
         });
+        telemetry::event("pipeline.window")
+            .with("inflight", self.inflight.len())
+            .with("queued", self.queue.len())
+            .with("window", self.window)
+            .emit();
         id
     }
 
@@ -508,11 +527,13 @@ impl PipelinedSession {
                 op.enqueued,
                 op.conflicts,
                 op.transients,
+                op.rid,
                 result,
             ),
             InflightKind::Read => match result {
                 Err(ref e) if e.is_transient() && op.transients + 1 < self.retry_attempts() => {
                     self.backoff(op.transients);
+                    let _rid = telemetry::adopt_request_id(op.rid);
                     let folder = self.inner.folder_of(&op.object).to_string();
                     let ticket = self
                         .inner
@@ -544,6 +565,7 @@ impl PipelinedSession {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn complete_write(
         &mut self,
         object: String,
@@ -551,6 +573,7 @@ impl PipelinedSession {
         enqueued: Instant,
         conflicts: u32,
         transients: u32,
+        rid: u64,
         result: Result<Response, StoreError>,
     ) -> Result<(), DataError> {
         match result {
@@ -570,14 +593,14 @@ impl PipelinedSession {
                 // payload — the pipelined analogue of the serial
                 // fetch-adopt-retry loop
                 self.inner.note_version(&object, conflict.current);
-                self.submit_write(object, plaintext, enqueued, conflicts + 1, transients)
+                self.submit_write(object, plaintext, enqueued, conflicts + 1, transients, rid)
             }
             Err(e) if e.is_transient() => {
                 if transients + 1 >= self.retry_attempts() {
                     return Err(e.into());
                 }
                 self.backoff(transients);
-                self.submit_write(object, plaintext, enqueued, conflicts, transients + 1)
+                self.submit_write(object, plaintext, enqueued, conflicts, transients + 1, rid)
             }
             Err(e) => Err(e.into()),
         }

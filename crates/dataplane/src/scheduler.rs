@@ -222,6 +222,28 @@ impl FleetReport {
             .max()
             .unwrap_or(Duration::ZERO)
     }
+
+    /// Human-readable anomalies of the run, in a stable order: one warning
+    /// per failed lease (worker panic or transient store fault, in grant
+    /// order), then one per group that retired unconverged (in completion
+    /// order). An empty iterator means a clean run.
+    pub fn warnings(&self) -> impl Iterator<Item = String> + '_ {
+        let lost_leases = self.leases.iter().filter_map(|l| {
+            l.failure.as_ref().map(|cause| {
+                format!(
+                    "lease for group `{}` (stamp {}) lost: {cause}",
+                    l.group, l.stamp
+                )
+            })
+        });
+        let stuck_groups = self.groups.iter().filter(|g| !g.report.converged).map(|g| {
+            format!(
+                "group `{}` retired unconverged after {} leases ({} retried)",
+                g.group, g.leases, g.retries
+            )
+        });
+        lost_leases.chain(stuck_groups)
+    }
 }
 
 /// A registered task plus its scheduling state.
@@ -311,6 +333,10 @@ impl SweepScheduler {
         if entry.stamp.is_none() {
             entry.stamp = Some(self.clock);
             entry.armed_at = Some(Instant::now());
+            telemetry::event("fleet.arm")
+                .with("group", entry.group.as_str())
+                .with("stamp", self.clock)
+                .emit();
             self.clock += 1;
         }
     }
@@ -592,6 +618,11 @@ impl SweepScheduler {
         }
         report.total.min_live_epoch = None;
         report.total.elapsed = t0.elapsed();
+        for warning in report.warnings() {
+            telemetry::event("fleet.warning")
+                .with("detail", warning)
+                .emit();
+        }
         Ok(report)
     }
 }
@@ -726,6 +757,7 @@ fn worker_loop(
             consumed: 0,
             failure: None,
         };
+        let group_name = record.group.clone();
         guard.log.push(record);
         guard.runs[unit.run].leases += 1;
         drop(guard);
@@ -733,7 +765,14 @@ fn worker_loop(
         // the lease itself: scan on the first step of a pass, then one
         // bounded migration increment — all outside the lock, and inside
         // a panic guard so an unwinding worker costs one lease, not the
-        // whole fleet
+        // whole fleet. Each lease is its own causal request: the span's
+        // request id threads through every store request the step issues.
+        let _rid = telemetry::request_scope();
+        let lease_span = telemetry::span("fleet.lease")
+            .with("group", group_name.as_str())
+            .with("stamp", granted.stamp)
+            .with("folder", unit.folder)
+            .enter();
         let outcome: Result<usize, DataError> =
             match catch_unwind(AssertUnwindSafe(|| -> Result<usize, DataError> {
                 if unit.pass.is_none() {
@@ -749,6 +788,11 @@ fn worker_loop(
                 Ok(result) => result,
                 Err(payload) => Err(DataError::WorkerPanic(panic_note(&*payload))),
             };
+        match &outcome {
+            Ok(consumed) => lease_span.record("consumed", *consumed),
+            Err(e) => lease_span.record("failure", e.to_string()),
+        }
+        drop(lease_span);
 
         guard = recover(state.lock());
         guard.in_flight -= 1;
@@ -769,6 +813,12 @@ fn worker_loop(
                 if unit.retries > max_retries {
                     // a store that never recovers must not wedge the run:
                     // retire the unit unconverged, like a pass-capped one
+                    telemetry::event("fleet.retire")
+                        .with("group", group_name.as_str())
+                        .with("stamp", granted.stamp)
+                        .with("folder", unit.folder)
+                        .with("converged", false)
+                        .emit();
                     guard.runs[run].all_converged = false;
                     guard.runs[run].outstanding -= 1;
                     if guard.runs[run].outstanding == 0 {
@@ -779,6 +829,12 @@ fn worker_loop(
                 } else {
                     // re-queue under the same stamp: the backlog's age is a
                     // property of the rotation, not of how many leases died
+                    telemetry::event("fleet.requeue")
+                        .with("group", group_name.as_str())
+                        .with("stamp", granted.stamp)
+                        .with("folder", unit.folder)
+                        .with("retries", unit.retries)
+                        .emit();
                     guard.parked[granted.slot] = Some(unit);
                     let seq = guard.seq;
                     guard.seq += 1;
@@ -815,6 +871,12 @@ fn worker_loop(
                     guard.runs[run].report.absorb_counters(&pass_report);
                     if folder_converged || unit.passes >= max_passes {
                         // unit retires
+                        telemetry::event("fleet.retire")
+                            .with("group", group_name.as_str())
+                            .with("stamp", granted.stamp)
+                            .with("folder", unit.folder)
+                            .with("converged", folder_converged)
+                            .emit();
                         guard.runs[run].all_converged &= folder_converged;
                         guard.runs[run].outstanding -= 1;
                         if guard.runs[run].outstanding == 0 {

@@ -96,6 +96,10 @@ impl RetryPolicy {
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && attempt < attempts => {
+                    telemetry::event("retry.attempt")
+                        .with("attempt", attempt)
+                        .with("error", e.to_string())
+                        .emit();
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                         backoff *= 2;
@@ -244,9 +248,13 @@ impl ClientSession {
     /// revocation) or a history that fails to authenticate. The previous
     /// ring, if any, is left in place on failure.
     pub fn refresh(&mut self) -> Result<u64, DataError> {
+        let _rid = telemetry::request_scope();
+        let span = telemetry::span("session.refresh")
+            .with("group", self.group())
+            .enter();
         let retry = self.retry;
         let gk = retry.run(|| self.control.sync().map_err(DataError::from))?;
-        match self.rebuild_ring(gk) {
+        let result = match self.rebuild_ring(gk) {
             Err(e) if torn_read(&e) => {
                 // the partition was fetched just before a rotation's atomic
                 // publish and the history just after (or vice versa) — one
@@ -256,7 +264,11 @@ impl ClientSession {
                 self.rebuild_ring(gk)
             }
             other => other,
+        };
+        if let Ok(epoch) = &result {
+            span.record("epoch", *epoch);
         }
+        result
     }
 
     /// Rebuilds the ring from a freshly derived `gk` plus the published
@@ -374,6 +386,10 @@ impl ClientSession {
     /// # Errors
     /// [`DataError::NotFound`] / [`DataError::WireFormat`].
     pub fn fetch(&mut self, object: &str) -> Result<(SealedObject, u64), DataError> {
+        let _rid = telemetry::request_scope();
+        let _span = telemetry::span("session.fetch")
+            .with("object", object)
+            .enter();
         let folder = self.folder_of(object).to_string();
         let retry = self.retry;
         let fetched = retry.run(|| Ok(self.control.store().try_get(&folder, object)?))?;
@@ -434,6 +450,10 @@ impl ClientSession {
     /// call [`ClientSession::fetch`] (or [`ClientSession::read`]) to adopt
     /// the new version, merge, and retry.
     pub fn write(&mut self, object: &str, plaintext: &[u8]) -> Result<u64, DataError> {
+        let _rid = telemetry::request_scope();
+        let span = telemetry::span("session.write")
+            .with("object", object)
+            .enter();
         self.maybe_refresh()?;
         let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
         let sealed = SealedObject::seal(ring, object, plaintext, &mut self.rng);
@@ -450,10 +470,12 @@ impl ClientSession {
             Ok(version) => {
                 self.versions.insert(object.to_string(), version);
                 self.metrics.record_write();
+                span.record("conflict", false);
                 Ok(version)
             }
             Err(DataError::Conflict(conflict)) => {
                 self.metrics.record_write_conflict();
+                span.record("conflict", true);
                 Err(DataError::Conflict(conflict))
             }
             Err(e) => Err(e),
@@ -508,6 +530,11 @@ impl ClientSession {
         sealed: &SealedObject,
         expected: u64,
     ) -> Result<(), DataError> {
+        let _rid = telemetry::request_scope();
+        let span = telemetry::span("session.migrate")
+            .with("object", object)
+            .with("from_epoch", sealed.epoch)
+            .enter();
         let ring = self.ring.as_ref().ok_or(DataError::NoKeys)?;
         let fresh = sealed.reencrypt(ring, object, &mut self.rng)?;
         let folder = self.folder_of(object).to_string();
@@ -522,10 +549,12 @@ impl ClientSession {
             Ok(version) => {
                 self.versions.insert(object.to_string(), version);
                 self.metrics.record_migration();
+                span.record("conflict", false);
                 Ok(())
             }
             Err(DataError::Conflict(conflict)) => {
                 self.metrics.record_migration_conflict();
+                span.record("conflict", true);
                 Err(DataError::Conflict(conflict))
             }
             Err(e) => Err(e),

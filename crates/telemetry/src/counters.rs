@@ -1,0 +1,44 @@
+//! One pattern for every counter snapshot in the workspace.
+//!
+//! The stack carries three hand-rolled snapshot types (the cloud store's
+//! request counters, the data plane's session counters, the fleet's
+//! per-group rollup). [`Counters`] gives them a single `name → u64`
+//! enumeration so benches, JSON writers and consistency gates iterate
+//! instead of hand-listing fields — adding a counter then shows up
+//! everywhere for free.
+
+/// A named-counter view over a metrics snapshot.
+pub trait Counters {
+    /// Every counter as a stable `(name, value)` pair, in the snapshot's
+    /// field-declaration order. Names are stable identifiers (snake_case
+    /// field names), suitable as JSON keys.
+    fn counters(&self) -> Vec<(&'static str, u64)>;
+
+    /// The value of the counter named `name`, if it exists.
+    fn counter(&self, name: &str) -> Option<u64> {
+        self.counters()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two;
+
+    impl Counters for Two {
+        fn counters(&self) -> Vec<(&'static str, u64)> {
+            vec![("a", 1), ("b", 2)]
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Two.counter("a"), Some(1));
+        assert_eq!(Two.counter("b"), Some(2));
+        assert_eq!(Two.counter("c"), None);
+    }
+}

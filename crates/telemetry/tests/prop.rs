@@ -1,0 +1,111 @@
+//! Property test: for arbitrary interleavings of span opens, out-of-order
+//! guard drops and panics contained by `catch_unwind`, the delivered spans
+//! always form a well-nested (laminar) family and the thread-local stack
+//! ends balanced.
+//!
+//! Each test operation is atomic and indexed, and within one operation all
+//! opens happen before all closes. That gives every span an interval on a
+//! single time axis — `(open op, open_seq)` to `(close op, delivery
+//! index)` — so "partial overlap", the one shape a stack discipline can
+//! never produce, is directly checkable pairwise.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use telemetry::{span, stack_depth, Collector, SpanGuard, Value};
+
+/// Telemetry state is process-global; every case serializes on this lock
+/// so cargo's parallel test threads cannot observe each other's spans.
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_open_close_panic_interleavings_stay_well_nested(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..48),
+    ) {
+        let _serial = test_lock();
+        let collector = Arc::new(Collector::new());
+        let _session = telemetry::install(collector.clone());
+
+        let mut guards: Vec<SpanGuard> = Vec::new();
+        let mut expected_opens: u64 = 0;
+        // close_op[delivery index] = the op during which that span closed
+        let mut close_op: Vec<u64> = Vec::new();
+        for (op_idx, (kind, param)) in ops.iter().enumerate() {
+            match kind % 3 {
+                // open a span, guard held for a later (arbitrary-order) drop
+                0 => {
+                    guards.push(span("op").with("op", op_idx).enter());
+                    expected_opens += 1;
+                }
+                // drop a guard at an arbitrary position — dropping an outer
+                // guard must also close its still-open children
+                1 => {
+                    if !guards.is_empty() {
+                        let i = (*param as usize) % guards.len();
+                        drop(guards.remove(i));
+                    }
+                }
+                // open 1..=3 nested spans and panic out of them
+                _ => {
+                    let depth = (param % 3) as usize + 1;
+                    let unwound = catch_unwind(AssertUnwindSafe(|| {
+                        let _nested: Vec<SpanGuard> = (0..depth)
+                            .map(|_| span("op").with("op", op_idx).enter())
+                            .collect();
+                        panic!("interleaved panic");
+                    }));
+                    prop_assert!(unwound.is_err());
+                    expected_opens += depth as u64;
+                }
+            }
+            while close_op.len() < collector.spans().len() {
+                close_op.push(op_idx as u64);
+            }
+        }
+        guards.clear();
+        prop_assert_eq!(stack_depth(), 0);
+
+        let spans = collector.spans();
+        while close_op.len() < spans.len() {
+            close_op.push(ops.len() as u64);
+        }
+        // every opened span is delivered exactly once
+        prop_assert_eq!(spans.len() as u64, expected_opens);
+        let mut seqs: Vec<u64> = spans.iter().map(|s| s.open_seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        // open_seq values are distinct
+        prop_assert_eq!(seqs.len(), spans.len());
+
+        // Pairwise laminar check. For a opened before b (open_seq order):
+        // fine iff nested (b closes first) or disjoint (a closes before b
+        // opens); the violation is partial overlap — b opened while a was
+        // open, yet a closed before b did.
+        for (i, a) in spans.iter().enumerate() {
+            for (j, b) in spans.iter().enumerate() {
+                if a.open_seq >= b.open_seq {
+                    continue;
+                }
+                let b_open_op = b
+                    .field("op")
+                    .and_then(Value::as_u64)
+                    .expect("every test span is tagged with its opening op");
+                // opens precede closes within one op, delivery order breaks
+                // close ties, so this is exactly "open_b < close_a < close_b"
+                let b_opened_before_a_closed = b_open_op <= close_op[i];
+                let a_closed_before_b = i < j;
+                prop_assert!(
+                    !(b_opened_before_a_closed && a_closed_before_b),
+                    "partial overlap: span {} (open_seq {}) closed in op {} \
+                     while span {} (open_seq {}, opened in op {}) outlived it",
+                    i, a.open_seq, close_op[i], j, b.open_seq, b_open_op
+                );
+            }
+        }
+    }
+}

@@ -44,6 +44,7 @@
 //! | [`acs`] | `acs` | end-to-end admin/client access control system |
 //! | [`dataplane`] | `dataplane` | envelope-encrypted objects, key epochs, lazy re-encryption |
 //! | [`workloads`] | `workloads` | membership + read/write traces and replay |
+//! | [`telemetry`] | `telemetry` | causal request tracing, metrics registry, Chrome-trace export |
 
 pub use acs;
 pub use cloud_store as cloud;
@@ -55,4 +56,5 @@ pub use ibbe_pairing as pairing;
 pub use ibbe_sgx_core as core;
 pub use sgx_sim as sgx;
 pub use symcrypto;
+pub use telemetry;
 pub use workloads;
