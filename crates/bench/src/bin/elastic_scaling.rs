@@ -1,0 +1,439 @@
+//! Elastic capacity: live shard resize under load vs static baselines.
+//!
+//! Three identically seeded deployments replay the same skewed read/write
+//! trace (square-law popularity, no churn) in three barrier-separated
+//! segments — *before*, *during* and *after* — through hash-partitioned
+//! pipelined sessions:
+//!
+//! - `static-4` / `static-8`: fixed shard counts, the floor and ceiling
+//!   baselines;
+//! - `elastic`: starts at 4 shards and calls [`ShardedStore::resize`]`(8)`
+//!   from a side thread while the *during* segment is replaying. The
+//!   resize joins before the *after* segment starts, so the third row
+//!   measures steady state behind the new routing epoch.
+//!
+//! Every read that errors anywhere in a run is counted, not unwrapped —
+//! the cutover protocol promises zero read unavailability and the bench
+//! measures the promise instead of assuming it. After the elastic run the
+//! final store contents are read back serially and compared byte for byte
+//! against the trace's last-write payloads ([`RwTrace::final_write_indices`]),
+//! proving migration relocated objects without corrupting them. Per-shard
+//! request counters and the folder/op imbalance ratios of the resized
+//! store are printed from [`ShardedStore::per_shard_metrics`] and
+//! [`ShardedStore::imbalance`].
+//!
+//! Flags: `--workers N` (sessions, default 4), `--ops N` (trace-event
+//! override), `--full` (larger trace + RTT), `--json PATH`, `--trace PATH`,
+//! `--check` (CI gate: resize completed at 8 shards, zero read errors,
+//! zero content mismatches, and elastic *after*-segment throughput ≥ 80%
+//! of the static-8 *after* segment).
+
+use cloud_store::{stable_hash64, LatencyModel, ResizeReport, ShardedStore};
+use dataplane::{ClientSession, OpClass, OpSample, PipelinedSession};
+use ibbe_sgx_bench::json::{write_results, Json};
+use ibbe_sgx_bench::stats::percentiles;
+use ibbe_sgx_bench::{fmt_duration, print_table, BenchArgs};
+use ibbe_sgx_core::{GroupEngine, PartitionSize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+use workloads::rw::{generate_read_write, RwOp, RwTrace, RwTraceConfig};
+
+const GROUP: &str = "g";
+/// In-flight window per pipelined session.
+const WINDOW: usize = 16;
+const PAYLOAD: usize = 256;
+/// Data-folder fan-out of every session. Fixed across modes (a resize
+/// moves folders between shards, it cannot re-cut the folder layout
+/// mid-run) and sized so 8 store shards still have folders to spread.
+const DATA_FOLDERS: usize = 8;
+const SEGMENTS: [&str; 3] = ["before", "during", "after"];
+const FROM_SHARDS: usize = 4;
+const TO_SHARDS: usize = 8;
+
+struct Deployment {
+    admin: acs::Admin,
+    store: ShardedStore,
+}
+
+/// Boots one deployment — identically seeded across modes, so only the
+/// shard count (and the mid-run resize) differs between measurements.
+fn deploy(shards: usize, sessions: usize, latency: LatencyModel) -> Deployment {
+    let engine = GroupEngine::bootstrap_seeded(PartitionSize::new(4).unwrap(), [11u8; 32]).unwrap();
+    let store = ShardedStore::with_latency(shards, latency);
+    let admin = acs::Admin::new(engine, store.clone());
+    let members: Vec<String> = (0..sessions).map(|c| format!("client-{c}")).collect();
+    admin.create_group(GROUP, members).unwrap();
+    Deployment { admin, store }
+}
+
+fn session(d: &Deployment, c: usize) -> ClientSession {
+    let identity = format!("client-{c}");
+    ClientSession::with_seed(
+        &identity,
+        d.admin.engine().extract_user_key(&identity).unwrap(),
+        d.admin.engine().public_key().clone(),
+        d.store.clone(),
+        GROUP,
+        0xcc ^ c as u64,
+    )
+    .with_data_shards(DATA_FOLDERS)
+}
+
+/// The payload event `i` writes into `object` — a pure function of the
+/// trace position, so the store's final contents are predictable and the
+/// post-run byte-identity check needs no shadow copy.
+fn payload_for(object: &str, i: usize) -> Vec<u8> {
+    format!("{object}@{i};")
+        .bytes()
+        .cycle()
+        .take(PAYLOAD)
+        .collect()
+}
+
+struct ModeRun {
+    seg_wall: Vec<Duration>,
+    seg_events: Vec<usize>,
+    seg_samples: Vec<(Vec<Duration>, Vec<Duration>)>, // (writes, reads)
+    read_errors: u64,
+    resize: Option<ResizeReport>,
+    deployment: Deployment,
+}
+
+/// Replays `trace` in three barrier-separated segments through `sessions`
+/// pipelined clients against a fresh `shards`-shard deployment; when
+/// `resize_to` is set, a side thread resizes the store while segment 1
+/// ("during") replays and is joined before segment 2 ("after") starts.
+fn run_mode(
+    shards: usize,
+    resize_to: Option<usize>,
+    sessions: usize,
+    trace: &RwTrace,
+    latency: LatencyModel,
+) -> ModeRun {
+    let d = deploy(shards, sessions, latency);
+    let n = trace.events.len();
+    let bounds: Vec<(usize, usize)> = (0..SEGMENTS.len())
+        .map(|s| (s * n / SEGMENTS.len(), (s + 1) * n / SEGMENTS.len()))
+        .collect();
+    let read_errors = AtomicU64::new(0);
+    let barrier = Barrier::new(sessions + 1);
+    let mut seg_wall = vec![Duration::ZERO; SEGMENTS.len()];
+    let mut resize = None;
+    let mut seg_samples: Vec<(Vec<Duration>, Vec<Duration>)> =
+        vec![(Vec::new(), Vec::new()); SEGMENTS.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..sessions {
+            let d = &d;
+            let barrier = &barrier;
+            let read_errors = &read_errors;
+            let bounds = &bounds;
+            handles.push(scope.spawn(move || {
+                let mut p = PipelinedSession::new(session(d, c), WINDOW).with_op_log();
+                let mine = |object: &str| stable_hash64(object) % sessions as u64 == c as u64;
+                let mut samples: Vec<Vec<OpSample>> = Vec::new();
+                for &(lo, hi) in bounds.iter() {
+                    barrier.wait();
+                    // reads overlap through a FIFO of handles, bounded by
+                    // the window so backpressure matches the write path
+                    let mut pending = VecDeque::new();
+                    for i in lo..hi {
+                        match &trace.events[i] {
+                            RwOp::Write { object } if mine(object) => {
+                                p.write(object, &payload_for(object, i)).unwrap();
+                            }
+                            RwOp::Read { object } if mine(object) => {
+                                match p.read_begin(object) {
+                                    Ok(h) => pending.push_back(h),
+                                    Err(_) => {
+                                        read_errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                if pending.len() >= WINDOW {
+                                    let h = pending.pop_front().unwrap();
+                                    if p.read_wait(h).is_err() {
+                                        read_errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    while let Some(h) = pending.pop_front() {
+                        if p.read_wait(h).is_err() {
+                            read_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    p.flush().unwrap();
+                    samples.push(p.take_op_log());
+                    barrier.wait();
+                }
+                samples
+            }));
+        }
+        for (seg, wall) in seg_wall.iter_mut().enumerate() {
+            // launch the resizer just before "during" begins, so the
+            // cutover overlaps live traffic
+            let resizer = resize_to.filter(|_| seg == 1).map(|to| {
+                let store = d.store.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(15));
+                    store.resize(to)
+                })
+            });
+            barrier.wait();
+            let t0 = Instant::now();
+            barrier.wait();
+            *wall = t0.elapsed();
+            if let Some(r) = resizer {
+                // joined before "after" starts: segment 2 is steady state
+                // behind the new routing epoch
+                resize = Some(r.join().expect("resize thread"));
+            }
+        }
+        for h in handles {
+            for (seg, ops) in h.join().expect("session thread").into_iter().enumerate() {
+                for s in ops {
+                    match s.class {
+                        OpClass::Write => seg_samples[seg].0.push(s.latency),
+                        OpClass::Read => seg_samples[seg].1.push(s.latency),
+                    }
+                }
+            }
+        }
+    });
+    ModeRun {
+        seg_wall,
+        seg_events: bounds.iter().map(|&(lo, hi)| hi - lo).collect(),
+        seg_samples,
+        read_errors: read_errors.load(Ordering::Relaxed),
+        resize,
+        deployment: d,
+    }
+}
+
+/// Reads every object back serially and compares against the trace's
+/// last-write payloads. Returns the number of mismatching objects.
+fn verify_contents(d: &Deployment, trace: &RwTrace) -> (usize, usize) {
+    let mut reader = session(d, 0);
+    let mut mismatches = 0;
+    let final_writes = trace.final_write_indices();
+    for (object, &i) in &final_writes {
+        let expected = payload_for(object, i);
+        match reader.read(object) {
+            Ok(got) if got == expected => {}
+            _ => mismatches += 1,
+        }
+    }
+    (final_writes.len(), mismatches)
+}
+
+/// One table row + its JSON twin per (mode, segment).
+fn render(mode: &str, shards_label: &str, seg: usize, run: &ModeRun) -> (Vec<String>, Json, f64) {
+    let wall = run.seg_wall[seg];
+    let events = run.seg_events[seg];
+    let tput = events as f64 / wall.as_secs_f64().max(1e-9);
+    let (mut writes, mut reads) = run.seg_samples[seg].clone();
+    let wp = percentiles(&mut writes, &[50.0, 99.0]);
+    let rp = percentiles(&mut reads, &[50.0, 99.0]);
+    let row = vec![
+        mode.to_string(),
+        shards_label.to_string(),
+        SEGMENTS[seg].to_string(),
+        format!("{events}"),
+        fmt_duration(wall),
+        format!("{tput:.0}/s"),
+        fmt_duration(wp[0]),
+        fmt_duration(wp[1]),
+        fmt_duration(rp[0]),
+        fmt_duration(rp[1]),
+    ];
+    let json = Json::obj([
+        ("mode", Json::from(mode)),
+        ("segment", Json::from(SEGMENTS[seg])),
+        ("events", Json::from(events)),
+        ("wall_ms", Json::ms(wall)),
+        ("ops_per_sec", Json::from(tput)),
+        ("write_p50_ms", Json::ms(wp[0])),
+        ("write_p99_ms", Json::ms(wp[1])),
+        ("read_p50_ms", Json::ms(rp[0])),
+        ("read_p99_ms", Json::ms(rp[1])),
+        ("read_errors", Json::from(run.read_errors)),
+    ]);
+    (row, json, tput)
+}
+
+const HEADERS: [&str; 10] = [
+    "mode", "shards", "segment", "events", "wall", "tput", "w p50", "w p99", "r p50", "r p99",
+];
+
+fn main() {
+    let args = BenchArgs::parse();
+    let trace_ctx = args.trace_writer();
+    let sessions = args.workers.unwrap_or(4).max(1);
+    let (objects, events, latency) = if args.full {
+        (
+            256,
+            3000,
+            LatencyModel::new(Duration::from_millis(5), Duration::ZERO),
+        )
+    } else {
+        (
+            96,
+            900,
+            LatencyModel::new(Duration::from_millis(3), Duration::ZERO),
+        )
+    };
+    let events = args.ops.unwrap_or(events).max(SEGMENTS.len() * sessions);
+    let trace = generate_read_write(&RwTraceConfig {
+        objects,
+        events,
+        write_ratio: 0.5,
+        churn_every: 0, // pure rw: only the *routing* epoch moves mid-run
+        churn_ops: 0,
+        churn_revocation_ratio: 0.0,
+        seed: 0xe1a5,
+    });
+
+    println!(
+        "elastic scaling: {objects} objects, {events} events in {} segments, {sessions} \
+         sessions, window {WINDOW}, {PAYLOAD}B payloads, {DATA_FOLDERS} data folders, \
+         {latency:?} per request, resize {FROM_SHARDS} -> {TO_SHARDS} during segment 2",
+        SEGMENTS.len()
+    );
+
+    let static4 = run_mode(FROM_SHARDS, None, sessions, &trace, latency);
+    let static8 = run_mode(TO_SHARDS, None, sessions, &trace, latency);
+    let elastic = run_mode(FROM_SHARDS, Some(TO_SHARDS), sessions, &trace, latency);
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut tputs = std::collections::HashMap::new();
+    for (mode, label, run) in [
+        ("static-4", "4", &static4),
+        ("static-8", "8", &static8),
+        ("elastic", "4->8", &elastic),
+    ] {
+        for seg in 0..SEGMENTS.len() {
+            let (row, json, tput) = render(mode, label, seg, run);
+            rows.push(row);
+            json_rows.push(json);
+            tputs.insert((mode, seg), tput);
+        }
+    }
+    print_table(
+        "throughput before/during/after a live 4->8 resize vs static baselines",
+        &HEADERS,
+        &rows,
+    );
+
+    let resize = elastic.resize.as_ref().expect("elastic run resized");
+    println!(
+        "\nresize: {} -> {} shards, {} folders relocated, routing epoch {}; read errors \
+         across the elastic run: {}",
+        resize.from, resize.to, resize.relocated, resize.epoch, elastic.read_errors
+    );
+
+    let (verified, mismatches) = verify_contents(&elastic.deployment, &trace);
+    println!("content check after cutover: {verified} objects read back, {mismatches} mismatches");
+
+    let store = &elastic.deployment.store;
+    let imb = store.imbalance();
+    println!(
+        "\nper-shard traffic after cutover ({} shards):",
+        store.shard_count()
+    );
+    for (slot, m) in store.per_shard_metrics() {
+        println!(
+            "  slot {slot:>2}: {:>5} requests ({} puts, {} gets, {} cas), {} up / {} down",
+            m.requests(),
+            m.puts + m.puts_batched,
+            m.gets,
+            m.cas_puts,
+            m.bytes_up,
+            m.bytes_down
+        );
+    }
+    println!(
+        "imbalance: folders {:.2} (max {} of {}), ops {:.2} (max {} of {})",
+        imb.folder_ratio(),
+        imb.max_folders,
+        imb.total_folders,
+        imb.op_ratio(),
+        imb.max_ops,
+        imb.total_ops
+    );
+
+    let after = SEGMENTS.len() - 1;
+    let elastic_after = tputs[&("elastic", after)];
+    let static8_after = tputs[&("static-8", after)];
+    println!(
+        "\nelastic after-cutover throughput is {:.0}% of the static-8 baseline \
+         ({elastic_after:.0}/s vs {static8_after:.0}/s)",
+        100.0 * elastic_after / static8_after
+    );
+
+    if let Some(path) = &args.json {
+        write_results(
+            path,
+            "elastic_scaling",
+            [
+                ("full", Json::from(args.full)),
+                ("objects", Json::from(objects)),
+                ("events", Json::from(events)),
+                ("sessions", Json::from(sessions)),
+                ("window", Json::from(WINDOW)),
+                ("payload", Json::from(PAYLOAD)),
+                ("data_folders", Json::from(DATA_FOLDERS)),
+                ("from_shards", Json::from(FROM_SHARDS)),
+                ("to_shards", Json::from(TO_SHARDS)),
+                ("relocated", Json::from(resize.relocated)),
+                ("routing_epoch", Json::from(resize.epoch)),
+                ("read_errors", Json::from(elastic.read_errors)),
+                ("objects_verified", Json::from(verified)),
+                ("content_mismatches", Json::from(mismatches)),
+                ("folder_imbalance", Json::from(imb.folder_ratio())),
+                ("op_imbalance", Json::from(imb.op_ratio())),
+            ],
+            json_rows,
+        );
+    }
+
+    if let Some((writer, _)) = &trace_ctx {
+        args.write_trace(writer);
+    }
+
+    if args.check {
+        assert_eq!(resize.to, TO_SHARDS, "--check: resize did not complete");
+        assert_eq!(
+            store.shard_count(),
+            TO_SHARDS,
+            "--check: store not at target"
+        );
+        assert_eq!(
+            elastic.read_errors, 0,
+            "--check: reads failed during the live cutover"
+        );
+        assert_eq!(
+            mismatches, 0,
+            "--check: migrated contents not byte-identical"
+        );
+        assert_eq!(
+            static4.read_errors + static8.read_errors,
+            0,
+            "--check: static baseline reads failed"
+        );
+        assert!(
+            elastic_after >= 0.8 * static8_after,
+            "--check: elastic after-cutover throughput ({elastic_after:.0}/s) is not \
+             >= 80% of static-8 ({static8_after:.0}/s)"
+        );
+        println!(
+            "--check passed: cutover complete at {TO_SHARDS} shards, zero read errors, \
+             contents byte-identical, after-segment at {:.0}% of static-8",
+            100.0 * elastic_after / static8_after
+        );
+    }
+}

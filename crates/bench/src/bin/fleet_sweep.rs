@@ -440,6 +440,7 @@ fn main() {
         deadline: sweep.deadline,
         max_passes: 32,
         max_retries: 8,
+        ..FleetConfig::default()
     };
 
     let trace = generate_fleet(&FleetTraceConfig {

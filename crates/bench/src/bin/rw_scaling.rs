@@ -38,6 +38,11 @@ const GROUP: &str = "g";
 /// In-flight window of the pipelined rows (serial rows run at window 1).
 const WINDOW: usize = 16;
 const PAYLOAD: usize = 256;
+/// Data folders per store shard. Rendezvous routing spreads folders
+/// *statistically*, so a row needs folders ≫ shards for its traffic to
+/// reach every shard — with exactly one folder per shard, placement luck
+/// (not the store) decides how many shards actually serve traffic.
+const FOLDERS_PER_SHARD: usize = 64;
 
 struct Deployment {
     admin: acs::Admin,
@@ -66,7 +71,7 @@ fn session(d: &Deployment, shards: usize, c: usize) -> ClientSession {
         GROUP,
         0xcc ^ c as u64,
     )
-    .with_data_shards(shards)
+    .with_data_shards(FOLDERS_PER_SHARD * shards)
 }
 
 struct RowStats {

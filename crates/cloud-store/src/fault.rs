@@ -206,9 +206,11 @@ impl FaultInjector {
         self.config
     }
 
-    /// Outage domain owning `folder` — identical to
-    /// [`ShardedStore::shard_index`](crate::ShardedStore::shard_index)
-    /// when the domain count matches the shard count.
+    /// Outage domain owning `folder`: the folder hash modulo the domain
+    /// count. Note this is a *fault* partition, deliberately independent
+    /// of the store's rendezvous-hash shard routing (which can change at
+    /// runtime via [`ShardedStore::resize`](crate::ShardedStore::resize));
+    /// an outage domain models a blast radius, not a shard.
     pub fn domain_of(&self, folder: &str) -> usize {
         (stable_hash64(folder) % self.config.domains.max(1) as u64) as usize
     }
@@ -501,6 +503,12 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
 
     fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics()
+    }
+
+    fn routing_epoch(&self) -> u64 {
+        // fault-free bookkeeping read: sessions must observe resizes on
+        // the wrapped store even mid-outage
+        self.inner.routing_epoch()
     }
 
     fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {

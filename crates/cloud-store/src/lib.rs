@@ -26,14 +26,16 @@ pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod object_store;
+pub mod routing;
 pub mod sharded;
 pub mod store;
 pub mod submit;
 
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyStore, StoreError};
 pub use latency::LatencyModel;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{ImbalanceReport, Metrics, MetricsSnapshot};
 pub use object_store::{ObjectStore, StoreHandle};
-pub use sharded::{stable_hash64, ShardedStore, WatchCursor};
+pub use routing::RoutingTable;
+pub use sharded::{stable_hash64, ResizeReport, ShardedStore, WatchCursor};
 pub use store::{CloudStore, PollResult, VersionConflict};
 pub use submit::{Request, RequestOp, Response, StoreTicket, SUBMIT_LANES};

@@ -70,6 +70,16 @@ pub trait ObjectStore: Send + Sync {
     /// Traffic counters (aggregated across shards when sharded).
     fn metrics(&self) -> MetricsSnapshot;
 
+    /// Current routing epoch: bumps whenever the folder → shard map
+    /// changes (a [`ShardedStore::resize`](crate::ShardedStore::resize)
+    /// install and every per-folder cutover). Sessions cache folder
+    /// routes and versions; observing a bump tells them to re-resolve —
+    /// the same observe-and-refresh pattern they use for key rotations.
+    /// Stores with static routing report a constant `0`.
+    fn routing_epoch(&self) -> u64 {
+        0
+    }
+
     // --- fallible surface ------------------------------------------------
     //
     // The `try_*` methods mirror the operations above but surface the
@@ -267,6 +277,11 @@ impl StoreHandle {
         self.0.metrics()
     }
 
+    /// Current routing epoch (see [`ObjectStore::routing_epoch`]).
+    pub fn routing_epoch(&self) -> u64 {
+        self.0.routing_epoch()
+    }
+
     // The try_* forwards below go through `self.0.try_*` explicitly: the
     // trait defaults would re-enter StoreHandle's own infallible methods
     // and silently bypass a wrapped store's fault injection.
@@ -418,6 +433,10 @@ impl ObjectStore for StoreHandle {
 
     fn metrics(&self) -> MetricsSnapshot {
         self.0.metrics()
+    }
+
+    fn routing_epoch(&self) -> u64 {
+        self.0.routing_epoch()
     }
 
     fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {

@@ -1,0 +1,221 @@
+//! Epoch-versioned rendezvous (HRW) routing table: the folder → shard map
+//! behind [`ShardedStore`](crate::ShardedStore).
+//!
+//! Every shard occupies a **slot** with a stable id drawn from a monotone
+//! counter that is never reused. A folder's owner is the slot maximising a
+//! mixed hash of `(slot id, folder hash)` — highest random weight. HRW
+//! gives the two properties an *online* resize needs and a modulo map
+//! lacks:
+//!
+//! - **Minimal relocation.** Growing N→N+k changes a folder's owner only
+//!   where a *new* slot wins the weight race, so an expected `k/(N+k)`
+//!   fraction of folders move — and every one of them moves *to a new
+//!   slot*, never between surviving slots. Shrinking relocates exactly the
+//!   folders owned by the retired slots.
+//! - **Process-independent determinism.** Weights depend only on stable
+//!   slot ids and the stable FNV-1a folder hash
+//!   ([`crate::stable_hash64`]), so any two processes with
+//!   the same slot list route identically — there is no coordination
+//!   state beyond the table itself.
+//!
+//! The table carries an **epoch** that increments on every routing change
+//! (resize install and each folder cutover). Sessions cache routes and
+//! compare epochs to decide when to re-resolve — the same
+//! observe-and-refresh path they already use for key rotations.
+
+use crate::sharded::stable_hash64;
+
+/// SplitMix64 finalizer: decorrelates the slot-id/folder-hash combination
+/// so HRW weights behave like independent uniform draws per (slot, folder)
+/// pair. Pure arithmetic on stable inputs ⇒ stable across processes.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous weight of `slot` for a folder with hash `folder_hash`.
+fn weight(slot: u64, folder_hash: u64) -> u64 {
+    mix64(slot.wrapping_mul(0xff51_afd7_ed55_8ccd) ^ folder_hash)
+}
+
+/// An epoch-versioned rendezvous routing table over stable slot ids; see
+/// the module docs for the relocation and determinism guarantees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    /// Live slot ids, in slot-index order. Ids are unique forever: the
+    /// counter in `next_slot` only grows, so a retired id never comes
+    /// back and HRW weights of surviving slots never change.
+    slots: Vec<u64>,
+    /// Monotone slot-id allocator.
+    next_slot: u64,
+    /// Bumped on every routing change (table install, folder cutover).
+    epoch: u64,
+}
+
+impl RoutingTable {
+    /// A fresh table with `slots` slots (ids `0..slots`) at epoch 1.
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots >= 1, "at least one slot is required");
+        Self {
+            slots: (0..slots as u64).collect(),
+            next_slot: slots as u64,
+            epoch: 1,
+        }
+    }
+
+    /// Number of live slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false — a table holds at least one slot.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Live slot ids in slot-index order.
+    pub fn slots(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// Current routing epoch (starts at 1, bumps on every change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records a routing change that did not alter the slot list (a
+    /// folder cutover): observers re-resolve their cached routes.
+    pub(crate) fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Index (into [`RoutingTable::slots`]) of the slot owning `folder`.
+    pub fn owner_index(&self, folder: &str) -> usize {
+        let h = stable_hash64(folder);
+        let mut best = 0usize;
+        let mut best_w = weight(self.slots[0], h);
+        for (i, &slot) in self.slots.iter().enumerate().skip(1) {
+            let w = weight(slot, h);
+            // strict > with index tiebreak: total order, no ambiguity
+            if w > best_w {
+                best = i;
+                best_w = w;
+            }
+        }
+        best
+    }
+
+    /// Stable id of the slot owning `folder`.
+    pub fn owner_slot(&self, folder: &str) -> u64 {
+        self.slots[self.owner_index(folder)]
+    }
+
+    /// The table after resizing to `n` slots, at the next epoch. Growing
+    /// appends fresh slot ids from the monotone counter; shrinking
+    /// retires the most recently added slots (LIFO), so a grow/shrink
+    /// round-trip restores the original routing.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn resized(&self, n: usize) -> Self {
+        assert!(n >= 1, "at least one slot is required");
+        let mut next = self.clone();
+        next.epoch += 1;
+        while next.slots.len() < n {
+            next.slots.push(next.next_slot);
+            next.next_slot += 1;
+        }
+        next.slots.truncate(n);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn folders(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("folder-{i:04}")).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_instances() {
+        let a = RoutingTable::new(5);
+        let b = RoutingTable::new(5);
+        for f in folders(200) {
+            assert_eq!(a.owner_index(&f), b.owner_index(&f));
+            assert_eq!(a.owner_slot(&f), b.owner_slot(&f));
+        }
+    }
+
+    #[test]
+    fn grow_moves_only_to_new_slots_and_about_a_kth() {
+        let old = RoutingTable::new(4);
+        let new = old.resized(8);
+        assert_eq!(new.epoch(), old.epoch() + 1);
+        let fs = folders(2000);
+        let mut moved = 0usize;
+        for f in &fs {
+            let before = old.owner_slot(f);
+            let after = new.owner_slot(f);
+            if before != after {
+                moved += 1;
+                assert!(
+                    !old.slots().contains(&after),
+                    "a relocated folder must land on a NEW slot"
+                );
+            }
+        }
+        // expected fraction 4/8 = 50%; allow a wide tolerance
+        let frac = moved as f64 / fs.len() as f64;
+        assert!((0.35..0.65).contains(&frac), "moved fraction {frac}");
+    }
+
+    #[test]
+    fn shrink_moves_only_folders_of_retired_slots() {
+        let old = RoutingTable::new(6);
+        let new = old.resized(4);
+        let retired: Vec<u64> = old
+            .slots()
+            .iter()
+            .copied()
+            .filter(|s| !new.slots().contains(s))
+            .collect();
+        assert_eq!(retired.len(), 2);
+        for f in folders(1000) {
+            let before = old.owner_slot(&f);
+            let after = new.owner_slot(&f);
+            if before != after {
+                assert!(retired.contains(&before), "only retired slots lose folders");
+            } else {
+                assert!(!retired.contains(&before));
+            }
+        }
+    }
+
+    #[test]
+    fn grow_shrink_roundtrip_restores_routing() {
+        let old = RoutingTable::new(4);
+        let back = old.resized(9).resized(4);
+        assert_eq!(back.slots(), old.slots());
+        for f in folders(300) {
+            assert_eq!(back.owner_slot(&f), old.owner_slot(&f));
+        }
+    }
+
+    #[test]
+    fn retired_slot_ids_are_never_reused() {
+        let t = RoutingTable::new(3); // ids 0,1,2
+        let grown = t.resized(5); // ids 0..5
+        let shrunk = grown.resized(2); // ids 0,1
+        let regrown = shrunk.resized(4);
+        // the counter kept going: 5,6 — never 2,3,4 again
+        assert_eq!(regrown.slots(), &[0, 1, 5, 6]);
+    }
+}

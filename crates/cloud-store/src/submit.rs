@@ -9,7 +9,9 @@
 //! queues the request onto a small worker pool of [`SUBMIT_LANES`] lanes,
 //! and [`ShardedStore`](crate::ShardedStore) routes each request to the
 //! owning shard's pool so N shards give N independent sets of in-flight
-//! lanes. [`FaultyStore`](crate::FaultyStore) rolls its schedule at
+//! lanes — re-resolving the owner on the lane itself so queued requests
+//! follow the routing-table epoch across a live resize.
+//! [`FaultyStore`](crate::FaultyStore) rolls its schedule at
 //! submission time (on the caller's thread, in submission order), so
 //! fault determinism and the inject-before-effect guarantee carry over
 //! unchanged from the blocking surface.

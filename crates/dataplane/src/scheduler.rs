@@ -23,6 +23,18 @@
 //!   metadata folders with at most `W` poll threads (cheap folder-version
 //!   cursors, no object traffic), probes changed groups for an epoch move,
 //!   and arms exactly those — idle groups cost nothing.
+//! * **Elastic fleet.** With [`FleetConfig::min_workers`] and
+//!   [`FleetConfig::max_workers`] set, a run starts at the floor and scales
+//!   the active worker set with the ready-queue depth: a backlog deeper
+//!   than the active set wakes a parked worker (`fleet.scale_up`), an idle
+//!   active worker parks itself again (`fleet.scale_down`), and the
+//!   high-water mark lands in [`FleetReport::peak_workers`].
+//! * **Tenant QoS.** [`SweepTask::with_weight`] buys a group a larger
+//!   share of the fleet: when any armed task is weighted, leases are
+//!   granted weighted-fair (smallest per-group virtual time first, charged
+//!   `consumed / weight` per lease) instead of strictly stalest-first.
+//!   [`SweepTask::with_lease_rate_cap`] bounds a noisy group's grant rate
+//!   outright; its deferred units never block other groups' grants.
 //!
 //! [`SweepScheduler::converge_all`] then drives the fleet to quiescence on
 //! `W` scoped threads and reports per-group attribution: a labelled
@@ -66,6 +78,16 @@ pub struct FleetConfig {
     /// unconverged (with its failures in the lease log) instead of cycling
     /// through a store that never recovers.
     pub max_retries: usize,
+    /// Autoscaling floor: the active worker set a fleet run starts with
+    /// and never shrinks below. `0` inherits [`FleetConfig::workers`],
+    /// which (with `max_workers` also `0`) disables autoscaling entirely —
+    /// the fleet is a fixed `W` workers, exactly the pre-elastic shape.
+    pub min_workers: usize,
+    /// Autoscaling ceiling: the most workers a run may activate when the
+    /// ready queue outruns the active set. `0` inherits
+    /// [`FleetConfig::workers`]; a ceiling below the (effective) floor is
+    /// raised to it.
+    pub max_workers: usize,
 }
 
 impl Default for FleetConfig {
@@ -76,7 +98,27 @@ impl Default for FleetConfig {
             deadline: Duration::from_secs(2),
             max_passes: 32,
             max_retries: 8,
+            min_workers: 0,
+            max_workers: 0,
         }
+    }
+}
+
+impl FleetConfig {
+    /// Effective `(floor, ceiling)` of the active worker set: zeros
+    /// inherit `workers`, and the ceiling is never below the floor.
+    fn worker_bounds(&self) -> (usize, usize) {
+        let floor = if self.min_workers == 0 {
+            self.workers
+        } else {
+            self.min_workers
+        };
+        let ceiling = if self.max_workers == 0 {
+            self.workers
+        } else {
+            self.max_workers
+        };
+        (floor, ceiling.max(floor))
     }
 }
 
@@ -84,6 +126,10 @@ impl Default for FleetConfig {
 /// sweeper sessions, labelled by the group they serve.
 pub struct SweepTask {
     units: Vec<Sweeper>,
+    /// Weighted-fair share of the fleet (default 1).
+    weight: u32,
+    /// Minimum gap between two lease grants to this task, when rate-capped.
+    lease_gap: Option<Duration>,
 }
 
 impl SweepTask {
@@ -121,7 +167,45 @@ impl SweepTask {
             .enumerate()
             .map(|(i, session)| Sweeper::with_assignment(session, config, i, shards))
             .collect();
-        Self { units }
+        Self {
+            units,
+            weight: 1,
+            lease_gap: None,
+        }
+    }
+
+    /// Gives this task `weight` shares of the fleet. The default weight is
+    /// 1; as long as *every* armed task keeps it, leases are granted in
+    /// strict staleness order (the classic contract). The moment any armed
+    /// task carries a different weight, the run grants weighted-fair
+    /// instead: each group accrues virtual time at `consumed / weight` per
+    /// lease and the smallest virtual time is served first, so a group
+    /// with twice the weight converges through twice the backlog in the
+    /// same contended window.
+    ///
+    /// # Panics
+    /// Panics if `weight` is zero.
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        assert!(weight >= 1, "a task weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Caps this task's lease grant rate at `max_per_sec`. A capped
+    /// group's ready units are *deferred*, not blocking: workers skip past
+    /// them to other groups' units and come back when the gap since the
+    /// group's last grant has passed. This is the blunt instrument for a
+    /// tenant whose churn would otherwise monopolize the fleet even under
+    /// weighted fairness.
+    ///
+    /// # Panics
+    /// Panics if `max_per_sec` is zero.
+    #[must_use]
+    pub fn with_lease_rate_cap(mut self, max_per_sec: u32) -> Self {
+        assert!(max_per_sec >= 1, "a lease rate cap must be positive");
+        self.lease_gap = Some(Duration::from_secs(1) / max_per_sec);
+        self
     }
 
     /// The group this task sweeps.
@@ -143,10 +227,13 @@ pub struct LeaseRecord {
     /// The group's staleness stamp at grant time (lower = armed earlier =
     /// more behind).
     pub stamp: u64,
-    /// The lowest stamp still waiting in the ready queue *after* this
-    /// grant — `None` when the queue drained. Priority says
+    /// The stamp of the unit at the head of the ready queue *after* this
+    /// grant — `None` when the queue drained. In an unweighted run the
+    /// queue orders by stamp, so priority says
     /// `stamp <= remaining_min_stamp` on every record: no lease ever went
-    /// to a fresher group while a staler one had a unit ready.
+    /// to a fresher group while a staler one had a unit ready. In a
+    /// weighted run virtual time orders the queue and the stamp invariant
+    /// deliberately does not hold.
     pub remaining_min_stamp: Option<u64>,
     /// Stale objects consumed from the unit's work-list by this lease
     /// (zero for a scan-only lease of a clean folder, or for a lease that
@@ -199,8 +286,12 @@ pub struct FleetReport {
     /// Total leases lost to worker panics or transient store faults and
     /// re-queued, across every group.
     pub retries: u64,
-    /// Worker threads the run used.
+    /// Worker threads the run had available (the autoscaling ceiling).
     pub workers: usize,
+    /// High-water mark of the *active* worker set: how many workers the
+    /// autoscaler actually engaged at once. Equals `workers` when
+    /// autoscaling is disabled (no floor/ceiling configured).
+    pub peak_workers: usize,
 }
 
 impl FleetReport {
@@ -257,6 +348,10 @@ struct TaskEntry {
     armed_at: Option<Instant>,
     /// Metadata-folder version cursor for the cheap watch pass.
     cursor: u64,
+    /// Weighted-fair share ([`SweepTask::with_weight`]).
+    weight: u32,
+    /// Minimum gap between lease grants ([`SweepTask::with_lease_rate_cap`]).
+    lease_gap: Option<Duration>,
 }
 
 /// The multi-group sweep scheduler; see the module docs.
@@ -306,6 +401,8 @@ impl SweepScheduler {
             stamp: None,
             armed_at: None,
             cursor,
+            weight: task.weight,
+            lease_gap: task.lease_gap,
         });
         self.tasks.len() - 1
     }
@@ -499,6 +596,7 @@ impl SweepScheduler {
         let lease = self.config.lease;
         let max_passes = self.config.max_passes.max(1);
         let max_retries = self.config.max_retries;
+        let (floor, ceiling) = self.config.worker_bounds();
 
         // check armed tasks' units out into the dispatch state
         let mut parked: Vec<Option<ActiveUnit>> = Vec::new();
@@ -510,7 +608,10 @@ impl SweepScheduler {
             let run = runs.len();
             for (folder, slot) in entry.units.iter_mut().enumerate() {
                 let sweeper = slot.take().expect("unit already checked out");
+                // every run's virtual time starts at zero, so the initial
+                // key is 0 in both ordering modes
                 ready.push(Ready {
+                    key: 0,
                     stamp,
                     seq,
                     slot: parked.len(),
@@ -537,13 +638,17 @@ impl SweepScheduler {
                 leases: 0,
                 retries: 0,
                 completed_at: None,
+                weight: entry.weight.max(1),
+                vtime: 0,
+                lease_gap: entry.lease_gap,
+                next_allowed: None,
             });
         }
         if runs.is_empty() {
             // an idle fleet is a quiescent one: same semantics as the
             // non-empty path, whose AND over zero groups is true
             return Ok(FleetReport {
-                workers: self.config.workers,
+                workers: ceiling,
                 total: SweepReport {
                     converged: true,
                     ..SweepReport::default()
@@ -552,6 +657,10 @@ impl SweepScheduler {
             });
         }
 
+        // strict staleness order is the contract as long as every armed
+        // task keeps the default weight; any weighted task flips the whole
+        // run to weighted-fair ordering
+        let weighted = runs.iter().any(|r| r.weight != 1);
         let state = Mutex::new(Dispatch {
             ready,
             parked,
@@ -561,13 +670,25 @@ impl SweepScheduler {
             completions: Vec::new(),
             log: Vec::new(),
             error: None,
+            weighted,
+            target_workers: floor,
+            peak_workers: floor,
         });
         let ready_for_work = Condvar::new();
 
         std::thread::scope(|scope| {
-            for _ in 0..self.config.workers {
-                scope
-                    .spawn(|| worker_loop(&state, &ready_for_work, lease, max_passes, max_retries));
+            for id in 0..ceiling {
+                let state = &state;
+                let cvar = &ready_for_work;
+                let params = WorkerParams {
+                    id,
+                    floor,
+                    ceiling,
+                    lease,
+                    max_passes,
+                    max_retries,
+                };
+                scope.spawn(move || worker_loop(state, cvar, params));
             }
         });
 
@@ -590,7 +711,8 @@ impl SweepScheduler {
                 ..SweepReport::default()
             },
             leases: dispatch.log,
-            workers: self.config.workers,
+            workers: ceiling,
+            peak_workers: dispatch.peak_workers,
             ..FleetReport::default()
         };
         for run_idx in dispatch.completions {
@@ -665,12 +787,30 @@ struct TaskRun {
     leases: u64,
     retries: u64,
     completed_at: Option<Instant>,
+    /// Weighted-fair share of the fleet.
+    weight: u32,
+    /// Virtual time consumed: `sum(max(consumed, 1)) * VTIME_SCALE / weight`
+    /// over this run's completed leases. Orders the ready queue when the
+    /// run is weighted.
+    vtime: u64,
+    /// Minimum gap between two lease grants, when rate-capped.
+    lease_gap: Option<Duration>,
+    /// Earliest instant the next lease may be granted (rate cap).
+    next_allowed: Option<Instant>,
 }
 
-/// A ready unit in the staleness-priority queue: oldest stamp first, FIFO
-/// within a stamp.
+/// Fixed-point scale of one work unit of virtual time, so integer
+/// division by the weight keeps sub-unit resolution.
+const VTIME_SCALE: u64 = 65_536;
+
+/// A ready unit in the priority queue. `key` is the primary order: always
+/// 0 in an unweighted run — where the old `(stamp, seq)` staleness order
+/// decides, bit-identically to the pre-QoS scheduler — and the owning
+/// group's virtual time at push time in a weighted run, so the group
+/// furthest below its fair share is served first.
 #[derive(PartialEq, Eq)]
 struct Ready {
+    key: u64,
     stamp: u64,
     seq: u64,
     slot: usize,
@@ -678,9 +818,9 @@ struct Ready {
 
 impl Ord for Ready {
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // BinaryHeap is a max-heap: invert so the smallest (stamp, seq)
-        // is popped first
-        (other.stamp, other.seq).cmp(&(self.stamp, self.seq))
+        // BinaryHeap is a max-heap: invert so the smallest
+        // (key, stamp, seq) is popped first
+        (other.key, other.stamp, other.seq).cmp(&(self.key, self.stamp, self.seq))
     }
 }
 
@@ -701,6 +841,26 @@ struct Dispatch {
     completions: Vec<usize>,
     log: Vec<LeaseRecord>,
     error: Option<DataError>,
+    /// Whether any armed run carries a non-default weight (flips the
+    /// ready-queue order from staleness to virtual time).
+    weighted: bool,
+    /// Workers currently allowed to lease: ids below this are active, ids
+    /// at or above it park on the condvar until a scale-up.
+    target_workers: usize,
+    /// High-water mark of `target_workers` over the run.
+    peak_workers: usize,
+}
+
+impl Dispatch {
+    /// The ready-queue key a re-queued unit of `run` gets under the
+    /// current ordering mode.
+    fn requeue_key(&self, run: usize) -> u64 {
+        if self.weighted {
+            self.runs[run].vtime
+        } else {
+            0
+        }
+    }
 }
 
 /// Recovers the dispatch guard from a poisoned lock. A sibling worker's
@@ -715,32 +875,148 @@ fn recover<'a, T>(
     r.unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One fleet worker: lease the stalest ready unit, run one pass step
-/// outside the lock, fold the outcome back in, repeat until the run
-/// quiesces (or errors).
+/// Per-worker parameters of one fleet run.
+#[derive(Clone, Copy)]
+struct WorkerParams {
+    /// This worker's dense id; ids at or above the dispatch target park.
+    id: usize,
+    /// Autoscaling floor (the target never drops below it).
+    floor: usize,
+    /// Autoscaling ceiling (the target never rises above it).
+    ceiling: usize,
+    lease: usize,
+    max_passes: usize,
+    max_retries: usize,
+}
+
+/// What the ready queue had for a worker asking for a lease.
+enum Grant {
+    /// A grantable unit (already popped).
+    Unit(Ready),
+    /// Nothing queued at all.
+    Empty,
+    /// Everything queued belongs to rate-capped groups still inside their
+    /// lease gap; retry at this instant.
+    Deferred(Instant),
+}
+
+/// Pops the best *grantable* ready unit: rate-capped groups still inside
+/// their lease gap are skipped (popped into a stash and pushed back), so
+/// a capped tenant defers only itself, never the grants behind it.
+fn next_grant(guard: &mut Dispatch, now: Instant) -> Grant {
+    let mut stash = Vec::new();
+    let mut granted = None;
+    let mut earliest: Option<Instant> = None;
+    while let Some(r) = guard.ready.pop() {
+        let run = guard.parked[r.slot]
+            .as_ref()
+            .expect("a ready unit is parked")
+            .run;
+        match guard.runs[run].next_allowed {
+            Some(at) if at > now => {
+                earliest = Some(earliest.map_or(at, |e| e.min(at)));
+                stash.push(r);
+            }
+            _ => {
+                granted = Some(r);
+                break;
+            }
+        }
+    }
+    guard.ready.extend(stash);
+    match (granted, earliest) {
+        (Some(r), _) => Grant::Unit(r),
+        (None, Some(at)) => Grant::Deferred(at),
+        (None, None) => Grant::Empty,
+    }
+}
+
+/// One fleet worker: lease the best ready unit (stalest stamp, or lowest
+/// virtual time in a weighted run), run one pass step outside the lock,
+/// fold the outcome back in, repeat until the run quiesces (or errors).
+///
+/// Workers whose id is at or above the dispatch target park on the
+/// condvar; the target follows the ready-queue depth between the
+/// configured floor and ceiling (`fleet.scale_up` / `fleet.scale_down`).
 ///
 /// A step that panics or fails transiently does not abort the run: the
 /// unit's partial counters are salvaged, its in-progress pass is dropped
 /// (the next lease re-scans, rediscovering any half-migrated leftovers),
 /// and it is re-queued under the same staleness stamp — up to
 /// `max_retries` lost leases, after which it retires unconverged.
-fn worker_loop(
-    state: &Mutex<Dispatch>,
-    cvar: &Condvar,
-    lease: usize,
-    max_passes: usize,
-    max_retries: usize,
-) {
+fn worker_loop(state: &Mutex<Dispatch>, cvar: &Condvar, p: WorkerParams) {
+    let WorkerParams {
+        id,
+        floor,
+        ceiling,
+        lease,
+        max_passes,
+        max_retries,
+    } = p;
     let mut guard = recover(state.lock());
     loop {
-        while guard.ready.is_empty() && guard.in_flight > 0 && guard.error.is_none() {
-            guard = recover(cvar.wait(guard));
+        let granted = loop {
+            // run over (or aborted): everyone exits, parked or not
+            if guard.error.is_some() || (guard.ready.is_empty() && guard.in_flight == 0) {
+                cvar.notify_all();
+                return;
+            }
+            // parked beyond the current target: sleep until a scale-up
+            // (or the run's end) wakes us
+            if id >= guard.target_workers {
+                guard = recover(cvar.wait(guard));
+                continue;
+            }
+            if guard.ready.is_empty() {
+                // idle active worker; the topmost one hands its slot back
+                // (never below the floor), the rest wait for re-queues
+                if id >= floor && id + 1 == guard.target_workers {
+                    guard.target_workers -= 1;
+                    let _rid = telemetry::request_scope();
+                    telemetry::event("fleet.scale_down")
+                        .with("target", guard.target_workers)
+                        .with("in_flight", guard.in_flight)
+                        .emit();
+                    continue;
+                }
+                guard = recover(cvar.wait(guard));
+                continue;
+            }
+            // backlog outruns the active set: raise the target and wake a
+            // parked worker before taking our own lease
+            if guard.ready.len() > guard.target_workers && guard.target_workers < ceiling {
+                guard.target_workers += 1;
+                guard.peak_workers = guard.peak_workers.max(guard.target_workers);
+                let _rid = telemetry::request_scope();
+                telemetry::event("fleet.scale_up")
+                    .with("target", guard.target_workers)
+                    .with("ready", guard.ready.len())
+                    .emit();
+                cvar.notify_all();
+            }
+            match next_grant(&mut guard, Instant::now()) {
+                Grant::Unit(r) => break r,
+                Grant::Empty => guard = recover(cvar.wait(guard)),
+                Grant::Deferred(at) => {
+                    // every queued unit is rate-deferred: sleep out the
+                    // shortest gap (a re-queue elsewhere still wakes us)
+                    let timeout = at.saturating_duration_since(Instant::now());
+                    guard = cvar
+                        .wait_timeout(guard, timeout)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        };
+        // stamp the group's rate gap at grant time, so the cap bounds the
+        // grant rate no matter how fast leases complete
+        let granted_run = guard.parked[granted.slot]
+            .as_ref()
+            .expect("a ready unit is parked")
+            .run;
+        if let Some(gap) = guard.runs[granted_run].lease_gap {
+            guard.runs[granted_run].next_allowed = Some(Instant::now() + gap);
         }
-        if guard.error.is_some() || guard.ready.is_empty() {
-            cvar.notify_all();
-            return;
-        }
-        let granted = guard.ready.pop().expect("checked non-empty");
         let remaining_min_stamp = guard.ready.peek().map(|r| r.stamp);
         let mut unit = guard.parked[granted.slot]
             .take()
@@ -796,6 +1072,17 @@ fn worker_loop(
 
         guard = recover(state.lock());
         guard.in_flight -= 1;
+        // charge the lease to the group's virtual time: a scan-only or
+        // failed lease still consumed a worker slot, so it costs at least
+        // one unit — scaled down by the group's weight
+        {
+            let run = &mut guard.runs[unit.run];
+            let consumed_units = match &outcome {
+                Ok(consumed) => *consumed as u64,
+                Err(_) => 0,
+            };
+            run.vtime += consumed_units.max(1) * VTIME_SCALE / u64::from(run.weight);
+        }
         match outcome {
             Err(e) if e.is_transient() => {
                 // the lease is lost, the unit is not: salvage whatever the
@@ -835,10 +1122,12 @@ fn worker_loop(
                         .with("folder", unit.folder)
                         .with("retries", unit.retries)
                         .emit();
+                    let key = guard.requeue_key(unit.run);
                     guard.parked[granted.slot] = Some(unit);
                     let seq = guard.seq;
                     guard.seq += 1;
                     guard.ready.push(Ready {
+                        key,
                         stamp: granted.stamp,
                         seq,
                         slot: granted.slot,
@@ -888,20 +1177,24 @@ fn worker_loop(
                         // conflicted-still-stale leftovers: re-scan on the
                         // next lease, same stamp (the backlog is not served
                         // until the folder really converges)
+                        let key = guard.requeue_key(unit.run);
                         guard.parked[granted.slot] = Some(unit);
                         let seq = guard.seq;
                         guard.seq += 1;
                         guard.ready.push(Ready {
+                            key,
                             stamp: granted.stamp,
                             seq,
                             slot: granted.slot,
                         });
                     }
                 } else {
+                    let key = guard.requeue_key(unit.run);
                     guard.parked[granted.slot] = Some(unit);
                     let seq = guard.seq;
                     guard.seq += 1;
                     guard.ready.push(Ready {
+                        key,
                         stamp: granted.stamp,
                         seq,
                         slot: granted.slot,

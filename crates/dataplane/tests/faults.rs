@@ -24,7 +24,7 @@
 //! scaled up by `PROPTEST_CASES` like the other data-plane suites.
 
 use acs::FleetFixture;
-use cloud_store::{CloudStore, FaultConfig, FaultInjector, FaultyStore, StoreHandle};
+use cloud_store::{CloudStore, FaultConfig, FaultInjector, FaultyStore, ShardedStore, StoreHandle};
 use dataplane::fixtures::{
     fleet_session, fleet_session_on, fleet_sweep_sessions, fleet_sweep_sessions_on,
 };
@@ -56,6 +56,13 @@ struct Stack {
 /// writes `sizes[i]` objects into group `i`, then revokes `g{i}-u0` from
 /// every group — the staleness wave the sweeps must clear.
 fn build_stack(sizes: &[usize], shards: usize, seed: u64) -> Stack {
+    build_stack_on(CloudStore::new().into(), sizes, shards, seed)
+}
+
+/// Like [`build_stack`], but over an arbitrary store — the live-resize
+/// cases deploy on a [`ShardedStore`] so the routing table can grow and
+/// shrink mid-sweep.
+fn build_stack_on(store: StoreHandle, sizes: &[usize], shards: usize, seed: u64) -> Stack {
     let specs: Vec<(String, Vec<String>)> = (0..sizes.len())
         .map(|i| {
             (
@@ -65,7 +72,7 @@ fn build_stack(sizes: &[usize], shards: usize, seed: u64) -> Stack {
         })
         .collect();
     let fixture = FleetFixture::new(
-        CloudStore::new(),
+        store,
         PartitionSize::new(2).unwrap(),
         &specs,
         &[WRITER.to_string(), SWEEPER.to_string()],
@@ -187,6 +194,7 @@ proptest! {
             // the schedule keeps firing for the whole run, so allow far
             // more lost leases than the production default
             max_retries: 64,
+            ..FleetConfig::default()
         });
         for i in 0..groups {
             scheduler.register(SweepTask::new(
@@ -325,6 +333,162 @@ fn a_dead_store_retires_the_unit_instead_of_wedging_the_run() {
     scheduler.arm(0);
     let report = scheduler.converge_all().unwrap();
     assert!(report.total.converged, "recovery converges the backlog");
+    assert_no_loss_no_leak(&stack, &sizes, shards);
+}
+
+// --- live shard resizing under faults -------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// A live 4→8 shard resize in the middle of a faulted sweep: outages,
+    /// timeouts, torn polls, and CAS storms keep striking the sweep
+    /// sessions while folders cut over to new owners on a clean handle.
+    /// The fleet must still converge to the fault-free baseline with zero
+    /// lost objects and zero revoked-member leakage.
+    #[test]
+    fn a_live_resize_under_faults_converges_with_zero_loss(
+        seed: u64,
+        fault_seed: u64,
+        workers in 1usize..=2,
+        timeout_pct in 0u32..=20,
+        outage_permille in 0u32..=15,
+        torn_poll_pct in 0u32..=30,
+        cas_storm_pct in 0u32..=20,
+    ) {
+        let groups = 2usize;
+        let shards = 2usize;
+        let mut sizes = vec![0usize; groups];
+        for (i, s) in sizes.iter_mut().enumerate() {
+            *s = 2 + (seed as usize >> (4 * i)) % 4;
+        }
+        let expected = baseline_migrated(&sizes, shards, seed);
+
+        let sharded = ShardedStore::new(4);
+        let stack = build_stack_on(sharded.clone().into(), &sizes, shards, seed);
+        let injector = Arc::new(FaultInjector::new(FaultConfig {
+            seed: fault_seed,
+            domains: 4,
+            timeout_prob: f64::from(timeout_pct) / 100.0,
+            outage_prob: f64::from(outage_permille) / 1000.0,
+            outage: Duration::from_millis(10),
+            torn_poll_prob: f64::from(torn_poll_pct) / 100.0,
+            cas_storm_prob: f64::from(cas_storm_pct) / 100.0,
+        }));
+        let mut scheduler = SweepScheduler::new(FleetConfig {
+            workers,
+            lease: 3,
+            deadline: Duration::from_secs(120),
+            max_passes: 64,
+            // fault schedule plus route cutovers: allow plenty of lost
+            // leases before declaring a unit stuck
+            max_retries: 64,
+            ..FleetConfig::default()
+        });
+        for i in 0..groups {
+            scheduler.register(SweepTask::new(
+                faulty_sweep_sessions(&stack, &injector, &format!("g{i}"), shards, 0x5a),
+                SweepConfig::default(),
+            ));
+        }
+        for i in 0..groups {
+            scheduler.arm(i);
+        }
+
+        // the resize lands mid-run, migrating live folders out from under
+        // the sweeps
+        let resizer = {
+            let sharded = sharded.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                sharded.resize(8)
+            })
+        };
+        let report = scheduler.converge_all().unwrap();
+        let resize = resizer.join().unwrap();
+
+        prop_assert_eq!(resize.from, 4);
+        prop_assert_eq!(resize.to, 8);
+        prop_assert_eq!(sharded.shard_count(), 8);
+        prop_assert!(report.total.converged);
+        for (i, &expect) in expected.iter().enumerate() {
+            let g = report.group(&format!("g{i}")).unwrap();
+            prop_assert!(g.report.converged, "g{} converged across the resize", i);
+            prop_assert!(
+                g.report.migrated == expect,
+                "g{} migrated {} objects, fault-free baseline migrated {}",
+                i, g.report.migrated, expect
+            );
+        }
+
+        injector.heal();
+        assert_no_loss_no_leak(&stack, &sizes, shards);
+    }
+}
+
+/// The deterministic resize acceptance case: grow 4→8 mid-sweep under a
+/// light timeout schedule, converge, verify; then shrink 8→3 after the
+/// run and verify again. Both directions of the routing change preserve
+/// every byte and every access decision, and the per-shard metric
+/// snapshots follow the live shard set.
+#[test]
+fn resize_grow_then_shrink_preserves_objects_and_access() {
+    let sizes = [5usize, 4];
+    let shards = 2;
+    let seed = 0x5e1f;
+    let expected = baseline_migrated(&sizes, shards, seed);
+
+    let sharded = ShardedStore::new(4);
+    let stack = build_stack_on(sharded.clone().into(), &sizes, shards, seed);
+    let injector = Arc::new(FaultInjector::new(FaultConfig {
+        seed: 11,
+        domains: 4,
+        timeout_prob: 0.10,
+        ..FaultConfig::default()
+    }));
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 2,
+        lease: 2,
+        deadline: Duration::from_secs(120),
+        max_retries: 64,
+        ..FleetConfig::default()
+    });
+    for i in 0..sizes.len() {
+        scheduler.register(SweepTask::new(
+            faulty_sweep_sessions(&stack, &injector, &format!("g{i}"), shards, 0x5a),
+            SweepConfig::default(),
+        ));
+        scheduler.arm(i);
+    }
+
+    let resizer = {
+        let sharded = sharded.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            sharded.resize(8)
+        })
+    };
+    let report = scheduler.converge_all().unwrap();
+    let grow = resizer.join().unwrap();
+    assert_eq!((grow.from, grow.to), (4, 8));
+    assert_eq!(sharded.shard_count(), 8);
+    assert_eq!(sharded.per_shard_metrics().len(), 8);
+
+    assert!(report.total.converged);
+    for (i, &expect) in expected.iter().enumerate() {
+        let g = report.group(&format!("g{i}")).unwrap();
+        assert!(g.report.converged, "g{i} converged across the grow");
+        assert_eq!(g.report.migrated, expect, "g{i} migrated total");
+    }
+    injector.heal();
+    assert_no_loss_no_leak(&stack, &sizes, shards);
+
+    // the shrink retires five shards and drains them into the survivors
+    let shrink = sharded.resize(3);
+    assert_eq!((shrink.from, shrink.to), (8, 3));
+    assert_eq!(sharded.shard_count(), 3);
+    assert_eq!(sharded.per_shard_metrics().len(), 3);
+    assert!(shrink.relocated > 0, "retired shards held folders to move");
     assert_no_loss_no_leak(&stack, &sizes, shards);
 }
 

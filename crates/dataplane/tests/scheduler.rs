@@ -82,6 +82,7 @@ fn shared_fleet_respects_staleness_priority() {
         deadline: Duration::from_secs(60),
         max_passes: 32,
         max_retries: 8,
+        ..FleetConfig::default()
     });
     for i in 0..sizes.len() {
         scheduler.register(task(&f, &format!("g{i}"), 0x50 + i as u64));
@@ -115,6 +116,10 @@ fn shared_fleet_respects_staleness_priority() {
             lease.stamp
         );
     }
+
+    // a fixed fleet (no floor/ceiling configured) never scales: the
+    // active set is the configured width for the whole run
+    assert_eq!(report.peak_workers, report.workers);
 
     // the most-behind group finishes its backlog before the freshest
     let order = report.completion_order();
@@ -290,4 +295,102 @@ fn merged_backlogs_converge_and_compact_history() {
     for o in 0..5 {
         reader.read(&format!("obj-{o:04}")).unwrap();
     }
+}
+
+/// Autoscaling: a deep multi-group backlog drives the active worker set
+/// up from the floor (the peak lands in the report), and the whole
+/// backlog converges exactly as it would on a fixed fleet.
+#[test]
+fn autoscaler_follows_the_backlog() {
+    let sizes = [6, 6, 6, 6];
+    let f = fleet(&sizes, 2, 55);
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 4,
+        min_workers: 1,
+        max_workers: 4,
+        lease: 2,
+        ..FleetConfig::default()
+    });
+    for i in 0..sizes.len() {
+        scheduler.register(task(&f, &format!("g{i}"), 0xa0 + i as u64));
+        revoke(&f, &format!("g{i}"), &format!("g{i}-u0"));
+    }
+    scheduler.arm_all();
+    let report = scheduler.converge_all().unwrap();
+    assert!(report.total.converged);
+    assert_eq!(report.total.migrated, sizes.iter().sum::<usize>());
+    assert_eq!(report.workers, 4);
+    assert!(
+        report.peak_workers > 1 && report.peak_workers <= 4,
+        "eight ready units over a one-worker floor must scale up (peak {})",
+        report.peak_workers
+    );
+}
+
+/// A lease-rate cap defers only the capped tenant: an uncapped group
+/// behind it in staleness converges at full speed, while the capped
+/// group's grants respect the configured gap.
+#[test]
+fn rate_cap_defers_only_the_capped_tenant() {
+    let sizes = [6, 6];
+    let f = fleet(&sizes, 1, 66);
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 1,
+        lease: 2,
+        ..FleetConfig::default()
+    });
+    scheduler.register(task(&f, "g0", 0xb0).with_lease_rate_cap(2));
+    scheduler.register(task(&f, "g1", 0xb1));
+    revoke(&f, "g0", "g0-u0");
+    revoke(&f, "g1", "g1-u0");
+    scheduler.arm(0); // the capped tenant is the staler one
+    scheduler.arm(1);
+    let report = scheduler.converge_all().unwrap();
+    assert!(report.total.converged);
+    let g0 = report.group("g0").unwrap();
+    let g1 = report.group("g1").unwrap();
+    assert_eq!(g0.report.migrated, 6);
+    assert_eq!(g1.report.migrated, 6);
+    // the uncapped group overtakes the staler capped one: a deferred unit
+    // never blocks the grants queued behind it
+    assert_eq!(report.completion_order()[0], "g1");
+    assert!(g1.report.elapsed < g0.report.elapsed);
+    // the cap really paced g0: n grants take at least (n - 1) gaps
+    let n0 = report.leases.iter().filter(|l| l.group == "g0").count() as u32;
+    assert!(n0 >= 2, "a 6-object backlog takes several leases");
+    let floor = Duration::from_millis(500) * (n0 - 1) * 4 / 5;
+    assert!(
+        g0.report.elapsed >= floor,
+        "{n0} grants under a 500ms gap finished in {:?}",
+        g0.report.elapsed
+    );
+}
+
+/// Weight buys throughput: of two equal backlogs on one worker, the
+/// 4x-weighted group converges first even though it armed later
+/// (staleness alone would put it second).
+#[test]
+fn weight_buys_a_larger_share() {
+    let sizes = [8, 8];
+    let f = fleet(&sizes, 1, 77);
+    let mut scheduler = SweepScheduler::new(FleetConfig {
+        workers: 1,
+        lease: 1,
+        ..FleetConfig::default()
+    });
+    scheduler.register(task(&f, "g0", 0xc0));
+    scheduler.register(task(&f, "g1", 0xc1).with_weight(4));
+    revoke(&f, "g0", "g0-u0");
+    revoke(&f, "g1", "g1-u0");
+    scheduler.arm(0); // the unweighted group is staler
+    scheduler.arm(1);
+    let report = scheduler.converge_all().unwrap();
+    assert!(report.total.converged);
+    assert_eq!(report.group("g0").unwrap().report.migrated, 8);
+    assert_eq!(report.group("g1").unwrap().report.migrated, 8);
+    assert_eq!(
+        report.completion_order()[0],
+        "g1",
+        "the 4x-weighted group must finish its equal backlog first"
+    );
 }
