@@ -17,12 +17,14 @@
 //! design (they are what the batch pipeline is benchmarked against).
 
 use crate::error::AcsError;
-use crate::oplog::{AdminSigner, LogOp, OpLog};
+use crate::oplog::{AdminSigner, LogEntry, LogOp, OpLog};
+use crate::verilog::{log_entry_item, log_node_item, SignedTransition, LOG_HEAD_ITEM};
 use cloud_store::StoreHandle;
 use ibbe_sgx_core::{
     AddOutcome, BatchOutcome, GroupEngine, GroupMetadata, MembershipBatch, PartitionSize,
     RemoveOutcome,
 };
+use oplog::{leaf_hash, LogCommitment, MerkleLog, TransitionProof};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -41,10 +43,37 @@ pub fn partition_item(i: usize) -> String {
 }
 
 /// Optional certified journaling: every mutation this admin performs is
-/// appended to a hash-chained, signed [`OpLog`].
+/// appended to a hash-chained, signed [`OpLog`] *and* to a per-group
+/// Merkle accumulator whose objects (entries, completed tree nodes, signed
+/// head) are published to the cloud alongside the metadata the mutation
+/// produced — see [`crate::verilog`] for the layout and the verification
+/// story.
 struct Journal {
     signer: AdminSigner,
-    log: Mutex<OpLog>,
+    state: Mutex<JournalState>,
+}
+
+#[derive(Default)]
+struct JournalState {
+    /// The global hash-chained log (the pre-existing audit surface).
+    log: OpLog,
+    /// Per-group publication state for the verifiable-log layer.
+    groups: HashMap<String, GroupLogState>,
+}
+
+#[derive(Default)]
+struct GroupLogState {
+    /// This group's entries, in log order (proof material for
+    /// [`Admin::transition_proof`]).
+    entries: Vec<LogEntry>,
+    /// Merkle accumulator over the entry bytes.
+    merkle: MerkleLog,
+    /// Store objects journaled but whose publication has not yet been
+    /// confirmed — the publish watermark. Appending journals *before* the
+    /// store round-trip, so a failed publish leaves its objects queued
+    /// here and the next successful publish (of any operation on the
+    /// group) carries them.
+    pending: Vec<(String, Vec<u8>)>,
 }
 
 /// The administrator API.
@@ -76,24 +105,113 @@ impl Admin {
     pub fn with_signer(mut self, signer: AdminSigner) -> Self {
         self.journal = Some(Journal {
             signer,
-            log: Mutex::new(OpLog::new()),
+            state: Mutex::new(JournalState::default()),
         });
         self
     }
 
     /// Snapshot of the certified op-log, if a signer is configured.
     pub fn oplog(&self) -> Option<OpLog> {
-        self.journal.as_ref().map(|j| j.log.lock().clone())
+        self.journal.as_ref().map(|j| j.state.lock().log.clone())
     }
 
-    /// Appends a journal entry. Callers invoke this while still holding the
-    /// cache lock, so journal order always matches application order (lock
-    /// order is cache → journal everywhere; nothing acquires them the other
-    /// way around).
-    fn record(&self, group: &str, op: LogOp) {
-        if let Some(j) = &self.journal {
-            j.log.lock().append(&j.signer, group, op);
+    /// Head of `group`'s published Merkle log (`None` without a signer or
+    /// before the group's first journaled operation).
+    pub fn log_head(&self, group: &str) -> Option<LogCommitment> {
+        let j = self.journal.as_ref()?;
+        let state = j.state.lock();
+        let g = state.groups.get(group)?;
+        if g.merkle.size() == 0 {
+            return None;
         }
+        Some(g.merkle.commitment())
+    }
+
+    /// Builds the compact fraud-proof unit for `group`'s transition from
+    /// `pre_size` to `pre_size + 1` journaled entries (what an admin hands
+    /// an [`crate::verilog::Auditor`] that doesn't want to fetch proof
+    /// material itself). `None` without a signer or past the log's end.
+    pub fn transition_proof(&self, group: &str, pre_size: u64) -> Option<SignedTransition> {
+        let j = self.journal.as_ref()?;
+        let state = j.state.lock();
+        let g = state.groups.get(group)?;
+        let proof = TransitionProof::build(&g.merkle, pre_size)?;
+        let entry = g.entries.get(usize::try_from(pre_size).ok()?)?.clone();
+        Some(SignedTransition { proof, entry })
+    }
+
+    /// Appends a journal entry and queues its publishable objects (entry,
+    /// completed tree nodes). Returns the new log head to stamp into the
+    /// group metadata, or `None` when no signer is configured.
+    ///
+    /// Callers invoke this while still holding the cache lock and *before*
+    /// the store round-trip, so journal order always matches application
+    /// order and the queued objects ride in the same publish as the
+    /// metadata (lock order is cache → journal everywhere; nothing
+    /// acquires them the other way around).
+    fn journal_append(&self, group: &str, op: LogOp) -> Option<LogCommitment> {
+        let j = self.journal.as_ref()?;
+        let _span = telemetry::span("oplog.append").with("group", group).enter();
+        let mut state = j.state.lock();
+        let entry = state.log.append(&j.signer, group, op).clone();
+        let bytes = entry.to_bytes();
+        let g = state.groups.entry(group.to_string()).or_default();
+        g.pending
+            .push((log_entry_item(g.merkle.size()), bytes.clone()));
+        for (level, index, hash) in g.merkle.append_leaf(leaf_hash(&bytes)) {
+            // level-0 hashes are recomputed from the entry objects;
+            // verifiers only fetch interior nodes
+            if level >= 1 {
+                g.pending.push((log_node_item(level, index), hash.to_vec()));
+            }
+        }
+        g.entries.push(entry);
+        Some(g.merkle.commitment())
+    }
+
+    /// The log objects the next publish of `group` must carry: everything
+    /// above the watermark plus the current signed head. Empty when
+    /// nothing is unpublished (head included — it is only rewritten when
+    /// it moves).
+    fn pending_log_items(&self, group: &str) -> Vec<(String, Vec<u8>)> {
+        let Some(j) = &self.journal else {
+            return Vec::new();
+        };
+        let state = j.state.lock();
+        let Some(g) = state.groups.get(group) else {
+            return Vec::new();
+        };
+        if g.pending.is_empty() {
+            return Vec::new();
+        }
+        let mut items = g.pending.clone();
+        items.push((
+            LOG_HEAD_ITEM.to_string(),
+            g.merkle.commitment().to_bytes().to_vec(),
+        ));
+        items
+    }
+
+    /// Advances the publish watermark after a successful store round-trip
+    /// that carried [`Admin::pending_log_items`].
+    fn mark_log_published(&self, group: &str) {
+        if let Some(j) = &self.journal {
+            if let Some(g) = j.state.lock().groups.get_mut(group) {
+                g.pending.clear();
+            }
+        }
+    }
+
+    /// Publishes any queued log objects in one `put_many` (the paths that
+    /// do not already fold them into a metadata round-trip).
+    fn publish_log(&self, group: &str) -> Result<(), AcsError> {
+        let items = self.pending_log_items(group);
+        if items.is_empty() {
+            return Ok(());
+        }
+        self.store.try_put_many(group, items)?;
+        self.mark_log_published(group);
+        Ok(())
     }
 
     /// Disables the §V-A re-partitioning heuristic (for the Fig. 10
@@ -121,15 +239,16 @@ impl Admin {
     pub fn create_group(&self, name: &str, members: Vec<String>) -> Result<(), AcsError> {
         // clone the member list only when a journal will actually record it
         let log_members = self.journal.as_ref().map(|_| members.clone());
-        let meta = self.engine.create_group(name, members)?;
-        self.push_all(&meta)?;
+        let mut meta = self.engine.create_group(name, members)?;
         let mut cache = self.cache.lock();
-        cache.insert(name.to_string(), meta);
         if let Some(members) = log_members {
             // journal while holding the cache lock so entry order matches
-            // application order (see `record`)
-            self.record(name, LogOp::Create { members });
+            // application order (see `journal_append`)
+            meta.log_head = self.journal_append(name, LogOp::Create { members });
         }
+        self.push_all(&meta)?;
+        self.publish_log(name)?;
+        cache.insert(name.to_string(), meta);
         Ok(())
     }
 
@@ -144,17 +263,29 @@ impl Admin {
             .get_mut(group)
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         let outcome = self.engine.add_user(meta, identity)?;
-        let p = &meta.partitions[outcome.partition];
-        self.store
-            .try_put(group, &partition_item(outcome.partition), p.to_bytes())?;
-        // `y` unchanged on the fast path, so nothing else to push; the new
-        // sealed gk only changes when gk rotates.
-        self.record(
+        if let Some(head) = self.journal_append(
             group,
             LogOp::Add {
                 user: identity.to_string(),
             },
-        );
+        ) {
+            meta.log_head = Some(head);
+        }
+        let p = &meta.partitions[outcome.partition];
+        // `y` unchanged on the fast path, so nothing else to push; the new
+        // sealed gk only changes when gk rotates.
+        let log_items = self.pending_log_items(group);
+        if log_items.is_empty() {
+            self.store
+                .try_put(group, &partition_item(outcome.partition), p.to_bytes())?;
+        } else {
+            // one atomic round-trip: the touched partition plus the log
+            // entry, tree nodes and new signed head
+            let mut items = vec![(partition_item(outcome.partition), p.to_bytes())];
+            items.extend(log_items);
+            self.store.try_put_many(group, items)?;
+            self.mark_log_published(group);
+        }
         Ok(outcome)
     }
 
@@ -175,17 +306,20 @@ impl Admin {
         if self.auto_repartition && meta.needs_repartitioning(self.engine.partition_size().get()) {
             *meta = self.engine.repartition(meta)?;
         }
+        if let Some(head) = self.journal_append(
+            group,
+            LogOp::Remove {
+                user: identity.to_string(),
+            },
+        ) {
+            meta.log_head = Some(head);
+        }
         self.push_all(meta)?;
         // drop stale trailing items if the partition count shrank
         for i in meta.partition_count()..before {
             self.store.try_delete(group, &partition_item(i))?;
         }
-        self.record(
-            group,
-            LogOp::Remove {
-                user: identity.to_string(),
-            },
-        );
+        self.publish_log(group)?;
         Ok(outcome)
     }
 
@@ -242,8 +376,23 @@ impl Admin {
             dirty = (0..meta.partition_count()).collect();
             publish_sealed = true;
         }
+        if !outcome.added.is_empty() || !outcome.removed.is_empty() || outcome.gk_rotated {
+            if let Some(head) = self.journal_append(
+                group,
+                LogOp::Batch {
+                    adds: outcome.added.clone(),
+                    removes: outcome.removed.clone(),
+                    epoch: outcome.epoch,
+                },
+            ) {
+                meta.log_head = Some(head);
+            }
+        }
         // publish every dirty object in one round-trip (a 1-item batch is an
-        // ordinary PUT — no point charging it as a batched request)
+        // ordinary PUT — no point charging it as a batched request); the
+        // log entry, tree nodes and signed head ride in the SAME atomic
+        // round-trip, so a client can never observe rotated metadata whose
+        // log head has not moved with it
         let mut items: Vec<(String, Vec<u8>)> = dirty
             .iter()
             .map(|&i| (partition_item(i), meta.partitions[i].to_bytes()))
@@ -255,6 +404,7 @@ impl Admin {
             // atomic version bump (no torn reads across the rotation)
             items.push((EPOCHS_ITEM.to_string(), meta.key_history.to_bytes()));
         }
+        items.extend(self.pending_log_items(group));
         {
             let _publish = telemetry::span("admin.publish")
                 .with("group", group)
@@ -266,20 +416,11 @@ impl Admin {
             } else if !items.is_empty() {
                 self.store.try_put_many(group, items)?;
             }
+            self.mark_log_published(group);
             // drop stale trailing items if the partition count shrank
             for i in meta.partition_count()..before {
                 self.store.try_delete(group, &partition_item(i))?;
             }
-        }
-        if !outcome.added.is_empty() || !outcome.removed.is_empty() || outcome.gk_rotated {
-            self.record(
-                group,
-                LogOp::Batch {
-                    adds: outcome.added.clone(),
-                    removes: outcome.removed.clone(),
-                    epoch: outcome.epoch,
-                },
-            );
         }
         Ok(outcome)
     }
@@ -300,6 +441,9 @@ impl Admin {
             .ok_or_else(|| AcsError::UnknownGroup(group.to_string()))?;
         self.engine.rekey_group(meta)?;
         span.record("epoch", meta.epoch);
+        if let Some(head) = self.journal_append(group, LogOp::Rekey) {
+            meta.log_head = Some(head);
+        }
         let items: Vec<(String, Vec<u8>)> = meta
             .partitions
             .iter()
@@ -309,6 +453,7 @@ impl Admin {
                 (SEALED_ITEM.to_string(), meta.sealed_gk.to_bytes()),
                 (EPOCHS_ITEM.to_string(), meta.key_history.to_bytes()),
             ])
+            .chain(self.pending_log_items(group))
             .collect();
         {
             let _publish = telemetry::span("admin.publish")
@@ -316,8 +461,8 @@ impl Admin {
                 .with("items", items.len())
                 .enter();
             self.store.try_put_many(group, items)?;
+            self.mark_log_published(group);
         }
-        self.record(group, LogOp::Rekey);
         Ok(())
     }
 

@@ -1,12 +1,21 @@
 //! The client node (paper Fig. 5, right): watches its group's folder with
 //! long polling, caches its partition, and re-derives `gk` on changes.
 //! No SGX is involved on this side.
+//!
+//! When the group publishes a verifiable op-log (see [`crate::verilog`]),
+//! the client pins the last verified [`LogCommitment`] and demands a
+//! consistency proof that every newly observed head extends it — *before*
+//! fetching or acting on any metadata. A store that forks, rewrites or
+//! truncates the log surfaces as [`AcsError::Verify`], and the client
+//! keeps its previous state instead of deriving a key from forged input.
 
 use crate::admin::SEALED_ITEM;
 use crate::error::AcsError;
+use crate::verilog;
 use cloud_store::{ObjectStore, StoreHandle};
 use ibbe::{PublicKey, UserSecretKey};
 use ibbe_sgx_core::{client_decrypt_from_partition, GroupKey, PartitionMetadata};
+use oplog::LogCommitment;
 use std::time::Duration;
 
 /// A group member's client state.
@@ -22,6 +31,9 @@ pub struct Client {
     cached: Option<(String, PartitionMetadata)>,
     /// Last successfully derived group key.
     gk: Option<GroupKey>,
+    /// Last verified op-log head (trust-on-first-use pin); `None` until a
+    /// head is first observed — groups without journaling never set it.
+    log_head: Option<LogCommitment>,
 }
 
 impl Client {
@@ -42,6 +54,7 @@ impl Client {
             cursor: 0,
             cached: None,
             gk: None,
+            log_head: None,
         }
     }
 
@@ -59,6 +72,9 @@ impl Client {
     /// Returns the key on success.
     ///
     /// # Errors
+    /// * [`AcsError::Verify`] if the published op-log does not extend the
+    ///   pinned head (fork/rewrite/truncation — **nothing** is fetched or
+    ///   derived in that case);
     /// * [`AcsError::NotAMember`] if no partition lists this identity
     ///   (including after revocation);
     /// * [`AcsError::WireFormat`] on malformed cloud objects;
@@ -66,6 +82,9 @@ impl Client {
     /// * [`AcsError::Store`] on a transient cloud fault (the cached state
     ///   is untouched — retry when the store recovers).
     pub fn sync(&mut self) -> Result<GroupKey, AcsError> {
+        // verify the op-log head first: metadata is only worth reading if
+        // the history that produced it checks out
+        self.check_log()?;
         self.cursor = self.store.try_folder_version(&self.group)?;
         // fast path: cached partition item still lists us → fetch only it
         if let Some((item, _)) = &self.cached {
@@ -136,9 +155,52 @@ impl Client {
         } else {
             // someone else's partition changed (e.g. an add elsewhere):
             // adds touch only the placed partition and never the sealed
-            // gk, so our bk, y and gk are all unchanged.
+            // gk, so our bk, y and gk are all unchanged. The log head may
+            // still have moved (it rides with every journaled mutation) —
+            // verify the extension now rather than at the next sync, so a
+            // fork is flagged as soon as it is published.
+            if poll.changed.iter().any(|c| c == verilog::LOG_HEAD_ITEM) {
+                self.check_log()?;
+            }
             Ok(self.gk)
         }
+    }
+
+    /// Verifies the currently published log head against the pinned one
+    /// and advances the pin. First observation is trust-on-first-use; a
+    /// group that publishes no log verifies vacuously.
+    fn check_log(&mut self) -> Result<(), AcsError> {
+        match &self.log_head {
+            Some(prior) => {
+                self.log_head = Some(verilog::verify_extends(&self.store, &self.group, prior)?);
+            }
+            None => {
+                self.log_head = verilog::fetch_head(&self.store, &self.group)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that the published log head extends `prior` (e.g. a head
+    /// this client saved before going offline, or one relayed from another
+    /// client for cross-view fork detection), adopts the verified head as
+    /// the new pin, and returns it.
+    ///
+    /// # Errors
+    /// [`AcsError::Verify`] on any fork/rewrite/truncation evidence,
+    /// [`AcsError::Store`] on transient store faults.
+    pub fn verify_extends(&mut self, prior: &LogCommitment) -> Result<LogCommitment, AcsError> {
+        let head = verilog::verify_extends(&self.store, &self.group, prior)?;
+        match &self.log_head {
+            Some(pinned) if pinned.size >= head.size => {}
+            _ => self.log_head = Some(head),
+        }
+        Ok(head)
+    }
+
+    /// The last verified op-log head, if the group publishes one.
+    pub fn log_head(&self) -> Option<LogCommitment> {
+        self.log_head
     }
 
     /// Index item of the currently cached partition (diagnostics).

@@ -4,6 +4,7 @@ use core::fmt;
 
 /// Errors surfaced by the admin/client APIs.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AcsError {
     /// Propagated IBBE-SGX core failure.
     Core(ibbe_sgx_core::CoreError),
@@ -17,6 +18,11 @@ pub enum AcsError {
     NotAMember(String),
     /// A cloud request was refused or lost (outage, timeout, lost CAS).
     Store(cloud_store::StoreError),
+    /// The published op-log failed verification: the store forked, rewrote
+    /// or truncated history a verifier had already pinned. Unlike
+    /// [`AcsError::Store`] this is *evidence*, not a transient fault — the
+    /// affected state must not be trusted.
+    Verify(oplog::VerifyError),
 }
 
 impl fmt::Display for AcsError {
@@ -28,6 +34,7 @@ impl fmt::Display for AcsError {
             AcsError::WireFormat(what) => write!(f, "malformed cloud object: {what}"),
             AcsError::NotAMember(id) => write!(f, "not a member: {id}"),
             AcsError::Store(e) => write!(f, "store: {e}"),
+            AcsError::Verify(e) => write!(f, "log verification: {e}"),
         }
     }
 }
@@ -38,6 +45,7 @@ impl std::error::Error for AcsError {
             AcsError::Core(e) => Some(e),
             AcsError::Sgx(e) => Some(e),
             AcsError::Store(e) => Some(e),
+            AcsError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -58,6 +66,12 @@ impl From<sgx_sim::SgxError> for AcsError {
 impl From<cloud_store::StoreError> for AcsError {
     fn from(e: cloud_store::StoreError) -> Self {
         AcsError::Store(e)
+    }
+}
+
+impl From<oplog::VerifyError> for AcsError {
+    fn from(e: oplog::VerifyError) -> Self {
+        AcsError::Verify(e)
     }
 }
 

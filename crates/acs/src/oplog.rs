@@ -49,6 +49,64 @@ pub enum LogOp {
 }
 
 impl LogOp {
+    /// Parses the tagged encoding produced by `encode`, consuming the whole
+    /// slice.
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        fn decode_list(bytes: &[u8], cur: &mut usize) -> Option<Vec<String>> {
+            let count = u32::from_be_bytes(bytes.get(*cur..*cur + 4)?.try_into().ok()?) as usize;
+            *cur += 4;
+            let mut list = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let len = u16::from_be_bytes(bytes.get(*cur..*cur + 2)?.try_into().ok()?) as usize;
+                *cur += 2;
+                let s = std::str::from_utf8(bytes.get(*cur..*cur + len)?).ok()?;
+                *cur += len;
+                list.push(s.to_string());
+            }
+            Some(list)
+        }
+        let (&tag, rest) = bytes.split_first()?;
+        let op = match tag {
+            0 => {
+                let mut cur = 0;
+                let members = decode_list(rest, &mut cur)?;
+                if cur != rest.len() {
+                    return None;
+                }
+                LogOp::Create { members }
+            }
+            1 => LogOp::Add {
+                user: std::str::from_utf8(rest).ok()?.to_string(),
+            },
+            2 => LogOp::Remove {
+                user: std::str::from_utf8(rest).ok()?.to_string(),
+            },
+            3 => {
+                if !rest.is_empty() {
+                    return None;
+                }
+                LogOp::Rekey
+            }
+            4 => {
+                let mut cur = 0;
+                let adds = decode_list(rest, &mut cur)?;
+                let removes = decode_list(rest, &mut cur)?;
+                let epoch = u64::from_be_bytes(rest.get(cur..cur + 8)?.try_into().ok()?);
+                cur += 8;
+                if cur != rest.len() {
+                    return None;
+                }
+                LogOp::Batch {
+                    adds,
+                    removes,
+                    epoch,
+                }
+            }
+            _ => return None,
+        };
+        Some(op)
+    }
+
     fn encode(&self) -> Vec<u8> {
         fn encode_list(out: &mut Vec<u8>, list: &[String]) {
             out.extend_from_slice(&(list.len() as u32).to_be_bytes());
@@ -115,6 +173,72 @@ impl LogEntry {
         h.update(self.admin.as_bytes());
         h.update(&self.signature.to_bytes());
         h.finalize()
+    }
+
+    /// Serializes the entry for cloud publication:
+    /// `seq:u64 ‖ group_len:u16 ‖ group ‖ op_len:u32 ‖ op ‖ prev_hash:32 ‖
+    /// admin_len:u16 ‖ admin ‖ sig_len:u16 ‖ signature`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let op = self.op.encode();
+        let sig = self.signature.to_bytes();
+        let mut out = Vec::with_capacity(64 + op.len() + sig.len());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&(self.group.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.group.as_bytes());
+        out.extend_from_slice(&(op.len() as u32).to_be_bytes());
+        out.extend_from_slice(&op);
+        out.extend_from_slice(&self.prev_hash);
+        out.extend_from_slice(&(self.admin.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.admin.as_bytes());
+        out.extend_from_slice(&(sig.len() as u16).to_be_bytes());
+        out.extend_from_slice(&sig);
+        out
+    }
+
+    /// Parses a published entry; rejects truncation, trailing bytes, and
+    /// malformed operation encodings. Signature *validity* is a separate
+    /// question answered by [`LogEntry::signed_by`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut cur = 0usize;
+        let take = |cur: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*cur..*cur + n)?;
+            *cur += n;
+            Some(s)
+        };
+        let seq = u64::from_be_bytes(take(&mut cur, 8)?.try_into().ok()?);
+        let glen = u16::from_be_bytes(take(&mut cur, 2)?.try_into().ok()?) as usize;
+        let group = std::str::from_utf8(take(&mut cur, glen)?).ok()?.to_string();
+        let oplen = u32::from_be_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+        let op = LogOp::decode(take(&mut cur, oplen)?)?;
+        let prev_hash: [u8; 32] = take(&mut cur, 32)?.try_into().ok()?;
+        let alen = u16::from_be_bytes(take(&mut cur, 2)?.try_into().ok()?) as usize;
+        let admin = std::str::from_utf8(take(&mut cur, alen)?).ok()?.to_string();
+        let slen = u16::from_be_bytes(take(&mut cur, 2)?.try_into().ok()?) as usize;
+        let signature = Signature::from_bytes(take(&mut cur, slen)?)?;
+        if cur != bytes.len() {
+            return None;
+        }
+        Some(Self {
+            seq,
+            group,
+            op,
+            prev_hash,
+            admin,
+            signature,
+        })
+    }
+
+    /// True when the entry's signature verifies under `key` (the key
+    /// registered for `self.admin`).
+    pub fn signed_by(&self, key: &VerifyingKey) -> bool {
+        let msg = Self::signing_message(
+            self.seq,
+            &self.group,
+            &self.op,
+            &self.prev_hash,
+            &self.admin,
+        );
+        key.verify(&msg, &self.signature)
     }
 
     fn signing_message(
@@ -267,25 +391,35 @@ impl OpLog {
     /// Replays the membership state a verified log implies for `group`
     /// (audit cross-check against live metadata).
     pub fn membership_of(&self, group: &str) -> Vec<String> {
-        let mut members: Vec<String> = Vec::new();
-        for e in &self.entries {
-            if e.group != group {
-                continue;
-            }
-            match &e.op {
-                LogOp::Create { members: m } => members = m.clone(),
-                LogOp::Add { user } => members.push(user.clone()),
-                LogOp::Remove { user } => members.retain(|u| u != user),
-                LogOp::Rekey => {}
-                LogOp::Batch { adds, removes, .. } => {
-                    // net sets are disjoint, so order does not matter
-                    members.extend(adds.iter().cloned());
-                    members.retain(|u| !removes.contains(u));
-                }
+        replay_membership(self.entries.iter(), group)
+    }
+}
+
+/// Replays the membership a sequence of verified entries implies for
+/// `group` (shared by [`OpLog::membership_of`] and the store-side auditor,
+/// which holds the group's entries without a surrounding log).
+pub(crate) fn replay_membership<'a>(
+    entries: impl Iterator<Item = &'a LogEntry>,
+    group: &str,
+) -> Vec<String> {
+    let mut members: Vec<String> = Vec::new();
+    for e in entries {
+        if e.group != group {
+            continue;
+        }
+        match &e.op {
+            LogOp::Create { members: m } => members = m.clone(),
+            LogOp::Add { user } => members.push(user.clone()),
+            LogOp::Remove { user } => members.retain(|u| u != user),
+            LogOp::Rekey => {}
+            LogOp::Batch { adds, removes, .. } => {
+                // net sets are disjoint, so order does not matter
+                members.extend(adds.iter().cloned());
+                members.retain(|u| !removes.contains(u));
             }
         }
-        members
     }
+    members
 }
 
 #[cfg(test)]
@@ -440,5 +574,44 @@ mod tests {
         log.append(&a1, "g", LogOp::Add { user: "u".into() });
         log.entries.pop();
         assert_eq!(log.verify(&keys), Ok(()));
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_op_kind() {
+        let (mut log, a1, a2, _) = setup();
+        log.append(
+            &a1,
+            "g",
+            LogOp::Create {
+                members: vec!["u0".into(), "u1".into()],
+            },
+        );
+        log.append(&a2, "g", LogOp::Add { user: "u2".into() });
+        log.append(&a1, "g", LogOp::Remove { user: "u0".into() });
+        log.append(&a2, "g", LogOp::Rekey);
+        log.append(
+            &a1,
+            "g",
+            LogOp::Batch {
+                adds: vec!["u3".into()],
+                removes: vec![],
+                epoch: 3,
+            },
+        );
+        for entry in log.entries() {
+            let wire = entry.to_bytes();
+            let decoded = LogEntry::from_bytes(&wire).expect("roundtrip");
+            assert_eq!(decoded.to_bytes(), wire, "re-encoding is stable");
+            assert_eq!(decoded.hash(), entry.hash());
+            assert!(decoded.signed_by(&match decoded.admin.as_str() {
+                "alice-admin" => a1.verifying_key(),
+                _ => a2.verifying_key(),
+            }));
+            // framing is strict: trailing garbage and truncation both fail
+            let mut padded = wire.clone();
+            padded.push(0);
+            assert!(LogEntry::from_bytes(&padded).is_none());
+            assert!(LogEntry::from_bytes(&wire[..wire.len() - 1]).is_none());
+        }
     }
 }

@@ -1,0 +1,791 @@
+//! The verifiable op-log layer: publishes the certified membership log as
+//! Merkle-tree objects on the untrusted store, and gives every party a way
+//! to catch the store lying about it.
+//!
+//! Three views, three defenses:
+//!
+//! * **Admins** ([`crate::Admin::with_signer`]) append each mutation to a
+//!   per-group [`oplog::MerkleLog`] and publish the entry, the completed
+//!   tree nodes, and the new signed head — in the *same* atomic
+//!   [`cloud_store::StoreHandle::try_put_many`] round-trip as the group
+//!   metadata the mutation produced.
+//! * **Clients** pin the last verified [`LogCommitment`] (40 bytes) and,
+//!   before acting on any new state, demand an O(log n) consistency proof
+//!   that the published head extends it ([`verify_extends`]). A store that
+//!   forks, rewrites, or truncates the history a client has seen fails the
+//!   proof — the client refuses the forged metadata instead of deriving a
+//!   key from it.
+//! * **Auditors** ([`Auditor`]) hold only admin *verification* keys — no
+//!   SGX, no group membership, no admin credentials — and replay either
+//!   the full log ([`Auditor::audit_group`]) or one compact fraud-proof
+//!   unit ([`SignedTransition`]): pre-head, appended entry, post-head and
+//!   the two Merkle paths. A store that extends the log with entries no
+//!   registered admin signed is caught even though every consistency proof
+//!   checks out.
+//!
+//! Cloud layout inside a group folder (all `_`-prefixed, so partition scans
+//! skip them):
+//!
+//! | item | content |
+//! |---|---|
+//! | `_log_head` | the 40-byte [`LogCommitment`] (mutable) |
+//! | `_log_e{i:08}` | serialized signed [`crate::LogEntry`] `i` (immutable) |
+//! | `_log_n{l:02}_{i:08}` | 32-byte complete-subtree root `(l,i)`, `l ≥ 1` (immutable) |
+//!
+//! Leaf hashes are recomputed from the entry objects themselves
+//! ([`oplog::leaf_hash`] over the entry bytes), so every proof a verifier
+//! fetches is anchored in the very bytes an auditor checks signatures on.
+//!
+//! [`ForkingStore`] is the adversarial half of the module: a store wrapper
+//! that serves tampered views (rollback, rewrite, truncation, forged
+//! appends, per-client equivocation) so tests can assert each one is
+//! detected.
+
+use crate::error::AcsError;
+use crate::oplog::LogEntry;
+use cloud_store::{Bytes, MetricsSnapshot, ObjectStore, PollResult, StoreError, StoreHandle};
+use oplog::{
+    consistency_proof, leaf_hash, verify_consistency, Hash, LogCommitment, MerkleLog, NodeSource,
+    TransitionProof, VerifyError,
+};
+use parking_lot::Mutex;
+use sgx_sim::bls::VerifyingKey;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Item name of the published log head inside a group folder.
+pub const LOG_HEAD_ITEM: &str = "_log_head";
+
+/// Item name of log entry `index` (0-based, dense, per group).
+pub fn log_entry_item(index: u64) -> String {
+    format!("_log_e{index:08}")
+}
+
+/// Item name of the complete Merkle node `(level, index)`, `level ≥ 1`
+/// (level-0 hashes are recomputed from the entry objects).
+pub fn log_node_item(level: u32, index: u64) -> String {
+    format!("_log_n{level:02}_{index:08}")
+}
+
+/// [`NodeSource`] over the published log objects of one group folder.
+///
+/// Level 0 reads `_log_e*` and hashes the bytes; higher levels read the
+/// 32-byte `_log_n*` objects. A store fault and a *missing* node must not
+/// be confused — an outage is transient, a hole is evidence — so the first
+/// store error and the first absent node are recorded separately for the
+/// caller to inspect when proof construction fails.
+pub struct StoreNodeSource<'a> {
+    store: &'a StoreHandle,
+    group: &'a str,
+    error: Cell<Option<StoreError>>,
+    missing: Cell<Option<(u32, u64)>>,
+}
+
+impl<'a> StoreNodeSource<'a> {
+    /// A source reading `group`'s log objects through `store`.
+    pub fn new(store: &'a StoreHandle, group: &'a str) -> Self {
+        Self {
+            store,
+            group,
+            error: Cell::new(None),
+            missing: Cell::new(None),
+        }
+    }
+
+    /// Converts a failed proof construction into the right error: a store
+    /// fault if one occurred (transient — retry), otherwise the missing
+    /// node (fail closed — evidence of tampering or a torn publish).
+    pub fn failure(&self) -> AcsError {
+        if let Some(e) = self.error.take() {
+            return AcsError::Store(e);
+        }
+        let (level, index) = self.missing.take().unwrap_or((0, 0));
+        AcsError::Verify(VerifyError::MissingNode { level, index })
+    }
+}
+
+impl NodeSource for StoreNodeSource<'_> {
+    fn node(&self, level: u32, index: u64) -> Option<Hash> {
+        let fetched = if level == 0 {
+            self.store
+                .try_get(self.group, &log_entry_item(index))
+                .map(|got| got.map(|(bytes, _)| leaf_hash(&bytes)))
+        } else {
+            self.store
+                .try_get(self.group, &log_node_item(level, index))
+                .map(|got| got.and_then(|(bytes, _)| <[u8; 32]>::try_from(bytes.as_ref()).ok()))
+        };
+        match fetched {
+            Ok(Some(hash)) => Some(hash),
+            Ok(None) => {
+                let prev = self.missing.take();
+                self.missing.set(prev.or(Some((level, index))));
+                None
+            }
+            Err(e) => {
+                let prev = self.error.take();
+                self.error.set(prev.or(Some(e)));
+                None
+            }
+        }
+    }
+}
+
+/// Fetches and parses the published log head of `group`, `None` when the
+/// group publishes no log (journaling disabled).
+///
+/// # Errors
+/// [`AcsError::Store`] on a store fault, [`AcsError::Verify`] on a
+/// malformed head object.
+pub fn fetch_head(store: &StoreHandle, group: &str) -> Result<Option<LogCommitment>, AcsError> {
+    match store.try_get(group, LOG_HEAD_ITEM)? {
+        None => Ok(None),
+        Some((bytes, _)) => Ok(Some(LogCommitment::from_bytes(&bytes)?)),
+    }
+}
+
+/// Verifies that the head `group` currently publishes extends `prior`,
+/// fetching the O(log n) consistency path from the store. Returns the new
+/// (now-trusted) head.
+///
+/// Fails closed: a vanished head, a smaller head, an equal-size head with
+/// a different root, or a path that does not reproduce `prior` all surface
+/// as [`AcsError::Verify`]. Store faults surface as [`AcsError::Store`]
+/// (transient — nothing was trusted, retry later).
+pub fn verify_extends(
+    store: &StoreHandle,
+    group: &str,
+    prior: &LogCommitment,
+) -> Result<LogCommitment, AcsError> {
+    let span = telemetry::span("oplog.verify").with("group", group).enter();
+    let head = match fetch_head(store, group)? {
+        Some(head) => head,
+        // a store that once served a non-empty head cannot unserve it
+        None if prior.size == 0 => return Ok(*prior),
+        None => return Err(AcsError::Verify(VerifyError::HeadVanished)),
+    };
+    span.record("prior", prior.size);
+    span.record("head", head.size);
+    if head == *prior {
+        return Ok(head); // unchanged — nothing to fetch
+    }
+    if head.size < prior.size {
+        return Err(AcsError::Verify(VerifyError::Truncated {
+            prior: prior.size,
+            current: head.size,
+        }));
+    }
+    if head.size == prior.size {
+        // equal size, different root (the equal case returned above)
+        return Err(AcsError::Verify(VerifyError::Forked { size: head.size }));
+    }
+    let src = StoreNodeSource::new(store, group);
+    let Some(proof) = consistency_proof(&src, prior.size, head.size) else {
+        return Err(src.failure());
+    };
+    verify_consistency(prior, &head, &proof)?;
+    Ok(head)
+}
+
+/// A compact fraud-proof unit: one signed log entry plus the Merkle
+/// evidence that appending exactly that entry took the published log from
+/// `proof.pre` to `proof.post`.
+///
+/// Verification needs no log, no group membership and no secret — only the
+/// registered admin verification keys — which is what lets a third-party
+/// [`Auditor`] replay membership transitions godwoken-style from O(log n)
+/// bytes.
+#[derive(Clone, Debug)]
+pub struct SignedTransition {
+    /// Merkle evidence for the single-entry append.
+    pub proof: TransitionProof,
+    /// The appended entry (its bytes hash to `proof.leaf`).
+    pub entry: LogEntry,
+}
+
+impl SignedTransition {
+    /// Replays the transition: Merkle structure, leaf/entry binding, and
+    /// the entry's admin signature against `keys`.
+    ///
+    /// # Errors
+    /// The first failed check, as a [`VerifyError`].
+    pub fn verify(&self, keys: &HashMap<String, VerifyingKey>) -> Result<(), VerifyError> {
+        self.proof.verify()?;
+        if self.proof.leaf != leaf_hash(&self.entry.to_bytes()) {
+            return Err(VerifyError::BadTransition(
+                "proof leaf does not commit to the entry",
+            ));
+        }
+        let key = self
+            .keys_lookup(keys)
+            .ok_or_else(|| VerifyError::UnknownAdmin(self.entry.admin.clone()))?;
+        if !self.entry.signed_by(key) {
+            return Err(VerifyError::BadSignature {
+                seq: self.proof.pre.size,
+            });
+        }
+        Ok(())
+    }
+
+    fn keys_lookup<'k>(&self, keys: &'k HashMap<String, VerifyingKey>) -> Option<&'k VerifyingKey> {
+        keys.get(&self.entry.admin)
+    }
+
+    /// Wire form: `proof_len:u32 ‖ proof ‖ entry` (the entry is
+    /// tail-delimited).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let proof = self.proof.to_bytes();
+        let mut out = Vec::with_capacity(4 + proof.len() + 64);
+        out.extend_from_slice(&(proof.len() as u32).to_be_bytes());
+        out.extend_from_slice(&proof);
+        out.extend_from_slice(&self.entry.to_bytes());
+        out
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    /// [`VerifyError::Malformed`] on framing or entry-decoding failure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, VerifyError> {
+        let plen = u32::from_be_bytes(
+            bytes
+                .get(..4)
+                .ok_or(VerifyError::Malformed("transition too short"))?
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        let proof_bytes = bytes
+            .get(4..4 + plen)
+            .ok_or(VerifyError::Malformed("transition proof truncated"))?;
+        let proof = TransitionProof::from_bytes(proof_bytes)?;
+        let entry = LogEntry::from_bytes(&bytes[4 + plen..])
+            .ok_or(VerifyError::Malformed("transition entry"))?;
+        Ok(Self { proof, entry })
+    }
+}
+
+/// Builds the [`SignedTransition`] for the append that put entry
+/// `pre_size` into `group`'s published log, fetching the O(log n) proof
+/// material from the store.
+///
+/// # Errors
+/// [`AcsError::Store`] on store faults, [`AcsError::Verify`] when required
+/// objects are missing or malformed.
+pub fn fetch_transition(
+    store: &StoreHandle,
+    group: &str,
+    pre_size: u64,
+) -> Result<SignedTransition, AcsError> {
+    let src = StoreNodeSource::new(store, group);
+    let Some(proof) = TransitionProof::build(&src, pre_size) else {
+        return Err(src.failure());
+    };
+    let (bytes, _) = store
+        .try_get(group, &log_entry_item(pre_size))?
+        .ok_or(AcsError::Verify(VerifyError::MissingNode {
+            level: 0,
+            index: pre_size,
+        }))?;
+    let entry = LogEntry::from_bytes(&bytes)
+        .ok_or(AcsError::Verify(VerifyError::Malformed("log entry")))?;
+    Ok(SignedTransition { proof, entry })
+}
+
+/// What a full log audit established.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// The head every entry was verified against.
+    pub head: LogCommitment,
+    /// Membership the verified log implies for the group.
+    pub membership: Vec<String>,
+}
+
+/// An untrusted third-party log auditor.
+///
+/// Holds only registered admin *verification* keys — no enclave, no group
+/// membership, no ability to read any group key — plus the last head it
+/// observed per group (its equivocation memory). Everything it verifies
+/// comes off the untrusted store.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    keys: HashMap<String, VerifyingKey>,
+    observed: Mutex<HashMap<String, LogCommitment>>,
+}
+
+impl Auditor {
+    /// An auditor trusting no admins yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an admin's verification key under its log label.
+    pub fn register_admin(&mut self, name: impl Into<String>, key: VerifyingKey) {
+        self.keys.insert(name.into(), key);
+    }
+
+    /// The registered key set (shape consumed by [`SignedTransition::verify`]).
+    pub fn keys(&self) -> &HashMap<String, VerifyingKey> {
+        &self.keys
+    }
+
+    /// Records a head observed for `group` (e.g. relayed by a client) and
+    /// cross-checks it against previous observations: a same-size head with
+    /// a different root is equivocation, a smaller head is a rollback.
+    ///
+    /// This is the gossip half of fork detection — a store that shows every
+    /// client a *self*-consistent but mutually diverging history is only
+    /// caught when their heads meet here.
+    ///
+    /// # Errors
+    /// [`VerifyError::Forked`] or [`VerifyError::Truncated`].
+    pub fn observe(&self, group: &str, head: LogCommitment) -> Result<(), VerifyError> {
+        let mut observed = self.observed.lock();
+        if let Some(prev) = observed.get(group) {
+            if head.size == prev.size && head.root != prev.root {
+                return Err(VerifyError::Forked { size: head.size });
+            }
+            if head.size < prev.size {
+                return Err(VerifyError::Truncated {
+                    prior: prev.size,
+                    current: head.size,
+                });
+            }
+        }
+        observed.insert(group.to_string(), head);
+        Ok(())
+    }
+
+    /// Last head observed for `group`, if any.
+    pub fn observed_head(&self, group: &str) -> Option<LogCommitment> {
+        self.observed.lock().get(group).copied()
+    }
+
+    /// Verifies one fraud-proof unit against the registered keys and the
+    /// auditor's equivocation memory, then adopts the post-head. Returns
+    /// the now-trusted head.
+    ///
+    /// # Errors
+    /// Any [`VerifyError`] the proof, signature, or head bookkeeping
+    /// raises.
+    pub fn verify_transition(
+        &self,
+        group: &str,
+        transition: &SignedTransition,
+    ) -> Result<LogCommitment, VerifyError> {
+        let _span = telemetry::span("oplog.audit").with("group", group).enter();
+        transition.verify(&self.keys)?;
+        if transition.entry.group != group {
+            return Err(VerifyError::Malformed("entry belongs to another group"));
+        }
+        // the pre-head must agree with whatever we have already seen …
+        let observed = self.observed_head(group);
+        if let Some(prev) = observed {
+            if prev.size == transition.proof.pre.size && prev.root != transition.proof.pre.root {
+                return Err(VerifyError::Forked { size: prev.size });
+            }
+        }
+        // … and the post-head goes through the same cross-check as any
+        // other observation
+        self.observe(group, transition.proof.post)?;
+        Ok(transition.proof.post)
+    }
+
+    /// Audits `group`'s entire published log: every entry must parse, be
+    /// signed by a registered admin, and belong to the group; the Merkle
+    /// root over the entry bytes must equal the published head; the head
+    /// must pass the equivocation cross-check. Returns the verified head
+    /// and the membership the log implies.
+    ///
+    /// # Errors
+    /// [`AcsError::Store`] on store faults (retry), [`AcsError::Verify`]
+    /// on any detection.
+    pub fn audit_group(&self, store: &StoreHandle, group: &str) -> Result<AuditReport, AcsError> {
+        let span = telemetry::span("oplog.audit").with("group", group).enter();
+        let head = fetch_head(store, group)?.ok_or(AcsError::Verify(VerifyError::Malformed(
+            "group publishes no log head",
+        )))?;
+        span.record("entries", head.size);
+        let mut merkle = MerkleLog::new();
+        let mut entries = Vec::new();
+        for i in 0..head.size {
+            let (bytes, _) = store
+                .try_get(group, &log_entry_item(i))?
+                .ok_or(AcsError::Verify(VerifyError::MissingNode {
+                    level: 0,
+                    index: i,
+                }))?;
+            let entry = LogEntry::from_bytes(&bytes)
+                .ok_or(AcsError::Verify(VerifyError::Malformed("log entry")))?;
+            let key = self
+                .keys
+                .get(&entry.admin)
+                .ok_or_else(|| AcsError::Verify(VerifyError::UnknownAdmin(entry.admin.clone())))?;
+            if !entry.signed_by(key) {
+                return Err(AcsError::Verify(VerifyError::BadSignature { seq: i }));
+            }
+            if entry.group != group {
+                return Err(AcsError::Verify(VerifyError::Malformed(
+                    "entry belongs to another group",
+                )));
+            }
+            merkle.append_leaf(leaf_hash(&bytes));
+            entries.push(entry);
+        }
+        if merkle.root() != head.root {
+            return Err(AcsError::Verify(VerifyError::RootMismatch));
+        }
+        self.observe(group, head).map_err(AcsError::Verify)?;
+        let membership = crate::oplog::replay_membership(entries.iter(), group);
+        Ok(AuditReport { head, membership })
+    }
+}
+
+/// The tampering a [`ForkingStore`] can apply to one folder's view.
+#[derive(Clone, Debug)]
+pub enum Tamper {
+    /// Freeze the folder at its current contents: later honest writes are
+    /// accepted but never shown through this view.
+    Rollback,
+    /// Serve the log as if its last `drop` entries never happened — a
+    /// frozen, internally consistent truncated branch (head, nodes and
+    /// entry set all agree with each other).
+    Truncate {
+        /// Number of trailing entries to erase.
+        drop: u64,
+    },
+    /// Flip a byte of entry `index` and republish a *self-consistent*
+    /// Merkle branch over the rewritten history: every node object and the
+    /// head are recomputed, so nothing is detectable by structure alone.
+    RewriteEntry {
+        /// Index of the entry to rewrite.
+        index: u64,
+    },
+    /// Append attacker-chosen entry bytes and extend the tree over them —
+    /// the one attack consistency proofs *cannot* catch (it is a genuine
+    /// extension), left for signature-checking auditors.
+    ForgeAppend {
+        /// The forged entry bytes.
+        entry: Vec<u8>,
+    },
+}
+
+enum View {
+    /// Serve exactly this snapshot; the folder clock is frozen too.
+    Frozen {
+        version: u64,
+        items: HashMap<String, Bytes>,
+    },
+    /// Serve the live folder with these items replaced/added, advertising
+    /// `bump` extra folder versions so watchers take notice.
+    Overlay {
+        bump: u64,
+        items: HashMap<String, Bytes>,
+    },
+}
+
+/// A malicious store: wraps any inner store and serves per-folder tampered
+/// views (see [`Tamper`]) while passing writes through untouched.
+///
+/// Views are per-instance: [`ForkingStore::split_view`] yields a second
+/// front-end over the *same* inner store with independent tampering — the
+/// equivocation scenario, where two clients each see a self-consistent but
+/// mutually diverging history.
+///
+/// Plugs in anywhere a store does (same [`ObjectStore`] seam as
+/// [`cloud_store::FaultyStore`]): `StoreHandle::from(forking)`.
+#[derive(Clone)]
+pub struct ForkingStore {
+    inner: StoreHandle,
+    views: Arc<Mutex<HashMap<String, View>>>,
+}
+
+impl ForkingStore {
+    /// Wraps `inner`; all folders start honest.
+    pub fn new(inner: impl Into<StoreHandle>) -> Self {
+        Self {
+            inner: inner.into(),
+            views: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The wrapped (honest) store.
+    pub fn inner(&self) -> &StoreHandle {
+        &self.inner
+    }
+
+    /// A second front-end over the same inner store with its own tamper
+    /// state (for serving different clients diverging views).
+    pub fn split_view(&self) -> ForkingStore {
+        Self {
+            inner: self.inner.clone(),
+            views: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Stops tampering with `folder` (the live view shows through again).
+    pub fn heal(&self, folder: &str) {
+        self.views.lock().remove(folder);
+    }
+
+    /// Applies `tamper` to this view of `folder`, building the forged
+    /// branch from the folder's current contents.
+    ///
+    /// # Errors
+    /// [`AcsError::Store`] if reading the current contents fails,
+    /// [`AcsError::WireFormat`] if the tamper references log entries the
+    /// folder does not have.
+    pub fn tamper(&self, folder: &str, tamper: Tamper) -> Result<(), AcsError> {
+        let view = match tamper {
+            Tamper::Rollback => View::Frozen {
+                version: self.inner.try_folder_version(folder)?,
+                items: self.snapshot(folder)?,
+            },
+            Tamper::Truncate { drop } => {
+                let version = self.inner.try_folder_version(folder)?;
+                let mut items = self.snapshot(folder)?;
+                let entries = self.log_entries(folder)?;
+                let keep = entries.len().saturating_sub(drop as usize);
+                items.retain(|name, _| !name.starts_with("_log_"));
+                for (name, data) in rebuild_log(&entries[..keep]) {
+                    items.insert(name, data);
+                }
+                View::Frozen { version, items }
+            }
+            Tamper::RewriteEntry { index } => {
+                let mut entries = self.log_entries(folder)?;
+                let forged = entries
+                    .get_mut(index as usize)
+                    .ok_or(AcsError::WireFormat("tamper index beyond log"))?;
+                let mut bytes = forged.to_vec();
+                *bytes
+                    .last_mut()
+                    .ok_or(AcsError::WireFormat("empty log entry"))? ^= 0x01;
+                *forged = Bytes::from(bytes);
+                View::Overlay {
+                    bump: 1,
+                    items: rebuild_log(&entries).into_iter().collect(),
+                }
+            }
+            Tamper::ForgeAppend { entry } => {
+                let mut entries = self.log_entries(folder)?;
+                entries.push(Bytes::from(entry));
+                View::Overlay {
+                    bump: 1,
+                    items: rebuild_log(&entries).into_iter().collect(),
+                }
+            }
+        };
+        self.views.lock().insert(folder.to_string(), view);
+        Ok(())
+    }
+
+    fn snapshot(&self, folder: &str) -> Result<HashMap<String, Bytes>, AcsError> {
+        let mut items = HashMap::new();
+        for name in self.inner.try_list(folder)? {
+            if let Some((bytes, _)) = self.inner.try_get(folder, &name)? {
+                items.insert(name, bytes);
+            }
+        }
+        Ok(items)
+    }
+
+    /// The folder's current log entry bytes in index order.
+    fn log_entries(&self, folder: &str) -> Result<Vec<Bytes>, AcsError> {
+        let mut names: Vec<String> = self
+            .inner
+            .try_list(folder)?
+            .into_iter()
+            .filter(|n| n.starts_with("_log_e"))
+            .collect();
+        names.sort(); // zero-padded indices: lexicographic == numeric
+        let mut entries = Vec::with_capacity(names.len());
+        for name in names {
+            let (bytes, _) = self
+                .inner
+                .try_get(folder, &name)?
+                .ok_or(AcsError::WireFormat("log entry vanished mid-tamper"))?;
+            entries.push(bytes);
+        }
+        Ok(entries)
+    }
+}
+
+/// Rebuilds the complete log object set (entries, interior nodes, head)
+/// over the given entry bytes — the forger's toolkit: any entry sequence
+/// becomes an internally consistent published branch.
+fn rebuild_log(entries: &[Bytes]) -> Vec<(String, Bytes)> {
+    let mut merkle = MerkleLog::new();
+    let mut items: Vec<(String, Bytes)> = Vec::new();
+    for (i, bytes) in entries.iter().enumerate() {
+        items.push((log_entry_item(i as u64), bytes.clone()));
+        for (level, index, hash) in merkle.append_leaf(leaf_hash(bytes)) {
+            if level >= 1 {
+                items.push((log_node_item(level, index), Bytes::from(hash.to_vec())));
+            }
+        }
+    }
+    items.push((
+        LOG_HEAD_ITEM.to_string(),
+        Bytes::from(merkle.commitment().to_bytes().to_vec()),
+    ));
+    items
+}
+
+impl ObjectStore for ForkingStore {
+    // writes always reach the honest inner store — the adversary controls
+    // what readers *see*, not what the admin stored
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
+        self.inner.try_put(folder, item, data)
+    }
+
+    fn try_put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, StoreError> {
+        self.inner.try_put_if_version(folder, item, data, expected)
+    }
+
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
+        self.inner.try_put_many(folder, items)
+    }
+
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        self.inner.try_delete(folder, item)
+    }
+
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        match self.views.lock().get(folder) {
+            Some(View::Frozen { version, items }) => {
+                Ok(items.get(item).map(|b| (b.clone(), *version)))
+            }
+            Some(View::Overlay { bump, items }) => {
+                if let Some(b) = items.get(item) {
+                    let v = self.inner.try_folder_version(folder)? + bump;
+                    return Ok(Some((b.clone(), v)));
+                }
+                self.inner.try_get(folder, item)
+            }
+            None => self.inner.try_get(folder, item),
+        }
+    }
+
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        match self.views.lock().get(folder) {
+            Some(View::Frozen { items, .. }) => {
+                let mut names: Vec<String> = items.keys().cloned().collect();
+                names.sort();
+                Ok(names)
+            }
+            Some(View::Overlay { items, .. }) => {
+                let mut names = self.inner.try_list(folder)?;
+                for name in items.keys() {
+                    if !names.contains(name) {
+                        names.push(name.clone());
+                    }
+                }
+                names.sort();
+                Ok(names)
+            }
+            None => self.inner.try_list(folder),
+        }
+    }
+
+    fn try_list_folders(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.try_list_folders()
+    }
+
+    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
+        match self.views.lock().get(folder) {
+            Some(View::Frozen { version, .. }) => Ok(*version),
+            Some(View::Overlay { bump, .. }) => Ok(self.inner.try_folder_version(folder)? + bump),
+            None => self.inner.try_folder_version(folder),
+        }
+    }
+
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
+        enum Plan {
+            Frozen(u64),
+            Overlay(u64, Vec<String>),
+            Honest,
+        }
+        let plan = match self.views.lock().get(folder) {
+            Some(View::Frozen { version, .. }) => Plan::Frozen(*version),
+            Some(View::Overlay { bump, items }) => {
+                Plan::Overlay(*bump, items.keys().cloned().collect())
+            }
+            None => Plan::Honest,
+        };
+        match plan {
+            Plan::Frozen(version) => {
+                // the frozen world never changes: burn (a slice of) the
+                // timeout, then report it
+                std::thread::sleep(timeout.min(Duration::from_millis(25)));
+                Ok(PollResult {
+                    version: version.min(since),
+                    changed: Vec::new(),
+                    timed_out: true,
+                })
+            }
+            Plan::Overlay(bump, names) => {
+                let live = self.inner.try_folder_version(folder)?;
+                if live + bump > since {
+                    // report immediately, presenting the forged items as
+                    // freshly changed alongside any real changes
+                    let mut poll =
+                        self.inner
+                            .try_long_poll(folder, since.min(live), Duration::ZERO)?;
+                    poll.version = live + bump;
+                    poll.timed_out = false;
+                    for name in names {
+                        if !poll.changed.contains(&name) {
+                            poll.changed.push(name);
+                        }
+                    }
+                    poll.changed.sort();
+                    Ok(poll)
+                } else {
+                    let mut poll =
+                        self.inner
+                            .try_long_poll(folder, since.saturating_sub(bump), timeout)?;
+                    poll.version += bump;
+                    Ok(poll)
+                }
+            }
+            Plan::Honest => self.inner.try_long_poll(folder, since, timeout),
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    fn routing_epoch(&self) -> u64 {
+        self.inner.routing_epoch()
+    }
+}
+
+impl core::fmt::Debug for ForkingStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ForkingStore({} tampered folders)",
+            self.views.lock().len()
+        )
+    }
+}
+
+impl From<ForkingStore> for StoreHandle {
+    fn from(s: ForkingStore) -> Self {
+        StoreHandle::new(s)
+    }
+}

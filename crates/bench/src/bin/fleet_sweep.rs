@@ -47,7 +47,7 @@ use dataplane::{
     ClientSession, FleetConfig, FleetReport, SweepConfig, SweepDriver, SweepPool, SweepScheduler,
     SweepTask,
 };
-use ibbe_sgx_bench::json::{write_results, Json};
+use ibbe_sgx_bench::json::{fault_stats_row, write_results, Json};
 use ibbe_sgx_bench::{fmt_duration, print_table, time, BenchArgs};
 use ibbe_sgx_core::{MembershipBatch, PartitionSize};
 use std::sync::Arc;
@@ -598,19 +598,14 @@ fn main() {
     );
 
     if let Some((faulted_mode, faulted_report, stats)) = &faulted {
+        // the printed stats line IS the archived JSON row — one schema
         println!(
-            "\nfaulted run (seed {}): {} requests — {} refused (outages), {} timed out, \
-             {} torn polls, {} spurious CAS conflicts, {} worker panic(s); {} leases lost \
-             and re-queued; converged with identical migrated totals ({} == {}) at {:.2}x \
+            "\nfault stats: {}",
+            fault_stats_row(args.faults.unwrap(), stats, faulted_report.retries)
+        );
+        println!(
+            "faulted run converged with identical migrated totals ({} == {}) at {:.2}x \
              the clean shared wall-clock.",
-            args.faults.unwrap(),
-            stats.requests,
-            stats.unavailable,
-            stats.timeouts,
-            stats.torn_polls,
-            stats.cas_conflicts,
-            stats.panics,
-            faulted_report.retries,
             faulted_mode.migrated,
             shared.migrated,
             ratio(faulted_mode.wall, shared.wall),
@@ -642,17 +637,11 @@ fn main() {
         ];
         if let Some((faulted_mode, faulted_report, stats)) = &faulted {
             rows.push(mode_row("shared+faults", faulted_mode));
-            rows.push(Json::obj([
-                ("table", Json::from("faults")),
-                ("seed", Json::from(args.faults.unwrap())),
-                ("requests", Json::from(stats.requests)),
-                ("unavailable", Json::from(stats.unavailable)),
-                ("timeouts", Json::from(stats.timeouts)),
-                ("torn_polls", Json::from(stats.torn_polls)),
-                ("cas_conflicts", Json::from(stats.cas_conflicts)),
-                ("panics", Json::from(stats.panics)),
-                ("lease_retries", Json::from(faulted_report.retries)),
-            ]));
+            rows.push(fault_stats_row(
+                args.faults.unwrap(),
+                stats,
+                faulted_report.retries,
+            ));
         }
         for (rank, &idx) in trace.arm_order.iter().enumerate() {
             let tenant = &trace.tenants[idx];

@@ -1,0 +1,202 @@
+//! Verifiable op-log proof benchmarks: proof size and verify latency vs
+//! log length.
+//!
+//! The client-side contract of the `verilog` layer is that catching a
+//! forking store costs O(log n) in the log length — a consistency proof
+//! per observed head, a transition proof per audited append — never a
+//! replay of the history. This bench builds one in-memory [`MerkleLog`]
+//! over synthetic leaf hashes (proof shape depends only on tree geometry,
+//! not on entry contents, so no BLS signing is needed), checkpoints it at
+//! each length, and measures:
+//!
+//! * the serialized size of a consistency proof (from a mid-log pin — the
+//!   client's "I was offline for a while" case) and of a single-append
+//!   [`TransitionProof`] (the auditor's fraud-proof unit);
+//! * the mean latency of verifying each, amortized over many iterations.
+//!
+//! Flags: `--full` (extend the sweep to 64k entries), `--json PATH`
+//! (machine-readable series in the shared `{bench, config, rows}`
+//! schema), `--check` (the CI gate: mean verify latency at 16k entries
+//! must stay within 2x of 1k — O(log n), not O(n) — and every proof must
+//! stay under 4 KiB).
+
+use ibbe_sgx_bench::json::{write_results, Json};
+use ibbe_sgx_bench::{print_table, time, BenchArgs};
+use oplog::{
+    consistency_proof, leaf_hash, root_at, verify_consistency, LogCommitment, MerkleLog,
+    TransitionProof,
+};
+use std::time::Duration;
+
+/// Verify-loop iterations per measured point (each verify is a handful of
+/// SHA-256 compressions, so single-shot timing would be all noise).
+const ITERS: u32 = 4_000;
+
+struct Row {
+    entries: u64,
+    cons_bytes: usize,
+    trans_bytes: usize,
+    cons_verify: Duration,
+    trans_verify: Duration,
+    append_total: Duration,
+}
+
+fn head_at(log: &MerkleLog, size: u64) -> LogCommitment {
+    LogCommitment {
+        size,
+        root: root_at(log, size).expect("in-memory tree is complete"),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut sizes: Vec<u64> = vec![1_024, 4_096, 16_384];
+    if args.full {
+        sizes.push(65_536);
+    }
+
+    let mut log = MerkleLog::new();
+    let mut grown: u64 = 0;
+    let mut rows = Vec::new();
+
+    for &n in &sizes {
+        // grow the accumulator to n entries, timing the appends
+        let (_, append_wall) = time(|| {
+            while grown < n {
+                log.append_leaf(leaf_hash(&grown.to_be_bytes()));
+                grown += 1;
+            }
+        });
+
+        // consistency: the client pinned a mid-log head and now observes
+        // head n. `n/2 + 1` keeps the proof geometry uniform across rows
+        // (a power-of-two old size collapses the path to a single hash,
+        // which would make the smallest row an unfair baseline).
+        let old_size = n / 2 + 1;
+        let old = head_at(&log, old_size);
+        let new = head_at(&log, n);
+        let cons = consistency_proof(&log, old_size, n).expect("complete tree");
+        verify_consistency(&old, &new, &cons).expect("honest proof verifies");
+        let (_, cons_wall) = time(|| {
+            for _ in 0..ITERS {
+                verify_consistency(&old, &new, &cons).expect("honest proof verifies");
+            }
+        });
+
+        // transition: the fraud-proof unit for the append that produced
+        // entry n-1
+        let trans = TransitionProof::build(&log, n - 1).expect("complete tree");
+        trans.verify().expect("honest transition verifies");
+        let (_, trans_wall) = time(|| {
+            for _ in 0..ITERS {
+                trans.verify().expect("honest transition verifies");
+            }
+        });
+
+        rows.push(Row {
+            entries: n,
+            cons_bytes: cons.to_bytes().len(),
+            trans_bytes: trans.to_bytes().len(),
+            cons_verify: cons_wall / ITERS,
+            trans_verify: trans_wall / ITERS,
+            append_total: append_wall,
+        });
+    }
+
+    let fmt_ns = |d: Duration| format!("{:.2} µs", d.as_secs_f64() * 1e6);
+    print_table(
+        "op-log proof size and verify latency vs log length",
+        &[
+            "entries",
+            "consistency proof",
+            "transition proof",
+            "verify (consistency)",
+            "verify (transition)",
+            "append total",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.entries.to_string(),
+                    format!("{} B", r.cons_bytes),
+                    format!("{} B", r.trans_bytes),
+                    fmt_ns(r.cons_verify),
+                    fmt_ns(r.trans_verify),
+                    format!("{:.2} ms", r.append_total.as_secs_f64() * 1e3),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    if let Some(path) = &args.json {
+        write_results(
+            path,
+            "oplog_verify",
+            [
+                ("full", Json::from(args.full)),
+                ("iters", Json::from(ITERS as u64)),
+            ],
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("table", Json::from("verify")),
+                        ("entries", Json::from(r.entries)),
+                        ("cons_proof_bytes", Json::from(r.cons_bytes)),
+                        ("trans_proof_bytes", Json::from(r.trans_bytes)),
+                        (
+                            "cons_verify_us",
+                            Json::Float(r.cons_verify.as_secs_f64() * 1e6),
+                        ),
+                        (
+                            "trans_verify_us",
+                            Json::Float(r.trans_verify.as_secs_f64() * 1e6),
+                        ),
+                        ("append_ms", Json::ms(r.append_total)),
+                    ])
+                })
+                .collect(),
+        );
+    }
+
+    if args.check {
+        // O(log n) gate: a 16x larger log may cost at most one extra
+        // doubling of verify work — far under the 16x an O(n) replay
+        // would show. Floor the baseline to keep the ratio meaningful on
+        // noisy CI runners.
+        let at = |entries: u64| {
+            rows.iter()
+                .find(|r| r.entries == entries)
+                .unwrap_or_else(|| panic!("--check needs the {entries}-entry point"))
+        };
+        let (base, big) = (at(1_024), at(16_384));
+        let floor = Duration::from_nanos(200);
+        let ratio =
+            |b: Duration, l: Duration| l.max(floor).as_secs_f64() / b.max(floor).as_secs_f64();
+        let cons_ratio = ratio(base.cons_verify, big.cons_verify);
+        let trans_ratio = ratio(base.trans_verify, big.trans_verify);
+        assert!(
+            cons_ratio <= 2.0,
+            "--check: consistency verify latency grew {cons_ratio:.2}x from 1k to 16k \
+             entries (gate: 2x — O(log n), not O(n))"
+        );
+        assert!(
+            trans_ratio <= 2.0,
+            "--check: transition verify latency grew {trans_ratio:.2}x from 1k to 16k \
+             entries (gate: 2x — O(log n), not O(n))"
+        );
+        for r in &rows {
+            assert!(
+                r.cons_bytes < 4096 && r.trans_bytes < 4096,
+                "--check: proofs at {} entries must stay compact (got {} B / {} B)",
+                r.entries,
+                r.cons_bytes,
+                r.trans_bytes
+            );
+        }
+        println!(
+            "--check passed: verify latency 1k→16k grew {cons_ratio:.2}x (consistency) / \
+             {trans_ratio:.2}x (transition), all proofs under 4 KiB"
+        );
+    }
+}

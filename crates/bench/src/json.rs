@@ -144,6 +144,24 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     write!(f, "\"")
 }
 
+/// The shared fault-stats row (`"table": "faults"`): one schema for every
+/// bench that runs over a [`cloud_store::FaultyStore`], used both for the
+/// archived JSON and for the line the bench prints — so the console output
+/// and `results/*.json` can never drift apart.
+pub fn fault_stats_row(seed: u64, stats: &cloud_store::FaultStats, lease_retries: u64) -> Json {
+    Json::obj([
+        ("table", Json::from("faults")),
+        ("seed", Json::from(seed)),
+        ("requests", Json::from(stats.requests)),
+        ("unavailable", Json::from(stats.unavailable)),
+        ("timeouts", Json::from(stats.timeouts)),
+        ("torn_polls", Json::from(stats.torn_polls)),
+        ("cas_conflicts", Json::from(stats.cas_conflicts)),
+        ("panics", Json::from(stats.panics)),
+        ("lease_retries", Json::from(lease_retries)),
+    ])
+}
+
 /// Writes one bench's results in the shared schema (`bench` name,
 /// `config` object, `rows` array), creating parent directories as needed.
 ///

@@ -40,12 +40,12 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long an infallible caller sleeps between retries while riding out
-/// an injected fault.
-const RIDE_OUT_PAUSE: Duration = Duration::from_millis(1);
-
 /// A store request refused or lost by the (simulated) cloud.
+///
+/// `#[non_exhaustive]`: real object stores have a long tail of failure
+/// modes — downstream matches must keep a wildcard arm.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StoreError {
     /// The request's clock domain (shard) is inside an outage window.
     Unavailable {
@@ -404,16 +404,6 @@ impl<S: ObjectStore> FaultyStore<S> {
         &self.inner
     }
 
-    /// Blocks an infallible caller until the schedule lets the request
-    /// through. Outage windows are wall-clock bounded and per-request
-    /// faults re-roll each attempt, so this terminates (quickly, under
-    /// any sane schedule).
-    fn ride_out(&self, folder: &str) {
-        while self.faults.check(folder).is_err() {
-            std::thread::sleep(RIDE_OUT_PAUSE);
-        }
-    }
-
     /// The true current version of `folder/item` (0 if absent) — what a
     /// spurious conflict must report for the caller's re-read-and-retry
     /// path to behave exactly as it would after losing a real race.
@@ -424,82 +414,11 @@ impl<S: ObjectStore> FaultyStore<S> {
 }
 
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
-    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
-        self.ride_out(folder);
-        self.inner.put(folder, item, data)
-    }
-
-    fn put_if_version(
-        &self,
-        folder: &str,
-        item: &str,
-        data: Bytes,
-        expected: u64,
-    ) -> Result<u64, VersionConflict> {
-        self.ride_out(folder);
-        if self.faults.cas_storm() {
-            return Err(self.true_conflict(folder, item));
-        }
-        self.inner.put_if_version(folder, item, data, expected)
-    }
-
-    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
-        self.ride_out(folder);
-        self.inner.put_many(folder, items)
-    }
-
-    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
-        self.ride_out(folder);
-        self.inner.get(folder, item)
-    }
-
-    fn delete(&self, folder: &str, item: &str) -> bool {
-        self.ride_out(folder);
-        self.inner.delete(folder, item)
-    }
-
-    fn list(&self, folder: &str) -> Vec<String> {
-        self.ride_out(folder);
-        self.inner.list(folder)
-    }
-
-    fn list_folders(&self) -> Vec<String> {
-        self.ride_out("");
-        self.inner.list_folders()
-    }
-
-    fn folder_version(&self, folder: &str) -> u64 {
-        self.ride_out(folder);
-        self.inner.folder_version(folder)
-    }
-
-    /// An outage or tear surfaces as an early timeout with `version:
-    /// since` — the caller's cursor stands still, so a change masked by
-    /// the fault is picked up by the next (post-recovery) poll.
-    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
-        let deadline = Instant::now() + timeout;
-        let torn = PollResult {
-            version: since,
-            changed: Vec::new(),
-            timed_out: true,
-        };
-        loop {
-            match self.faults.check(folder) {
-                Ok(()) => break,
-                Err(_) => {
-                    if Instant::now() >= deadline {
-                        return torn;
-                    }
-                    std::thread::sleep(RIDE_OUT_PAUSE);
-                }
-            }
-        }
-        if self.faults.torn_poll() {
-            return torn;
-        }
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        self.inner.long_poll(folder, since, remaining)
-    }
+    // Only the fallible surface is implemented: every verb rolls the
+    // schedule once (`faults.check`) and then delegates to the inner
+    // store's reliable verb. The trait's default infallible wrappers
+    // supply the ride-out loop, re-rolling the schedule every attempt —
+    // exactly the semantics the hand-written dual impl used to provide.
 
     fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics()
@@ -550,6 +469,12 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
         self.faults.check(folder)?;
         Ok(self.inner.list(folder))
+    }
+
+    fn try_list_folders(&self) -> Result<Vec<String>, StoreError> {
+        // store-wide read: charged to the default ("" -> shard 0) domain
+        self.faults.check("")?;
+        Ok(self.inner.list_folders())
     }
 
     fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {

@@ -31,6 +31,7 @@ pub mod sharded;
 pub mod store;
 pub mod submit;
 
+pub use bytes::Bytes;
 pub use fault::{FaultConfig, FaultInjector, FaultStats, FaultyStore, StoreError};
 pub use latency::LatencyModel;
 pub use metrics::{ImbalanceReport, Metrics, MetricsSnapshot};

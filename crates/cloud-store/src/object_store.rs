@@ -7,6 +7,13 @@
 //! [`ShardedStore`](crate::ShardedStore) (N independent shards, folders
 //! routed by hash) without any consumer — admin, client, data-plane session
 //! or sweeper — knowing which one it is running on.
+//!
+//! The **required** surface is the fallible one: an implementation provides
+//! the `try_*` verbs (plus [`ObjectStore::metrics`]) and nothing else. The
+//! legacy infallible verbs are default wrappers that ride out transient
+//! [`StoreError`]s in one place, so a wrapper like
+//! [`FaultyStore`](crate::FaultyStore) or an adversarial test store
+//! implements one surface, not two hand-kept-in-sync copies.
 
 use crate::fault::StoreError;
 use crate::metrics::MetricsSnapshot;
@@ -14,7 +21,13 @@ use crate::store::{PollResult, VersionConflict};
 use crate::submit::{completed_ticket, execute_request, Request, StoreTicket};
 use bytes::Bytes;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long the infallible default wrappers pause between retries while
+/// riding out a transient fault. Outage windows are wall-clock bounded and
+/// per-request faults re-roll each attempt, so the loops terminate quickly
+/// under any sane schedule.
+pub(crate) const RIDE_OUT_PAUSE: Duration = Duration::from_millis(1);
 
 /// The versioned bi-level key/value surface of a simulated cloud store.
 ///
@@ -25,50 +38,96 @@ use std::time::Duration;
 /// shares it; a [`ShardedStore`](crate::ShardedStore) runs one clock per
 /// shard, and the folder-hash routing guarantees a folder's cursor is always
 /// interpreted by the same shard.
+///
+/// Implementations provide the fallible `try_*` verbs — the failures a real
+/// cloud exhibits surface as [`StoreError`]; reliable in-memory stores
+/// simply never return `Err`. The infallible verbs (`put`, `get`, …) are
+/// provided wrappers that retry transient errors until they pass, for call
+/// sites that predate the fault model; fault-aware consumers (sessions,
+/// sweepers, the admin's publish paths) call `try_*` and handle the error.
 pub trait ObjectStore: Send + Sync {
+    // --- required fallible surface ---------------------------------------
+
     /// PUT: stores `data` under `folder/item`, waking that folder's
     /// long-pollers. Returns the item's new version.
-    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64;
-
-    /// Conditional PUT (compare-and-swap): stores only if the item's current
-    /// version equals `expected` (`0` = "must not exist").
     ///
     /// # Errors
-    /// [`VersionConflict`] carrying the item's actual version.
-    fn put_if_version(
+    /// [`StoreError::Unavailable`] / [`StoreError::Timeout`] on injected
+    /// or real transport failures.
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError>;
+
+    /// Conditional PUT (compare-and-swap): stores only if the item's
+    /// current version equals `expected` (`0` = "must not exist").
+    ///
+    /// # Errors
+    /// [`StoreError::Conflict`] when the CAS loses (carrying the item's
+    /// actual version), transport failures as for
+    /// [`ObjectStore::try_put`].
+    fn try_put_if_version(
         &self,
         folder: &str,
         item: &str,
         data: Bytes,
         expected: u64,
-    ) -> Result<u64, VersionConflict>;
+    ) -> Result<u64, StoreError>;
 
     /// Atomic multi-PUT into one folder: one round-trip, one version bump
     /// shared by all items, one long-poller wake.
-    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64;
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError>;
 
     /// GET: fetches `folder/item` with its version.
-    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)>;
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError>;
 
-    /// DELETE: removes `folder/item`. Returns whether anything was removed.
-    fn delete(&self, folder: &str, item: &str) -> bool;
+    /// DELETE: removes `folder/item`. Returns whether anything was
+    /// removed.
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError>;
 
     /// Lists item names in a folder.
-    fn list(&self, folder: &str) -> Vec<String>;
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError>;
 
     /// Lists all folder names (merged across shards when sharded).
-    fn list_folders(&self) -> Vec<String>;
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_list_folders(&self) -> Result<Vec<String>, StoreError>;
 
     /// Current version of `folder`'s clock domain — the cursor seed for
     /// [`ObjectStore::long_poll`] on that folder.
-    fn folder_version(&self, folder: &str) -> u64;
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError>;
 
     /// Directory-level long poll: blocks until some item in `folder` has a
-    /// version greater than `since`, or until `timeout` elapses.
-    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult;
+    /// version greater than `since`, or until `timeout` elapses. A torn
+    /// poll is *not* an error: it returns `Ok` with `version == since` and
+    /// no changes, so the caller's cursor never skips a notification.
+    ///
+    /// # Errors
+    /// Transport failures, as for [`ObjectStore::try_put`].
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError>;
 
     /// Traffic counters (aggregated across shards when sharded).
     fn metrics(&self) -> MetricsSnapshot;
+
+    // --- optional overrides ----------------------------------------------
 
     /// Current routing epoch: bumps whenever the folder → shard map
     /// changes (a [`ShardedStore::resize`](crate::ShardedStore::resize)
@@ -80,100 +139,6 @@ pub trait ObjectStore: Send + Sync {
         0
     }
 
-    // --- fallible surface ------------------------------------------------
-    //
-    // The `try_*` methods mirror the operations above but surface the
-    // failures a real cloud exhibits as [`StoreError`]. The reliable
-    // in-memory stores never fail, so the defaults simply delegate; a
-    // [`FaultyStore`](crate::FaultyStore) overrides them to inject its
-    // schedule. Fault-aware consumers (sessions, sweepers, the admin's
-    // publish paths) call these and handle the error; the infallible
-    // methods remain for call sites that predate the fault model.
-
-    /// Fallible PUT (see [`ObjectStore::put`]).
-    ///
-    /// # Errors
-    /// [`StoreError::Unavailable`] / [`StoreError::Timeout`] on injected
-    /// or real transport failures.
-    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
-        Ok(self.put(folder, item, data))
-    }
-
-    /// Fallible conditional PUT (see [`ObjectStore::put_if_version`]);
-    /// folds the CAS rejection into [`StoreError::Conflict`].
-    ///
-    /// # Errors
-    /// [`StoreError::Conflict`] when the CAS loses,
-    /// [`StoreError::Unavailable`] / [`StoreError::Timeout`] on transport
-    /// failures.
-    fn try_put_if_version(
-        &self,
-        folder: &str,
-        item: &str,
-        data: Bytes,
-        expected: u64,
-    ) -> Result<u64, StoreError> {
-        self.put_if_version(folder, item, data, expected)
-            .map_err(StoreError::Conflict)
-    }
-
-    /// Fallible atomic multi-PUT (see [`ObjectStore::put_many`]).
-    ///
-    /// # Errors
-    /// Transport failures, as for [`ObjectStore::try_put`].
-    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
-        Ok(self.put_many(folder, items))
-    }
-
-    /// Fallible GET (see [`ObjectStore::get`]).
-    ///
-    /// # Errors
-    /// Transport failures, as for [`ObjectStore::try_put`].
-    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
-        Ok(self.get(folder, item))
-    }
-
-    /// Fallible DELETE (see [`ObjectStore::delete`]).
-    ///
-    /// # Errors
-    /// Transport failures, as for [`ObjectStore::try_put`].
-    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
-        Ok(self.delete(folder, item))
-    }
-
-    /// Fallible list (see [`ObjectStore::list`]).
-    ///
-    /// # Errors
-    /// Transport failures, as for [`ObjectStore::try_put`].
-    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
-        Ok(self.list(folder))
-    }
-
-    /// Fallible folder-clock read (see [`ObjectStore::folder_version`]).
-    ///
-    /// # Errors
-    /// Transport failures, as for [`ObjectStore::try_put`].
-    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
-        Ok(self.folder_version(folder))
-    }
-
-    /// Fallible long poll (see [`ObjectStore::long_poll`]). A torn poll
-    /// is *not* an error: it returns `Ok` with `version == since` and no
-    /// changes, so the caller's cursor never skips a notification.
-    ///
-    /// # Errors
-    /// Transport failures, as for [`ObjectStore::try_put`].
-    fn try_long_poll(
-        &self,
-        folder: &str,
-        since: u64,
-        timeout: Duration,
-    ) -> Result<PollResult, StoreError> {
-        Ok(self.long_poll(folder, since, timeout))
-    }
-
-    // --- completion-based surface ----------------------------------------
-
     /// Submits a single-object request for asynchronous completion; the
     /// returned [`StoreTicket`] is polled, waited on, or wired to a
     /// waker. The default executes the request inline on the caller's
@@ -183,6 +148,136 @@ pub trait ObjectStore: Send + Sync {
     /// lanes. Errors travel through the ticket, never a panic.
     fn submit(&self, request: Request) -> StoreTicket {
         completed_ticket(execute_request(self, request))
+    }
+
+    // --- provided infallible wrappers ------------------------------------
+    //
+    // One ride-out loop, shared by every implementation: retry transient
+    // errors every RIDE_OUT_PAUSE until the operation passes. On a
+    // fault-injecting store this blocks the caller for the outage window;
+    // on a reliable store the first attempt succeeds and the loop
+    // disappears into the call.
+
+    /// PUT, riding out transient failures (see [`ObjectStore::try_put`]).
+    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
+        loop {
+            match self.try_put(folder, item, data.clone()) {
+                Ok(version) => return version,
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// Conditional PUT, riding out transient failures; a lost CAS is a
+    /// real outcome, not a transient, and surfaces immediately.
+    ///
+    /// # Errors
+    /// [`VersionConflict`] carrying the item's actual version.
+    fn put_if_version(
+        &self,
+        folder: &str,
+        item: &str,
+        data: Bytes,
+        expected: u64,
+    ) -> Result<u64, VersionConflict> {
+        loop {
+            match self.try_put_if_version(folder, item, data.clone(), expected) {
+                Ok(version) => return Ok(version),
+                Err(StoreError::Conflict(conflict)) => return Err(conflict),
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// Atomic multi-PUT, riding out transient failures (see
+    /// [`ObjectStore::try_put_many`]).
+    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
+        loop {
+            match self.try_put_many(folder, items.clone()) {
+                Ok(version) => return version,
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// GET, riding out transient failures (see [`ObjectStore::try_get`]).
+    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
+        loop {
+            match self.try_get(folder, item) {
+                Ok(found) => return found,
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// DELETE, riding out transient failures (see
+    /// [`ObjectStore::try_delete`]).
+    fn delete(&self, folder: &str, item: &str) -> bool {
+        loop {
+            match self.try_delete(folder, item) {
+                Ok(removed) => return removed,
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// Folder listing, riding out transient failures (see
+    /// [`ObjectStore::try_list`]).
+    fn list(&self, folder: &str) -> Vec<String> {
+        loop {
+            match self.try_list(folder) {
+                Ok(items) => return items,
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// Folder-name listing, riding out transient failures (see
+    /// [`ObjectStore::try_list_folders`]).
+    fn list_folders(&self) -> Vec<String> {
+        loop {
+            match self.try_list_folders() {
+                Ok(folders) => return folders,
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// Folder-clock read, riding out transient failures (see
+    /// [`ObjectStore::try_folder_version`]).
+    fn folder_version(&self, folder: &str) -> u64 {
+        loop {
+            match self.try_folder_version(folder) {
+                Ok(version) => return version,
+                Err(_) => std::thread::sleep(RIDE_OUT_PAUSE),
+            }
+        }
+    }
+
+    /// Long poll, riding out transient failures within the caller's
+    /// deadline. An outage that outlasts the deadline surfaces as a torn
+    /// poll — an early timeout with `version: since` — so the caller's
+    /// cursor stands still and a change masked by the fault is picked up
+    /// by the next (post-recovery) poll.
+    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
+        let deadline = Instant::now() + timeout;
+        let mut remaining = timeout;
+        loop {
+            match self.try_long_poll(folder, since, remaining) {
+                Ok(poll) => return poll,
+                Err(_) => {
+                    if Instant::now() >= deadline {
+                        return PollResult {
+                            version: since,
+                            changed: Vec::new(),
+                            timed_out: true,
+                        };
+                    }
+                    std::thread::sleep(RIDE_OUT_PAUSE);
+                    remaining = deadline.saturating_duration_since(Instant::now());
+                }
+            }
+        }
     }
 }
 
@@ -282,10 +377,6 @@ impl StoreHandle {
         self.0.routing_epoch()
     }
 
-    // The try_* forwards below go through `self.0.try_*` explicitly: the
-    // trait defaults would re-enter StoreHandle's own infallible methods
-    // and silently bypass a wrapped store's fault injection.
-
     /// Fallible PUT (see [`ObjectStore::try_put`]).
     ///
     /// # Errors
@@ -357,6 +448,15 @@ impl StoreHandle {
         self.0.try_list(folder)
     }
 
+    /// Fallible folder-name listing (see
+    /// [`ObjectStore::try_list_folders`]).
+    ///
+    /// # Errors
+    /// [`StoreError`] on transport failures.
+    pub fn try_list_folders(&self) -> Result<Vec<String>, StoreError> {
+        self.0.try_list_folders()
+    }
+
     /// Fallible folder-clock read (see [`ObjectStore::try_folder_version`]).
     ///
     /// # Errors
@@ -379,66 +479,18 @@ impl StoreHandle {
     }
 
     /// Submits a request for asynchronous completion (see
-    /// [`ObjectStore::submit`]). Forwarded through `self.0.submit` for
-    /// the same reason as the `try_*` methods: the trait default would
-    /// execute inline and bypass the wrapped store's lanes and fault
-    /// injection.
+    /// [`ObjectStore::submit`]). Forwarded through `self.0.submit` so the
+    /// wrapped store's lanes and fault injection stay in the path.
     pub fn submit(&self, request: Request) -> StoreTicket {
         self.0.submit(request)
     }
 }
 
+/// The handle is itself a store: the required fallible surface forwards to
+/// the wrapped implementation, so wrapping a handle never bypasses a
+/// wrapped store's fault injection — and the default infallible wrappers
+/// then ride out faults against that forwarded surface for free.
 impl ObjectStore for StoreHandle {
-    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
-        self.0.put(folder, item, data)
-    }
-
-    fn put_if_version(
-        &self,
-        folder: &str,
-        item: &str,
-        data: Bytes,
-        expected: u64,
-    ) -> Result<u64, VersionConflict> {
-        self.0.put_if_version(folder, item, data, expected)
-    }
-
-    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
-        self.0.put_many(folder, items)
-    }
-
-    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
-        self.0.get(folder, item)
-    }
-
-    fn delete(&self, folder: &str, item: &str) -> bool {
-        self.0.delete(folder, item)
-    }
-
-    fn list(&self, folder: &str) -> Vec<String> {
-        self.0.list(folder)
-    }
-
-    fn list_folders(&self) -> Vec<String> {
-        self.0.list_folders()
-    }
-
-    fn folder_version(&self, folder: &str) -> u64 {
-        self.0.folder_version(folder)
-    }
-
-    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
-        self.0.long_poll(folder, since, timeout)
-    }
-
-    fn metrics(&self) -> MetricsSnapshot {
-        self.0.metrics()
-    }
-
-    fn routing_epoch(&self) -> u64 {
-        self.0.routing_epoch()
-    }
-
     fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
         self.0.try_put(folder, item, data)
     }
@@ -469,6 +521,10 @@ impl ObjectStore for StoreHandle {
         self.0.try_list(folder)
     }
 
+    fn try_list_folders(&self) -> Result<Vec<String>, StoreError> {
+        self.0.try_list_folders()
+    }
+
     fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
         self.0.try_folder_version(folder)
     }
@@ -480,6 +536,14 @@ impl ObjectStore for StoreHandle {
         timeout: Duration,
     ) -> Result<PollResult, StoreError> {
         self.0.try_long_poll(folder, since, timeout)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.0.metrics()
+    }
+
+    fn routing_epoch(&self) -> u64 {
+        self.0.routing_epoch()
     }
 
     fn submit(&self, request: Request) -> StoreTicket {

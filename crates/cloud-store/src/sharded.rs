@@ -52,12 +52,12 @@
 //! sacrificed; sessions heal by re-reading the current version, exactly
 //! as they already do for any CAS conflict.
 
-use crate::fault::FaultInjector;
+use crate::fault::{FaultInjector, StoreError};
 use crate::latency::LatencyModel;
 use crate::metrics::{ImbalanceReport, MetricsSnapshot};
 use crate::object_store::ObjectStore;
 use crate::routing::RoutingTable;
-use crate::store::{CloudStore, PollResult, VersionConflict};
+use crate::store::{CloudStore, PollResult};
 use crate::submit::{execute_request, Request, StoreTicket};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -586,37 +586,42 @@ impl ShardedStore {
 }
 
 impl ObjectStore for ShardedStore {
-    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
-        self.with_owner(folder, |s| s.put(folder, item, data))
+    // Each shard is a reliable in-memory CloudStore, so the routed verbs
+    // succeed in one attempt; fault injection wraps whole stores from the
+    // outside (FaultyStore), never individual shards from here.
+
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
+        Ok(self.with_owner(folder, |s| s.put(folder, item, data)))
     }
 
-    fn put_if_version(
+    fn try_put_if_version(
         &self,
         folder: &str,
         item: &str,
         data: Bytes,
         expected: u64,
-    ) -> Result<u64, VersionConflict> {
+    ) -> Result<u64, StoreError> {
         self.with_owner(folder, |s| s.put_if_version(folder, item, data, expected))
+            .map_err(StoreError::Conflict)
     }
 
-    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
-        self.with_owner(folder, |s| s.put_many(folder, items))
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
+        Ok(self.with_owner(folder, |s| s.put_many(folder, items)))
     }
 
-    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
-        self.with_owner(folder, |s| s.get(folder, item))
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        Ok(self.with_owner(folder, |s| s.get(folder, item)))
     }
 
-    fn delete(&self, folder: &str, item: &str) -> bool {
-        self.with_owner(folder, |s| s.delete(folder, item))
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        Ok(self.with_owner(folder, |s| s.delete(folder, item)))
     }
 
-    fn list(&self, folder: &str) -> Vec<String> {
-        self.with_owner(folder, |s| s.list(folder))
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        Ok(self.with_owner(folder, |s| s.list(folder)))
     }
 
-    fn list_folders(&self) -> Vec<String> {
+    fn try_list_folders(&self) -> Result<Vec<String>, StoreError> {
         let stores: Vec<CloudStore> = {
             let r = self.routing.read();
             r.all_slots().map(|(_, s)| s.clone()).collect()
@@ -625,23 +630,28 @@ impl ObjectStore for ShardedStore {
         folders.sort();
         // a folder mid-migration is resident on two shards for a moment
         folders.dedup();
-        folders
+        Ok(folders)
     }
 
-    fn folder_version(&self, folder: &str) -> u64 {
-        self.with_owner(folder, CloudStore::version)
+    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
+        Ok(self.with_owner(folder, CloudStore::version))
     }
 
-    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
-        // The poll must NOT hold the routing lock while blocking (a long
-        // timeout would stall every cutover), so it resolves the owner
-        // under a short read lock and polls unlocked. While a migration
-        // is in flight anywhere, it polls in short slices and re-resolves
-        // each slice, bounding how long a poller can keep watching an
-        // owner its folder has been cut away from. A poll already asleep
-        // when a resize *starts* rides out at most its own timeout — the
-        // next poll re-resolves, and the destination's jumped clock
-        // guarantees the stale cursor still reports every later write.
+    /// The poll must NOT hold the routing lock while blocking (a long
+    /// timeout would stall every cutover), so it resolves the owner
+    /// under a short read lock and polls unlocked. While a migration
+    /// is in flight anywhere, it polls in short slices and re-resolves
+    /// each slice, bounding how long a poller can keep watching an
+    /// owner its folder has been cut away from. A poll already asleep
+    /// when a resize *starts* rides out at most its own timeout — the
+    /// next poll re-resolves, and the destination's jumped clock
+    /// guarantees the stale cursor still reports every later write.
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
         const MIGRATION_SLICE: Duration = Duration::from_millis(25);
         let deadline = Instant::now() + timeout;
         loop {
@@ -651,11 +661,11 @@ impl ObjectStore for ShardedStore {
             };
             let remaining = deadline.saturating_duration_since(Instant::now());
             if !migration_active {
-                return store.long_poll(folder, since, remaining);
+                return Ok(store.long_poll(folder, since, remaining));
             }
             let result = store.long_poll(folder, since, remaining.min(MIGRATION_SLICE));
             if !result.timed_out || Instant::now() >= deadline {
-                return result;
+                return Ok(result);
             }
         }
     }

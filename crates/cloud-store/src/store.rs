@@ -3,6 +3,7 @@
 //! polling works at the directory level, so we index the group metadata as
 //! a bi-level hierarchy" — parent folder = group, children = partitions).
 
+use crate::fault::StoreError;
 use crate::latency::LatencyModel;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::object_store::ObjectStore;
@@ -483,47 +484,55 @@ impl CloudStore {
 }
 
 impl ObjectStore for CloudStore {
-    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
-        CloudStore::put(self, folder, item, data)
+    // The in-memory store is reliable: every fallible verb succeeds in one
+    // attempt, so the trait's infallible wrappers never loop.
+
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
+        Ok(CloudStore::put(self, folder, item, data))
     }
 
-    fn put_if_version(
+    fn try_put_if_version(
         &self,
         folder: &str,
         item: &str,
         data: Bytes,
         expected: u64,
-    ) -> Result<u64, VersionConflict> {
-        CloudStore::put_if_version(self, folder, item, data, expected)
+    ) -> Result<u64, StoreError> {
+        CloudStore::put_if_version(self, folder, item, data, expected).map_err(StoreError::Conflict)
     }
 
-    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
-        CloudStore::put_many(self, folder, items)
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
+        Ok(CloudStore::put_many(self, folder, items))
     }
 
-    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
-        CloudStore::get(self, folder, item)
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        Ok(CloudStore::get(self, folder, item))
     }
 
-    fn delete(&self, folder: &str, item: &str) -> bool {
-        CloudStore::delete(self, folder, item)
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        Ok(CloudStore::delete(self, folder, item))
     }
 
-    fn list(&self, folder: &str) -> Vec<String> {
-        CloudStore::list(self, folder)
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        Ok(CloudStore::list(self, folder))
     }
 
-    fn list_folders(&self) -> Vec<String> {
-        CloudStore::list_folders(self)
+    fn try_list_folders(&self) -> Result<Vec<String>, StoreError> {
+        Ok(CloudStore::list_folders(self))
     }
 
-    fn folder_version(&self, _folder: &str) -> u64 {
+    fn try_folder_version(&self, _folder: &str) -> Result<u64, StoreError> {
         // one global clock: every folder shares its domain
-        self.version()
+        Ok(self.version())
     }
 
-    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
-        CloudStore::long_poll(self, folder, since, timeout)
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
+        Ok(CloudStore::long_poll(self, folder, since, timeout))
     }
 
     fn metrics(&self) -> MetricsSnapshot {

@@ -289,6 +289,7 @@ impl GroupEngine {
                 sealed_gk,
                 epoch,
                 key_history,
+                log_head: None,
             })
         })?;
         self.observe_epoch(meta.epoch);
@@ -661,6 +662,9 @@ impl GroupEngine {
             sealed_gk: meta.sealed_gk.clone(),
             epoch,
             key_history: meta.key_history.clone(),
+            // repartitioning is not a log-visible mutation; the caller's
+            // journal entry (if any) restamps the head after this returns
+            log_head: meta.log_head,
         })
     }
 

@@ -7,6 +7,7 @@
 //! secret-bearing field, `sealed_gk`, is opaque outside the admin enclave.
 
 use ibbe::Ciphertext;
+use oplog::LogCommitment;
 use sgx_sim::SealedBlob;
 use symcrypto::gcm::NONCE_LEN;
 
@@ -214,6 +215,14 @@ pub struct GroupMetadata {
     /// [`KeyHistory`]); published next to the partitions so readers can
     /// unwrap data objects not yet re-encrypted to the current epoch.
     pub key_history: KeyHistory,
+    /// Merkle head of the group's certified op-log after the mutation that
+    /// produced this metadata — `None` until an op-logging admin journals
+    /// the group's first entry. The engine never sets it (the log lives
+    /// outside the enclave); the admin stamps it after appending, and it is
+    /// published to the cloud in the same atomic round-trip as the
+    /// partitions so clients can verify the log extends their pinned head
+    /// before trusting the new state.
+    pub log_head: Option<LogCommitment>,
 }
 
 impl GroupMetadata {
@@ -312,6 +321,7 @@ mod tests {
                 nonce: [0; NONCE_LEN],
                 ciphertext: vec![0; 16],
             },
+            log_head: None,
         }
     }
 

@@ -4,7 +4,12 @@ use cloud_store::{StoreError, VersionConflict};
 use core::fmt;
 
 /// Errors surfaced by data-plane sessions, sweepers and coordinators.
+///
+/// `#[non_exhaustive]`: new failure classes (like the op-log verification
+/// evidence that [`acs::AcsError`] grew) may be added without a major
+/// bump — match with a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DataError {
     /// Propagated control-plane (admin/client) failure.
     Acs(acs::AcsError),

@@ -352,3 +352,54 @@ fn tampered_object_fails_closed() {
     store.put(&folder, "renamed", bytes);
     assert_eq!(writer.read("renamed"), Err(DataError::AuthFailed));
 }
+
+/// A forked op-log fails the data plane closed: the session's freshness
+/// check surfaces the verification evidence instead of silently reading
+/// (or writing) under state derived from a rewritten history. Only
+/// `NotAMember` is ridden out by `maybe_refresh`; evidence is not.
+#[test]
+fn forked_oplog_fails_the_session_closed() {
+    use acs::{AdminSigner, ForkingStore, Tamper};
+    use rand::SeedableRng;
+
+    let store = CloudStore::new();
+    let mut r = rand::rngs::StdRng::seed_from_u64(11);
+    let signer = AdminSigner::new("admin-1", &mut r);
+    let admin = seeded_admin(11, 3, store.clone()).with_signer(signer);
+    admin.create_group("g", names(4)).unwrap();
+
+    // the reader watches the group through an (initially honest) view the
+    // adversary controls; the admin writes to the real store
+    let forked = ForkingStore::new(store.clone());
+    let mut reader = ClientSession::with_seed(
+        "u0",
+        admin.engine().extract_user_key("u0").unwrap(),
+        admin.engine().public_key().clone(),
+        forked.clone(),
+        "g",
+        311,
+    );
+    let mut writer = session(&admin, &store, "g", "u1", 312);
+    writer.write("obj", b"payload").unwrap();
+    assert_eq!(reader.read("obj").unwrap(), b"payload");
+
+    // the group moves on; the view rewrites the history the reader pinned
+    admin.add_user("g", "u9").unwrap();
+    forked
+        .tamper("g", Tamper::RewriteEntry { index: 0 })
+        .unwrap();
+
+    let err = reader.read("obj").unwrap_err();
+    assert!(
+        matches!(&err, DataError::Acs(acs::AcsError::Verify(_))),
+        "expected fail-closed verification evidence, got {err:?}"
+    );
+    assert!(
+        !err.is_transient(),
+        "evidence must not be retried away like an outage"
+    );
+
+    // the attack ends: the honest history checks out and reads resume
+    forked.heal("g");
+    assert_eq!(reader.read("obj").unwrap(), b"payload");
+}

@@ -16,7 +16,7 @@ use acs::FleetFixture;
 use bytes::Bytes;
 use cloud_store::{
     CloudStore, LatencyModel, MetricsSnapshot, ObjectStore, PollResult, Request, RequestOp,
-    StoreError, StoreHandle, StoreTicket, VersionConflict,
+    StoreError, StoreHandle, StoreTicket,
 };
 use dataplane::fixtures::{fleet_session, fleet_session_on};
 use dataplane::{PipelinedSession, RwSystemBackend, RwSystemConfig};
@@ -89,55 +89,12 @@ impl RecordingStore {
 }
 
 impl ObjectStore for RecordingStore {
-    fn put(&self, folder: &str, item: &str, data: Bytes) -> u64 {
-        self.inner.put(folder, item, data)
-    }
+    // Only the data-plane verbs under test record; the rest forward. With
+    // the fallible surface as the trait's single required surface, the
+    // recorder implements one set of verbs instead of a dual impl.
 
-    fn put_if_version(
-        &self,
-        folder: &str,
-        item: &str,
-        data: Bytes,
-        expected: u64,
-    ) -> Result<u64, VersionConflict> {
-        self.inner.put_if_version(folder, item, data, expected)
-    }
-
-    fn put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> u64 {
-        self.inner.put_many(folder, items)
-    }
-
-    fn get(&self, folder: &str, item: &str) -> Option<(Bytes, u64)> {
-        self.inner.get(folder, item)
-    }
-
-    fn delete(&self, folder: &str, item: &str) -> bool {
-        self.inner.delete(folder, item)
-    }
-
-    fn list(&self, folder: &str) -> Vec<String> {
-        self.inner.list(folder)
-    }
-
-    fn list_folders(&self) -> Vec<String> {
-        self.inner.list_folders()
-    }
-
-    fn folder_version(&self, folder: &str) -> u64 {
-        self.inner.folder_version(folder)
-    }
-
-    fn long_poll(&self, folder: &str, since: u64, timeout: Duration) -> PollResult {
-        self.inner.long_poll(folder, since, timeout)
-    }
-
-    fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics()
-    }
-
-    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
-        self.record("get", folder, item);
-        self.inner.try_get(folder, item)
+    fn try_put(&self, folder: &str, item: &str, data: Bytes) -> Result<u64, StoreError> {
+        self.inner.try_put(folder, item, data)
     }
 
     fn try_put_if_version(
@@ -149,6 +106,44 @@ impl ObjectStore for RecordingStore {
     ) -> Result<u64, StoreError> {
         self.record("cas", folder, item);
         self.inner.try_put_if_version(folder, item, data, expected)
+    }
+
+    fn try_put_many(&self, folder: &str, items: Vec<(String, Bytes)>) -> Result<u64, StoreError> {
+        self.inner.try_put_many(folder, items)
+    }
+
+    fn try_get(&self, folder: &str, item: &str) -> Result<Option<(Bytes, u64)>, StoreError> {
+        self.record("get", folder, item);
+        self.inner.try_get(folder, item)
+    }
+
+    fn try_delete(&self, folder: &str, item: &str) -> Result<bool, StoreError> {
+        self.inner.try_delete(folder, item)
+    }
+
+    fn try_list(&self, folder: &str) -> Result<Vec<String>, StoreError> {
+        self.inner.try_list(folder)
+    }
+
+    fn try_list_folders(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.try_list_folders()
+    }
+
+    fn try_folder_version(&self, folder: &str) -> Result<u64, StoreError> {
+        self.inner.try_folder_version(folder)
+    }
+
+    fn try_long_poll(
+        &self,
+        folder: &str,
+        since: u64,
+        timeout: Duration,
+    ) -> Result<PollResult, StoreError> {
+        self.inner.try_long_poll(folder, since, timeout)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
     }
 
     fn submit(&self, request: Request) -> StoreTicket {

@@ -1,0 +1,284 @@
+//! The incremental accumulator and the node-addressing scheme shared by
+//! tree builders, proof generators and store-backed proof fetchers.
+
+use symcrypto::sha256::Sha256;
+
+use crate::{empty_root, Hash, LogCommitment};
+
+/// RFC 6962 leaf hash: `SHA-256(0x00 || data)`.
+#[must_use]
+pub fn leaf_hash(data: &[u8]) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+/// RFC 6962 interior-node hash: `SHA-256(0x01 || left || right)`.
+#[must_use]
+pub fn node_hash(left: &Hash, right: &Hash) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// Read access to the *complete* nodes of a Merkle history tree.
+///
+/// Node `(level, index)` is the root of the complete subtree over leaves
+/// `[index·2^level, (index+1)·2^level)`; level 0 is the leaf row. Only
+/// complete subtrees have addresses — partial right-edge subtrees are
+/// recomputed from complete ones on demand ([`range_root`]), which is what
+/// lets a store publish each node exactly once, immutably.
+///
+/// `None` means the node is unavailable (out of range for an in-memory
+/// tree; absent or unreadable for a store-backed source). Proof builders
+/// fail closed on `None`.
+pub trait NodeSource {
+    /// Root of the complete subtree at `(level, index)`, if available.
+    fn node(&self, level: u32, index: u64) -> Option<Hash>;
+}
+
+/// A node the accumulator completed while appending, as `(level, index,
+/// hash)` — level 0 entry is the appended leaf itself.
+pub type CompletedNode = (u32, u64, Hash);
+
+/// Incremental RFC 6962 history tree.
+///
+/// Maintains one row per level holding the roots of all complete subtrees
+/// at that level (the "binary counter" layout: row `l` has `⌊n / 2^l⌋`
+/// entries after `n` appends). Memory is O(n) total, append is O(1)
+/// amortised, and the current root folds the O(log n) peaks right-to-left.
+#[derive(Clone, Debug, Default)]
+pub struct MerkleLog {
+    levels: Vec<Vec<Hash>>,
+}
+
+impl MerkleLog {
+    /// An empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of leaves appended so far.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.levels.first().map_or(0, |row| row.len() as u64)
+    }
+
+    /// Appends `data` as the next leaf; see [`MerkleLog::append_leaf`].
+    pub fn append(&mut self, data: &[u8]) -> Vec<CompletedNode> {
+        self.append_leaf(leaf_hash(data))
+    }
+
+    /// Appends an already-hashed leaf and returns every node the append
+    /// completed (the leaf itself plus each newly full parent, bottom-up).
+    ///
+    /// The returned set is exactly what a publisher must persist to keep an
+    /// object-per-node mirror of the tree current: complete nodes are
+    /// immutable, so the mirror is append-only too.
+    pub fn append_leaf(&mut self, leaf: Hash) -> Vec<CompletedNode> {
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(leaf);
+        let mut completed = vec![(0, self.levels[0].len() as u64 - 1, leaf)];
+        let mut level = 0;
+        while self.levels[level].len().is_multiple_of(2) {
+            let row = &self.levels[level];
+            let parent = node_hash(&row[row.len() - 2], &row[row.len() - 1]);
+            if self.levels.len() == level + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level + 1].push(parent);
+            completed.push((
+                level as u32 + 1,
+                self.levels[level + 1].len() as u64 - 1,
+                parent,
+            ));
+            level += 1;
+        }
+        completed
+    }
+
+    /// Leaf hash at `index`, if appended.
+    #[must_use]
+    pub fn leaf(&self, index: u64) -> Option<Hash> {
+        self.node(0, index)
+    }
+
+    /// Current RFC 6962 root (the hash of the empty string for an empty
+    /// tree).
+    #[must_use]
+    pub fn root(&self) -> Hash {
+        let n = self.size();
+        if n == 0 {
+            return empty_root();
+        }
+        // One peak per set bit of n, highest level first; fold right-to-left
+        // so the deepest (right-most, smallest) peak seeds the combine —
+        // this reproduces MTH's largest-power-of-two-first split.
+        let mut peaks = Vec::new();
+        let mut consumed = 0u64;
+        for level in (0..64).rev() {
+            if n & (1u64 << level) != 0 {
+                peaks.push(self.levels[level][(consumed >> level) as usize]);
+                consumed += 1u64 << level;
+            }
+        }
+        let mut root = *peaks.last().expect("non-empty tree has at least one peak");
+        for peak in peaks.iter().rev().skip(1) {
+            root = node_hash(peak, &root);
+        }
+        root
+    }
+
+    /// The current head: size plus root.
+    #[must_use]
+    pub fn commitment(&self) -> LogCommitment {
+        LogCommitment {
+            size: self.size(),
+            root: self.root(),
+        }
+    }
+}
+
+impl NodeSource for MerkleLog {
+    fn node(&self, level: u32, index: u64) -> Option<Hash> {
+        self.levels
+            .get(level as usize)?
+            .get(usize::try_from(index).ok()?)
+            .copied()
+    }
+}
+
+/// Largest power of two strictly below `n` (`n ≥ 2`) — RFC 6962's split
+/// point `k` with `k < n ≤ 2k`.
+pub(crate) fn split_point(n: u64) -> u64 {
+    debug_assert!(n >= 2);
+    1u64 << (63 - (n - 1).leading_zeros())
+}
+
+/// Root of the leaf range `[lo, hi)` recomputed from complete nodes.
+///
+/// Complete aligned subtrees are read straight from the source; anything
+/// else recurses along the RFC 6962 split. `None` if any required node is
+/// unavailable.
+#[must_use]
+pub fn range_root<S: NodeSource + ?Sized>(src: &S, lo: u64, hi: u64) -> Option<Hash> {
+    debug_assert!(lo < hi);
+    let len = hi - lo;
+    if len.is_power_of_two() && lo.is_multiple_of(len) {
+        return src.node(len.trailing_zeros(), lo / len);
+    }
+    let mid = lo + split_point(len);
+    Some(node_hash(
+        &range_root(src, lo, mid)?,
+        &range_root(src, mid, hi)?,
+    ))
+}
+
+/// Root of the first `size` leaves ([`empty_root`] for `size == 0`), or
+/// `None` if the source lacks a required node.
+#[must_use]
+pub fn root_at<S: NodeSource + ?Sized>(src: &S, size: u64) -> Option<Hash> {
+    if size == 0 {
+        Some(empty_root())
+    } else {
+        range_root(src, 0, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference MTH straight from the RFC recursion, for cross-checking
+    /// the incremental accumulator.
+    fn mth(leaves: &[Hash]) -> Hash {
+        match leaves.len() {
+            0 => empty_root(),
+            1 => leaves[0],
+            n => {
+                let k = split_point(n as u64) as usize;
+                node_hash(&mth(&leaves[..k]), &mth(&leaves[k..]))
+            }
+        }
+    }
+
+    fn leaves(n: u64) -> Vec<Hash> {
+        (0..n).map(|i| leaf_hash(&i.to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn incremental_root_matches_recursive_mth() {
+        let mut log = MerkleLog::new();
+        assert_eq!(log.root(), empty_root());
+        for n in 0..130u64 {
+            log.append_leaf(leaf_hash(&n.to_be_bytes()));
+            assert_eq!(log.size(), n + 1);
+            assert_eq!(
+                log.root(),
+                mth(&leaves(n + 1)),
+                "mismatch at size {}",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn completed_nodes_follow_the_binary_counter() {
+        let mut log = MerkleLog::new();
+        // Leaf 0 completes only itself; leaf 1 completes node (1,0);
+        // leaf 3 completes (1,1) and (2,0); leaf 7 completes three parents.
+        let shapes: Vec<Vec<(u32, u64)>> = (0..8u64)
+            .map(|i| log.append_leaf(leaf_hash(&i.to_be_bytes())))
+            .map(|nodes| nodes.into_iter().map(|(l, i, _)| (l, i)).collect())
+            .collect();
+        assert_eq!(shapes[0], vec![(0, 0)]);
+        assert_eq!(shapes[1], vec![(0, 1), (1, 0)]);
+        assert_eq!(shapes[2], vec![(0, 2)]);
+        assert_eq!(shapes[3], vec![(0, 3), (1, 1), (2, 0)]);
+        assert_eq!(shapes[7], vec![(0, 7), (1, 3), (2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn range_root_reproduces_historic_heads() {
+        let mut log = MerkleLog::new();
+        let mut heads = vec![log.root()];
+        for i in 0..40u64 {
+            log.append_leaf(leaf_hash(&i.to_be_bytes()));
+            heads.push(log.root());
+        }
+        for (size, head) in heads.iter().enumerate() {
+            assert_eq!(
+                root_at(&log, size as u64),
+                Some(*head),
+                "historic head {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_nodes_fail_closed() {
+        struct Hole<'a>(&'a MerkleLog);
+        impl NodeSource for Hole<'_> {
+            fn node(&self, level: u32, index: u64) -> Option<Hash> {
+                if (level, index) == (2, 0) {
+                    None
+                } else {
+                    self.0.node(level, index)
+                }
+            }
+        }
+        let mut log = MerkleLog::new();
+        for i in 0..5u64 {
+            log.append_leaf(leaf_hash(&i.to_be_bytes()));
+        }
+        assert_eq!(root_at(&Hole(&log), 5), None);
+        // Ranges not touching the hole still resolve.
+        assert!(range_root(&Hole(&log), 4, 5).is_some());
+    }
+}

@@ -1,0 +1,636 @@
+//! Proof generation (from any [`NodeSource`]) and the pure, iterative
+//! RFC 9162 verification algorithms.
+//!
+//! Generation walks the RFC 6962 `PATH`/`SUBPROOF` recursions over complete
+//! nodes; verification needs no node access at all — only the proof, the
+//! leaf/commitments in question, and O(log n) hashing. That asymmetry is
+//! the whole point: the store serves O(log n) immutable node objects, the
+//! verifier keeps 40 bytes of state.
+
+use crate::merkle::{node_hash, range_root, root_at, split_point, NodeSource};
+use crate::{empty_root, Hash, LogCommitment, VerifyError};
+
+/// Hard cap on decoded path lengths: a 64-level tree never needs more than
+/// 63 inclusion hashes or 126 consistency hashes, so anything near the cap
+/// is garbage, not a big tree.
+const MAX_PATH: u32 = 192;
+
+fn encode_path(out: &mut Vec<u8>, path: &[Hash]) {
+    out.extend_from_slice(&(path.len() as u32).to_be_bytes());
+    for hash in path {
+        out.extend_from_slice(hash);
+    }
+}
+
+fn decode_path(bytes: &[u8], at: &mut usize) -> Result<Vec<Hash>, VerifyError> {
+    let header = bytes
+        .get(*at..*at + 4)
+        .ok_or(VerifyError::Malformed("truncated path length"))?;
+    let count = u32::from_be_bytes(header.try_into().expect("4-byte slice"));
+    *at += 4;
+    if count > MAX_PATH {
+        return Err(VerifyError::Malformed(
+            "path longer than any 64-level tree needs",
+        ));
+    }
+    let mut path = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let node = bytes
+            .get(*at..*at + 32)
+            .ok_or(VerifyError::Malformed("truncated path node"))?;
+        path.push(node.try_into().expect("32-byte slice"));
+        *at += 32;
+    }
+    Ok(path)
+}
+
+fn decode_u64(bytes: &[u8], at: &mut usize) -> Result<u64, VerifyError> {
+    let word = bytes
+        .get(*at..*at + 8)
+        .ok_or(VerifyError::Malformed("truncated integer"))?;
+    *at += 8;
+    Ok(u64::from_be_bytes(word.try_into().expect("8-byte slice")))
+}
+
+fn decode_hash(bytes: &[u8], at: &mut usize) -> Result<Hash, VerifyError> {
+    let hash = bytes
+        .get(*at..*at + 32)
+        .ok_or(VerifyError::Malformed("truncated hash"))?;
+    *at += 32;
+    Ok(hash.try_into().expect("32-byte slice"))
+}
+
+fn expect_end(bytes: &[u8], at: usize) -> Result<(), VerifyError> {
+    if at == bytes.len() {
+        Ok(())
+    } else {
+        Err(VerifyError::Malformed("trailing bytes"))
+    }
+}
+
+/// Proof that a leaf sits at `index` in the tree of `size` leaves.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InclusionProof {
+    /// Index of the proven leaf.
+    pub index: u64,
+    /// Size of the tree the proof targets.
+    pub size: u64,
+    /// Audit path, deepest sibling first (RFC 6962 `PATH` order).
+    pub path: Vec<Hash>,
+}
+
+impl InclusionProof {
+    /// Wire form: index, size, then the path.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 + 32 * self.path.len());
+        out.extend_from_slice(&self.index.to_be_bytes());
+        out.extend_from_slice(&self.size.to_be_bytes());
+        encode_path(&mut out, &self.path);
+        out
+    }
+
+    /// Strict parse of [`InclusionProof::to_bytes`] (trailing bytes
+    /// rejected).
+    ///
+    /// # Errors
+    /// [`VerifyError::Malformed`] on framing violations.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, VerifyError> {
+        let mut at = 0;
+        let index = decode_u64(bytes, &mut at)?;
+        let size = decode_u64(bytes, &mut at)?;
+        let path = decode_path(bytes, &mut at)?;
+        expect_end(bytes, at)?;
+        Ok(Self { index, size, path })
+    }
+}
+
+/// Proof that the tree of `new_size` leaves extends the tree of
+/// `old_size` leaves (RFC 6962 consistency proof).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConsistencyProof {
+    /// Size of the older tree.
+    pub old_size: u64,
+    /// Size of the newer tree.
+    pub new_size: u64,
+    /// Consistency path (RFC 6962 `PROOF` order). Empty when `old_size`
+    /// is `0` or equals `new_size` — those cases verify structurally.
+    pub path: Vec<Hash>,
+}
+
+impl ConsistencyProof {
+    /// Wire form: old size, new size, then the path.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 + 32 * self.path.len());
+        out.extend_from_slice(&self.old_size.to_be_bytes());
+        out.extend_from_slice(&self.new_size.to_be_bytes());
+        encode_path(&mut out, &self.path);
+        out
+    }
+
+    /// Strict parse of [`ConsistencyProof::to_bytes`] (trailing bytes
+    /// rejected).
+    ///
+    /// # Errors
+    /// [`VerifyError::Malformed`] on framing violations.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, VerifyError> {
+        let mut at = 0;
+        let old_size = decode_u64(bytes, &mut at)?;
+        let new_size = decode_u64(bytes, &mut at)?;
+        let path = decode_path(bytes, &mut at)?;
+        expect_end(bytes, at)?;
+        Ok(Self {
+            old_size,
+            new_size,
+            path,
+        })
+    }
+}
+
+/// RFC 6962 `PATH(index, D[0:size])` from complete nodes, or `None` if the
+/// source lacks a required node (or `index ≥ size`).
+#[must_use]
+pub fn inclusion_proof<S: NodeSource + ?Sized>(
+    src: &S,
+    index: u64,
+    size: u64,
+) -> Option<InclusionProof> {
+    if index >= size {
+        return None;
+    }
+    fn walk<S: NodeSource + ?Sized>(
+        src: &S,
+        target: u64,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<Hash>,
+    ) -> Option<()> {
+        if hi - lo <= 1 {
+            return Some(());
+        }
+        let mid = lo + split_point(hi - lo);
+        if target < mid {
+            walk(src, target, lo, mid, out)?;
+            out.push(range_root(src, mid, hi)?);
+        } else {
+            walk(src, target, mid, hi, out)?;
+            out.push(range_root(src, lo, mid)?);
+        }
+        Some(())
+    }
+    let mut path = Vec::new();
+    walk(src, index, 0, size, &mut path)?;
+    Some(InclusionProof { index, size, path })
+}
+
+/// RFC 6962 `PROOF(old_size, D[0:new_size])` from complete nodes, or
+/// `None` if the source lacks a required node (or `old_size > new_size`).
+#[must_use]
+pub fn consistency_proof<S: NodeSource + ?Sized>(
+    src: &S,
+    old_size: u64,
+    new_size: u64,
+) -> Option<ConsistencyProof> {
+    if old_size > new_size {
+        return None;
+    }
+    // SUBPROOF over absolute leaf ranges: `prefix_end` is the old tree's
+    // right edge; `complete` tracks whether [lo, hi) lies entirely inside
+    // the old tree (RFC's `b` flag).
+    fn subproof<S: NodeSource + ?Sized>(
+        src: &S,
+        prefix_end: u64,
+        lo: u64,
+        hi: u64,
+        complete: bool,
+        out: &mut Vec<Hash>,
+    ) -> Option<()> {
+        if prefix_end == hi {
+            if !complete {
+                out.push(range_root(src, lo, hi)?);
+            }
+            return Some(());
+        }
+        let mid = lo + split_point(hi - lo);
+        if prefix_end <= mid {
+            subproof(src, prefix_end, lo, mid, complete, out)?;
+            out.push(range_root(src, mid, hi)?);
+        } else {
+            subproof(src, prefix_end, mid, hi, false, out)?;
+            out.push(range_root(src, lo, mid)?);
+        }
+        Some(())
+    }
+    let mut path = Vec::new();
+    if old_size > 0 && old_size < new_size {
+        subproof(src, old_size, 0, new_size, true, &mut path)?;
+    }
+    Some(ConsistencyProof {
+        old_size,
+        new_size,
+        path,
+    })
+}
+
+/// Verifies an inclusion proof against a known root (RFC 9162 §2.1.3.2).
+///
+/// `leaf` is the *leaf hash* (level-0 node), i.e. [`crate::leaf_hash`] of
+/// the entry bytes.
+///
+/// # Errors
+/// [`VerifyError::Malformed`] on structurally impossible proofs,
+/// [`VerifyError::RootMismatch`] when the recomputed root disagrees.
+pub fn verify_inclusion(
+    leaf: &Hash,
+    proof: &InclusionProof,
+    root: &Hash,
+) -> Result<(), VerifyError> {
+    if proof.index >= proof.size {
+        return Err(VerifyError::Malformed("leaf index beyond tree size"));
+    }
+    let mut fnode = proof.index;
+    let mut snode = proof.size - 1;
+    let mut acc = *leaf;
+    for sibling in &proof.path {
+        if snode == 0 {
+            return Err(VerifyError::Malformed("inclusion path too long"));
+        }
+        if fnode & 1 == 1 || fnode == snode {
+            acc = node_hash(sibling, &acc);
+            if fnode & 1 == 0 {
+                while fnode & 1 == 0 && fnode != 0 {
+                    fnode >>= 1;
+                    snode >>= 1;
+                }
+            }
+        } else {
+            acc = node_hash(&acc, sibling);
+        }
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    if snode != 0 {
+        return Err(VerifyError::Malformed("inclusion path too short"));
+    }
+    if acc != *root {
+        return Err(VerifyError::RootMismatch);
+    }
+    Ok(())
+}
+
+/// Verifies that `new` is an append-only extension of `old` (RFC 9162
+/// §2.1.4.2), i.e. the first `old.size` leaves under `new.root` hash to
+/// exactly `old.root`.
+///
+/// The degenerate cases are decided structurally: equal sizes must carry
+/// equal roots (else [`VerifyError::Forked`]), a shrinking size is
+/// [`VerifyError::Truncated`], and `old.size == 0` is trust-on-first-use
+/// (any tree extends the empty one).
+///
+/// # Errors
+/// [`VerifyError::NotAnExtension`] when the path fails to reproduce
+/// `old.root` — the verified prefix was rewritten;
+/// [`VerifyError::RootMismatch`] when it fails to reproduce `new.root`;
+/// [`VerifyError::Malformed`] on structural violations.
+pub fn verify_consistency(
+    old: &LogCommitment,
+    new: &LogCommitment,
+    proof: &ConsistencyProof,
+) -> Result<(), VerifyError> {
+    if proof.old_size != old.size || proof.new_size != new.size {
+        return Err(VerifyError::Malformed(
+            "proof sizes disagree with commitments",
+        ));
+    }
+    if old.size > new.size {
+        return Err(VerifyError::Truncated {
+            prior: old.size,
+            current: new.size,
+        });
+    }
+    if old.size == new.size {
+        if !proof.path.is_empty() {
+            return Err(VerifyError::Malformed("same-size proof must be empty"));
+        }
+        if old.root != new.root {
+            return Err(VerifyError::Forked { size: old.size });
+        }
+        return Ok(());
+    }
+    if old.size == 0 {
+        if !proof.path.is_empty() {
+            return Err(VerifyError::Malformed("zero-to-n proof must be empty"));
+        }
+        if old.root != empty_root() {
+            return Err(VerifyError::Malformed(
+                "empty commitment carries non-empty root",
+            ));
+        }
+        return Ok(());
+    }
+    // General case, 0 < old.size < new.size.
+    let mut fnode = old.size - 1;
+    let mut snode = new.size - 1;
+    while fnode & 1 == 1 {
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    let (seed, rest) = if old.size.is_power_of_two() {
+        (old.root, proof.path.as_slice())
+    } else {
+        match proof.path.split_first() {
+            Some((first, rest)) => (*first, rest),
+            None => return Err(VerifyError::Malformed("consistency path too short")),
+        }
+    };
+    let mut old_acc = seed;
+    let mut new_acc = seed;
+    for sibling in rest {
+        if snode == 0 {
+            return Err(VerifyError::Malformed("consistency path too long"));
+        }
+        if fnode & 1 == 1 || fnode == snode {
+            old_acc = node_hash(sibling, &old_acc);
+            new_acc = node_hash(sibling, &new_acc);
+            if fnode & 1 == 0 {
+                while fnode & 1 == 0 && fnode != 0 {
+                    fnode >>= 1;
+                    snode >>= 1;
+                }
+            }
+        } else {
+            new_acc = node_hash(&new_acc, sibling);
+        }
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    if snode != 0 {
+        return Err(VerifyError::Malformed("consistency path too short"));
+    }
+    if old_acc != old.root {
+        return Err(VerifyError::NotAnExtension);
+    }
+    if new_acc != new.root {
+        return Err(VerifyError::RootMismatch);
+    }
+    Ok(())
+}
+
+/// A compact fraud-proof unit: everything an untrusted verifier needs to
+/// replay one log append, godwoken-challenge-style — the head before, the
+/// appended leaf, the head after, and the two O(log n) paths binding them.
+///
+/// [`TransitionProof::verify`] establishes that the post tree is exactly
+/// the pre tree plus this one leaf: the consistency path proves the first
+/// `pre.size` leaves are untouched, `post.size == pre.size + 1` pins the
+/// leaf count, and the inclusion path pins the appended leaf's value. What
+/// the leaf *means* (a signed membership op) is layered on by the caller.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransitionProof {
+    /// Head before the append.
+    pub pre: LogCommitment,
+    /// Head after the append (`post.size == pre.size + 1`).
+    pub post: LogCommitment,
+    /// Leaf hash of the appended entry.
+    pub leaf: Hash,
+    /// Consistency path `pre → post`.
+    pub consistency: Vec<Hash>,
+    /// Inclusion path of `leaf` at index `pre.size` in the post tree.
+    pub inclusion: Vec<Hash>,
+}
+
+impl TransitionProof {
+    /// Builds the proof for the append that took the tree from `pre_size`
+    /// to `pre_size + 1` leaves, or `None` if the source lacks a node.
+    #[must_use]
+    pub fn build<S: NodeSource + ?Sized>(src: &S, pre_size: u64) -> Option<Self> {
+        let post_size = pre_size + 1;
+        let pre = LogCommitment {
+            size: pre_size,
+            root: root_at(src, pre_size)?,
+        };
+        let post = LogCommitment {
+            size: post_size,
+            root: root_at(src, post_size)?,
+        };
+        let leaf = src.node(0, pre_size)?;
+        let consistency = consistency_proof(src, pre_size, post_size)?.path;
+        let inclusion = inclusion_proof(src, pre_size, post_size)?.path;
+        Some(Self {
+            pre,
+            post,
+            leaf,
+            consistency,
+            inclusion,
+        })
+    }
+
+    /// Replays the transition.
+    ///
+    /// # Errors
+    /// [`VerifyError::BadTransition`] when the commitments don't describe
+    /// a single append; otherwise whatever the embedded consistency or
+    /// inclusion verification reports.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        if self.post.size != self.pre.size + 1 {
+            return Err(VerifyError::BadTransition("post size must be pre size + 1"));
+        }
+        let consistency = ConsistencyProof {
+            old_size: self.pre.size,
+            new_size: self.post.size,
+            path: self.consistency.clone(),
+        };
+        verify_consistency(&self.pre, &self.post, &consistency)?;
+        let inclusion = InclusionProof {
+            index: self.pre.size,
+            size: self.post.size,
+            path: self.inclusion.clone(),
+        };
+        verify_inclusion(&self.leaf, &inclusion, &self.post.root)
+    }
+
+    /// Wire form: pre, post, leaf, consistency path, inclusion path.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            2 * crate::COMMITMENT_LEN
+                + 32
+                + 8
+                + 32 * (self.consistency.len() + self.inclusion.len()),
+        );
+        out.extend_from_slice(&self.pre.to_bytes());
+        out.extend_from_slice(&self.post.to_bytes());
+        out.extend_from_slice(&self.leaf);
+        encode_path(&mut out, &self.consistency);
+        encode_path(&mut out, &self.inclusion);
+        out
+    }
+
+    /// Strict parse of [`TransitionProof::to_bytes`] (trailing bytes
+    /// rejected).
+    ///
+    /// # Errors
+    /// [`VerifyError::Malformed`] on framing violations.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, VerifyError> {
+        let mut at = 0;
+        let pre_size = decode_u64(bytes, &mut at)?;
+        let pre_root = decode_hash(bytes, &mut at)?;
+        let post_size = decode_u64(bytes, &mut at)?;
+        let post_root = decode_hash(bytes, &mut at)?;
+        let leaf = decode_hash(bytes, &mut at)?;
+        let consistency = decode_path(bytes, &mut at)?;
+        let inclusion = decode_path(bytes, &mut at)?;
+        expect_end(bytes, at)?;
+        Ok(Self {
+            pre: LogCommitment {
+                size: pre_size,
+                root: pre_root,
+            },
+            post: LogCommitment {
+                size: post_size,
+                root: post_root,
+            },
+            leaf,
+            consistency,
+            inclusion,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::{leaf_hash, MerkleLog};
+
+    fn log_of(n: u64) -> MerkleLog {
+        let mut log = MerkleLog::new();
+        for i in 0..n {
+            log.append_leaf(leaf_hash(&i.to_be_bytes()));
+        }
+        log
+    }
+
+    #[test]
+    fn inclusion_verifies_for_every_leaf_and_size() {
+        for size in 1..=65u64 {
+            let log = log_of(size);
+            let root = log.root();
+            for index in 0..size {
+                let proof = inclusion_proof(&log, index, size).expect("complete source");
+                let leaf = log.leaf(index).unwrap();
+                verify_inclusion(&leaf, &proof, &root)
+                    .unwrap_or_else(|e| panic!("leaf {index}/{size}: {e}"));
+                // The wrong leaf at the right index must not verify.
+                let wrong = leaf_hash(b"not this entry");
+                assert!(verify_inclusion(&wrong, &proof, &root).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_verifies_for_every_size_pair() {
+        let log = log_of(65);
+        let heads: Vec<LogCommitment> = (0..=65u64)
+            .map(|size| LogCommitment {
+                size,
+                root: root_at(&log, size).unwrap(),
+            })
+            .collect();
+        for old in 0..=65u64 {
+            for new in old..=65u64 {
+                let proof = consistency_proof(&log, old, new).expect("complete source");
+                verify_consistency(&heads[old as usize], &heads[new as usize], &proof)
+                    .unwrap_or_else(|e| panic!("{old} -> {new}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn a_rewritten_prefix_is_not_an_extension() {
+        // Fork: same first 5 entries, then diverge; the forged tree's head
+        // at size 9 must not verify as extending the honest head at size 7.
+        let honest = log_of(7);
+        let mut forged = log_of(5);
+        for i in 0..4u64 {
+            forged.append_leaf(leaf_hash(format!("forged-{i}").as_bytes()));
+        }
+        let proof = consistency_proof(&forged, 7, 9).unwrap();
+        let err = verify_consistency(&honest.commitment(), &forged.commitment(), &proof);
+        assert!(
+            matches!(err, Err(VerifyError::NotAnExtension)),
+            "forged extension accepted: {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_and_forks_are_structural() {
+        let log = log_of(9);
+        let head9 = log.commitment();
+        let head4 = LogCommitment {
+            size: 4,
+            root: root_at(&log, 4).unwrap(),
+        };
+        let empty = ConsistencyProof {
+            old_size: 9,
+            new_size: 4,
+            path: vec![],
+        };
+        assert_eq!(
+            verify_consistency(&head9, &head4, &empty),
+            Err(VerifyError::Truncated {
+                prior: 9,
+                current: 4
+            })
+        );
+        let twin = LogCommitment {
+            size: 9,
+            root: [0x66; 32],
+        };
+        let same = ConsistencyProof {
+            old_size: 9,
+            new_size: 9,
+            path: vec![],
+        };
+        assert_eq!(
+            verify_consistency(&head9, &twin, &same),
+            Err(VerifyError::Forked { size: 9 })
+        );
+    }
+
+    #[test]
+    fn transitions_replay_at_every_size() {
+        let log = log_of(33);
+        for pre in 0..32u64 {
+            let proof = TransitionProof::build(&log, pre).expect("complete source");
+            proof
+                .verify()
+                .unwrap_or_else(|e| panic!("transition {pre}: {e}"));
+            // Claiming a different appended leaf must fail.
+            let mut forged = proof.clone();
+            forged.leaf = leaf_hash(b"someone else");
+            assert!(forged.verify().is_err(), "forged leaf accepted at {pre}");
+        }
+    }
+
+    #[test]
+    fn proof_wire_forms_roundtrip() {
+        let log = log_of(21);
+        let inc = inclusion_proof(&log, 13, 21).unwrap();
+        assert_eq!(InclusionProof::from_bytes(&inc.to_bytes()).unwrap(), inc);
+        let cons = consistency_proof(&log, 9, 21).unwrap();
+        assert_eq!(
+            ConsistencyProof::from_bytes(&cons.to_bytes()).unwrap(),
+            cons
+        );
+        let trans = TransitionProof::build(&log, 20).unwrap();
+        assert_eq!(
+            TransitionProof::from_bytes(&trans.to_bytes()).unwrap(),
+            trans
+        );
+        // Trailing garbage is rejected.
+        let mut long = trans.to_bytes();
+        long.push(0);
+        assert!(TransitionProof::from_bytes(&long).is_err());
+    }
+}

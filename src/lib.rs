@@ -41,6 +41,7 @@
 //! | [`he`] | `he` | HE-PKI / HE-IBE baselines |
 //! | [`core`] | `ibbe-sgx-core` | the paper's contribution: partitioned IBBE inside SGX |
 //! | [`cloud`] | `cloud-store` | simulated Dropbox (PUT / CAS / long polling) |
+//! | [`oplog`] | `oplog` | verifiable op-log: Merkle accumulator, consistency + fraud proofs |
 //! | [`acs`] | `acs` | end-to-end admin/client access control system |
 //! | [`dataplane`] | `dataplane` | envelope-encrypted objects, key epochs, lazy re-encryption |
 //! | [`workloads`] | `workloads` | membership + read/write traces and replay |
@@ -54,6 +55,7 @@ pub use ibbe;
 pub use ibbe_bigint as bigint;
 pub use ibbe_pairing as pairing;
 pub use ibbe_sgx_core as core;
+pub use oplog;
 pub use sgx_sim as sgx;
 pub use symcrypto;
 pub use telemetry;

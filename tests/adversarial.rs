@@ -60,6 +60,7 @@ fn cross_group_partition_splice_rejected() {
         sealed_gk: meta_b.sealed_gk.clone(),
         epoch: meta_b.epoch,
         key_history: meta_b.key_history.clone(),
+        log_head: None,
     };
     let usk = engine.extract_user_key("u0").unwrap();
     let res = client_decrypt_group_key(engine.public_key(), &usk, "u0", &spliced);
